@@ -1,0 +1,55 @@
+// Command wasmgen writes the generated benchmark suite modules to disk
+// as .wasm files, so they can be inspected with external tools or fed to
+// other engines.
+//
+// Usage:
+//
+//	wasmgen -out ./modules [-m0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wizgo/internal/workloads"
+)
+
+func main() {
+	out := flag.String("out", "modules", "output directory")
+	emitM0 := flag.Bool("m0", false, "also write the early-return (m0) variants")
+	flag.Parse()
+
+	items := workloads.All()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	total := 0
+	for _, it := range items {
+		dir := filepath.Join(*out, it.Suite)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(dir, it.Name+".wasm")
+		if err := os.WriteFile(path, it.Bytes, 0o644); err != nil {
+			fatal(err)
+		}
+		total++
+		if *emitM0 {
+			if err := os.WriteFile(filepath.Join(dir, it.Name+".m0.wasm"), it.BytesM0, 0o644); err != nil {
+				fatal(err)
+			}
+			total++
+		}
+	}
+	if err := os.WriteFile(filepath.Join(*out, "mnop.wasm"), workloads.Mnop(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d modules to %s\n", total+1, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wasmgen:", err)
+	os.Exit(1)
+}

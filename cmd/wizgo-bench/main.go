@@ -1,0 +1,103 @@
+// Command wizgo-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wizgo-bench -fig 4 [-runs 5] [-suite polybench] [-items 10]
+//
+// Figures: 3 (feature matrix), 4 (SPC optimization ablations),
+// 5 (value-tag configurations), 6 (probe overhead), 7 (baseline
+// execution shootout), 8 (baseline compile-speed shootout), 9 (baseline
+// SQ-space scatter), 10 (full 18-tier SQ-space).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wizgo/internal/harness"
+	"wizgo/internal/workloads"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (3-10); 0 = all tables")
+	runs := flag.Int("runs", 5, "runs per line item (paper: 25)")
+	suite := flag.String("suite", "", "restrict to one suite (polybench, libsodium, ostrich)")
+	items := flag.Int("items", 0, "restrict to first N items per suite (0 = all)")
+	flag.Parse()
+
+	all := workloads.All()
+	if *suite != "" {
+		var filtered []workloads.Item
+		for _, it := range all {
+			if it.Suite == *suite {
+				filtered = append(filtered, it)
+			}
+		}
+		all = filtered
+	}
+	if *items > 0 {
+		perSuite := map[string]int{}
+		var filtered []workloads.Item
+		for _, it := range all {
+			if perSuite[it.Suite] < *items {
+				filtered = append(filtered, it)
+				perSuite[it.Suite]++
+			}
+		}
+		all = filtered
+	}
+	if len(all) == 0 {
+		fmt.Fprintln(os.Stderr, "no line items selected")
+		os.Exit(1)
+	}
+
+	run := func(n int) {
+		switch n {
+		case 3:
+			fmt.Print(harness.Figure3().Render())
+		case 4:
+			emit(harness.Figure4(all, *runs))
+		case 5:
+			emit(harness.Figure5(all, *runs))
+		case 6:
+			emit(harness.Figure6(all, *runs))
+		case 7:
+			emit(harness.Figure7(all, *runs))
+		case 8:
+			emit(harness.Figure8(all, *runs))
+		case 9:
+			points, err := harness.Figure9(all, *runs)
+			check(err)
+			fmt.Print(harness.RenderSQ("Figure 9: SQ-space of baseline compilers", points))
+		case 10:
+			points, err := harness.Figure10(all, *runs)
+			check(err)
+			fmt.Print(harness.RenderSQ("Figure 10: SQ-space of 18 execution tiers", points))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %d\n", n)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *fig != 0 {
+		run(*fig)
+		return
+	}
+	for _, n := range []int{3, 4, 5, 6, 7, 8, 9, 10} {
+		run(n)
+	}
+}
+
+func emit(t *harness.Table, err error) {
+	check(err)
+	fmt.Print(t.Render())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wizgo-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+// Command wizgo-verify is the repository's differential checker: it runs
+// every generated benchmark line item under every engine configuration
+// (optimization ablations, tagging modes, and all 18 SQ-space tiers) and
+// demands bit-identical checksums. Any divergence between tiers is a
+// compiler or interpreter bug.
+//
+// Usage:
+//
+//	wizgo-verify [-suite polybench]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/workloads"
+)
+
+func main() {
+	suite := flag.String("suite", "", "restrict to one suite")
+	flag.Parse()
+
+	items := workloads.All()
+	if *suite != "" {
+		var filtered []workloads.Item
+		for _, it := range items {
+			if it.Suite == *suite {
+				filtered = append(filtered, it)
+			}
+		}
+		items = filtered
+	}
+
+	var cfgs []engine.Config
+	cfgs = append(cfgs, engines.Figure4Variants()...)
+	cfgs = append(cfgs, engines.Figure5Variants()...)
+	cfgs = append(cfgs, engines.SQSpaceTiers()...)
+	cfgs = append(cfgs, engines.WizardTiered(8))
+
+	bad := 0
+	for _, it := range items {
+		var want int64
+		for ci, cfg := range cfgs {
+			sum, err := runOne(cfg, it.Bytes)
+			if err != nil {
+				fmt.Printf("FAIL %s on %s/%s: %v\n", cfg.Name, it.Suite, it.Name, err)
+				bad++
+				continue
+			}
+			if ci == 0 {
+				want = sum
+			} else if sum != want {
+				fmt.Printf("MISMATCH %s on %s/%s: %#x != %#x\n", cfg.Name, it.Suite, it.Name, sum, want)
+				bad++
+			}
+			// The early-return variant must compile everywhere too and
+			// compute nothing.
+			if m0, err := runOne(cfg, it.BytesM0); err != nil || m0 != 0 {
+				fmt.Printf("M0 FAIL %s on %s/%s: sum %#x err %v\n", cfg.Name, it.Suite, it.Name, m0, err)
+				bad++
+			}
+		}
+	}
+	fmt.Printf("verified %d items x %d configs (plus m0 variants): %d failures\n", len(items), len(cfgs), bad)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func runOne(cfg engine.Config, bytes []byte) (s int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	inst, err := engine.New(cfg, nil).Instantiate(bytes)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := inst.Call("_start"); err != nil {
+		return 0, err
+	}
+	res, err := inst.Call("checksum")
+	if err != nil {
+		return 0, err
+	}
+	return res[0].I64(), nil
+}

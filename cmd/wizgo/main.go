@@ -1,0 +1,151 @@
+// Command wizgo runs a WebAssembly module under a selectable execution
+// tier, the equivalent of the paper's research engine CLI.
+//
+// Usage:
+//
+//	wizgo [-tier wizeng-spc] [-invoke name] [-trace-compile] module.wasm [args...]
+//
+// Tiers: any name from `wizgo -list`, e.g. wizeng-int, wizeng-spc,
+// wizeng-tiered, v8-liftoff, sm-base, wasmer-base, wazero, wasm-now,
+// wasm3, v8-turbofan, wasmtime, wavm, ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/mach"
+	"wizgo/internal/monitors"
+	"wizgo/internal/wasm"
+)
+
+func tierByName(name string) (engine.Config, bool) {
+	cfgs := engines.SQSpaceTiers()
+	cfgs = append(cfgs, engines.WizardTiered(100))
+	for _, c := range cfgs {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return engine.Config{}, false
+}
+
+func main() {
+	tier := flag.String("tier", "wizeng-spc", "execution tier")
+	invoke := flag.String("invoke", "_start", "exported function to call")
+	list := flag.Bool("list", false, "list available tiers")
+	disasm := flag.Bool("disasm", false, "print compiled code of the invoked function")
+	branches := flag.Bool("monitor-branches", false, "attach the branch monitor and report after the run")
+	flag.Parse()
+
+	if *list {
+		for _, c := range engines.SQSpaceTiers() {
+			fmt.Printf("%-14s (%s)\n", c.Name, engines.TierClass(c.Name))
+		}
+		fmt.Printf("%-14s (%s)\n", "wizeng-tiered", "tiered: interpreter + OSR to SPC")
+		return
+	}
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: wizgo [flags] module.wasm [args...]")
+		os.Exit(2)
+	}
+
+	cfg, ok := tierByName(*tier)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wizgo: unknown tier %q (try -list)\n", *tier)
+		os.Exit(2)
+	}
+	bytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := engine.New(cfg, nil).Instantiate(bytes)
+	if err != nil {
+		fatal(err)
+	}
+
+	var mon *monitors.BranchMonitor
+	if *branches {
+		if mon, err = monitors.AttachBranchMonitor(inst); err != nil {
+			fatal(err)
+		}
+	}
+
+	f, ok := inst.RT.FuncByName(*invoke)
+	if !ok {
+		fatal(fmt.Errorf("no exported function %q", *invoke))
+	}
+	args := make([]wasm.Value, flag.NArg()-1)
+	for i, a := range flag.Args()[1:] {
+		if i >= len(f.Type.Params) {
+			fatal(fmt.Errorf("too many arguments for %s %v", *invoke, f.Type))
+		}
+		v, err := parseArg(f.Type.Params[i], a)
+		if err != nil {
+			fatal(err)
+		}
+		args[i] = v
+	}
+
+	if *disasm {
+		if code, ok := f.Compiled.(*mach.Code); ok {
+			fmt.Printf("; %s (%s), %d instructions\n%s\n",
+				f.Name, cfg.Name, len(code.Instrs), code.Disassemble())
+		} else {
+			fmt.Fprintf(os.Stderr, "wizgo: %s has no MachCode under tier %s\n", f.Name, cfg.Name)
+		}
+	}
+
+	results, err := inst.CallFunc(f, args...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	if mon != nil {
+		fmt.Print(mon.Report(10))
+	}
+	fmt.Fprintf(os.Stderr, "setup: %v (decode %v, validate %v, compile %v), code %d bytes\n",
+		inst.Timings.Setup(), inst.Timings.Decode, inst.Timings.Validate,
+		inst.Timings.Compile, inst.Timings.CodeBytes)
+}
+
+func parseArg(t wasm.ValueType, s string) (wasm.Value, error) {
+	switch t {
+	case wasm.I32:
+		v, err := strconv.ParseInt(s, 0, 32)
+		if err != nil {
+			return wasm.Value{}, err
+		}
+		return wasm.ValI32(int32(v)), nil
+	case wasm.I64:
+		v, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			return wasm.Value{}, err
+		}
+		return wasm.ValI64(v), nil
+	case wasm.F32:
+		v, err := strconv.ParseFloat(s, 32)
+		if err != nil {
+			return wasm.Value{}, err
+		}
+		return wasm.ValF32(float32(v)), nil
+	case wasm.F64:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return wasm.Value{}, err
+		}
+		return wasm.ValF64(v), nil
+	}
+	return wasm.Value{}, fmt.Errorf("cannot parse %q as %v", s, t)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wizgo:", err)
+	os.Exit(1)
+}

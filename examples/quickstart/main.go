@@ -1,0 +1,58 @@
+// Quickstart: build a Wasm module in memory, run it under the in-place
+// interpreter and the single-pass compiler, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/wasm"
+)
+
+func main() {
+	// A module computing the n-th Fibonacci number iteratively.
+	b := wasm.NewBuilder()
+	f := b.NewFunc("fib", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32},
+		Results: []wasm.ValueType{wasm.I64},
+	})
+	a := f.AddLocal(wasm.I64)
+	c := f.AddLocal(wasm.I64)
+	tmp := f.AddLocal(wasm.I64)
+	f.I64Const(0).LocalSet(a)
+	f.I64Const(1).LocalSet(c)
+	f.Block(wasm.BlockEmpty)
+	f.LocalGet(0).I32Const(0).Op(wasm.OpI32LeS).BrIf(0)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(a).LocalGet(c).Op(wasm.OpI64Add).LocalSet(tmp)
+	f.LocalGet(c).LocalSet(a)
+	f.LocalGet(tmp).LocalSet(c)
+	f.LocalGet(0).I32Const(1).Op(wasm.OpI32Sub).LocalTee(0)
+	f.I32Const(0).Op(wasm.OpI32GtS).BrIf(0)
+	f.End()
+	f.End()
+	f.LocalGet(a)
+	f.End()
+	b.Export("fib", f.Idx)
+	module := b.Encode()
+	fmt.Printf("module: %d bytes\n", len(module))
+
+	for _, cfg := range []engine.Config{engines.WizardINT(), engines.WizardSPC()} {
+		inst, err := engine.New(cfg, nil).Instantiate(module)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		res, err := inst.Call("fib", wasm.ValI32(1_000_000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s fib(1e6) mod 2^64 = %d  in %v (setup %v)\n",
+			cfg.Name, res[0].I64(), time.Since(t0), inst.Timings.Setup())
+	}
+}

@@ -1,0 +1,58 @@
+// Tier-up example (the paper's Section IV-B / Figure 2): run a hot loop
+// under the tiered configuration. Execution starts in the in-place
+// interpreter; after the OSR threshold the loop back-edge requests
+// tier-up, the function is compiled, and the same frame continues in
+// machine code — the counters show both tiers did real work.
+//
+//	go run ./examples/tierup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/wasm"
+)
+
+func main() {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("spin", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I64},
+		Results: []wasm.ValueType{wasm.I64},
+	})
+	i := f.AddLocal(wasm.I64)
+	acc := f.AddLocal(wasm.I64)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(acc).LocalGet(i).I64Const(7).Op(wasm.OpI64Mul).Op(wasm.OpI64Add).LocalSet(acc)
+	f.LocalGet(i).I64Const(1).Op(wasm.OpI64Add).LocalTee(i)
+	f.LocalGet(0).Op(wasm.OpI64LtS)
+	f.BrIf(0)
+	f.End()
+	f.LocalGet(acc)
+	f.End()
+	b.Export("spin", f.Idx)
+
+	cfg := engines.WizardTiered(1000) // tier up after 1000 back-edges
+	inst, err := engine.New(cfg, nil).Instantiate(b.Encode())
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst.Ctx.CountStats = true
+
+	res, err := inst.Call("spin", wasm.ValI64(5_000_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := inst.Ctx.Stats
+	fmt.Printf("result:        %d\n", res[0].I64())
+	fmt.Printf("interp ops:    %d   (before tier-up)\n", st.InterpOps)
+	fmt.Printf("machine ops:   %d   (after tier-up)\n", st.MachOps)
+	fmt.Printf("OSR tier-ups:  %d\n", st.OSRUps)
+	if st.OSRUps == 0 || st.MachOps == 0 {
+		log.Fatal("expected on-stack replacement to happen")
+	}
+	fmt.Println("\nthe loop entered in the interpreter and finished in compiled code,")
+	fmt.Println("without the frame ever moving — both tiers share the value stack.")
+}

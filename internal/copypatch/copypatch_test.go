@@ -1,0 +1,84 @@
+package copypatch_test
+
+import (
+	"testing"
+
+	"wizgo/internal/copypatch"
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/mach"
+	"wizgo/internal/spc"
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+func build(t *testing.T) (*wasm.Module, []validate.FuncInfo) {
+	t.Helper()
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	f := b.NewFunc("f", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32},
+		Results: []wasm.ValueType{wasm.I32},
+	})
+	acc := f.AddLocal(wasm.I32)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(acc).LocalGet(0).Op(wasm.OpI32Add).LocalSet(acc)
+	f.LocalGet(0).I32Const(1).Op(wasm.OpI32Sub).LocalTee(0)
+	f.I32Const(0).Op(wasm.OpI32GtS)
+	f.BrIf(0)
+	f.End()
+	f.LocalGet(acc)
+	f.End()
+	b.Export("f", f.Idx)
+	m := b.Module()
+	infos, err := validate.Module(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, infos
+}
+
+// TestTemplateCodeShape: template compilation keeps the frame canonical
+// — no register allocation decisions, so every operand round-trips
+// through its slot and call sites need no spill code.
+func TestTemplateCodeShape(t *testing.T) {
+	m, infos := build(t)
+	code, err := copypatch.Compile(m, 0, &m.Funcs[0], &infos[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	spcCode, err := spc.Compile(m, 0, &m.Funcs[0], &infos[0], nil, spc.Wizard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Templates emit strictly more instructions than the abstract-
+	// interpretation compiler (the code-quality price of compile speed).
+	if len(code.Instrs) <= len(spcCode.Instrs) {
+		t.Errorf("template code (%d) should be larger than spc code (%d)",
+			len(code.Instrs), len(spcCode.Instrs))
+	}
+	// Templates use only the fixed scratch registers r0-r2.
+	for _, in := range code.Instrs {
+		if in.Op == mach.OLoadSlot && in.A > 2 {
+			t.Errorf("template used register r%d", in.A)
+		}
+	}
+	if len(code.OSREntries) != 1 {
+		t.Errorf("loop checkpoint missing: %v", code.OSREntries)
+	}
+}
+
+func TestTemplateEndToEnd(t *testing.T) {
+	m, _ := build(t)
+	inst, err := engine.New(engines.WasmNowLike(), nil).Instantiate(wasm.Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Call("f", wasm.ValI32(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].I32() != 5050 {
+		t.Errorf("sum 1..100 = %d", got[0].I32())
+	}
+}

@@ -1,0 +1,411 @@
+// Package engine is the public face of the virtual machine: it loads and
+// validates modules, links imports, instantiates memories/tables/globals,
+// selects and orchestrates execution tiers (interpreter, baseline
+// compiler, optimizing compiler), and performs tier-up (OSR) and
+// tier-down (deopt) by rewriting execution frames on the shared value
+// stack — the integration story of the paper's Section IV.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"wizgo/internal/interp"
+	"wizgo/internal/rt"
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+// Mode selects the execution strategy.
+type Mode int
+
+const (
+	// ModeInterp runs everything in the in-place interpreter.
+	ModeInterp Mode = iota
+	// ModeJIT compiles every function at load time and never interprets.
+	ModeJIT
+	// ModeTiered starts in the interpreter and tiers up hot functions
+	// (call-count threshold) and hot loops (OSR at back-edges).
+	ModeTiered
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeInterp:
+		return "interp"
+	case ModeJIT:
+		return "jit"
+	case ModeTiered:
+		return "tiered"
+	}
+	return "mode?"
+}
+
+// Tier is a compiler that can translate functions for this engine.
+// Adapters in internal/engines wrap the single-pass compiler, the
+// optimizing compiler and the rewriting translator as Tiers.
+type Tier interface {
+	Name() string
+	Compile(m *wasm.Module, fidx uint32, decl *wasm.Func, info *validate.FuncInfo,
+		probes *rt.ProbeSet) (Code, error)
+}
+
+// Code is executable code produced by a Tier.
+type Code interface {
+	Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error)
+	// Bytes reports the emitted code size for compile-throughput
+	// accounting.
+	Bytes() int
+}
+
+// OSRCode is implemented by code objects that support entering at a loop
+// header with a canonical frame (tier-up) and invalidation (tier-down).
+type OSRCode interface {
+	Code
+	OSREntry(wasmPC int) (int, bool)
+	RunFrom(ctx *rt.Context, f *rt.FuncInst, vfp, machPC int) (rt.Status, error)
+	Invalidate()
+}
+
+// Config describes an engine configuration ("tier preset").
+type Config struct {
+	Name string
+	Mode Mode
+	// Tier compiles functions in ModeJIT/ModeTiered.
+	Tier Tier
+	// LazyCompile defers compilation to first call (JSC-style laziness,
+	// a confounder the paper discusses); default is eager compilation
+	// at instantiation, which is what setup-time measurements assume.
+	LazyCompile bool
+	// OSRThreshold is the loop back-edge count before tier-up (ModeTiered).
+	OSRThreshold int
+	// CallThreshold is the call count before a function is compiled
+	// (ModeTiered with LazyCompile).
+	CallThreshold int
+	// Tags allocates the value-tag array alongside the value stack.
+	Tags bool
+	// StackSlots sizes the value stack (default 1<<20 slots).
+	StackSlots int
+	// MaxDepth bounds call nesting (default 10000).
+	MaxDepth int
+	// SkipValidation models engines that do not verify bytecode (the
+	// paper found wasm3 does not!). Setup time then excludes a
+	// validation pass, but the sidetable must still be built, so this
+	// only skips module-level checks in our implementation.
+	SkipValidation bool
+}
+
+// Timings records per-phase setup costs for the compile-speed and
+// SQ-space experiments (Figures 8–10).
+type Timings struct {
+	Decode   time.Duration
+	Validate time.Duration
+	Compile  time.Duration
+	// CodeBytes is the total size of emitted machine code.
+	CodeBytes int
+	// ModuleBytes is the binary module size.
+	ModuleBytes int
+}
+
+// Setup returns total per-module processing time before execution.
+func (t Timings) Setup() time.Duration { return t.Decode + t.Validate + t.Compile }
+
+// Engine creates instances under one configuration.
+type Engine struct {
+	cfg    Config
+	linker *Linker
+}
+
+// New creates an engine. A nil linker provides no host imports.
+func New(cfg Config, linker *Linker) *Engine {
+	if cfg.StackSlots == 0 {
+		cfg.StackSlots = 1 << 20
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 10000
+	}
+	if linker == nil {
+		linker = NewLinker()
+	}
+	return &Engine{cfg: cfg, linker: linker}
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Instance is an instantiated module bound to an execution context.
+type Instance struct {
+	Engine  *Engine
+	RT      *rt.Instance
+	Ctx     *rt.Context
+	Infos   []validate.FuncInfo
+	Timings Timings
+}
+
+// Instantiate decodes, validates, links, (optionally) compiles, and
+// runs the start function of a module.
+func (e *Engine) Instantiate(bytes []byte) (*Instance, error) {
+	t0 := time.Now()
+	m, err := wasm.Decode(bytes)
+	if err != nil {
+		return nil, err
+	}
+	tDecode := time.Since(t0)
+
+	t1 := time.Now()
+	infos, err := validate.Module(m)
+	if err != nil {
+		return nil, err
+	}
+	tValidate := time.Since(t1)
+
+	inst, err := e.link(m, infos)
+	if err != nil {
+		return nil, err
+	}
+	inst.Timings = Timings{
+		Decode: tDecode, Validate: tValidate, ModuleBytes: len(bytes),
+	}
+
+	if e.cfg.Mode != ModeInterp && !e.cfg.LazyCompile {
+		t2 := time.Now()
+		for _, f := range inst.RT.Funcs {
+			if f.IsHost() {
+				continue
+			}
+			if err := inst.compileFunc(f); err != nil {
+				return nil, err
+			}
+		}
+		inst.Timings.Compile = time.Since(t2)
+		for _, f := range inst.RT.Funcs {
+			if c, ok := f.Compiled.(Code); ok {
+				inst.Timings.CodeBytes += c.Bytes()
+			}
+		}
+	}
+
+	if m.HasStart {
+		if err := inst.CallIdx(m.Start); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// link builds the runtime instance: imports, memory, globals, tables.
+func (e *Engine) link(m *wasm.Module, infos []validate.FuncInfo) (*Instance, error) {
+	ri := &rt.Instance{Module: m}
+
+	// Function index space: imports first.
+	localIdx := 0
+	for _, imp := range m.Imports {
+		switch imp.Kind {
+		case wasm.ImportFunc:
+			ft := m.Types[imp.TypeIdx]
+			host, ok := e.linker.resolve(imp.Module, imp.Name)
+			if !ok {
+				return nil, fmt.Errorf("engine: unresolved import %s.%s", imp.Module, imp.Name)
+			}
+			if !host.Type.Equal(ft) {
+				return nil, fmt.Errorf("engine: import %s.%s signature mismatch: have %v, want %v",
+					imp.Module, imp.Name, host.Type, ft)
+			}
+			ri.Funcs = append(ri.Funcs, &rt.FuncInst{
+				Idx: uint32(len(ri.Funcs)), Type: ft,
+				Name: imp.Module + "." + imp.Name, Host: host.Fn,
+			})
+		case wasm.ImportMemory, wasm.ImportTable, wasm.ImportGlobal:
+			return nil, fmt.Errorf("engine: %s.%s: only function imports are supported",
+				imp.Module, imp.Name)
+		}
+	}
+	for i := range m.Funcs {
+		f := &m.Funcs[i]
+		idx := uint32(len(ri.Funcs))
+		ri.Funcs = append(ri.Funcs, &rt.FuncInst{
+			Idx: idx, Type: m.Types[f.TypeIdx], Name: m.FuncName(idx),
+			Decl: f, Info: &infos[localIdx],
+		})
+		localIdx++
+	}
+
+	if len(m.Memories) > 0 {
+		ri.Memory = rt.NewMemory(m.Memories[0])
+	} else {
+		ri.Memory = &rt.Memory{} // zero-size memory simplifies executors
+	}
+	for _, d := range m.Datas {
+		if int(d.Offset)+len(d.Bytes) > len(ri.Memory.Data) {
+			return nil, fmt.Errorf("engine: data segment at %d overflows memory", d.Offset)
+		}
+		copy(ri.Memory.Data[d.Offset:], d.Bytes)
+	}
+
+	for _, g := range m.Globals {
+		ri.Globals = append(ri.Globals, rt.GlobalSlot{
+			Bits: g.Init.Bits, Tag: wasm.TagOf(g.Type),
+		})
+	}
+
+	for _, t := range m.Tables {
+		ri.Tables = append(ri.Tables, &rt.Table{Elems: make([]uint64, t.Lim.Min)})
+	}
+	for _, el := range m.Elems {
+		tbl := ri.Tables[el.TableIdx]
+		if int(el.Offset)+len(el.Funcs) > len(tbl.Elems) {
+			return nil, fmt.Errorf("engine: element segment at %d overflows table", el.Offset)
+		}
+		for i, fidx := range el.Funcs {
+			tbl.Elems[int(el.Offset)+i] = uint64(fidx) + 1
+		}
+	}
+
+	ctx := &rt.Context{
+		Stack:        rt.NewValueStack(e.cfg.StackSlots, e.cfg.Tags),
+		Inst:         ri,
+		MaxDepth:     e.cfg.MaxDepth,
+		OSRThreshold: e.cfg.OSRThreshold,
+	}
+	inst := &Instance{Engine: e, RT: ri, Ctx: ctx, Infos: infos}
+	ctx.Invoke = inst.invoke
+	return inst, nil
+}
+
+func (inst *Instance) compileFunc(f *rt.FuncInst) error {
+	code, err := inst.Engine.cfg.Tier.Compile(inst.RT.Module, f.Idx, f.Decl, f.Info, f.Probes)
+	if err != nil {
+		return err
+	}
+	f.Compiled = code
+	return nil
+}
+
+// invoke is the cross-tier call dispatcher installed on the context.
+// Arguments are at argBase on the value stack; results replace them.
+func (inst *Instance) invoke(f *rt.FuncInst, argBase int) error {
+	e := inst.Engine
+	ctx := inst.Ctx
+
+	if f.Host != nil {
+		if err := ctx.CheckStack(argBase, len(f.Type.Params)+len(f.Type.Results), f.Idx); err != nil {
+			return err
+		}
+		ctx.Depth++
+		args := ctx.Stack.Slots[argBase : argBase+len(f.Type.Params)]
+		results := ctx.Stack.Slots[argBase : argBase+len(f.Type.Results)]
+		err := f.Host(ctx, args, results)
+		ctx.Depth--
+		if err != nil {
+			return &rt.Trap{Kind: rt.TrapHostError, FuncIdx: f.Idx, Wrapped: err}
+		}
+		if ctx.Stack.Tags != nil {
+			for i, t := range f.Type.Results {
+				ctx.Stack.Tags[argBase+i] = wasm.TagOf(t)
+			}
+		}
+		return nil
+	}
+
+	// Lazy compilation / tier-up by call count.
+	if f.Compiled == nil && e.cfg.Mode != ModeInterp && e.cfg.LazyCompile {
+		f.CallCount++
+		if e.cfg.Mode == ModeJIT || f.CallCount >= e.cfg.CallThreshold {
+			if err := inst.compileFunc(f); err != nil {
+				return err
+			}
+		}
+	}
+
+	var status rt.Status
+	var err error
+	if code, ok := f.Compiled.(Code); ok && e.cfg.Mode != ModeInterp {
+		status, err = code.Run(ctx, f, argBase)
+	} else {
+		status, err = interp.Call(ctx, f, argBase)
+	}
+
+	// Tier transitions bounce the same frame between executors until it
+	// completes — the frame itself never moves (Figure 2's design).
+	for err == nil && status != rt.Done {
+		switch status {
+		case rt.OSRUp:
+			if f.Compiled == nil {
+				if cerr := inst.compileFunc(f); cerr != nil {
+					return cerr
+				}
+			}
+			osr, ok := f.Compiled.(OSRCode)
+			if !ok {
+				status, err = inst.resumeInterp(f, argBase)
+				continue
+			}
+			machPC, found := osr.OSREntry(ctx.Resume.PC)
+			if !found {
+				status, err = inst.resumeInterp(f, argBase)
+				continue
+			}
+			status, err = osr.RunFrom(ctx, f, argBase, machPC)
+		case rt.Deopt:
+			status, err = inst.resumeInterp(f, argBase)
+		default:
+			return fmt.Errorf("engine: unexpected executor status %d", status)
+		}
+	}
+	return err
+}
+
+// resumeInterp continues a canonical frame in the interpreter,
+// reconstructing IP and STP — the tier-down path.
+func (inst *Instance) resumeInterp(f *rt.FuncInst, vfp int) (rt.Status, error) {
+	pc := inst.Ctx.Resume.PC
+	entry := interp.Entry{
+		PC:  pc,
+		STP: f.Info.STPForPC(pc),
+		SP:  inst.Ctx.Resume.SP,
+	}
+	return interp.Run(inst.Ctx, f, vfp, entry)
+}
+
+// Call invokes an exported function with typed arguments.
+func (inst *Instance) Call(name string, args ...wasm.Value) ([]wasm.Value, error) {
+	f, ok := inst.RT.FuncByName(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: no exported function %q", name)
+	}
+	return inst.CallFunc(f, args...)
+}
+
+// CallFunc invokes a resolved function with typed arguments.
+func (inst *Instance) CallFunc(f *rt.FuncInst, args ...wasm.Value) ([]wasm.Value, error) {
+	if len(args) != len(f.Type.Params) {
+		return nil, fmt.Errorf("engine: %s expects %d args, got %d", f.Name, len(f.Type.Params), len(args))
+	}
+	ctx := inst.Ctx
+	for i, a := range args {
+		if a.Type != f.Type.Params[i] {
+			return nil, fmt.Errorf("engine: %s arg %d: have %v, want %v", f.Name, i, a.Type, f.Type.Params[i])
+		}
+		ctx.Stack.Slots[i] = a.Bits
+		if ctx.Stack.Tags != nil {
+			ctx.Stack.Tags[i] = wasm.TagOf(a.Type)
+		}
+	}
+	if err := inst.invoke(f, 0); err != nil {
+		return nil, err
+	}
+	results := make([]wasm.Value, len(f.Type.Results))
+	for i, t := range f.Type.Results {
+		results[i] = wasm.Value{Type: t, Bits: ctx.Stack.Slots[i]}
+	}
+	return results, nil
+}
+
+// CallIdx invokes function index idx with no arguments.
+func (inst *Instance) CallIdx(idx uint32) error {
+	f := inst.RT.Funcs[idx]
+	if len(f.Type.Params) != 0 {
+		return fmt.Errorf("engine: function %d takes parameters", idx)
+	}
+	return inst.invoke(f, 0)
+}

@@ -1,0 +1,512 @@
+package engine_test
+
+import (
+	"errors"
+	"testing"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+// allConfigs returns every engine configuration a correctness test
+// should pass: interpreter, all Figure 4 ablations, all Figure 5 tag
+// modes, and the tiered configuration with aggressive OSR.
+func allConfigs() []engine.Config {
+	cfgs := []engine.Config{engines.WizardINT(), engines.WizardSPC(), engines.WizardTiered(2)}
+	cfgs = append(cfgs, engines.Figure4Variants()...)
+	cfgs = append(cfgs, engines.Figure5Variants()...)
+	return cfgs
+}
+
+// runAll executes fn(name, args) on every configuration and checks the
+// results agree with want.
+func runAll(t *testing.T, bytes []byte, fname string, args []wasm.Value, want []wasm.Value) {
+	t.Helper()
+	for _, cfg := range allConfigs() {
+		inst, err := engine.New(cfg, nil).Instantiate(bytes)
+		if err != nil {
+			t.Fatalf("%s: instantiate: %v", cfg.Name, err)
+		}
+		got, err := inst.Call(fname, args...)
+		if err != nil {
+			t.Fatalf("%s: call %s: %v", cfg.Name, fname, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d results, want %d", cfg.Name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: result %d: got %v, want %v", cfg.Name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// trapAll checks every configuration traps with the given kind.
+func trapAll(t *testing.T, bytes []byte, fname string, args []wasm.Value, want rt.TrapKind) {
+	t.Helper()
+	for _, cfg := range allConfigs() {
+		inst, err := engine.New(cfg, nil).Instantiate(bytes)
+		if err != nil {
+			t.Fatalf("%s: instantiate: %v", cfg.Name, err)
+		}
+		_, err = inst.Call(fname, args...)
+		var trap *rt.Trap
+		if !errors.As(err, &trap) {
+			t.Fatalf("%s: expected trap, got %v", cfg.Name, err)
+		}
+		if trap.Kind != want {
+			t.Errorf("%s: trap kind %v, want %v", cfg.Name, trap.Kind, want)
+		}
+	}
+}
+
+func sig(params, results []wasm.ValueType) wasm.FuncType {
+	return wasm.FuncType{Params: params, Results: results}
+}
+
+func TestAddFunction(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("add", sig([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32}))
+	f.LocalGet(0).LocalGet(1).Op(wasm.OpI32Add).End()
+	b.Export("add", f.Idx)
+	bytes := b.Encode()
+
+	runAll(t, bytes, "add",
+		[]wasm.Value{wasm.ValI32(2), wasm.ValI32(40)},
+		[]wasm.Value{wasm.ValI32(42)})
+	runAll(t, bytes, "add",
+		[]wasm.Value{wasm.ValI32(-1), wasm.ValI32(1)},
+		[]wasm.Value{wasm.ValI32(0)})
+}
+
+func TestConstantsAndLocals(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("k", sig(nil, []wasm.ValueType{wasm.I32}))
+	tmp := f.AddLocal(wasm.I32)
+	f.I32Const(10).LocalSet(tmp)
+	f.LocalGet(tmp).I32Const(32).Op(wasm.OpI32Add)
+	f.End()
+	b.Export("k", f.Idx)
+
+	runAll(t, b.Encode(), "k", nil, []wasm.Value{wasm.ValI32(42)})
+}
+
+func TestLoopSum(t *testing.T) {
+	// sum(n) = 0+1+...+n-1 via a loop with br_if back-edge.
+	b := wasm.NewBuilder()
+	f := b.NewFunc("sum", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+	i := f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.I32)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(acc).LocalGet(i).Op(wasm.OpI32Add).LocalSet(acc)
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(i)
+	f.LocalGet(i).LocalGet(0).Op(wasm.OpI32LtS)
+	f.BrIf(0)
+	f.End()
+	f.LocalGet(acc)
+	f.End()
+	b.Export("sum", f.Idx)
+	bytes := b.Encode()
+
+	runAll(t, bytes, "sum", []wasm.Value{wasm.ValI32(10)}, []wasm.Value{wasm.ValI32(45)})
+	runAll(t, bytes, "sum", []wasm.Value{wasm.ValI32(1000)}, []wasm.Value{wasm.ValI32(499500)})
+}
+
+func TestIfElse(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("max", sig([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32}))
+	f.LocalGet(0).LocalGet(1).Op(wasm.OpI32GtS)
+	f.If(wasm.BlockVal(wasm.I32))
+	f.LocalGet(0)
+	f.Else()
+	f.LocalGet(1)
+	f.End()
+	f.End()
+	b.Export("max", f.Idx)
+	bytes := b.Encode()
+
+	runAll(t, bytes, "max", []wasm.Value{wasm.ValI32(3), wasm.ValI32(7)}, []wasm.Value{wasm.ValI32(7)})
+	runAll(t, bytes, "max", []wasm.Value{wasm.ValI32(9), wasm.ValI32(-7)}, []wasm.Value{wasm.ValI32(9)})
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("clamp", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+	f.LocalGet(0).I32Const(100).Op(wasm.OpI32GtS)
+	f.If(wasm.BlockEmpty)
+	f.I32Const(100).LocalSet(0)
+	f.End()
+	f.LocalGet(0)
+	f.End()
+	b.Export("clamp", f.Idx)
+	bytes := b.Encode()
+
+	runAll(t, bytes, "clamp", []wasm.Value{wasm.ValI32(300)}, []wasm.Value{wasm.ValI32(100)})
+	runAll(t, bytes, "clamp", []wasm.Value{wasm.ValI32(42)}, []wasm.Value{wasm.ValI32(42)})
+}
+
+func TestRecursionFactorial(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("fact", sig([]wasm.ValueType{wasm.I64}, []wasm.ValueType{wasm.I64}))
+	f.LocalGet(0).I64Const(2).Op(wasm.OpI64LtS)
+	f.If(wasm.BlockVal(wasm.I64))
+	f.I64Const(1)
+	f.Else()
+	f.LocalGet(0)
+	f.LocalGet(0).I64Const(1).Op(wasm.OpI64Sub).Call(f.Idx)
+	f.Op(wasm.OpI64Mul)
+	f.End()
+	f.End()
+	b.Export("fact", f.Idx)
+
+	runAll(t, b.Encode(), "fact", []wasm.Value{wasm.ValI64(10)}, []wasm.Value{wasm.ValI64(3628800)})
+}
+
+func TestBrTable(t *testing.T) {
+	// dispatch(x): 0->10, 1->20, 2->30, default->99
+	b := wasm.NewBuilder()
+	f := b.NewFunc("dispatch", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+	f.Block(wasm.BlockEmpty) // 3: default
+	f.Block(wasm.BlockEmpty) // 2
+	f.Block(wasm.BlockEmpty) // 1
+	f.Block(wasm.BlockEmpty) // 0
+	f.LocalGet(0)
+	f.BrTable([]uint32{0, 1, 2}, 3)
+	f.End()
+	f.I32Const(10).Op(wasm.OpReturn)
+	f.End()
+	f.I32Const(20).Op(wasm.OpReturn)
+	f.End()
+	f.I32Const(30).Op(wasm.OpReturn)
+	f.End()
+	f.I32Const(99)
+	f.End()
+	b.Export("dispatch", f.Idx)
+	bytes := b.Encode()
+
+	for _, tc := range []struct{ in, out int32 }{{0, 10}, {1, 20}, {2, 30}, {3, 99}, {-1, 99}, {1000, 99}} {
+		runAll(t, bytes, "dispatch", []wasm.Value{wasm.ValI32(tc.in)}, []wasm.Value{wasm.ValI32(tc.out)})
+	}
+}
+
+func TestBlockWithResultAndBr(t *testing.T) {
+	// block (result i32): push 5; br 0 carrying it; unreachable tail.
+	b := wasm.NewBuilder()
+	f := b.NewFunc("brval", sig(nil, []wasm.ValueType{wasm.I32}))
+	f.Block(wasm.BlockVal(wasm.I32))
+	f.I32Const(5)
+	f.Br(0)
+	f.End()
+	f.I32Const(1).Op(wasm.OpI32Add)
+	f.End()
+	b.Export("brval", f.Idx)
+
+	runAll(t, b.Encode(), "brval", nil, []wasm.Value{wasm.ValI32(6)})
+}
+
+func TestMemoryOps(t *testing.T) {
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 2)
+	f := b.NewFunc("mem", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+	// store x at 16, load back with offset addressing, add i8 view.
+	f.I32Const(16).LocalGet(0).Store(wasm.OpI32Store, 0)
+	f.I32Const(0).Load(wasm.OpI32Load, 16)
+	f.I32Const(16).Load(wasm.OpI32Load8U, 0)
+	f.Op(wasm.OpI32Add)
+	f.End()
+	b.Export("mem", f.Idx)
+
+	runAll(t, b.Encode(), "mem", []wasm.Value{wasm.ValI32(0x01020304)},
+		[]wasm.Value{wasm.ValI32(0x01020304 + 0x04)})
+}
+
+func TestMemoryGrowSize(t *testing.T) {
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 4)
+	f := b.NewFunc("grow", sig(nil, []wasm.ValueType{wasm.I32}))
+	f.I32Const(2).MemoryGrow()  // old size = 1
+	f.MemorySize()              // new size = 3
+	f.Op(wasm.OpI32Add)         // 4
+	f.I32Const(10).MemoryGrow() // fails: -1
+	f.Op(wasm.OpI32Add)         // 3
+	f.End()
+	b.Export("grow", f.Idx)
+
+	runAll(t, b.Encode(), "grow", nil, []wasm.Value{wasm.ValI32(3)})
+}
+
+func TestMemoryCopyFill(t *testing.T) {
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	f := b.NewFunc("cf", sig(nil, []wasm.ValueType{wasm.I32}))
+	// fill [0,8) with 7; copy [0,8) to [8,16); read back byte 12.
+	f.I32Const(0).I32Const(7).I32Const(8).MemoryFill()
+	f.I32Const(8).I32Const(0).I32Const(8).MemoryCopy()
+	f.I32Const(12).Load(wasm.OpI32Load8U, 0)
+	f.End()
+	b.Export("cf", f.Idx)
+
+	runAll(t, b.Encode(), "cf", nil, []wasm.Value{wasm.ValI32(7)})
+}
+
+func TestGlobals(t *testing.T) {
+	b := wasm.NewBuilder()
+	g := b.AddGlobal(wasm.I64, true, wasm.ValI64(5))
+	f := b.NewFunc("bump", sig(nil, []wasm.ValueType{wasm.I64}))
+	f.GlobalGet(g).I64Const(10).Op(wasm.OpI64Add).GlobalSet(g)
+	f.GlobalGet(g)
+	f.End()
+	b.Export("bump", f.Idx)
+
+	runAll(t, b.Encode(), "bump", nil, []wasm.Value{wasm.ValI64(15)})
+}
+
+func TestCallIndirect(t *testing.T) {
+	b := wasm.NewBuilder()
+	ft := sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	tidx := b.AddType(ft)
+	double := b.NewFunc("double", ft)
+	double.LocalGet(0).I32Const(2).Op(wasm.OpI32Mul).End()
+	square := b.NewFunc("square", ft)
+	square.LocalGet(0).LocalGet(0).Op(wasm.OpI32Mul).End()
+	b.AddTable(2)
+	b.AddElem(0, []uint32{double.Idx, square.Idx})
+
+	f := b.NewFunc("apply", sig([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32}))
+	f.LocalGet(1).LocalGet(0).CallIndirect(tidx)
+	f.End()
+	b.Export("apply", f.Idx)
+	bytes := b.Encode()
+
+	runAll(t, bytes, "apply", []wasm.Value{wasm.ValI32(0), wasm.ValI32(21)}, []wasm.Value{wasm.ValI32(42)})
+	runAll(t, bytes, "apply", []wasm.Value{wasm.ValI32(1), wasm.ValI32(9)}, []wasm.Value{wasm.ValI32(81)})
+	trapAll(t, bytes, "apply", []wasm.Value{wasm.ValI32(7), wasm.ValI32(1)}, rt.TrapOOBTable)
+}
+
+func TestSelect(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("sel", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.F64}))
+	f.F64Const(1.5).F64Const(2.5).LocalGet(0).Op(wasm.OpSelect)
+	f.End()
+	b.Export("sel", f.Idx)
+	bytes := b.Encode()
+
+	runAll(t, bytes, "sel", []wasm.Value{wasm.ValI32(1)}, []wasm.Value{wasm.ValF64(1.5)})
+	runAll(t, bytes, "sel", []wasm.Value{wasm.ValI32(0)}, []wasm.Value{wasm.ValF64(2.5)})
+}
+
+func TestFloatArith(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("fma", sig([]wasm.ValueType{wasm.F64, wasm.F64, wasm.F64}, []wasm.ValueType{wasm.F64}))
+	f.LocalGet(0).LocalGet(1).Op(wasm.OpF64Mul).LocalGet(2).Op(wasm.OpF64Add)
+	f.Op(wasm.OpF64Sqrt)
+	f.End()
+	b.Export("fma", f.Idx)
+
+	runAll(t, b.Encode(), "fma",
+		[]wasm.Value{wasm.ValF64(3), wasm.ValF64(5), wasm.ValF64(1)},
+		[]wasm.Value{wasm.ValF64(4)})
+}
+
+func TestMultiValue(t *testing.T) {
+	b := wasm.NewBuilder()
+	ft2 := sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32, wasm.I32})
+	divmod := b.NewFunc("divmod", sig([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32, wasm.I32}))
+	divmod.LocalGet(0).LocalGet(1).Op(wasm.OpI32DivU)
+	divmod.LocalGet(0).LocalGet(1).Op(wasm.OpI32RemU)
+	divmod.End()
+	b.Export("divmod", divmod.Idx)
+
+	// A multi-value block: (i32) -> (i32 i32) duplicating through a block.
+	tidx := b.AddType(ft2)
+	f := b.NewFunc("mv", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+	f.LocalGet(0)
+	f.Block(wasm.BlockFunc(tidx))
+	f.I32Const(3).Op(wasm.OpI32Mul)
+	f.I32Const(7)
+	f.End()
+	f.Op(wasm.OpI32Add)
+	f.End()
+	b.Export("mv", f.Idx)
+	bytes := b.Encode()
+
+	runAll(t, bytes, "divmod", []wasm.Value{wasm.ValI32(17), wasm.ValI32(5)},
+		[]wasm.Value{wasm.ValI32(3), wasm.ValI32(2)})
+	runAll(t, bytes, "mv", []wasm.Value{wasm.ValI32(5)}, []wasm.Value{wasm.ValI32(22)})
+}
+
+func TestTrapDivByZero(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("div", sig([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32}))
+	f.LocalGet(0).LocalGet(1).Op(wasm.OpI32DivS).End()
+	b.Export("div", f.Idx)
+	bytes := b.Encode()
+
+	trapAll(t, bytes, "div", []wasm.Value{wasm.ValI32(1), wasm.ValI32(0)}, rt.TrapDivByZero)
+	trapAll(t, bytes, "div", []wasm.Value{wasm.ValI32(-2147483648), wasm.ValI32(-1)}, rt.TrapIntOverflow)
+	runAll(t, bytes, "div", []wasm.Value{wasm.ValI32(7), wasm.ValI32(-2)}, []wasm.Value{wasm.ValI32(-3)})
+}
+
+func TestTrapOOB(t *testing.T) {
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	f := b.NewFunc("peek", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+	f.LocalGet(0).Load(wasm.OpI32Load, 0).End()
+	b.Export("peek", f.Idx)
+	bytes := b.Encode()
+
+	trapAll(t, bytes, "peek", []wasm.Value{wasm.ValI32(65536)}, rt.TrapOOBMemory)
+	trapAll(t, bytes, "peek", []wasm.Value{wasm.ValI32(65533)}, rt.TrapOOBMemory)
+	trapAll(t, bytes, "peek", []wasm.Value{wasm.ValI32(-4)}, rt.TrapOOBMemory)
+	runAll(t, bytes, "peek", []wasm.Value{wasm.ValI32(65532)}, []wasm.Value{wasm.ValI32(0)})
+}
+
+func TestTrapUnreachable(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("boom", sig(nil, nil))
+	f.Op(wasm.OpUnreachable).End()
+	b.Export("boom", f.Idx)
+
+	trapAll(t, b.Encode(), "boom", nil, rt.TrapUnreachable)
+}
+
+func TestTrapStackOverflow(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("rec", sig(nil, nil))
+	f.Call(f.Idx).End()
+	b.Export("rec", f.Idx)
+
+	trapAll(t, b.Encode(), "rec", nil, rt.TrapStackOverflow)
+}
+
+func TestHostCall(t *testing.T) {
+	b := wasm.NewBuilder()
+	addft := sig([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	hidx := b.ImportFunc("env", "host_add", addft)
+	f := b.NewFunc("go", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+	f.LocalGet(0).I32Const(100).Call(hidx).End()
+	b.Export("go", f.Idx)
+	bytes := b.Encode()
+
+	linker := engine.NewLinker().Func("env", "host_add", addft,
+		func(ctx *rt.Context, args, results []uint64) error {
+			results[0] = wasm.BoxI32(wasm.UnboxI32(args[0]) + wasm.UnboxI32(args[1]))
+			return nil
+		})
+
+	for _, cfg := range allConfigs() {
+		inst, err := engine.New(cfg, linker).Instantiate(bytes)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		got, err := inst.Call("go", wasm.ValI32(7))
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if got[0].I32() != 107 {
+			t.Errorf("%s: got %v, want 107", cfg.Name, got[0])
+		}
+	}
+}
+
+func TestConversionOps(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("conv", sig([]wasm.ValueType{wasm.F64}, []wasm.ValueType{wasm.I64}))
+	f.LocalGet(0).Op(wasm.OpI32TruncF64S)
+	f.Op(wasm.OpI64ExtendI32S)
+	f.End()
+	b.Export("conv", f.Idx)
+	bytes := b.Encode()
+
+	runAll(t, bytes, "conv", []wasm.Value{wasm.ValF64(-3.7)}, []wasm.Value{wasm.ValI64(-3)})
+	trapAll(t, bytes, "conv", []wasm.Value{wasm.ValF64(3e10)}, rt.TrapIntOverflow)
+}
+
+func TestNestedLoops(t *testing.T) {
+	// Count pairs (i,j) with i*j odd for i,j < n — exercises nested
+	// loops, register pressure across merges, and compare fusion.
+	b := wasm.NewBuilder()
+	f := b.NewFunc("pairs", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+	i := f.AddLocal(wasm.I32)
+	j := f.AddLocal(wasm.I32)
+	cnt := f.AddLocal(wasm.I32)
+	f.Block(wasm.BlockEmpty)
+	f.LocalGet(0).I32Const(0).Op(wasm.OpI32LeS).BrIf(0)
+	f.Loop(wasm.BlockEmpty)
+	f.I32Const(0).LocalSet(j)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(i).LocalGet(j).Op(wasm.OpI32Mul).I32Const(1).Op(wasm.OpI32And)
+	f.If(wasm.BlockEmpty)
+	f.LocalGet(cnt).I32Const(1).Op(wasm.OpI32Add).LocalSet(cnt)
+	f.End()
+	f.LocalGet(j).I32Const(1).Op(wasm.OpI32Add).LocalTee(j)
+	f.LocalGet(0).Op(wasm.OpI32LtS).BrIf(0)
+	f.End()
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalTee(i)
+	f.LocalGet(0).Op(wasm.OpI32LtS).BrIf(0)
+	f.End()
+	f.End()
+	f.LocalGet(cnt)
+	f.End()
+	b.Export("pairs", f.Idx)
+
+	// odd i in [0,10): 1,3,5,7,9 → 5 values; pairs = 25.
+	runAll(t, b.Encode(), "pairs", []wasm.Value{wasm.ValI32(10)}, []wasm.Value{wasm.ValI32(25)})
+}
+
+func TestReferenceValues(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("isnull", sig([]wasm.ValueType{wasm.ExternRef}, []wasm.ValueType{wasm.I32}))
+	f.LocalGet(0).Op(wasm.OpRefIsNull).End()
+	b.Export("isnull", f.Idx)
+	bytes := b.Encode()
+
+	runAll(t, bytes, "isnull", []wasm.Value{wasm.ValRef(wasm.NullRef)}, []wasm.Value{wasm.ValI32(1)})
+	runAll(t, bytes, "isnull", []wasm.Value{wasm.ValRef(33)}, []wasm.Value{wasm.ValI32(0)})
+}
+
+func TestTieredOSR(t *testing.T) {
+	// A long-running loop in a single call: tier-up must happen mid-loop
+	// and produce the same result.
+	b := wasm.NewBuilder()
+	f := b.NewFunc("spin", sig([]wasm.ValueType{wasm.I64}, []wasm.ValueType{wasm.I64}))
+	i := f.AddLocal(wasm.I64)
+	acc := f.AddLocal(wasm.I64)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(acc).LocalGet(i).I64Const(3).Op(wasm.OpI64Mul).Op(wasm.OpI64Add).LocalSet(acc)
+	f.LocalGet(i).I64Const(1).Op(wasm.OpI64Add).LocalTee(i)
+	f.LocalGet(0).Op(wasm.OpI64LtS).BrIf(0)
+	f.End()
+	f.LocalGet(acc)
+	f.End()
+	b.Export("spin", f.Idx)
+	bytes := b.Encode()
+
+	var want int64 = 0
+	for k := int64(0); k < 100000; k++ {
+		want += 3 * k
+	}
+
+	cfg := engines.WizardTiered(10)
+	inst, err := engine.New(cfg, nil).Instantiate(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Ctx.CountStats = true
+	got, err := inst.Call("spin", wasm.ValI64(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].I64() != want {
+		t.Fatalf("got %d, want %d", got[0].I64(), want)
+	}
+	if inst.Ctx.Stats.OSRUps == 0 {
+		t.Error("expected at least one OSR tier-up")
+	}
+	if inst.Ctx.Stats.MachOps == 0 {
+		t.Error("expected compiled code to execute after OSR")
+	}
+}

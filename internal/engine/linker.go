@@ -1,0 +1,31 @@
+package engine
+
+import "wizgo/internal/rt"
+import "wizgo/internal/wasm"
+
+// HostEntry pairs a host function with its declared signature.
+type HostEntry struct {
+	Type wasm.FuncType
+	Fn   rt.HostFunc
+}
+
+// Linker resolves module imports to host functions.
+type Linker struct {
+	funcs map[string]HostEntry
+}
+
+// NewLinker returns an empty linker.
+func NewLinker() *Linker {
+	return &Linker{funcs: make(map[string]HostEntry)}
+}
+
+// Func registers a host function under module.name.
+func (l *Linker) Func(module, name string, ft wasm.FuncType, fn rt.HostFunc) *Linker {
+	l.funcs[module+"."+name] = HostEntry{Type: ft, Fn: fn}
+	return l
+}
+
+func (l *Linker) resolve(module, name string) (HostEntry, bool) {
+	e, ok := l.funcs[module+"."+name]
+	return e, ok
+}

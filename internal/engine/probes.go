@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"fmt"
+
+	"wizgo/internal/rt"
+)
+
+// AttachProbe inserts a local probe at a bytecode offset of a function,
+// the engine API behind Wizard's monitors (Section IV-D). If the
+// function was already compiled, it is recompiled with the probe sites
+// baked in; frames currently executing the old code tier down at their
+// next checkpoint and continue in the interpreter, which honors probes
+// at every instruction — instrumentation is never missed for long.
+func (inst *Instance) AttachProbe(funcIdx uint32, pc int, p rt.Probe) error {
+	if int(funcIdx) >= len(inst.RT.Funcs) {
+		return fmt.Errorf("engine: function index %d out of range", funcIdx)
+	}
+	f := inst.RT.Funcs[funcIdx]
+	if f.IsHost() {
+		return fmt.Errorf("engine: cannot probe host function %d", funcIdx)
+	}
+	if pc < 0 || pc >= len(f.Decl.Body) {
+		return fmt.Errorf("engine: probe pc %d out of range for function %d", pc, funcIdx)
+	}
+	if f.Probes == nil {
+		f.Probes = rt.NewProbeSet(len(f.Decl.Body))
+	}
+	f.Probes.Insert(pc, p)
+	return inst.reinstallCode(f)
+}
+
+// DetachProbes removes all probes at a pc.
+func (inst *Instance) DetachProbes(funcIdx uint32, pc int) error {
+	f := inst.RT.Funcs[funcIdx]
+	if f.Probes == nil {
+		return nil
+	}
+	f.Probes.Remove(pc)
+	if f.Probes.Empty() {
+		f.Probes = nil
+	}
+	return inst.reinstallCode(f)
+}
+
+// reinstallCode invalidates and (in JIT modes) recompiles a function
+// after its probe set changed.
+func (inst *Instance) reinstallCode(f *rt.FuncInst) error {
+	if f.Compiled == nil {
+		return nil
+	}
+	if osr, ok := f.Compiled.(OSRCode); ok {
+		osr.Invalidate() // active frames deopt at their next checkpoint
+	}
+	f.Compiled = nil
+	if inst.Engine.cfg.Mode != ModeInterp && !inst.Engine.cfg.LazyCompile {
+		return inst.compileFunc(f)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package engines provides the engine presets used throughout the
+// evaluation: the Wizard configurations (interpreter and Wizard-SPC with
+// every ablation of Figures 4 and 5), the five comparator baseline
+// compilers of Figure 3 with their feature sets and structurally
+// different compile pipelines, and the interpreter/optimizing tiers that
+// fill out the 18-engine SQ-space of Figure 10.
+package engines
+
+import (
+	"wizgo/internal/engine"
+	"wizgo/internal/rt"
+	"wizgo/internal/spc"
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+// SPCTier adapts the single-pass compiler as an engine tier.
+type SPCTier struct {
+	TierName string
+	Cfg      spc.Config
+}
+
+// Name implements engine.Tier.
+func (t SPCTier) Name() string { return t.TierName }
+
+// Compile implements engine.Tier.
+func (t SPCTier) Compile(m *wasm.Module, fidx uint32, decl *wasm.Func,
+	info *validate.FuncInfo, probes *rt.ProbeSet) (engine.Code, error) {
+	return spc.Compile(m, fidx, decl, info, probes, t.Cfg)
+}
+
+// WizardINT is the in-place interpreter configuration (Wizard-INT).
+func WizardINT() engine.Config {
+	return engine.Config{Name: "wizeng-int", Mode: engine.ModeInterp, Tags: true}
+}
+
+// WizardSPC is the default Wizard-SPC configuration: all optimizations,
+// on-demand tags.
+func WizardSPC() engine.Config {
+	return engine.Config{
+		Name: "wizeng-spc", Mode: engine.ModeJIT, Tags: true,
+		Tier: SPCTier{TierName: "wizard-spc", Cfg: spc.Wizard()},
+	}
+}
+
+// WizardTiered is the production-style configuration: start in the
+// interpreter, tier up hot loops via OSR.
+func WizardTiered(osrThreshold int) engine.Config {
+	return engine.Config{
+		Name: "wizeng-tiered", Mode: engine.ModeTiered, Tags: true,
+		Tier:          SPCTier{TierName: "wizard-spc", Cfg: spc.Wizard()},
+		LazyCompile:   true,
+		CallThreshold: 2,
+		OSRThreshold:  osrThreshold,
+	}
+}
+
+// SPCVariant returns Wizard-SPC with a modified compiler config, used by
+// the Figure 4 and Figure 5 ablations.
+func SPCVariant(name string, mutate func(*spc.Config)) engine.Config {
+	cfg := spc.Wizard()
+	mutate(&cfg)
+	return engine.Config{
+		Name: name, Mode: engine.ModeJIT, Tags: cfg.Tags != rt.TagsNone,
+		Tier: SPCTier{TierName: name, Cfg: cfg},
+	}
+}
+
+// Figure4Variants returns the optimization-ablation configurations of
+// Figure 4, in the paper's order.
+func Figure4Variants() []engine.Config {
+	return []engine.Config{
+		SPCVariant("allopt", func(c *spc.Config) {}),
+		SPCVariant("nok", func(c *spc.Config) { c.TrackConsts = false }),
+		SPCVariant("nokfold", func(c *spc.Config) { c.ConstFold = false }),
+		SPCVariant("noisel", func(c *spc.Config) { c.ISel = false }),
+		SPCVariant("nomr", func(c *spc.Config) { c.MultiReg = false }),
+	}
+}
+
+// Figure5Variants returns the value-tag configurations of Figure 5 plus
+// the notags baseline.
+func Figure5Variants() []engine.Config {
+	tag := func(name string, mode rt.TagMode) engine.Config {
+		return SPCVariant(name, func(c *spc.Config) { c.Tags = mode })
+	}
+	return []engine.Config{
+		tag("notags", rt.TagsNone),
+		tag("eagertags", rt.TagsEager),
+		tag("eagertags-o", rt.TagsEagerOperands),
+		tag("eagertags-l", rt.TagsEagerLocals),
+		tag("on-demand", rt.TagsOnDemand),
+		tag("lazytags", rt.TagsLazy),
+	}
+}

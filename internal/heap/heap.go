@@ -1,0 +1,198 @@
+// Package heap implements the simulated host garbage collector the
+// value-tag experiments need: a mark-sweep heap of host objects
+// referenced from Wasm as externref values. Roots are found by walking
+// the execution frames of a context — via value tags (scan any slot
+// whose tag says "ref"; Wizard's strategy) or via stackmaps (per
+// call-site metadata recorded by MAP-feature compilers; the Web engines'
+// strategy). Both walks are implemented so tests can verify they find
+// identical root sets, the correctness property that makes the paper's
+// design comparison meaningful.
+package heap
+
+import (
+	"fmt"
+
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+// Object is a host-heap object. Refs lets tests build object graphs so
+// that mark-sweep has real transitive work to do.
+type Object struct {
+	Payload uint64
+	Refs    []uint64 // handles of referenced objects
+	marked  bool
+	dead    bool
+}
+
+// Heap is a non-moving mark-sweep heap. Handles are 1-based indices so
+// that handle 0 is the null reference.
+type Heap struct {
+	objects []*Object
+	// Collections counts completed GC cycles.
+	Collections int
+	// LastLive and LastSwept record the outcome of the last cycle.
+	LastLive  int
+	LastSwept int
+	// RootScanMode selects how frames are walked.
+	RootScanMode ScanMode
+}
+
+// ScanMode selects the root-finding strategy.
+type ScanMode int
+
+const (
+	// ScanTags walks every live slot and checks its value tag —
+	// Wizard's strategy, requiring no compiler metadata.
+	ScanTags ScanMode = iota
+	// ScanStackmaps uses per-callsite stackmaps for JIT frames and
+	// tags for interpreter frames — the Web engines' strategy.
+	ScanStackmaps
+)
+
+// New returns an empty heap.
+func New(mode ScanMode) *Heap {
+	return &Heap{RootScanMode: mode}
+}
+
+// Alloc creates an object and returns its handle.
+func (h *Heap) Alloc(payload uint64, refs ...uint64) uint64 {
+	h.objects = append(h.objects, &Object{Payload: payload, Refs: refs})
+	return uint64(len(h.objects))
+}
+
+// Get resolves a handle; nil for null, dead or out-of-range handles.
+func (h *Heap) Get(handle uint64) *Object {
+	if handle == 0 || int(handle) > len(h.objects) {
+		return nil
+	}
+	o := h.objects[handle-1]
+	if o.dead {
+		return nil
+	}
+	return o
+}
+
+// Size returns the number of live (non-swept) objects.
+func (h *Heap) Size() int {
+	n := 0
+	for _, o := range h.objects {
+		if !o.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// StackRoots walks the execution frames of ctx and returns the handles
+// found in root slots, in deterministic stack order.
+func (h *Heap) StackRoots(ctx *rt.Context) ([]uint64, error) {
+	var roots []uint64
+	seen := make(map[int]bool) // slot indices already scanned
+	for i := len(ctx.Frames) - 1; i >= 0; i-- {
+		fr := &ctx.Frames[i]
+		var err error
+		roots, err = h.frameRoots(ctx, fr, seen, roots)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return roots, nil
+}
+
+func (h *Heap) frameRoots(ctx *rt.Context, fr *rt.FrameInfo, seen map[int]bool, roots []uint64) ([]uint64, error) {
+	useStackmaps := h.RootScanMode == ScanStackmaps && fr.Kind == rt.FrameJIT
+	if useStackmaps {
+		code, ok := fr.Func.Compiled.(interface{ StackmapAt(pc int) ([]int32, bool) })
+		if !ok {
+			return nil, fmt.Errorf("heap: stackmap scan requested but code has no stackmaps (func %d)", fr.Func.Idx)
+		}
+		slots, ok := code.StackmapAt(fr.PC)
+		if !ok {
+			return nil, fmt.Errorf("heap: no stackmap at func %d pc %d", fr.Func.Idx, fr.PC)
+		}
+		for _, rel := range slots {
+			abs := fr.VFP + int(rel)
+			if seen[abs] {
+				continue
+			}
+			seen[abs] = true
+			if hdl := ctx.Stack.Slots[abs]; hdl != wasm.NullRef {
+				roots = append(roots, hdl)
+			}
+		}
+		return roots, nil
+	}
+
+	// Tag scan: every slot in [VFP, SP) whose tag marks a reference.
+	tags := ctx.Stack.Tags
+	if tags == nil {
+		return nil, fmt.Errorf("heap: tag scan requested but the value stack has no tags")
+	}
+	var localTags []wasm.Tag
+	if fr.Func.Info != nil {
+		// Lazy local tagging support: reconstruct local tags from the
+		// static declarations rather than trusting stored tags.
+		localTags = rt.TagsForLocals(fr.Func)
+	}
+	for s := fr.VFP; s < fr.SP; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		tag := tags[s]
+		if localTags != nil && s-fr.VFP < len(localTags) {
+			tag = localTags[s-fr.VFP]
+		}
+		if tag == wasm.TagRef {
+			if hdl := ctx.Stack.Slots[s]; hdl != wasm.NullRef {
+				roots = append(roots, hdl)
+			}
+		}
+	}
+	return roots, nil
+}
+
+// Collect runs a full mark-sweep cycle using the frames of ctx (plus
+// extraRoots, e.g. globals) as the root set. Returns the number of
+// objects swept.
+func (h *Heap) Collect(ctx *rt.Context, extraRoots ...uint64) (int, error) {
+	roots, err := h.StackRoots(ctx)
+	if err != nil {
+		return 0, err
+	}
+	roots = append(roots, extraRoots...)
+
+	// Mark.
+	var stack []uint64
+	stack = append(stack, roots...)
+	for len(stack) > 0 {
+		hdl := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		o := h.Get(hdl)
+		if o == nil || o.marked {
+			continue
+		}
+		o.marked = true
+		stack = append(stack, o.Refs...)
+	}
+
+	// Sweep.
+	swept, live := 0, 0
+	for _, o := range h.objects {
+		if o.dead {
+			continue
+		}
+		if o.marked {
+			o.marked = false
+			live++
+		} else {
+			o.dead = true
+			swept++
+		}
+	}
+	h.Collections++
+	h.LastLive = live
+	h.LastSwept = swept
+	return swept, nil
+}

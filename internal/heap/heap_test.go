@@ -1,0 +1,189 @@
+package heap_test
+
+import (
+	"testing"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/heap"
+	"wizgo/internal/rt"
+	"wizgo/internal/spc"
+	"wizgo/internal/wasm"
+)
+
+// buildRefModule returns a module that keeps externref values alive in
+// locals and on the operand stack across a host call, so a GC triggered
+// inside the host call must find them as roots.
+func buildRefModule() []byte {
+	b := wasm.NewBuilder()
+	gcft := wasm.FuncType{}
+	gcIdx := b.ImportFunc("env", "gc", gcft)
+	ft := wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.ExternRef, wasm.ExternRef},
+		Results: []wasm.ValueType{wasm.I32},
+	}
+	f := b.NewFunc("hold", ft)
+	l := f.AddLocal(wasm.ExternRef)
+	f.LocalGet(0).LocalSet(l) // ref alive in a declared local
+	f.LocalGet(1)             // ref alive on the operand stack
+	f.Call(gcIdx)             // host call triggers a collection
+	f.Op(wasm.OpRefIsNull)
+	f.End()
+	b.Export("hold", f.Idx)
+	return b.Encode()
+}
+
+// runGC executes the module under cfg with the given scan mode, forcing
+// a collection during the host call, and returns the heap.
+func runGC(t *testing.T, cfg engine.Config, mode heap.ScanMode) *heap.Heap {
+	t.Helper()
+	h := heap.New(mode)
+	linker := engine.NewLinker().Func("env", "gc", wasm.FuncType{},
+		func(ctx *rt.Context, args, results []uint64) error {
+			_, err := h.Collect(ctx)
+			return err
+		})
+	inst, err := engine.New(cfg, linker).Instantiate(buildRefModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Ctx.Heap = h
+
+	// Allocate three objects; only two are passed as arguments (the
+	// third is garbage), and the second references a fourth.
+	dep := h.Alloc(400)
+	a := h.Alloc(100)
+	bb := h.Alloc(200, dep)
+	h.Alloc(300) // garbage
+
+	res, err := inst.Call("hold", wasm.ValRef(a), wasm.ValRef(bb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I32() != 0 {
+		t.Fatalf("operand ref was null after GC")
+	}
+	if h.Collections != 1 {
+		t.Fatalf("expected 1 collection, got %d", h.Collections)
+	}
+	if h.Get(a) == nil || h.Get(bb) == nil || h.Get(dep) == nil {
+		t.Fatal("live object was swept")
+	}
+	return h
+}
+
+// TestGCWithValueTags: Wizard's strategy — the interpreter and the
+// tag-emitting compiler both keep tags accurate at observation points.
+func TestGCWithValueTags(t *testing.T) {
+	for _, cfg := range []engine.Config{
+		engines.WizardINT(),
+		engines.WizardSPC(), // on-demand tags
+		engines.SPCVariant("eager", func(c *spc.Config) { c.Tags = rt.TagsEager }),
+	} {
+		h := runGC(t, cfg, heap.ScanTags)
+		if h.LastSwept != 1 {
+			t.Errorf("%s: swept %d, want 1 (the garbage object)", cfg.Name, h.LastSwept)
+		}
+		if h.LastLive != 3 {
+			t.Errorf("%s: live %d, want 3", cfg.Name, h.LastLive)
+		}
+	}
+}
+
+// TestGCWithStackmaps: the Web-engine strategy over MAP-compiled code.
+func TestGCWithStackmaps(t *testing.T) {
+	cfg := engines.LiftoffLike()
+	cfg.Tags = true // tag array still present for interpreter frames
+	h := runGC(t, cfg, heap.ScanStackmaps)
+	if h.LastSwept != 1 || h.LastLive != 3 {
+		t.Errorf("stackmap scan: swept %d live %d, want 1/3", h.LastSwept, h.LastLive)
+	}
+}
+
+// TestTagAndStackmapRootsAgree is the key correctness property behind
+// the paper's comparison: both strategies must find the same roots.
+func TestTagAndStackmapRootsAgree(t *testing.T) {
+	var tagRoots, mapRoots []uint64
+	grab := func(mode heap.ScanMode, dst *[]uint64) {
+		h := heap.New(mode)
+		linker := engine.NewLinker().Func("env", "gc", wasm.FuncType{},
+			func(ctx *rt.Context, args, results []uint64) error {
+				roots, err := h.StackRoots(ctx)
+				if err != nil {
+					return err
+				}
+				*dst = roots
+				return nil
+			})
+		cfg := engines.LiftoffLike()
+		cfg.Tags = true
+		inst, err := engine.New(cfg, linker).Instantiate(buildRefModule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := h.Alloc(1)
+		bb := h.Alloc(2)
+		if _, err := inst.Call("hold", wasm.ValRef(a), wasm.ValRef(bb)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grab(heap.ScanTags, &tagRoots)
+	grab(heap.ScanStackmaps, &mapRoots)
+
+	set := func(xs []uint64) map[uint64]bool {
+		m := map[uint64]bool{}
+		for _, x := range xs {
+			m[x] = true
+		}
+		return m
+	}
+	ts, ms := set(tagRoots), set(mapRoots)
+	if len(ts) != len(ms) {
+		t.Fatalf("tag roots %v != stackmap roots %v", tagRoots, mapRoots)
+	}
+	for r := range ts {
+		if !ms[r] {
+			t.Fatalf("root %d found by tags but not stackmaps", r)
+		}
+	}
+}
+
+func TestMarkSweepTransitive(t *testing.T) {
+	h := heap.New(heap.ScanTags)
+	leaf := h.Alloc(1)
+	mid := h.Alloc(2, leaf)
+	root := h.Alloc(3, mid)
+	h.Alloc(4) // garbage cycle-free
+	ctx := &rt.Context{Stack: rt.NewValueStack(16, true)}
+	swept, err := h.Collect(ctx, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept != 1 {
+		t.Errorf("swept %d, want 1", swept)
+	}
+	if h.Get(leaf) == nil || h.Get(mid) == nil || h.Get(root) == nil {
+		t.Error("transitively reachable object swept")
+	}
+	if h.Size() != 3 {
+		t.Errorf("size %d, want 3", h.Size())
+	}
+}
+
+func TestNullAndDeadHandles(t *testing.T) {
+	h := heap.New(heap.ScanTags)
+	if h.Get(0) != nil {
+		t.Error("null handle must resolve to nil")
+	}
+	if h.Get(99) != nil {
+		t.Error("out-of-range handle must resolve to nil")
+	}
+	obj := h.Alloc(7)
+	ctx := &rt.Context{Stack: rt.NewValueStack(16, true)}
+	if _, err := h.Collect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if h.Get(obj) != nil {
+		t.Error("unreferenced object must be swept")
+	}
+}

@@ -1,0 +1,116 @@
+package interp
+
+import (
+	"encoding/binary"
+
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+// Inline immediate decoding. The in-place interpreter reads immediates
+// straight from the original bytecode on every execution — that is the
+// "no rewriting" cost the rewriting interpreter tier avoids by
+// pre-decoding (and what compiled code avoids entirely).
+
+func readU32(b []byte, pos int) (uint32, int) {
+	v := uint32(b[pos])
+	if v < 0x80 {
+		return v, pos + 1
+	}
+	v &= 0x7F
+	shift := uint(7)
+	pos++
+	for {
+		c := b[pos]
+		v |= uint32(c&0x7F) << shift
+		pos++
+		if c < 0x80 {
+			return v, pos
+		}
+		shift += 7
+	}
+}
+
+func readS32(b []byte, pos int) (int32, int) {
+	var v int32
+	var shift uint
+	for {
+		c := b[pos]
+		v |= int32(c&0x7F) << shift
+		shift += 7
+		pos++
+		if c < 0x80 {
+			if shift < 32 && c&0x40 != 0 {
+				v |= -1 << shift
+			}
+			return v, pos
+		}
+	}
+}
+
+func readS64(b []byte, pos int) (int64, int) {
+	var v int64
+	var shift uint
+	for {
+		c := b[pos]
+		v |= int64(c&0x7F) << shift
+		shift += 7
+		pos++
+		if c < 0x80 {
+			if shift < 64 && c&0x40 != 0 {
+				v |= -1 << shift
+			}
+			return v, pos
+		}
+	}
+}
+
+// readBlockType skips a block type immediate (value unused at run time).
+func readBlockType(b []byte, pos int) (int64, int) {
+	var v int64
+	var shift uint
+	for {
+		c := b[pos]
+		v |= int64(c&0x7F) << shift
+		shift += 7
+		pos++
+		if c < 0x80 {
+			if shift < 64 && c&0x40 != 0 {
+				v |= -1 << shift
+			}
+			return v, pos
+		}
+	}
+}
+
+// readMemArg reads align+offset, returning only the offset.
+func readMemArg(b []byte, pos int) (uint32, int) {
+	_, pos = readU32(b, pos) // align
+	return readU32(b, pos)
+}
+
+func leU16(b []byte, pos int) uint16 { return binary.LittleEndian.Uint16(b[pos:]) }
+func leU32(b []byte, pos int) uint32 { return binary.LittleEndian.Uint32(b[pos:]) }
+func leU64(b []byte, pos int) uint64 { return binary.LittleEndian.Uint64(b[pos:]) }
+
+func putU16(b []byte, pos int, v uint16) { binary.LittleEndian.PutUint16(b[pos:], v) }
+func putU32(b []byte, pos int, v uint32) { binary.LittleEndian.PutUint32(b[pos:], v) }
+func putU64(b []byte, pos int, v uint64) { binary.LittleEndian.PutUint64(b[pos:], v) }
+
+// applyBranch performs a sidetable-driven control transfer: keep the top
+// ValCount values, discard PopCount slots beneath them, and jump to the
+// entry's target ip/stp.
+func applyBranch(slots []uint64, tags []wasm.Tag, e validate.SidetableEntry, sp int) (ip, stp, nsp int) {
+	val := int(e.ValCount)
+	pop := int(e.PopCount)
+	if pop > 0 {
+		if val > 0 {
+			copy(slots[sp-val-pop:sp-pop], slots[sp-val:sp])
+			if tags != nil {
+				copy(tags[sp-val-pop:sp-pop], tags[sp-val:sp])
+			}
+		}
+		sp -= pop
+	}
+	return int(e.TargetIP), int(e.TargetSTP), sp
+}

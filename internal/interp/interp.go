@@ -1,0 +1,626 @@
+// Package interp implements the in-place interpreter (the analog of
+// Wizard-INT, Titzer OOPSLA 2022). It executes Wasm bytecode directly —
+// no rewriting, no translation — decoding immediates from the original
+// bytes, resolving control flow through the validator-built sidetable,
+// and emulating the value stack explicitly in memory, writing a value
+// tag for every slot it pushes. Those properties are what make it the
+// debugging/instrumentation tier: any probe can inspect any frame at any
+// bytecode boundary, and the GC can scan its frames with no metadata.
+//
+// They are also what make it slow relative to compiled code: one
+// dispatch, several memory operations and a tag store per Wasm
+// instruction — the gap Figures 4 and 10 of the paper quantify.
+package interp
+
+import (
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+// Entry describes where to (re-)enter a function: a fresh call starts at
+// pc 0 with an empty operand stack; a tier-down (deopt) from compiled
+// code resumes at an arbitrary bytecode boundary with the frame already
+// canonical in the value stack.
+type Entry struct {
+	PC  int
+	STP int
+	SP  int // absolute operand stack top
+}
+
+// Call runs function f with arguments already placed at
+// stack[argBase : argBase+nparams]. On success the results occupy
+// stack[argBase : argBase+nresults]. Declared locals are zero-initialized
+// and tagged. Mirrors the calling convention shared with compiled code.
+func Call(ctx *rt.Context, f *rt.FuncInst, argBase int) (rt.Status, error) {
+	info := f.Info
+	if err := ctx.CheckStack(argBase, info.NumSlots(), f.Idx); err != nil {
+		return rt.Done, err
+	}
+	slots := ctx.Stack.Slots
+	tags := ctx.Stack.Tags
+	// Zero and tag declared locals; parameter tags were stored by the
+	// caller (the convention the paper notes for on-demand tagging).
+	for i := info.NumParams; i < len(info.LocalTypes); i++ {
+		slots[argBase+i] = 0
+	}
+	if tags != nil {
+		for i, t := range info.LocalTypes {
+			tags[argBase+i] = wasm.TagOf(t)
+		}
+	}
+	return Run(ctx, f, argBase, Entry{SP: argBase + len(info.LocalTypes)})
+}
+
+// Run executes f's body from the given entry state with frame base vfp.
+// It returns Done when the function returns (results copied down to
+// vfp), or OSRUp when a hot loop back-edge requests tier-up (the frame
+// is canonical; FrameInfo on ctx.Frames carries the resume pc).
+func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, error) {
+	body := f.Decl.Body
+	info := f.Info
+	st := info.Sidetable
+	slots := ctx.Stack.Slots
+	tags := ctx.Stack.Tags
+	inst := ctx.Inst
+	mem := inst.Memory
+
+	ip := entry.PC
+	stp := entry.STP
+	sp := entry.SP
+	nres := len(info.Results)
+
+	frameIdx := ctx.PushFrame(rt.FrameInfo{
+		Kind: rt.FrameInterp, Func: f, VFP: vfp, SP: sp, PC: ip,
+	})
+	ctx.Depth++
+	defer func() {
+		ctx.Depth--
+		ctx.PopFrame()
+	}()
+
+	probes := f.Probes
+	counting := ctx.CountStats
+
+	trap := func(kind rt.TrapKind) error {
+		return &rt.Trap{Kind: kind, FuncIdx: f.Idx, PC: ip}
+	}
+
+	// syncFrame publishes ip/sp for stack walkers before observation
+	// points (calls, probes, traps leave via trap()).
+	syncFrame := func() {
+		fr := &ctx.Frames[frameIdx]
+		fr.SP = sp
+		fr.PC = ip
+	}
+
+	for {
+		opPC := ip
+		op := body[ip]
+		ip++
+
+		if probes != nil && probes.HasAt(opPC) {
+			syncFrame()
+			ctx.Frames[frameIdx].PC = opPC
+			probes.FireAll(ctx, ctx.Frames[frameIdx], opPC)
+		}
+		if counting {
+			ctx.Stats.InterpOps++
+		}
+		if ctx.Fuel > 0 {
+			ctx.Fuel--
+			if ctx.Fuel == 0 {
+				return rt.Done, trap(rt.TrapStackOverflow)
+			}
+		}
+
+		switch wasm.Opcode(op) {
+		case wasm.OpUnreachable:
+			return rt.Done, trap(rt.TrapUnreachable)
+		case wasm.OpNop:
+		case wasm.OpBlock:
+			_, ip = readBlockType(body, ip)
+		case wasm.OpLoop:
+			_, ip = readBlockType(body, ip)
+		case wasm.OpIf:
+			_, ip = readBlockType(body, ip)
+			sp--
+			if uint32(slots[sp]) != 0 {
+				stp++ // fall into then-branch, skip the false edge entry
+			} else {
+				e := st[stp]
+				ip, stp, sp = applyBranch(slots, tags, e, sp)
+			}
+		case wasm.OpElse:
+			// Reached by falling out of the then-branch: jump past end.
+			e := st[stp]
+			ip, stp, sp = applyBranch(slots, tags, e, sp)
+		case wasm.OpEnd:
+			if ip == len(body) {
+				// Function-level end: move results down to the frame base.
+				copy(slots[vfp:vfp+nres], slots[sp-nres:sp])
+				if tags != nil {
+					copy(tags[vfp:vfp+nres], tags[sp-nres:sp])
+				}
+				return rt.Done, nil
+			}
+		case wasm.OpBr:
+			_, ip = readU32(body, ip)
+			e := st[stp]
+			if int(e.TargetIP) <= opPC {
+				// Backward branch: loop back-edge, the tier-up point.
+				if ctx.Invoke != nil && shouldOSR(ctx, f) {
+					ip, stp, sp = applyBranch(slots, tags, e, sp)
+					syncFrame()
+					ctx.Frames[frameIdx].PC = ip
+					ctx.Resume = ctx.Frames[frameIdx]
+					return rt.OSRUp, nil
+				}
+			}
+			ip, stp, sp = applyBranch(slots, tags, e, sp)
+		case wasm.OpBrIf:
+			_, ip = readU32(body, ip)
+			sp--
+			if uint32(slots[sp]) != 0 {
+				e := st[stp]
+				if int(e.TargetIP) <= opPC && ctx.Invoke != nil && shouldOSR(ctx, f) {
+					ip, stp, sp = applyBranch(slots, tags, e, sp)
+					syncFrame()
+					ctx.Frames[frameIdx].PC = ip
+					ctx.Resume = ctx.Frames[frameIdx]
+					return rt.OSRUp, nil
+				}
+				ip, stp, sp = applyBranch(slots, tags, e, sp)
+			} else {
+				stp++
+			}
+		case wasm.OpBrTable:
+			var n uint32
+			n, ip = readU32(body, ip)
+			sp--
+			idx := uint32(slots[sp])
+			if idx > n {
+				idx = n
+			}
+			e := st[stp+int(idx)]
+			ip, stp, sp = applyBranch(slots, tags, e, sp)
+		case wasm.OpReturn:
+			copy(slots[vfp:vfp+nres], slots[sp-nres:sp])
+			if tags != nil {
+				copy(tags[vfp:vfp+nres], tags[sp-nres:sp])
+			}
+			return rt.Done, nil
+		case wasm.OpCall:
+			var fidx uint32
+			fidx, ip = readU32(body, ip)
+			callee := inst.Funcs[fidx]
+			argBase := sp - len(callee.Type.Params)
+			syncFrame()
+			if err := ctx.Invoke(callee, argBase); err != nil {
+				return rt.Done, err
+			}
+			sp = argBase + len(callee.Type.Results)
+		case wasm.OpCallIndirect:
+			var typeIdx, tblIdx uint32
+			typeIdx, ip = readU32(body, ip)
+			tblIdx, ip = readU32(body, ip)
+			sp--
+			elem := uint32(slots[sp])
+			table := inst.Tables[tblIdx]
+			if int(elem) >= len(table.Elems) {
+				return rt.Done, trap(rt.TrapOOBTable)
+			}
+			handle := table.Elems[elem]
+			if handle == wasm.NullRef {
+				return rt.Done, trap(rt.TrapNullFunc)
+			}
+			callee := inst.Funcs[handle-1]
+			if !callee.Type.Equal(inst.Module.Types[typeIdx]) {
+				return rt.Done, trap(rt.TrapIndirectSigMismatch)
+			}
+			argBase := sp - len(callee.Type.Params)
+			syncFrame()
+			if err := ctx.Invoke(callee, argBase); err != nil {
+				return rt.Done, err
+			}
+			sp = argBase + len(callee.Type.Results)
+
+		case wasm.OpDrop:
+			sp--
+		case wasm.OpSelect:
+			sp -= 2
+			if uint32(slots[sp+1]) == 0 {
+				slots[sp-1] = slots[sp]
+				if tags != nil {
+					tags[sp-1] = tags[sp]
+				}
+			}
+		case wasm.OpSelectT:
+			var n uint32
+			n, ip = readU32(body, ip)
+			ip += int(n) // skip the type vector
+			sp -= 2
+			if uint32(slots[sp+1]) == 0 {
+				slots[sp-1] = slots[sp]
+				if tags != nil {
+					tags[sp-1] = tags[sp]
+				}
+			}
+
+		case wasm.OpLocalGet:
+			var idx uint32
+			idx, ip = readU32(body, ip)
+			slots[sp] = slots[vfp+int(idx)]
+			if tags != nil {
+				tags[sp] = tags[vfp+int(idx)]
+			}
+			sp++
+		case wasm.OpLocalSet:
+			var idx uint32
+			idx, ip = readU32(body, ip)
+			sp--
+			slots[vfp+int(idx)] = slots[sp]
+			if tags != nil {
+				tags[vfp+int(idx)] = tags[sp]
+			}
+		case wasm.OpLocalTee:
+			var idx uint32
+			idx, ip = readU32(body, ip)
+			slots[vfp+int(idx)] = slots[sp-1]
+			if tags != nil {
+				tags[vfp+int(idx)] = tags[sp-1]
+			}
+		case wasm.OpGlobalGet:
+			var idx uint32
+			idx, ip = readU32(body, ip)
+			g := inst.Globals[idx]
+			slots[sp] = g.Bits
+			if tags != nil {
+				tags[sp] = g.Tag
+			}
+			sp++
+		case wasm.OpGlobalSet:
+			var idx uint32
+			idx, ip = readU32(body, ip)
+			sp--
+			inst.Globals[idx].Bits = slots[sp]
+			if tags != nil {
+				inst.Globals[idx].Tag = tags[sp]
+			}
+
+		case wasm.OpI32Load:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 4) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(leU32(mem.Data, int(addr)+int(off)))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI32
+			}
+		case wasm.OpI64Load:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 8) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = leU64(mem.Data, int(addr)+int(off))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI64
+			}
+		case wasm.OpF32Load:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 4) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(leU32(mem.Data, int(addr)+int(off)))
+			if tags != nil {
+				tags[sp-1] = wasm.TagF32
+			}
+		case wasm.OpF64Load:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 8) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = leU64(mem.Data, int(addr)+int(off))
+			if tags != nil {
+				tags[sp-1] = wasm.TagF64
+			}
+		case wasm.OpI32Load8S:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 1) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(uint32(int32(int8(mem.Data[int(addr)+int(off)]))))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI32
+			}
+		case wasm.OpI32Load8U:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 1) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(mem.Data[int(addr)+int(off)])
+			if tags != nil {
+				tags[sp-1] = wasm.TagI32
+			}
+		case wasm.OpI32Load16S:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 2) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(uint32(int32(int16(leU16(mem.Data, int(addr)+int(off))))))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI32
+			}
+		case wasm.OpI32Load16U:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 2) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(leU16(mem.Data, int(addr)+int(off)))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI32
+			}
+		case wasm.OpI64Load8S:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 1) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(int64(int8(mem.Data[int(addr)+int(off)])))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI64
+			}
+		case wasm.OpI64Load8U:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 1) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(mem.Data[int(addr)+int(off)])
+			if tags != nil {
+				tags[sp-1] = wasm.TagI64
+			}
+		case wasm.OpI64Load16S:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 2) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(int64(int16(leU16(mem.Data, int(addr)+int(off)))))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI64
+			}
+		case wasm.OpI64Load16U:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 2) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(leU16(mem.Data, int(addr)+int(off)))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI64
+			}
+		case wasm.OpI64Load32S:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 4) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(int64(int32(leU32(mem.Data, int(addr)+int(off)))))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI64
+			}
+		case wasm.OpI64Load32U:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			addr := uint32(slots[sp-1])
+			if !mem.InBounds(addr, off, 4) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			slots[sp-1] = uint64(leU32(mem.Data, int(addr)+int(off)))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI64
+			}
+		case wasm.OpI32Store:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			sp -= 2
+			addr := uint32(slots[sp])
+			if !mem.InBounds(addr, off, 4) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			putU32(mem.Data, int(addr)+int(off), uint32(slots[sp+1]))
+		case wasm.OpI64Store:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			sp -= 2
+			addr := uint32(slots[sp])
+			if !mem.InBounds(addr, off, 8) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			putU64(mem.Data, int(addr)+int(off), slots[sp+1])
+		case wasm.OpF32Store:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			sp -= 2
+			addr := uint32(slots[sp])
+			if !mem.InBounds(addr, off, 4) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			putU32(mem.Data, int(addr)+int(off), uint32(slots[sp+1]))
+		case wasm.OpF64Store:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			sp -= 2
+			addr := uint32(slots[sp])
+			if !mem.InBounds(addr, off, 8) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			putU64(mem.Data, int(addr)+int(off), slots[sp+1])
+		case wasm.OpI32Store8:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			sp -= 2
+			addr := uint32(slots[sp])
+			if !mem.InBounds(addr, off, 1) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			mem.Data[int(addr)+int(off)] = byte(slots[sp+1])
+		case wasm.OpI32Store16:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			sp -= 2
+			addr := uint32(slots[sp])
+			if !mem.InBounds(addr, off, 2) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			putU16(mem.Data, int(addr)+int(off), uint16(slots[sp+1]))
+		case wasm.OpI64Store8:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			sp -= 2
+			addr := uint32(slots[sp])
+			if !mem.InBounds(addr, off, 1) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			mem.Data[int(addr)+int(off)] = byte(slots[sp+1])
+		case wasm.OpI64Store16:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			sp -= 2
+			addr := uint32(slots[sp])
+			if !mem.InBounds(addr, off, 2) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			putU16(mem.Data, int(addr)+int(off), uint16(slots[sp+1]))
+		case wasm.OpI64Store32:
+			var off uint32
+			off, ip = readMemArg(body, ip)
+			sp -= 2
+			addr := uint32(slots[sp])
+			if !mem.InBounds(addr, off, 4) {
+				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			putU32(mem.Data, int(addr)+int(off), uint32(slots[sp+1]))
+		case wasm.OpMemorySize:
+			ip++ // memory index byte
+			slots[sp] = uint64(mem.Pages())
+			if tags != nil {
+				tags[sp] = wasm.TagI32
+			}
+			sp++
+		case wasm.OpMemoryGrow:
+			ip++
+			slots[sp-1] = uint64(uint32(mem.Grow(uint32(slots[sp-1]))))
+			if tags != nil {
+				tags[sp-1] = wasm.TagI32
+			}
+
+		case wasm.OpI32Const:
+			var v int32
+			v, ip = readS32(body, ip)
+			slots[sp] = uint64(uint32(v))
+			if tags != nil {
+				tags[sp] = wasm.TagI32
+			}
+			sp++
+		case wasm.OpI64Const:
+			var v int64
+			v, ip = readS64(body, ip)
+			slots[sp] = uint64(v)
+			if tags != nil {
+				tags[sp] = wasm.TagI64
+			}
+			sp++
+		case wasm.OpF32Const:
+			slots[sp] = uint64(leU32(body, ip))
+			ip += 4
+			if tags != nil {
+				tags[sp] = wasm.TagF32
+			}
+			sp++
+		case wasm.OpF64Const:
+			slots[sp] = leU64(body, ip)
+			ip += 8
+			if tags != nil {
+				tags[sp] = wasm.TagF64
+			}
+			sp++
+
+		case wasm.OpRefNull:
+			ip++ // heap type byte
+			slots[sp] = wasm.NullRef
+			if tags != nil {
+				tags[sp] = wasm.TagRef
+			}
+			sp++
+		case wasm.OpRefIsNull:
+			if slots[sp-1] == wasm.NullRef {
+				slots[sp-1] = 1
+			} else {
+				slots[sp-1] = 0
+			}
+			if tags != nil {
+				tags[sp-1] = wasm.TagI32
+			}
+		case wasm.OpRefFunc:
+			var fidx uint32
+			fidx, ip = readU32(body, ip)
+			slots[sp] = uint64(fidx) + 1
+			if tags != nil {
+				tags[sp] = wasm.TagFuncRef
+			}
+			sp++
+
+		case wasm.Opcode(wasm.PrefixFC):
+			var sub uint32
+			sub, ip = readU32(body, ip)
+			var trapKind rt.TrapKind
+			sp, ip, trapKind = fcOp(sub, body, ip, slots, tags, sp, mem)
+			if trapKind != rt.TrapNone {
+				return rt.Done, trap(trapKind)
+			}
+
+		default:
+			var trapKind rt.TrapKind
+			sp, trapKind = numeric(wasm.Opcode(op), slots, tags, sp)
+			if trapKind != rt.TrapNone {
+				return rt.Done, trap(trapKind)
+			}
+		}
+	}
+}
+
+func shouldOSR(ctx *rt.Context, f *rt.FuncInst) bool {
+	if ctx.OSRThreshold <= 0 {
+		return false
+	}
+	f.CallCount++
+	if f.CallCount < ctx.OSRThreshold {
+		return false
+	}
+	if ctx.CountStats {
+		ctx.Stats.OSRUps++
+	}
+	return true
+}

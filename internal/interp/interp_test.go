@@ -1,0 +1,176 @@
+package interp_test
+
+import (
+	"testing"
+
+	"wizgo/internal/interp"
+	"wizgo/internal/rt"
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+// setup builds a single-function instance runnable by the interpreter
+// without the engine facade, exercising the package API directly.
+func setup(t *testing.T, build func(f *wasm.FuncBuilder), ft wasm.FuncType) (*rt.Context, *rt.FuncInst) {
+	t.Helper()
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	f := b.NewFunc("f", ft)
+	build(f)
+	m := b.Module()
+	infos, err := validate.Module(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := &rt.FuncInst{Idx: 0, Type: ft, Decl: &m.Funcs[0], Info: &infos[0]}
+	ctx := &rt.Context{
+		Stack:    rt.NewValueStack(1024, true),
+		Inst:     &rt.Instance{Module: m, Funcs: []*rt.FuncInst{fi}, Memory: rt.NewMemory(m.Memories[0])},
+		MaxDepth: 64,
+	}
+	ctx.Invoke = func(callee *rt.FuncInst, argBase int) error {
+		_, err := interp.Call(ctx, callee, argBase)
+		return err
+	}
+	return ctx, fi
+}
+
+func TestDirectCall(t *testing.T) {
+	ctx, f := setup(t, func(f *wasm.FuncBuilder) {
+		f.LocalGet(0).LocalGet(0).Op(wasm.OpI32Mul).End()
+	}, wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}})
+	ctx.Stack.Slots[0] = wasm.BoxI32(9)
+	ctx.Stack.Tags[0] = wasm.TagI32
+	if _, err := interp.Call(ctx, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := wasm.UnboxI32(ctx.Stack.Slots[0]); got != 81 {
+		t.Fatalf("9*9 = %d", got)
+	}
+	if ctx.Stack.Tags[0] != wasm.TagI32 {
+		t.Fatalf("result tag = %v", ctx.Stack.Tags[0])
+	}
+}
+
+// TestTagsWrittenEagerly: the in-place interpreter stores a tag for
+// every slot it pushes — the property value-tag GC scanning relies on.
+func TestTagsWrittenEagerly(t *testing.T) {
+	ctx, f := setup(t, func(f *wasm.FuncBuilder) {
+		l := f.AddLocal(wasm.F64)
+		f.F64Const(2.5).LocalSet(l)
+		f.LocalGet(l).Op(wasm.OpI64TruncF64S)
+		f.End()
+	}, wasm.FuncType{Results: []wasm.ValueType{wasm.I64}})
+	if _, err := interp.Call(ctx, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stack.Tags[0] != wasm.TagI64 {
+		t.Fatalf("result tag = %v, want i64", ctx.Stack.Tags[0])
+	}
+	if wasm.UnboxI64(ctx.Stack.Slots[0]) != 2 {
+		t.Fatalf("trunc(2.5) = %d", wasm.UnboxI64(ctx.Stack.Slots[0]))
+	}
+}
+
+// TestResumeAtArbitraryPC exercises the deopt entry path: run a loop
+// partially via a fresh entry state mid-body.
+func TestResumeEntry(t *testing.T) {
+	ctx, f := setup(t, func(f *wasm.FuncBuilder) {
+		i := f.AddLocal(wasm.I32)
+		f.Loop(wasm.BlockEmpty)
+		f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalTee(i)
+		f.I32Const(100).Op(wasm.OpI32LtS)
+		f.BrIf(0)
+		f.End()
+		f.LocalGet(i)
+		f.End()
+	}, wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+
+	// Fresh call runs to completion.
+	if _, err := interp.Call(ctx, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if wasm.UnboxI32(ctx.Stack.Slots[0]) != 100 {
+		t.Fatalf("loop result %d", wasm.UnboxI32(ctx.Stack.Slots[0]))
+	}
+
+	// Resume at the loop body with i pre-set to 95 (canonical frame):
+	// pc of body start = 2 (loop opcode + blocktype), stp 0, sp above
+	// the single local.
+	ctx.Stack.Slots[0] = wasm.BoxI32(95)
+	ctx.Stack.Tags[0] = wasm.TagI32
+	status, err := interp.Run(ctx, f, 0, interp.Entry{PC: 2, STP: f.Info.STPForPC(2), SP: 1})
+	if err != nil || status != rt.Done {
+		t.Fatalf("resume: %v %v", status, err)
+	}
+	if wasm.UnboxI32(ctx.Stack.Slots[0]) != 100 {
+		t.Fatalf("resumed loop result %d", wasm.UnboxI32(ctx.Stack.Slots[0]))
+	}
+}
+
+// TestOSRRequest: with a threshold set, a hot back-edge returns OSRUp
+// with a canonical resume state.
+func TestOSRRequest(t *testing.T) {
+	ctx, f := setup(t, func(f *wasm.FuncBuilder) {
+		i := f.AddLocal(wasm.I32)
+		f.Loop(wasm.BlockEmpty)
+		f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalTee(i)
+		f.I32Const(1000).Op(wasm.OpI32LtS)
+		f.BrIf(0)
+		f.End()
+		f.End()
+	}, wasm.FuncType{})
+	ctx.OSRThreshold = 10
+	status, err := interp.Call(ctx, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != rt.OSRUp {
+		t.Fatalf("status %v, want OSRUp", status)
+	}
+	if ctx.Resume.PC != 2 {
+		t.Fatalf("resume pc %d, want loop body start", ctx.Resume.PC)
+	}
+	// Continue in the interpreter from the OSR point; must terminate.
+	status, err = interp.Run(ctx, f, 0, interp.Entry{
+		PC: ctx.Resume.PC, STP: f.Info.STPForPC(ctx.Resume.PC), SP: ctx.Resume.SP,
+	})
+	if err != nil || status != rt.Done {
+		// A second OSR request may fire again; drain them.
+		for status == rt.OSRUp && err == nil {
+			status, err = interp.Run(ctx, f, 0, interp.Entry{
+				PC: ctx.Resume.PC, STP: f.Info.STPForPC(ctx.Resume.PC), SP: ctx.Resume.SP,
+			})
+		}
+		if err != nil || status != rt.Done {
+			t.Fatalf("continue: %v %v", status, err)
+		}
+	}
+}
+
+func TestFuelBound(t *testing.T) {
+	ctx, f := setup(t, func(f *wasm.FuncBuilder) {
+		f.Loop(wasm.BlockEmpty)
+		f.Br(0) // infinite loop
+		f.End()
+		f.End()
+	}, wasm.FuncType{})
+	ctx.Fuel = 10000
+	_, err := interp.Call(ctx, f, 0)
+	if err == nil {
+		t.Fatal("infinite loop terminated without fuel trap")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	ctx, f := setup(t, func(f *wasm.FuncBuilder) {
+		f.I32Const(1).I32Const(2).Op(wasm.OpI32Add).Op(wasm.OpDrop).End()
+	}, wasm.FuncType{})
+	ctx.CountStats = true
+	if _, err := interp.Call(ctx, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.InterpOps != 5 {
+		t.Fatalf("counted %d ops, want 5", ctx.Stats.InterpOps)
+	}
+}

@@ -1,0 +1,748 @@
+package interp
+
+import (
+	"math"
+	"math/bits"
+
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+// numeric executes the pure numeric instruction set shared by all tiers.
+// It returns the new stack top and a trap kind (TrapNone on success).
+// Tag writes are unconditional-when-enabled, matching the interpreter's
+// eager tagging discipline.
+func numeric(op wasm.Opcode, slots []uint64, tags []wasm.Tag, sp int) (int, rt.TrapKind) {
+	setTag := func(i int, t wasm.Tag) {
+		if tags != nil {
+			tags[i] = t
+		}
+	}
+
+	switch op {
+	// ---- i32 comparisons ----
+	case wasm.OpI32Eqz:
+		slots[sp-1] = b2u(uint32(slots[sp-1]) == 0)
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Eq, wasm.OpI32Ne, wasm.OpI32LtS, wasm.OpI32LtU, wasm.OpI32GtS,
+		wasm.OpI32GtU, wasm.OpI32LeS, wasm.OpI32LeU, wasm.OpI32GeS, wasm.OpI32GeU:
+		sp--
+		a, b := uint32(slots[sp-1]), uint32(slots[sp])
+		var r bool
+		switch op {
+		case wasm.OpI32Eq:
+			r = a == b
+		case wasm.OpI32Ne:
+			r = a != b
+		case wasm.OpI32LtS:
+			r = int32(a) < int32(b)
+		case wasm.OpI32LtU:
+			r = a < b
+		case wasm.OpI32GtS:
+			r = int32(a) > int32(b)
+		case wasm.OpI32GtU:
+			r = a > b
+		case wasm.OpI32LeS:
+			r = int32(a) <= int32(b)
+		case wasm.OpI32LeU:
+			r = a <= b
+		case wasm.OpI32GeS:
+			r = int32(a) >= int32(b)
+		case wasm.OpI32GeU:
+			r = a >= b
+		}
+		slots[sp-1] = b2u(r)
+		setTag(sp-1, wasm.TagI32)
+
+	// ---- i64 comparisons ----
+	case wasm.OpI64Eqz:
+		slots[sp-1] = b2u(slots[sp-1] == 0)
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI64Eq, wasm.OpI64Ne, wasm.OpI64LtS, wasm.OpI64LtU, wasm.OpI64GtS,
+		wasm.OpI64GtU, wasm.OpI64LeS, wasm.OpI64LeU, wasm.OpI64GeS, wasm.OpI64GeU:
+		sp--
+		a, b := slots[sp-1], slots[sp]
+		var r bool
+		switch op {
+		case wasm.OpI64Eq:
+			r = a == b
+		case wasm.OpI64Ne:
+			r = a != b
+		case wasm.OpI64LtS:
+			r = int64(a) < int64(b)
+		case wasm.OpI64LtU:
+			r = a < b
+		case wasm.OpI64GtS:
+			r = int64(a) > int64(b)
+		case wasm.OpI64GtU:
+			r = a > b
+		case wasm.OpI64LeS:
+			r = int64(a) <= int64(b)
+		case wasm.OpI64LeU:
+			r = a <= b
+		case wasm.OpI64GeS:
+			r = int64(a) >= int64(b)
+		case wasm.OpI64GeU:
+			r = a >= b
+		}
+		slots[sp-1] = b2u(r)
+		setTag(sp-1, wasm.TagI32)
+
+	// ---- f32 comparisons ----
+	case wasm.OpF32Eq, wasm.OpF32Ne, wasm.OpF32Lt, wasm.OpF32Gt, wasm.OpF32Le, wasm.OpF32Ge:
+		sp--
+		a := math.Float32frombits(uint32(slots[sp-1]))
+		b := math.Float32frombits(uint32(slots[sp]))
+		var r bool
+		switch op {
+		case wasm.OpF32Eq:
+			r = a == b
+		case wasm.OpF32Ne:
+			r = a != b
+		case wasm.OpF32Lt:
+			r = a < b
+		case wasm.OpF32Gt:
+			r = a > b
+		case wasm.OpF32Le:
+			r = a <= b
+		case wasm.OpF32Ge:
+			r = a >= b
+		}
+		slots[sp-1] = b2u(r)
+		setTag(sp-1, wasm.TagI32)
+
+	// ---- f64 comparisons ----
+	case wasm.OpF64Eq, wasm.OpF64Ne, wasm.OpF64Lt, wasm.OpF64Gt, wasm.OpF64Le, wasm.OpF64Ge:
+		sp--
+		a := math.Float64frombits(slots[sp-1])
+		b := math.Float64frombits(slots[sp])
+		var r bool
+		switch op {
+		case wasm.OpF64Eq:
+			r = a == b
+		case wasm.OpF64Ne:
+			r = a != b
+		case wasm.OpF64Lt:
+			r = a < b
+		case wasm.OpF64Gt:
+			r = a > b
+		case wasm.OpF64Le:
+			r = a <= b
+		case wasm.OpF64Ge:
+			r = a >= b
+		}
+		slots[sp-1] = b2u(r)
+		setTag(sp-1, wasm.TagI32)
+
+	// ---- i32 arithmetic ----
+	case wasm.OpI32Clz:
+		slots[sp-1] = uint64(uint32(bits.LeadingZeros32(uint32(slots[sp-1]))))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Ctz:
+		slots[sp-1] = uint64(uint32(bits.TrailingZeros32(uint32(slots[sp-1]))))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Popcnt:
+		slots[sp-1] = uint64(uint32(bits.OnesCount32(uint32(slots[sp-1]))))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Add:
+		sp--
+		slots[sp-1] = uint64(uint32(slots[sp-1]) + uint32(slots[sp]))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Sub:
+		sp--
+		slots[sp-1] = uint64(uint32(slots[sp-1]) - uint32(slots[sp]))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Mul:
+		sp--
+		slots[sp-1] = uint64(uint32(slots[sp-1]) * uint32(slots[sp]))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32DivS:
+		sp--
+		a, b := int32(slots[sp-1]), int32(slots[sp])
+		if b == 0 {
+			return sp, rt.TrapDivByZero
+		}
+		if a == math.MinInt32 && b == -1 {
+			return sp, rt.TrapIntOverflow
+		}
+		slots[sp-1] = uint64(uint32(a / b))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32DivU:
+		sp--
+		a, b := uint32(slots[sp-1]), uint32(slots[sp])
+		if b == 0 {
+			return sp, rt.TrapDivByZero
+		}
+		slots[sp-1] = uint64(a / b)
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32RemS:
+		sp--
+		a, b := int32(slots[sp-1]), int32(slots[sp])
+		if b == 0 {
+			return sp, rt.TrapDivByZero
+		}
+		if a == math.MinInt32 && b == -1 {
+			slots[sp-1] = 0
+		} else {
+			slots[sp-1] = uint64(uint32(a % b))
+		}
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32RemU:
+		sp--
+		a, b := uint32(slots[sp-1]), uint32(slots[sp])
+		if b == 0 {
+			return sp, rt.TrapDivByZero
+		}
+		slots[sp-1] = uint64(a % b)
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32And:
+		sp--
+		slots[sp-1] = uint64(uint32(slots[sp-1]) & uint32(slots[sp]))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Or:
+		sp--
+		slots[sp-1] = uint64(uint32(slots[sp-1]) | uint32(slots[sp]))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Xor:
+		sp--
+		slots[sp-1] = uint64(uint32(slots[sp-1]) ^ uint32(slots[sp]))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Shl:
+		sp--
+		slots[sp-1] = uint64(uint32(slots[sp-1]) << (uint32(slots[sp]) & 31))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32ShrS:
+		sp--
+		slots[sp-1] = uint64(uint32(int32(slots[sp-1]) >> (uint32(slots[sp]) & 31)))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32ShrU:
+		sp--
+		slots[sp-1] = uint64(uint32(slots[sp-1]) >> (uint32(slots[sp]) & 31))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Rotl:
+		sp--
+		slots[sp-1] = uint64(bits.RotateLeft32(uint32(slots[sp-1]), int(uint32(slots[sp])&31)))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Rotr:
+		sp--
+		slots[sp-1] = uint64(bits.RotateLeft32(uint32(slots[sp-1]), -int(uint32(slots[sp])&31)))
+		setTag(sp-1, wasm.TagI32)
+
+	// ---- i64 arithmetic ----
+	case wasm.OpI64Clz:
+		slots[sp-1] = uint64(bits.LeadingZeros64(slots[sp-1]))
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Ctz:
+		slots[sp-1] = uint64(bits.TrailingZeros64(slots[sp-1]))
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Popcnt:
+		slots[sp-1] = uint64(bits.OnesCount64(slots[sp-1]))
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Add:
+		sp--
+		slots[sp-1] += slots[sp]
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Sub:
+		sp--
+		slots[sp-1] -= slots[sp]
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Mul:
+		sp--
+		slots[sp-1] *= slots[sp]
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64DivS:
+		sp--
+		a, b := int64(slots[sp-1]), int64(slots[sp])
+		if b == 0 {
+			return sp, rt.TrapDivByZero
+		}
+		if a == math.MinInt64 && b == -1 {
+			return sp, rt.TrapIntOverflow
+		}
+		slots[sp-1] = uint64(a / b)
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64DivU:
+		sp--
+		if slots[sp] == 0 {
+			return sp, rt.TrapDivByZero
+		}
+		slots[sp-1] /= slots[sp]
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64RemS:
+		sp--
+		a, b := int64(slots[sp-1]), int64(slots[sp])
+		if b == 0 {
+			return sp, rt.TrapDivByZero
+		}
+		if a == math.MinInt64 && b == -1 {
+			slots[sp-1] = 0
+		} else {
+			slots[sp-1] = uint64(a % b)
+		}
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64RemU:
+		sp--
+		if slots[sp] == 0 {
+			return sp, rt.TrapDivByZero
+		}
+		slots[sp-1] %= slots[sp]
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64And:
+		sp--
+		slots[sp-1] &= slots[sp]
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Or:
+		sp--
+		slots[sp-1] |= slots[sp]
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Xor:
+		sp--
+		slots[sp-1] ^= slots[sp]
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Shl:
+		sp--
+		slots[sp-1] <<= slots[sp] & 63
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64ShrS:
+		sp--
+		slots[sp-1] = uint64(int64(slots[sp-1]) >> (slots[sp] & 63))
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64ShrU:
+		sp--
+		slots[sp-1] >>= slots[sp] & 63
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Rotl:
+		sp--
+		slots[sp-1] = bits.RotateLeft64(slots[sp-1], int(slots[sp]&63))
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Rotr:
+		sp--
+		slots[sp-1] = bits.RotateLeft64(slots[sp-1], -int(slots[sp]&63))
+		setTag(sp-1, wasm.TagI64)
+
+	// ---- f32 arithmetic ----
+	case wasm.OpF32Abs, wasm.OpF32Neg, wasm.OpF32Ceil, wasm.OpF32Floor,
+		wasm.OpF32Trunc, wasm.OpF32Nearest, wasm.OpF32Sqrt:
+		a := math.Float32frombits(uint32(slots[sp-1]))
+		var r float32
+		switch op {
+		case wasm.OpF32Abs:
+			r = math.Float32frombits(uint32(slots[sp-1]) &^ (1 << 31))
+		case wasm.OpF32Neg:
+			r = math.Float32frombits(uint32(slots[sp-1]) ^ (1 << 31))
+		case wasm.OpF32Ceil:
+			r = float32(math.Ceil(float64(a)))
+		case wasm.OpF32Floor:
+			r = float32(math.Floor(float64(a)))
+		case wasm.OpF32Trunc:
+			r = float32(math.Trunc(float64(a)))
+		case wasm.OpF32Nearest:
+			r = float32(math.RoundToEven(float64(a)))
+		case wasm.OpF32Sqrt:
+			r = float32(math.Sqrt(float64(a)))
+		}
+		slots[sp-1] = uint64(math.Float32bits(r))
+		setTag(sp-1, wasm.TagF32)
+	case wasm.OpF32Add, wasm.OpF32Sub, wasm.OpF32Mul, wasm.OpF32Div,
+		wasm.OpF32Min, wasm.OpF32Max, wasm.OpF32Copysign:
+		sp--
+		a := math.Float32frombits(uint32(slots[sp-1]))
+		b := math.Float32frombits(uint32(slots[sp]))
+		var r float32
+		switch op {
+		case wasm.OpF32Add:
+			r = a + b
+		case wasm.OpF32Sub:
+			r = a - b
+		case wasm.OpF32Mul:
+			r = a * b
+		case wasm.OpF32Div:
+			r = a / b
+		case wasm.OpF32Min:
+			r = fmin32(a, b)
+		case wasm.OpF32Max:
+			r = fmax32(a, b)
+		case wasm.OpF32Copysign:
+			r = float32(math.Copysign(float64(a), float64(b)))
+		}
+		slots[sp-1] = uint64(math.Float32bits(r))
+		setTag(sp-1, wasm.TagF32)
+
+	// ---- f64 arithmetic ----
+	case wasm.OpF64Abs:
+		slots[sp-1] &^= 1 << 63
+		setTag(sp-1, wasm.TagF64)
+	case wasm.OpF64Neg:
+		slots[sp-1] ^= 1 << 63
+		setTag(sp-1, wasm.TagF64)
+	case wasm.OpF64Ceil, wasm.OpF64Floor, wasm.OpF64Trunc, wasm.OpF64Nearest, wasm.OpF64Sqrt:
+		a := math.Float64frombits(slots[sp-1])
+		var r float64
+		switch op {
+		case wasm.OpF64Ceil:
+			r = math.Ceil(a)
+		case wasm.OpF64Floor:
+			r = math.Floor(a)
+		case wasm.OpF64Trunc:
+			r = math.Trunc(a)
+		case wasm.OpF64Nearest:
+			r = math.RoundToEven(a)
+		case wasm.OpF64Sqrt:
+			r = math.Sqrt(a)
+		}
+		slots[sp-1] = math.Float64bits(r)
+		setTag(sp-1, wasm.TagF64)
+	case wasm.OpF64Add, wasm.OpF64Sub, wasm.OpF64Mul, wasm.OpF64Div,
+		wasm.OpF64Min, wasm.OpF64Max, wasm.OpF64Copysign:
+		sp--
+		a := math.Float64frombits(slots[sp-1])
+		b := math.Float64frombits(slots[sp])
+		var r float64
+		switch op {
+		case wasm.OpF64Add:
+			r = a + b
+		case wasm.OpF64Sub:
+			r = a - b
+		case wasm.OpF64Mul:
+			r = a * b
+		case wasm.OpF64Div:
+			r = a / b
+		case wasm.OpF64Min:
+			r = fmin64(a, b)
+		case wasm.OpF64Max:
+			r = fmax64(a, b)
+		case wasm.OpF64Copysign:
+			r = math.Copysign(a, b)
+		}
+		slots[sp-1] = math.Float64bits(r)
+		setTag(sp-1, wasm.TagF64)
+
+	// ---- conversions ----
+	case wasm.OpI32WrapI64:
+		slots[sp-1] = uint64(uint32(slots[sp-1]))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32TruncF32S:
+		v, kind := truncToI32S(float64(math.Float32frombits(uint32(slots[sp-1]))))
+		if kind != rt.TrapNone {
+			return sp, kind
+		}
+		slots[sp-1] = uint64(uint32(v))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32TruncF32U:
+		v, kind := truncToI32U(float64(math.Float32frombits(uint32(slots[sp-1]))))
+		if kind != rt.TrapNone {
+			return sp, kind
+		}
+		slots[sp-1] = uint64(v)
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32TruncF64S:
+		v, kind := truncToI32S(math.Float64frombits(slots[sp-1]))
+		if kind != rt.TrapNone {
+			return sp, kind
+		}
+		slots[sp-1] = uint64(uint32(v))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32TruncF64U:
+		v, kind := truncToI32U(math.Float64frombits(slots[sp-1]))
+		if kind != rt.TrapNone {
+			return sp, kind
+		}
+		slots[sp-1] = uint64(v)
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI64ExtendI32S:
+		slots[sp-1] = uint64(int64(int32(slots[sp-1])))
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64ExtendI32U:
+		slots[sp-1] = uint64(uint32(slots[sp-1]))
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64TruncF32S:
+		v, kind := truncToI64S(float64(math.Float32frombits(uint32(slots[sp-1]))))
+		if kind != rt.TrapNone {
+			return sp, kind
+		}
+		slots[sp-1] = uint64(v)
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64TruncF32U:
+		v, kind := truncToI64U(float64(math.Float32frombits(uint32(slots[sp-1]))))
+		if kind != rt.TrapNone {
+			return sp, kind
+		}
+		slots[sp-1] = v
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64TruncF64S:
+		v, kind := truncToI64S(math.Float64frombits(slots[sp-1]))
+		if kind != rt.TrapNone {
+			return sp, kind
+		}
+		slots[sp-1] = uint64(v)
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64TruncF64U:
+		v, kind := truncToI64U(math.Float64frombits(slots[sp-1]))
+		if kind != rt.TrapNone {
+			return sp, kind
+		}
+		slots[sp-1] = v
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpF32ConvertI32S:
+		slots[sp-1] = uint64(math.Float32bits(float32(int32(slots[sp-1]))))
+		setTag(sp-1, wasm.TagF32)
+	case wasm.OpF32ConvertI32U:
+		slots[sp-1] = uint64(math.Float32bits(float32(uint32(slots[sp-1]))))
+		setTag(sp-1, wasm.TagF32)
+	case wasm.OpF32ConvertI64S:
+		slots[sp-1] = uint64(math.Float32bits(float32(int64(slots[sp-1]))))
+		setTag(sp-1, wasm.TagF32)
+	case wasm.OpF32ConvertI64U:
+		slots[sp-1] = uint64(math.Float32bits(float32(slots[sp-1])))
+		setTag(sp-1, wasm.TagF32)
+	case wasm.OpF32DemoteF64:
+		slots[sp-1] = uint64(math.Float32bits(float32(math.Float64frombits(slots[sp-1]))))
+		setTag(sp-1, wasm.TagF32)
+	case wasm.OpF64ConvertI32S:
+		slots[sp-1] = math.Float64bits(float64(int32(slots[sp-1])))
+		setTag(sp-1, wasm.TagF64)
+	case wasm.OpF64ConvertI32U:
+		slots[sp-1] = math.Float64bits(float64(uint32(slots[sp-1])))
+		setTag(sp-1, wasm.TagF64)
+	case wasm.OpF64ConvertI64S:
+		slots[sp-1] = math.Float64bits(float64(int64(slots[sp-1])))
+		setTag(sp-1, wasm.TagF64)
+	case wasm.OpF64ConvertI64U:
+		slots[sp-1] = math.Float64bits(float64(slots[sp-1]))
+		setTag(sp-1, wasm.TagF64)
+	case wasm.OpF64PromoteF32:
+		slots[sp-1] = math.Float64bits(float64(math.Float32frombits(uint32(slots[sp-1]))))
+		setTag(sp-1, wasm.TagF64)
+	case wasm.OpI32ReinterpretF32:
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI64ReinterpretF64:
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpF32ReinterpretI32:
+		setTag(sp-1, wasm.TagF32)
+	case wasm.OpF64ReinterpretI64:
+		setTag(sp-1, wasm.TagF64)
+
+	// ---- sign extensions ----
+	case wasm.OpI32Extend8S:
+		slots[sp-1] = uint64(uint32(int32(int8(slots[sp-1]))))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI32Extend16S:
+		slots[sp-1] = uint64(uint32(int32(int16(slots[sp-1]))))
+		setTag(sp-1, wasm.TagI32)
+	case wasm.OpI64Extend8S:
+		slots[sp-1] = uint64(int64(int8(slots[sp-1])))
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Extend16S:
+		slots[sp-1] = uint64(int64(int16(slots[sp-1])))
+		setTag(sp-1, wasm.TagI64)
+	case wasm.OpI64Extend32S:
+		slots[sp-1] = uint64(int64(int32(slots[sp-1])))
+		setTag(sp-1, wasm.TagI64)
+
+	default:
+		return sp, rt.TrapUnreachable
+	}
+	return sp, rt.TrapNone
+}
+
+// fcOp executes a 0xFC-prefixed instruction.
+func fcOp(sub uint32, body []byte, ip int, slots []uint64, tags []wasm.Tag, sp int, mem *rt.Memory) (int, int, rt.TrapKind) {
+	op := wasm.Opcode(0x100 + sub)
+	switch op {
+	case wasm.OpI32TruncSatF32S:
+		slots[sp-1] = uint64(uint32(satToI32S(float64(math.Float32frombits(uint32(slots[sp-1]))))))
+	case wasm.OpI32TruncSatF32U:
+		slots[sp-1] = uint64(satToI32U(float64(math.Float32frombits(uint32(slots[sp-1])))))
+	case wasm.OpI32TruncSatF64S:
+		slots[sp-1] = uint64(uint32(satToI32S(math.Float64frombits(slots[sp-1]))))
+	case wasm.OpI32TruncSatF64U:
+		slots[sp-1] = uint64(satToI32U(math.Float64frombits(slots[sp-1])))
+	case wasm.OpI64TruncSatF32S:
+		slots[sp-1] = uint64(satToI64S(float64(math.Float32frombits(uint32(slots[sp-1])))))
+	case wasm.OpI64TruncSatF32U:
+		slots[sp-1] = satToI64U(float64(math.Float32frombits(uint32(slots[sp-1]))))
+	case wasm.OpI64TruncSatF64S:
+		slots[sp-1] = uint64(satToI64S(math.Float64frombits(slots[sp-1])))
+	case wasm.OpI64TruncSatF64U:
+		slots[sp-1] = satToI64U(math.Float64frombits(slots[sp-1]))
+	case wasm.OpMemoryCopy:
+		ip += 2 // two reserved memory index bytes
+		sp -= 3
+		dst, src, n := uint32(slots[sp]), uint32(slots[sp+1]), uint32(slots[sp+2])
+		if !mem.InBounds(dst, 0, int(n)) || !mem.InBounds(src, 0, int(n)) {
+			return sp, ip, rt.TrapOOBMemory
+		}
+		copy(mem.Data[dst:dst+n], mem.Data[src:src+n])
+		return sp, ip, rt.TrapNone
+	case wasm.OpMemoryFill:
+		ip++ // reserved memory index byte
+		sp -= 3
+		dst, val, n := uint32(slots[sp]), byte(slots[sp+1]), uint32(slots[sp+2])
+		if !mem.InBounds(dst, 0, int(n)) {
+			return sp, ip, rt.TrapOOBMemory
+		}
+		for i := uint32(0); i < n; i++ {
+			mem.Data[dst+i] = val
+		}
+		return sp, ip, rt.TrapNone
+	default:
+		return sp, ip, rt.TrapUnreachable
+	}
+	if tags != nil {
+		switch op {
+		case wasm.OpI32TruncSatF32S, wasm.OpI32TruncSatF32U,
+			wasm.OpI32TruncSatF64S, wasm.OpI32TruncSatF64U:
+			tags[sp-1] = wasm.TagI32
+		default:
+			tags[sp-1] = wasm.TagI64
+		}
+	}
+	return sp, ip, rt.TrapNone
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Float min/max with Wasm NaN and signed-zero semantics.
+
+func fmin32(a, b float32) float32 {
+	if a != a || b != b {
+		return float32(math.NaN())
+	}
+	if a == b { // pick -0 over +0
+		return float32(math.Min(float64(a), float64(b)))
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fmax32(a, b float32) float32 {
+	if a != a || b != b {
+		return float32(math.NaN())
+	}
+	if a == b {
+		return float32(math.Max(float64(a), float64(b)))
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fmin64(a, b float64) float64 {
+	if a != a || b != b {
+		return math.NaN()
+	}
+	return math.Min(a, b)
+}
+
+func fmax64(a, b float64) float64 {
+	if a != a || b != b {
+		return math.NaN()
+	}
+	return math.Max(a, b)
+}
+
+// Trapping float→int truncations.
+
+func truncToI32S(x float64) (int32, rt.TrapKind) {
+	if x != x {
+		return 0, rt.TrapInvalidConversion
+	}
+	x = math.Trunc(x)
+	if x < -2147483648 || x > 2147483647 {
+		return 0, rt.TrapIntOverflow
+	}
+	return int32(x), rt.TrapNone
+}
+
+func truncToI32U(x float64) (uint32, rt.TrapKind) {
+	if x != x {
+		return 0, rt.TrapInvalidConversion
+	}
+	x = math.Trunc(x)
+	if x < 0 || x > 4294967295 {
+		return 0, rt.TrapIntOverflow
+	}
+	return uint32(x), rt.TrapNone
+}
+
+func truncToI64S(x float64) (int64, rt.TrapKind) {
+	if x != x {
+		return 0, rt.TrapInvalidConversion
+	}
+	x = math.Trunc(x)
+	if x < -9223372036854775808 || x >= 9223372036854775808 {
+		return 0, rt.TrapIntOverflow
+	}
+	return int64(x), rt.TrapNone
+}
+
+func truncToI64U(x float64) (uint64, rt.TrapKind) {
+	if x != x {
+		return 0, rt.TrapInvalidConversion
+	}
+	x = math.Trunc(x)
+	if x < 0 || x >= 18446744073709551616 {
+		return 0, rt.TrapIntOverflow
+	}
+	return uint64(x), rt.TrapNone
+}
+
+// Saturating float→int truncations.
+
+func satToI32S(x float64) int32 {
+	if x != x {
+		return 0
+	}
+	x = math.Trunc(x)
+	if x < -2147483648 {
+		return math.MinInt32
+	}
+	if x > 2147483647 {
+		return math.MaxInt32
+	}
+	return int32(x)
+}
+
+func satToI32U(x float64) uint32 {
+	if x != x || x < 0 {
+		return 0
+	}
+	x = math.Trunc(x)
+	if x > 4294967295 {
+		return math.MaxUint32
+	}
+	return uint32(x)
+}
+
+func satToI64S(x float64) int64 {
+	if x != x {
+		return 0
+	}
+	x = math.Trunc(x)
+	if x < -9223372036854775808 {
+		return math.MinInt64
+	}
+	if x >= 9223372036854775808 {
+		return math.MaxInt64
+	}
+	return int64(x)
+}
+
+func satToI64U(x float64) uint64 {
+	if x != x || x < 0 {
+		return 0
+	}
+	x = math.Trunc(x)
+	if x >= 18446744073709551616 {
+		return math.MaxUint64
+	}
+	return uint64(x)
+}

@@ -1,0 +1,27 @@
+package mach
+
+// Bytes reports the emitted code size (for compile-throughput
+// accounting, Figure 8's "time per byte of input code" denominator's
+// counterpart).
+func (c *Code) Bytes() int { return c.CodeBytes }
+
+// OSREntry returns the checkpoint machine pc for a Wasm loop-header pc.
+func (c *Code) OSREntry(wasmPC int) (int, bool) {
+	pc, ok := c.OSREntries[wasmPC]
+	return pc, ok
+}
+
+// Invalidate marks the code for tier-down: active frames observe the
+// flag at their next checkpoint and deopt to the interpreter.
+func (c *Code) Invalidate() { c.Invalidated = true }
+
+// StackmapAt returns the reference-slot stackmap recorded at a call-site
+// wasm pc, for engines that scan JIT frames with stackmaps instead of
+// value tags.
+func (c *Code) StackmapAt(pc int) ([]int32, bool) {
+	if c.Stackmaps == nil {
+		return nil, false
+	}
+	m, ok := c.Stackmaps[pc]
+	return m, ok
+}

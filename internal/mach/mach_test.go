@@ -1,0 +1,198 @@
+package mach
+
+import (
+	"strings"
+	"testing"
+
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+func runCode(t *testing.T, c *Code, stack []uint64) []uint64 {
+	t.Helper()
+	ctx := &rt.Context{
+		Stack:    rt.NewValueStack(256, true),
+		Inst:     &rt.Instance{Memory: &rt.Memory{Data: make([]byte, 65536)}},
+		MaxDepth: 64,
+	}
+	copy(ctx.Stack.Slots, stack)
+	f := &rt.FuncInst{Idx: 0, Name: "test"}
+	status, err := c.Run(ctx, f, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if status != rt.Done {
+		t.Fatalf("status %v", status)
+	}
+	return ctx.Stack.Slots
+}
+
+func TestAsmLabelFixups(t *testing.T) {
+	a := NewAsm()
+	fwd := a.NewLabel()
+	a.Emit(Instr{Op: OConst, A: 0, Imm: 1})
+	a.EmitBranch(Instr{Op: OJump}, fwd)
+	a.Emit(Instr{Op: OConst, A: 0, Imm: 99}) // skipped
+	a.Bind(fwd)
+	a.Emit(Instr{Op: OStoreSlot, B: 0, Imm: 0})
+	a.Emit(Instr{Op: OReturn})
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.Instrs[1].Imm != 3 {
+		t.Fatalf("forward fixup target = %d, want 3", code.Instrs[1].Imm)
+	}
+	slots := runCode(t, code, nil)
+	if slots[0] != 1 {
+		t.Fatalf("skipped code executed: slot0 = %d", slots[0])
+	}
+}
+
+func TestAsmUnboundLabel(t *testing.T) {
+	a := NewAsm()
+	l := a.NewLabel()
+	a.EmitBranch(Instr{Op: OJump}, l)
+	if _, err := a.Finish(); err == nil {
+		t.Fatal("expected unbound-label error")
+	}
+}
+
+func TestAsmBrTable(t *testing.T) {
+	a := NewAsm()
+	l0, l1 := a.NewLabel(), a.NewLabel()
+	tidx := a.NewTable([]int{l0, l1})
+	a.Emit(Instr{Op: OLoadSlot, A: 0, Imm: 0})
+	a.Emit(Instr{Op: OBrTable, A: int32(tidx), B: 0})
+	a.Bind(l0)
+	a.Emit(Instr{Op: OStoreSlotConst, A: 1, Imm: 100})
+	a.Emit(Instr{Op: OReturn})
+	a.Bind(l1)
+	a.Emit(Instr{Op: OStoreSlotConst, A: 1, Imm: 200})
+	a.Emit(Instr{Op: OReturn})
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runCode(t, code, []uint64{0})[1]; got != 100 {
+		t.Errorf("table[0] -> %d, want 100", got)
+	}
+	if got := runCode(t, code, []uint64{1})[1]; got != 200 {
+		t.Errorf("table[1] -> %d, want 200", got)
+	}
+	if got := runCode(t, code, []uint64{7})[1]; got != 200 {
+		t.Errorf("out-of-range clamps to default: %d, want 200", got)
+	}
+}
+
+func TestExecArithAndSpill(t *testing.T) {
+	a := NewAsm()
+	a.Emit(Instr{Op: OLoadSlot, A: 1, Imm: 0})
+	a.Emit(Instr{Op: OI32AddImm, A: 2, B: 1, Imm: 5})
+	a.Emit(Instr{Op: OI32Mul, A: 3, B: 2, C: 2})
+	a.Emit(Instr{Op: OStoreSlot, B: 3, Imm: 1})
+	a.Emit(Instr{Op: OStoreTag, A: int32(wasm.TagI32), Imm: 1})
+	a.Emit(Instr{Op: OReturn})
+	code, _ := a.Finish()
+	ctx := &rt.Context{
+		Stack:    rt.NewValueStack(64, true),
+		Inst:     &rt.Instance{Memory: &rt.Memory{}},
+		MaxDepth: 8,
+	}
+	ctx.Stack.Slots[0] = 7
+	f := &rt.FuncInst{}
+	if _, err := code.Run(ctx, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stack.Slots[1] != 144 {
+		t.Errorf("(7+5)^2 = %d, want 144", ctx.Stack.Slots[1])
+	}
+	if ctx.Stack.Tags[1] != wasm.TagI32 {
+		t.Errorf("tag store missing: %v", ctx.Stack.Tags[1])
+	}
+}
+
+func TestExecTrapAttribution(t *testing.T) {
+	a := NewAsm()
+	a.SetWasmPC(42)
+	a.Emit(Instr{Op: OConst, A: 1, Imm: 0})
+	a.Emit(Instr{Op: OConst, A: 2, Imm: 9})
+	a.Emit(Instr{Op: OI32DivU, A: 3, B: 2, C: 1})
+	a.Emit(Instr{Op: OReturn})
+	code, _ := a.Finish()
+	ctx := &rt.Context{
+		Stack:    rt.NewValueStack(64, false),
+		Inst:     &rt.Instance{Memory: &rt.Memory{}},
+		MaxDepth: 8,
+	}
+	_, err := code.Run(ctx, &rt.FuncInst{Idx: 5}, 0)
+	trap, ok := err.(*rt.Trap)
+	if !ok {
+		t.Fatalf("expected trap, got %v", err)
+	}
+	if trap.Kind != rt.TrapDivByZero || trap.FuncIdx != 5 || trap.PC != 42 {
+		t.Errorf("trap = %+v", trap)
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	a := NewAsm()
+	a.Emit(Instr{Op: OLoadSlot, A: 1, Imm: 0})
+	a.Emit(Instr{Op: OLd32, A: 2, B: 1, Imm: 0})
+	a.Emit(Instr{Op: OStoreSlot, B: 2, Imm: 1})
+	a.Emit(Instr{Op: OReturn})
+	code, _ := a.Finish()
+	ctx := &rt.Context{
+		Stack:    rt.NewValueStack(64, false),
+		Inst:     &rt.Instance{Memory: &rt.Memory{Data: make([]byte, 8)}},
+		MaxDepth: 8,
+	}
+	ctx.Stack.Slots[0] = 6 // 6+4 > 8: out of bounds
+	if _, err := code.Run(ctx, &rt.FuncInst{}, 0); err == nil {
+		t.Fatal("expected OOB trap")
+	}
+	ctx.Stack.Slots[0] = 4
+	ctx.Inst.Memory.Data[4] = 0xAA
+	if _, err := code.Run(ctx, &rt.FuncInst{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stack.Slots[1] != 0xAA {
+		t.Errorf("loaded %#x", ctx.Stack.Slots[1])
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	a := NewAsm()
+	a.Emit(Instr{Op: OConst, A: 3, Imm: 42})
+	a.Emit(Instr{Op: OI32AddImm, A: 4, B: 3, Imm: 1})
+	a.Emit(Instr{Op: OStoreSlot, B: 4, Imm: 2})
+	a.Emit(Instr{Op: OReturn})
+	code, _ := a.Finish()
+	d := code.Disassemble()
+	for _, want := range []string{"const", "r3, #42", "i32.add_imm", "[vfp+2], r4", "return"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestCodeInterfaces(t *testing.T) {
+	c := &Code{OSREntries: map[int]int{10: 3}, CodeBytes: 64,
+		Stackmaps: map[int][]int32{5: {0, 2}}}
+	if b := c.Bytes(); b != 64 {
+		t.Errorf("Bytes = %d", b)
+	}
+	if pc, ok := c.OSREntry(10); !ok || pc != 3 {
+		t.Errorf("OSREntry = %d %v", pc, ok)
+	}
+	if _, ok := c.OSREntry(11); ok {
+		t.Error("unexpected OSR entry")
+	}
+	if m, ok := c.StackmapAt(5); !ok || len(m) != 2 {
+		t.Errorf("StackmapAt = %v %v", m, ok)
+	}
+	c.Invalidate()
+	if !c.Invalidated {
+		t.Error("Invalidate did not set the flag")
+	}
+}

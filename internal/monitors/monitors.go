@@ -1,0 +1,123 @@
+// Package monitors provides the instrumentation tools built on the
+// engine's probe API, in the style of Wizard's monitors. The branch
+// monitor is the paper's Figure 6 workload: a local probe at every
+// conditional branch that reads the top-of-value-stack (the branch
+// condition) and profiles its outcome. Because it only needs the
+// top-of-stack, the single-pass compiler can intrinsify it (the "optjit"
+// configuration); the unoptimized path allocates an accessor object per
+// fire (the "jit" and "int" configurations).
+package monitors
+
+import (
+	"fmt"
+	"sort"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+// BranchCounter profiles one conditional branch site. It implements
+// rt.TosProbe, so optimizing probe compilation can pass the condition
+// value directly.
+type BranchCounter struct {
+	FuncIdx uint32
+	PC      int
+	Taken   uint64
+	Total   uint64
+}
+
+// Fire implements rt.Probe (the slow path through the accessor).
+func (b *BranchCounter) Fire(a *rt.Accessor) { b.FireTos(a.Top()) }
+
+// FireTos implements rt.TosProbe (the intrinsified path).
+func (b *BranchCounter) FireTos(bits uint64) {
+	b.Total++
+	if uint32(bits) != 0 {
+		b.Taken++
+	}
+}
+
+// BranchMonitor aggregates the branch counters of one instance.
+type BranchMonitor struct {
+	Counters []*BranchCounter
+}
+
+// AttachBranchMonitor scans every function of the instance for
+// conditional branches (br_if and if) and attaches a counter probe at
+// each site.
+func AttachBranchMonitor(inst *engine.Instance) (*BranchMonitor, error) {
+	mon := &BranchMonitor{}
+	for _, f := range inst.RT.Funcs {
+		if f.IsHost() {
+			continue
+		}
+		pcs, err := CondBranchPCs(f.Decl.Body)
+		if err != nil {
+			return nil, fmt.Errorf("monitors: func %d: %w", f.Idx, err)
+		}
+		for _, pc := range pcs {
+			c := &BranchCounter{FuncIdx: f.Idx, PC: pc}
+			mon.Counters = append(mon.Counters, c)
+			if err := inst.AttachProbe(f.Idx, pc, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return mon, nil
+}
+
+// CondBranchPCs returns the bytecode offsets of all conditional branches
+// (br_if and if) in a function body.
+func CondBranchPCs(body []byte) ([]int, error) {
+	var pcs []int
+	r := wasm.NewReader(body)
+	for r.Len() > 0 {
+		pc := r.Pos
+		op, err := r.ReadOpcode()
+		if err != nil {
+			return nil, err
+		}
+		if op == wasm.OpBrIf || op == wasm.OpIf {
+			pcs = append(pcs, pc)
+		}
+		if err := r.SkipImm(op); err != nil {
+			return nil, err
+		}
+	}
+	return pcs, nil
+}
+
+// TotalFires returns the number of probe firings observed.
+func (m *BranchMonitor) TotalFires() uint64 {
+	var n uint64
+	for _, c := range m.Counters {
+		n += c.Total
+	}
+	return n
+}
+
+// Hottest returns the n most-fired branch sites, for report output.
+func (m *BranchMonitor) Hottest(n int) []*BranchCounter {
+	sorted := make([]*BranchCounter, len(m.Counters))
+	copy(sorted, m.Counters)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Total > sorted[j].Total })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// Report renders a short textual profile.
+func (m *BranchMonitor) Report(n int) string {
+	s := fmt.Sprintf("branch monitor: %d sites, %d fires\n", len(m.Counters), m.TotalFires())
+	for _, c := range m.Hottest(n) {
+		ratio := 0.0
+		if c.Total > 0 {
+			ratio = float64(c.Taken) / float64(c.Total)
+		}
+		s += fmt.Sprintf("  func %d +%d: %d fires, %.1f%% taken\n",
+			c.FuncIdx, c.PC, c.Total, ratio*100)
+	}
+	return s
+}

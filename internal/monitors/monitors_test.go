@@ -1,0 +1,161 @@
+package monitors_test
+
+import (
+	"testing"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/monitors"
+	"wizgo/internal/spc"
+	"wizgo/internal/wasm"
+)
+
+// buildCounted returns a module with a loop of exactly n iterations (one
+// conditional back-edge) and an if taken on even iterations.
+func buildCounted() []byte {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("run", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32},
+		Results: []wasm.ValueType{wasm.I32},
+	})
+	i := f.AddLocal(wasm.I32)
+	evens := f.AddLocal(wasm.I32)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32And).Op(wasm.OpI32Eqz)
+	f.If(wasm.BlockEmpty)
+	f.LocalGet(evens).I32Const(1).Op(wasm.OpI32Add).LocalSet(evens)
+	f.End()
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalTee(i)
+	f.LocalGet(0).Op(wasm.OpI32LtS)
+	f.BrIf(0)
+	f.End()
+	f.LocalGet(evens)
+	f.End()
+	b.Export("run", f.Idx)
+	return b.Encode()
+}
+
+// expectCounts runs the branch monitor under cfg and checks exact fire
+// counts: the loop has n iterations, each fires the if-site once and the
+// br_if site once.
+func expectCounts(t *testing.T, cfg engine.Config, n int32) {
+	t.Helper()
+	inst, err := engine.New(cfg, nil).Instantiate(buildCounted())
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	mon, err := monitors.AttachBranchMonitor(inst)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	if len(mon.Counters) != 2 {
+		t.Fatalf("%s: %d branch sites, want 2 (if, br_if)", cfg.Name, len(mon.Counters))
+	}
+	got, err := inst.Call("run", wasm.ValI32(n))
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	if got[0].I32() != (n+1)/2 {
+		t.Fatalf("%s: evens = %d", cfg.Name, got[0].I32())
+	}
+	if mon.TotalFires() != uint64(2*n) {
+		t.Errorf("%s: %d fires, want %d", cfg.Name, mon.TotalFires(), 2*n)
+	}
+	for _, c := range mon.Counters {
+		if c.Total != uint64(n) {
+			t.Errorf("%s: site +%d fired %d times, want %d", cfg.Name, c.PC, c.Total, n)
+		}
+	}
+	// The if condition (eqz of parity) is true for even i: ceil(n/2)
+	// takes; the br_if is taken n-1 times.
+	var ifSite, brSite *monitors.BranchCounter
+	for _, c := range mon.Counters {
+		if ifSite == nil || c.PC < ifSite.PC {
+			ifSite, brSite = c, ifSite
+		} else {
+			brSite = c
+		}
+	}
+	if ifSite.Taken != uint64((n+1)/2) {
+		t.Errorf("%s: if taken %d, want %d", cfg.Name, ifSite.Taken, (n+1)/2)
+	}
+	if brSite.Taken != uint64(n-1) {
+		t.Errorf("%s: br_if taken %d, want %d", cfg.Name, brSite.Taken, n-1)
+	}
+}
+
+// TestBranchMonitorCountsAgree: the interpreter, the unoptimized probe
+// path, and the intrinsified probe path must observe identical profiles
+// — the transparency property of Section IV-D.
+func TestBranchMonitorCountsAgree(t *testing.T) {
+	const n = 101
+	expectCounts(t, engines.WizardINT(), n)
+	expectCounts(t, engines.WizardSPC(), n) // optjit: intrinsified
+	expectCounts(t, engines.SPCVariant("jit-plain", func(c *spc.Config) {
+		c.OptProbes = false // jit: runtime probe calls
+	}), n)
+}
+
+// TestProbeSitesCompileToIntrinsics: under optjit, the branch monitor
+// produces direct probe instructions, not runtime calls.
+func TestProbeSitesCompileToIntrinsics(t *testing.T) {
+	inst, err := engine.New(engines.WizardSPC(), nil).Instantiate(buildCounted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := monitors.AttachBranchMonitor(inst); err != nil {
+		t.Fatal(err)
+	}
+	f := inst.RT.Funcs[0]
+	code := f.Compiled.(interface{ Disassemble() string })
+	d := code.Disassemble()
+	if !contains(d, "probe.tos") {
+		t.Errorf("expected intrinsified probe.tos in:\n%s", d)
+	}
+	if contains(d, "probe.fire") {
+		t.Errorf("unoptimized probe.fire present under optjit:\n%s", d)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestDynamicProbeAttachDeopt: attaching a probe to a function with
+// compiled code invalidates it; execution still completes correctly and
+// the probe fires (via recompile or deopt).
+func TestDynamicProbeAttachDeopt(t *testing.T) {
+	inst, err := engine.New(engines.WizardSPC(), nil).Instantiate(buildCounted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First run without probes.
+	if _, err := inst.Call("run", wasm.ValI32(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Attach afterwards: code must be recompiled with the probe.
+	mon, err := monitors.AttachBranchMonitor(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Call("run", wasm.ValI32(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].I32() != 5 {
+		t.Fatalf("result %d", got[0].I32())
+	}
+	if mon.TotalFires() == 0 {
+		t.Error("probes attached after compilation never fired")
+	}
+}

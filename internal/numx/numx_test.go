@@ -1,0 +1,231 @@
+package numx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+// TestShiftMasking: Wasm masks shift counts to the operand width.
+func TestShiftMasking(t *testing.T) {
+	f := func(x uint32, s uint64) bool {
+		r, trap, ok := EvalBin(wasm.OpI32Shl, uint64(x), s)
+		return ok && trap == rt.TrapNone && uint32(r) == x<<(uint32(s)&31)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(x, s uint64) bool {
+		r, trap, ok := EvalBin(wasm.OpI64ShrU, x, s)
+		return ok && trap == rt.TrapNone && r == x>>(s&63)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestI32ResultsAreZeroExtended: every i32-typed result must have zero
+// upper bits — the invariant the register file and value stack rely on.
+func TestI32ResultsAreZeroExtended(t *testing.T) {
+	ops := []wasm.Opcode{
+		wasm.OpI32Add, wasm.OpI32Sub, wasm.OpI32Mul, wasm.OpI32And,
+		wasm.OpI32Or, wasm.OpI32Xor, wasm.OpI32Shl, wasm.OpI32ShrS,
+		wasm.OpI32ShrU, wasm.OpI32Rotl, wasm.OpI32Rotr,
+	}
+	f := func(x, y uint32) bool {
+		for _, op := range ops {
+			r, trap, ok := EvalBin(op, uint64(x), uint64(y))
+			if !ok || trap != rt.TrapNone {
+				return false
+			}
+			if r>>32 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDivRemIdentity: a == (a/b)*b + a%b when defined.
+func TestDivRemIdentity(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 || (a == math.MinInt32 && b == -1) {
+			return true
+		}
+		q, _, _ := EvalBin(wasm.OpI32DivS, uint64(uint32(a)), uint64(uint32(b)))
+		r, _, _ := EvalBin(wasm.OpI32RemS, uint64(uint32(a)), uint64(uint32(b)))
+		return int32(q)*b+int32(r) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivTraps(t *testing.T) {
+	if _, trap, _ := EvalBin(wasm.OpI32DivS, 5, 0); trap != rt.TrapDivByZero {
+		t.Error("expected div-by-zero trap")
+	}
+	if _, trap, _ := EvalBin(wasm.OpI32DivS, uint64(0x80000000), uint64(0xFFFFFFFF)); trap != rt.TrapIntOverflow {
+		t.Error("expected overflow trap")
+	}
+	if r, trap, _ := EvalBin(wasm.OpI32RemS, uint64(0x80000000), uint64(0xFFFFFFFF)); trap != rt.TrapNone || r != 0 {
+		t.Error("MinInt32 rem -1 must be 0, not trap")
+	}
+	if _, trap, _ := EvalBin(wasm.OpI64DivU, 1, 0); trap != rt.TrapDivByZero {
+		t.Error("expected i64 div-by-zero trap")
+	}
+}
+
+func TestTruncTraps(t *testing.T) {
+	nan := math.Float64bits(math.NaN())
+	if _, trap, _ := EvalUn(wasm.OpI32TruncF64S, nan); trap != rt.TrapInvalidConversion {
+		t.Error("NaN trunc must trap invalid")
+	}
+	big := math.Float64bits(3e10)
+	if _, trap, _ := EvalUn(wasm.OpI32TruncF64S, big); trap != rt.TrapIntOverflow {
+		t.Error("out-of-range trunc must trap overflow")
+	}
+	ok := math.Float64bits(-3.99)
+	if r, trap, _ := EvalUn(wasm.OpI32TruncF64S, ok); trap != rt.TrapNone || int32(r) != -3 {
+		t.Errorf("trunc(-3.99) = %d, trap %v", int32(r), trap)
+	}
+}
+
+// TestSatTruncClamps: saturating truncation clamps instead of trapping,
+// and NaN becomes zero.
+func TestSatTruncClamps(t *testing.T) {
+	f := func(x float64) bool {
+		bits := math.Float64bits(x)
+		r, trap, ok := EvalUn(wasm.OpI32TruncSatF64S, bits)
+		if !ok || trap != rt.TrapNone {
+			return false
+		}
+		v := int32(r)
+		switch {
+		case x != x:
+			return v == 0
+		case x <= math.MinInt32:
+			return v == math.MinInt32
+		case x >= math.MaxInt32:
+			return v == math.MaxInt32
+		default:
+			return v == int32(x)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if SatToI64U(math.Inf(1)) != math.MaxUint64 {
+		t.Error("sat u64 of +inf must be max")
+	}
+	if SatToI64U(-1) != 0 {
+		t.Error("sat u64 of negative must be 0")
+	}
+}
+
+func TestFloatMinMaxNaN(t *testing.T) {
+	nan := math.NaN()
+	if !math.IsNaN(FMin64(1, nan)) || !math.IsNaN(FMax64(nan, 2)) {
+		t.Error("min/max must propagate NaN")
+	}
+	if FMin64(math.Copysign(0, -1), 0) != 0 || !math.Signbit(FMin64(math.Copysign(0, -1), 0)) {
+		t.Error("min(-0, +0) must be -0")
+	}
+	if math.Signbit(FMax64(math.Copysign(0, -1), 0)) {
+		t.Error("max(-0, +0) must be +0")
+	}
+	if FMin32(2, 1) != 1 || FMax32(2, 1) != 2 {
+		t.Error("f32 min/max ordering wrong")
+	}
+}
+
+// TestCommutativity for commutative operators.
+func TestCommutativity(t *testing.T) {
+	ops := []wasm.Opcode{
+		wasm.OpI32Add, wasm.OpI32Mul, wasm.OpI32And, wasm.OpI32Or, wasm.OpI32Xor,
+		wasm.OpI64Add, wasm.OpI64Mul, wasm.OpI64And, wasm.OpI64Or, wasm.OpI64Xor,
+	}
+	f := func(x, y uint64) bool {
+		for _, op := range ops {
+			a, _, _ := EvalBin(op, x, y)
+			b, _, _ := EvalBin(op, y, x)
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtendsAndWraps round-trip.
+func TestExtendsAndWraps(t *testing.T) {
+	f := func(x int32) bool {
+		ext, _, _ := EvalUn(wasm.OpI64ExtendI32S, uint64(uint32(x)))
+		if int64(ext) != int64(x) {
+			return false
+		}
+		wrap, _, _ := EvalUn(wasm.OpI32WrapI64, ext)
+		return int32(wrap) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	r, _, _ := EvalUn(wasm.OpI32Extend8S, 0x80)
+	if int32(r) != -128 {
+		t.Errorf("extend8_s(0x80) = %d", int32(r))
+	}
+	r, _, _ = EvalUn(wasm.OpI64Extend32S, 0x80000000)
+	if int64(r) != math.MinInt32 {
+		t.Errorf("extend32_s = %d", int64(r))
+	}
+}
+
+// TestReinterpretIsIdentity on the bit level.
+func TestReinterpretIsIdentity(t *testing.T) {
+	f := func(x uint64) bool {
+		for _, op := range []wasm.Opcode{
+			wasm.OpI64ReinterpretF64, wasm.OpF64ReinterpretI64,
+		} {
+			r, trap, ok := EvalUn(op, x)
+			if !ok || trap != rt.TrapNone || r != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnknownOpsRejected(t *testing.T) {
+	if _, _, ok := EvalUn(wasm.OpI32Add, 0); ok {
+		t.Error("binary op accepted as unary")
+	}
+	if _, _, ok := EvalBin(wasm.OpI32Eqz, 0, 0); ok {
+		t.Error("unary op accepted as binary")
+	}
+	if _, _, ok := EvalBin(wasm.OpBlock, 0, 0); ok {
+		t.Error("control op accepted as numeric")
+	}
+}
+
+func TestRotates(t *testing.T) {
+	f := func(x uint32, n uint8) bool {
+		l, _, _ := EvalBin(wasm.OpI32Rotl, uint64(x), uint64(n))
+		r, _, _ := EvalBin(wasm.OpI32Rotr, l, uint64(n))
+		return uint32(r) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+package opt_test
+
+import (
+	"testing"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/mach"
+	"wizgo/internal/opt"
+	"wizgo/internal/rt"
+	"wizgo/internal/spc"
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+// buildRedundant compiles a function whose template-quality code has
+// obvious redundant loads for LVN to remove.
+func buildRedundant(t *testing.T) (*mach.Code, *wasm.Module, *validate.FuncInfo) {
+	t.Helper()
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}}
+	f := b.NewFunc("f", ft)
+	// x*x + x*x: the second x*x reloads everything without LVN-level help.
+	f.LocalGet(0).LocalGet(0).Op(wasm.OpI32Mul)
+	f.LocalGet(0).LocalGet(0).Op(wasm.OpI32Mul)
+	f.Op(wasm.OpI32Add)
+	f.End()
+	m := b.Module()
+	infos, err := validate.Module(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compile with a weak config (no MR) to create redundancy.
+	cfg := spc.Config{TrackConsts: true}
+	code, err := spc.Compile(m, 0, &m.Funcs[0], &infos[0], nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, m, &infos[0]
+}
+
+func run(t *testing.T, code *mach.Code, arg uint64) uint64 {
+	t.Helper()
+	ctx := &rt.Context{
+		Stack:    rt.NewValueStack(256, false),
+		Inst:     &rt.Instance{Memory: &rt.Memory{}},
+		MaxDepth: 16,
+	}
+	ctx.Stack.Slots[0] = arg
+	if _, err := code.Run(ctx, &rt.FuncInst{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	return ctx.Stack.Slots[0]
+}
+
+func TestLVNForwardsRedundantLoads(t *testing.T) {
+	code, _, _ := buildRedundant(t)
+	loadsBefore := countOp(code, mach.OLoadSlot)
+	want := run(t, code, 6)
+
+	optimized := opt.LVN(code)
+	loadsAfter := countOp(optimized, mach.OLoadSlot)
+	if loadsAfter >= loadsBefore {
+		t.Errorf("LVN did not forward loads: %d -> %d\n%s",
+			loadsBefore, loadsAfter, optimized.Disassemble())
+	}
+	if got := run(t, optimized, 6); got != want {
+		t.Errorf("LVN changed semantics: %d != %d", got, want)
+	}
+	if want != 72 {
+		t.Errorf("6*6+6*6 = %d, want 72", want)
+	}
+}
+
+func countOp(code *mach.Code, op mach.Op) int {
+	n := 0
+	for _, in := range code.Instrs {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestLVNIdempotent(t *testing.T) {
+	code, _, _ := buildRedundant(t)
+	once := opt.LVN(code)
+	twice := opt.LVN(once)
+	if len(twice.Instrs) != len(once.Instrs) {
+		t.Errorf("second LVN pass changed size: %d -> %d", len(once.Instrs), len(twice.Instrs))
+	}
+}
+
+func TestLVNRemapsBranches(t *testing.T) {
+	b := wasm.NewBuilder()
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}}
+	f := b.NewFunc("f", ft)
+	acc := f.AddLocal(wasm.I32)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(acc).LocalGet(0).Op(wasm.OpI32Add).LocalSet(acc)
+	f.LocalGet(0).I32Const(1).Op(wasm.OpI32Sub).LocalTee(0)
+	f.I32Const(0).Op(wasm.OpI32GtS)
+	f.BrIf(0)
+	f.End()
+	f.LocalGet(acc)
+	f.End()
+	m := b.Module()
+	infos, err := validate.Module(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := opt.Compile(m, 0, &m.Funcs[0], &infos[0], nil, opt.Config{PinLocals: 4, Passes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, code, 10); got != 55 {
+		t.Errorf("sum 1..10 = %d, want 55", got)
+	}
+}
+
+// TestOptBeatsBaselineOnInstructionCount: the optimizing pipeline should
+// emit meaningfully fewer loop-body instructions than the baseline.
+func TestOptBeatsBaseline(t *testing.T) {
+	b := wasm.NewBuilder()
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.I64}, Results: []wasm.ValueType{wasm.I64}}
+	f := b.NewFunc("f", ft)
+	acc := f.AddLocal(wasm.I64)
+	i := f.AddLocal(wasm.I64)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(acc).LocalGet(i).Op(wasm.OpI64Add).LocalSet(acc)
+	f.LocalGet(i).I64Const(1).Op(wasm.OpI64Add).LocalTee(i)
+	f.LocalGet(0).Op(wasm.OpI64LtS)
+	f.BrIf(0)
+	f.End()
+	f.LocalGet(acc)
+	f.End()
+	m := b.Module()
+	infos, _ := validate.Module(m)
+
+	base, err := spc.Compile(m, 0, &m.Funcs[0], &infos[0], nil, spc.Wizard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optd, err := opt.Compile(m, 0, &m.Funcs[0], &infos[0], nil, opt.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(optd.Instrs) >= len(base.Instrs) {
+		t.Errorf("opt (%d instrs) should beat baseline (%d instrs)\nbase:\n%s\nopt:\n%s",
+			len(optd.Instrs), len(base.Instrs), base.Disassemble(), optd.Disassemble())
+	}
+}
+
+// TestOptEndToEnd runs a full engine with the optimizing tier.
+func TestOptEndToEnd(t *testing.T) {
+	b := wasm.NewBuilder()
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.I64}, Results: []wasm.ValueType{wasm.I64}}
+	f := b.NewFunc("tri", ft)
+	acc := f.AddLocal(wasm.I64)
+	i := f.AddLocal(wasm.I64)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(i).I64Const(1).Op(wasm.OpI64Add).LocalTee(i)
+	f.LocalGet(acc).Op(wasm.OpI64Add).LocalSet(acc)
+	f.LocalGet(i).LocalGet(0).Op(wasm.OpI64LtS)
+	f.BrIf(0)
+	f.End()
+	f.LocalGet(acc)
+	f.End()
+	b.Export("tri", f.Idx)
+	bytes := b.Encode()
+
+	for _, cfg := range []engine.Config{
+		engines.TurboFanLike(), engines.WAVMLike(), engines.IWasmFJITLike(),
+		engines.JSCBBQLike(),
+	} {
+		inst, err := engine.New(cfg, nil).Instantiate(bytes)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		got, err := inst.Call("tri", wasm.ValI64(1000))
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if got[0].I64() != 500500 {
+			t.Errorf("%s: got %d, want 500500", cfg.Name, got[0].I64())
+		}
+	}
+}

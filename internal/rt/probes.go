@@ -1,0 +1,164 @@
+package rt
+
+import (
+	"sort"
+
+	"wizgo/internal/wasm"
+)
+
+// Probe is a user instrumentation callback attached to a bytecode
+// location ("local probe" in the paper's terminology). Fire runs before
+// the probed instruction executes and receives an accessor exposing the
+// frame's state.
+type Probe interface {
+	Fire(a *Accessor)
+}
+
+// TosProbe is the optimized probe shape for probes that only need the
+// top-of-stack value (the paper's branch monitor reads the branch
+// condition this way). When compiled code fires a TosProbe at an
+// intrinsified site it passes the top-of-stack directly, eliding the
+// accessor object entirely — the "optjit" configuration of Figure 6.
+type TosProbe interface {
+	Probe
+	FireTos(bits uint64)
+}
+
+// CounterProbe counts executions of a location. Compiled code
+// intrinsifies it to a direct increment.
+type CounterProbe struct {
+	Count uint64
+}
+
+// Fire implements Probe.
+func (c *CounterProbe) Fire(a *Accessor) { c.Count++ }
+
+// Accessor exposes the state of a probed frame to instrumentation. It is
+// allocated lazily per probe fire in the unoptimized configurations,
+// matching the engine-code overhead Figure 6 attributes to "jit" and
+// "int" modes.
+type Accessor struct {
+	Ctx   *Context
+	Frame FrameInfo
+}
+
+// PC returns the bytecode offset of the probed instruction.
+func (a *Accessor) PC() int { return a.Frame.PC }
+
+// FuncIdx returns the probed function's index.
+func (a *Accessor) FuncIdx() uint32 { return a.Frame.Func.Idx }
+
+// Local returns the bits of local i.
+func (a *Accessor) Local(i int) uint64 {
+	return a.Ctx.Stack.Slots[a.Frame.VFP+i]
+}
+
+// StackHeight returns the operand stack height in slots.
+func (a *Accessor) StackHeight() int {
+	locals := len(a.Frame.Func.Info.LocalTypes)
+	return a.Frame.SP - a.Frame.VFP - locals
+}
+
+// Operand returns the bits of the i-th operand slot from the bottom.
+func (a *Accessor) Operand(i int) uint64 {
+	locals := len(a.Frame.Func.Info.LocalTypes)
+	return a.Ctx.Stack.Slots[a.Frame.VFP+locals+i]
+}
+
+// Top returns the bits of the top-of-stack slot.
+func (a *Accessor) Top() uint64 {
+	return a.Ctx.Stack.Slots[a.Frame.SP-1]
+}
+
+// ProbeSet holds the probes attached to one function, with a dense
+// bitmap so the interpreter's per-instruction check is a single load
+// and mask.
+type ProbeSet struct {
+	bitmap []uint64
+	byPC   map[int][]Probe
+	pcs    []int
+}
+
+// NewProbeSet creates an empty probe set for a body of the given length.
+func NewProbeSet(bodyLen int) *ProbeSet {
+	return &ProbeSet{
+		bitmap: make([]uint64, (bodyLen+63)/64),
+		byPC:   make(map[int][]Probe),
+	}
+}
+
+// Insert attaches p at bytecode offset pc.
+func (s *ProbeSet) Insert(pc int, p Probe) {
+	if _, ok := s.byPC[pc]; !ok {
+		s.pcs = append(s.pcs, pc)
+		sort.Ints(s.pcs)
+	}
+	s.byPC[pc] = append(s.byPC[pc], p)
+	s.bitmap[pc/64] |= 1 << (pc % 64)
+}
+
+// Remove detaches all probes at pc.
+func (s *ProbeSet) Remove(pc int) {
+	delete(s.byPC, pc)
+	s.bitmap[pc/64] &^= 1 << (pc % 64)
+	for i, v := range s.pcs {
+		if v == pc {
+			s.pcs = append(s.pcs[:i], s.pcs[i+1:]...)
+			break
+		}
+	}
+}
+
+// HasAt reports whether any probe is attached at pc.
+func (s *ProbeSet) HasAt(pc int) bool {
+	if s == nil || pc/64 >= len(s.bitmap) {
+		return false
+	}
+	return s.bitmap[pc/64]&(1<<(pc%64)) != 0
+}
+
+// At returns the probes attached at pc.
+func (s *ProbeSet) At(pc int) []Probe {
+	if s == nil {
+		return nil
+	}
+	return s.byPC[pc]
+}
+
+// PCs returns the sorted probed offsets.
+func (s *ProbeSet) PCs() []int {
+	if s == nil {
+		return nil
+	}
+	return s.pcs
+}
+
+// Empty reports whether no probes remain.
+func (s *ProbeSet) Empty() bool { return s == nil || len(s.byPC) == 0 }
+
+// FireAll fires every probe at pc with a freshly allocated accessor —
+// the unoptimized runtime path shared by the interpreter and plain JIT
+// probe calls.
+func (s *ProbeSet) FireAll(ctx *Context, fi FrameInfo, pc int) {
+	a := &Accessor{Ctx: ctx, Frame: fi}
+	a.Frame.PC = pc
+	for _, p := range s.byPC[pc] {
+		p.Fire(a)
+	}
+	if ctx.CountStats {
+		ctx.Stats.ProbeFires++
+	}
+}
+
+// TagsForLocals reconstructs the value tags of a function's locals from
+// its declarations — the paper's "lazy tagging of locals": local types
+// are static, so the stack walker can recompute them instead of the
+// compiled code storing them.
+func TagsForLocals(f *FuncInst) []wasm.Tag {
+	types := f.Info.LocalTypes
+	tags := make([]wasm.Tag, len(types))
+	for i, t := range types {
+		tags[i] = wasm.TagOf(t)
+	}
+	return tags
+}

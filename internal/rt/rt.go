@@ -1,0 +1,364 @@
+// Package rt defines the shared runtime substrate of the engine: the
+// value stack with its value tags, execution frames, module instances,
+// memories, tables, globals, traps, and the probe (instrumentation)
+// interfaces. Every execution tier — the in-place interpreter, the
+// single-pass compiler's machine code, the optimizing tier and the
+// rewriting interpreter — operates on these same structures. That shared
+// layout is precisely the design point of Wizard-SPC the paper
+// describes: interpreter frames and JIT frames use one value stack
+// representation, so tier-up (OSR) and tier-down (deopt) rewrite only
+// the execution frame, never the values.
+package rt
+
+import (
+	"fmt"
+
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+// TrapKind enumerates Wasm traps.
+type TrapKind uint8
+
+const (
+	TrapNone TrapKind = iota
+	TrapUnreachable
+	TrapDivByZero
+	TrapIntOverflow
+	TrapInvalidConversion
+	TrapOOBMemory
+	TrapOOBTable
+	TrapIndirectSigMismatch
+	TrapNullFunc
+	TrapStackOverflow
+	TrapMemoryLimit
+	TrapHostError
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapUnreachable:
+		return "unreachable executed"
+	case TrapDivByZero:
+		return "integer divide by zero"
+	case TrapIntOverflow:
+		return "integer overflow"
+	case TrapInvalidConversion:
+		return "invalid conversion to integer"
+	case TrapOOBMemory:
+		return "out of bounds memory access"
+	case TrapOOBTable:
+		return "out of bounds table access"
+	case TrapIndirectSigMismatch:
+		return "indirect call type mismatch"
+	case TrapNullFunc:
+		return "null function reference"
+	case TrapStackOverflow:
+		return "call stack exhausted"
+	case TrapMemoryLimit:
+		return "memory limit exceeded"
+	case TrapHostError:
+		return "host function error"
+	}
+	return "unknown trap"
+}
+
+// Trap is the error produced when Wasm execution traps.
+type Trap struct {
+	Kind    TrapKind
+	FuncIdx uint32
+	PC      int
+	Wrapped error
+}
+
+func (t *Trap) Error() string {
+	if t.Wrapped != nil {
+		return fmt.Sprintf("trap: %s: %v (func %d, pc +%d)", t.Kind, t.Wrapped, t.FuncIdx, t.PC)
+	}
+	return fmt.Sprintf("trap: %s (func %d, pc +%d)", t.Kind, t.FuncIdx, t.PC)
+}
+
+// NewTrap constructs a trap error.
+func NewTrap(kind TrapKind, funcIdx uint32, pc int) *Trap {
+	return &Trap{Kind: kind, FuncIdx: funcIdx, PC: pc}
+}
+
+// TagMode selects the value-tagging strategy of compiled code — the
+// central design axis of the paper's Section IV-C and Figure 5.
+type TagMode uint8
+
+const (
+	// TagsNone: no tags written at all (the best-case baseline of Fig 5;
+	// GC root scanning is unavailable).
+	TagsNone TagMode = iota
+	// TagsEager: store the tag at every instruction that writes a slot,
+	// exactly as the interpreter does (the worst case of Fig 5).
+	TagsEager
+	// TagsEagerOperands: eager tags for operand stack slots only.
+	TagsEagerOperands
+	// TagsEagerLocals: eager tags for local slots only.
+	TagsEagerLocals
+	// TagsOnDemand: the Wizard-SPC default. The compiler's abstract
+	// state tracks tag freshness per slot; tags are stored only across
+	// observation points (calls, traps, probes).
+	TagsOnDemand
+	// TagsLazy: like on-demand, but tags for locals are never stored;
+	// the stack walker reconstructs them from the function's local
+	// declarations.
+	TagsLazy
+)
+
+func (m TagMode) String() string {
+	switch m {
+	case TagsNone:
+		return "notags"
+	case TagsEager:
+		return "eagertags"
+	case TagsEagerOperands:
+		return "eagertags-o"
+	case TagsEagerLocals:
+		return "eagertags-l"
+	case TagsOnDemand:
+		return "on-demand"
+	case TagsLazy:
+		return "lazytags"
+	}
+	return "tagmode?"
+}
+
+// ValueStack is the explicit value stack shared by all execution tiers:
+// a slot array and a parallel tag array. Wizard keeps tags out-of-line
+// (a separate array rather than interleaved) so that slot accesses stay
+// 8-byte aligned; BenchmarkTagLayout in the harness quantifies why.
+type ValueStack struct {
+	Slots []uint64
+	Tags  []wasm.Tag
+}
+
+// NewValueStack allocates a stack with the given slot capacity.
+func NewValueStack(capacity int, withTags bool) *ValueStack {
+	vs := &ValueStack{Slots: make([]uint64, capacity)}
+	if withTags {
+		vs.Tags = make([]wasm.Tag, capacity)
+	}
+	return vs
+}
+
+// Memory is a linear memory instance.
+type Memory struct {
+	Data []byte
+	// MaxPages caps growth; engines clamp it so benchmarks stay small.
+	MaxPages uint32
+}
+
+// NewMemory allocates a memory from limits.
+func NewMemory(lim wasm.Limits) *Memory {
+	maxPages := uint32(wasm.MaxPages)
+	if lim.HasMax && lim.Max < maxPages {
+		maxPages = lim.Max
+	}
+	return &Memory{
+		Data:     make([]byte, int(lim.Min)*wasm.PageSize),
+		MaxPages: maxPages,
+	}
+}
+
+// Pages returns the current size in pages.
+func (m *Memory) Pages() uint32 { return uint32(len(m.Data) / wasm.PageSize) }
+
+// Grow grows by delta pages, returning the previous page count or -1.
+func (m *Memory) Grow(delta uint32) int32 {
+	old := m.Pages()
+	if delta == 0 {
+		return int32(old)
+	}
+	next := uint64(old) + uint64(delta)
+	if next > uint64(m.MaxPages) {
+		return -1
+	}
+	grown := make([]byte, next*wasm.PageSize)
+	copy(grown, m.Data)
+	m.Data = grown
+	return int32(old)
+}
+
+// InBounds reports whether an access of size bytes at addr+offset fits.
+func (m *Memory) InBounds(addr, offset uint32, size int) bool {
+	eff := uint64(addr) + uint64(offset)
+	return eff+uint64(size) <= uint64(len(m.Data))
+}
+
+// Table is a funcref table. Entries are 1-based function handles
+// (funcIdx+1) so that zero means null, matching the value encoding.
+type Table struct {
+	Elems []uint64
+}
+
+// GlobalSlot is a runtime global: bits plus tag for stack-walking parity.
+type GlobalSlot struct {
+	Bits uint64
+	Tag  wasm.Tag
+}
+
+// HostFunc is a host (imported) function. Arguments arrive in args;
+// results must be written to results. Returning a non-nil error aborts
+// execution with a host trap.
+type HostFunc func(ctx *Context, args, results []uint64) error
+
+// FuncInst is a resolved function: either a host function or a module
+// function with its validation metadata and, once a compiler tier has
+// run, its compiled code. Compiled is declared as any to keep rt free of
+// a dependency on the machine package; executors type-assert it.
+type FuncInst struct {
+	Idx  uint32
+	Type wasm.FuncType
+	Name string
+
+	// Host is non-nil for imported host functions.
+	Host HostFunc
+
+	// Decl and Info are set for module-defined functions.
+	Decl *wasm.Func
+	Info *validate.FuncInfo
+
+	// Compiled machine code, if a compiler tier has translated this
+	// function (holds a *mach.Code).
+	Compiled any
+
+	// CallCount drives tier-up heuristics.
+	CallCount int
+
+	// Probes is non-nil when instrumentation is attached.
+	Probes *ProbeSet
+}
+
+// IsHost reports whether f is a host function.
+func (f *FuncInst) IsHost() bool { return f.Host != nil }
+
+// Instance is an instantiated module.
+type Instance struct {
+	Module  *wasm.Module
+	Funcs   []*FuncInst
+	Globals []GlobalSlot
+	Memory  *Memory
+	Tables  []*Table
+}
+
+// FuncByName resolves an exported function.
+func (inst *Instance) FuncByName(name string) (*FuncInst, bool) {
+	idx, ok := inst.Module.ExportedFunc(name)
+	if !ok {
+		return nil, false
+	}
+	return inst.Funcs[idx], true
+}
+
+// FrameKind distinguishes which tier owns an execution frame.
+type FrameKind uint8
+
+const (
+	FrameInterp FrameKind = iota
+	FrameJIT
+)
+
+// FrameInfo is the execution-frame record used for stack walking (GC
+// root scans, stack traces, probe accessors). Interpreter frames and JIT
+// frames have the same shape — the property that enables Wizard's cheap
+// tier-up and tier-down.
+type FrameInfo struct {
+	Kind FrameKind
+	Func *FuncInst
+	// VFP is the value frame pointer: the stack index of local 0.
+	VFP int
+	// SP is the current operand-stack top (absolute slot index, one
+	// past the last live slot). Executors keep it current at
+	// observation points (calls, probes, traps).
+	SP int
+	// PC is the current bytecode offset, kept current at observation
+	// points; JIT frames reconstruct it from the machine pc.
+	PC int
+}
+
+// Status is the result of running an executor over one frame.
+type Status uint8
+
+const (
+	// Done: the function returned normally; results are at VFP.
+	Done Status = iota
+	// OSRUp: the interpreter requests tier-up at a loop back-edge; the
+	// frame is in canonical form (all values in the value stack) and
+	// execution should continue in compiled code at FrameInfo.PC.
+	OSRUp
+	// Deopt: compiled code requests tier-down (e.g. instrumentation was
+	// attached); the frame is canonical and execution should continue
+	// in the interpreter at FrameInfo.PC.
+	Deopt
+)
+
+// Context is one execution context (a "VM thread"): the value stack, the
+// frame chain for stack walking, and the engine callback used to invoke
+// functions across tiers.
+type Context struct {
+	Stack  *ValueStack
+	Inst   *Instance
+	Frames []FrameInfo
+
+	// Depth guards against runaway recursion.
+	Depth    int
+	MaxDepth int
+
+	// Invoke is installed by the engine: it runs callee (whose
+	// arguments are already at argBase on the value stack) and leaves
+	// the results at argBase. Executors use it for call, call_indirect
+	// and host calls so that tier selection stays in one place.
+	Invoke func(callee *FuncInst, argBase int) error
+
+	// Heap is the host garbage-collected heap (a *heap.Heap); rt keeps
+	// it abstract to avoid an import cycle.
+	Heap any
+
+	// Fuel, when non-zero, bounds the number of instructions executed
+	// (used by fuzz tests to terminate generated programs).
+	Fuel int64
+
+	// OSRThreshold is the loop back-edge count after which the
+	// interpreter requests tier-up when compiled code exists (0 = off).
+	OSRThreshold int
+
+	// Resume carries the canonical frame state across an OSRUp or
+	// Deopt return, so the engine can re-enter the other tier.
+	Resume FrameInfo
+
+	// Stats counts per-tier work when enabled.
+	CountStats bool
+	Stats      Stats
+}
+
+// Stats aggregates execution counters used by tests and the harness.
+type Stats struct {
+	InterpOps  uint64
+	MachOps    uint64
+	ProbeFires uint64
+	OSRUps     uint64
+	Deopts     uint64
+}
+
+// PushFrame records fi for stack walkers and returns its index.
+func (ctx *Context) PushFrame(fi FrameInfo) int {
+	ctx.Frames = append(ctx.Frames, fi)
+	return len(ctx.Frames) - 1
+}
+
+// PopFrame removes the top frame record.
+func (ctx *Context) PopFrame() {
+	ctx.Frames = ctx.Frames[:len(ctx.Frames)-1]
+}
+
+// CheckStack verifies that a frame needing slots fits below the stack
+// limit, returning a stack-overflow trap otherwise.
+func (ctx *Context) CheckStack(base, slots int, funcIdx uint32) error {
+	if base+slots+64 > len(ctx.Stack.Slots) || ctx.Depth >= ctx.MaxDepth {
+		return NewTrap(TrapStackOverflow, funcIdx, 0)
+	}
+	return nil
+}

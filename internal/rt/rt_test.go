@@ -1,0 +1,139 @@
+package rt
+
+import (
+	"testing"
+
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+func TestMemoryGrowAndBounds(t *testing.T) {
+	m := NewMemory(wasm.Limits{Min: 1, Max: 3, HasMax: true})
+	if m.Pages() != 1 {
+		t.Fatalf("pages = %d", m.Pages())
+	}
+	if old := m.Grow(1); old != 1 {
+		t.Fatalf("grow returned %d", old)
+	}
+	if old := m.Grow(5); old != -1 {
+		t.Fatalf("over-max grow returned %d", old)
+	}
+	if !m.InBounds(0, 0, 4) || !m.InBounds(wasm.PageSize*2-4, 0, 4) {
+		t.Error("in-bounds access rejected")
+	}
+	if m.InBounds(wasm.PageSize*2-3, 0, 4) {
+		t.Error("out-of-bounds access accepted")
+	}
+	// addr+offset overflow must not wrap.
+	if m.InBounds(0xFFFFFFFF, 0xFFFFFFFF, 8) {
+		t.Error("address overflow accepted")
+	}
+	if m.Grow(0) != 2 {
+		t.Error("zero grow should return current size")
+	}
+}
+
+func TestProbeSet(t *testing.T) {
+	s := NewProbeSet(256)
+	p1 := &CounterProbe{}
+	p2 := &CounterProbe{}
+	s.Insert(10, p1)
+	s.Insert(200, p2)
+	if !s.HasAt(10) || !s.HasAt(200) || s.HasAt(11) {
+		t.Error("bitmap lookup wrong")
+	}
+	if len(s.PCs()) != 2 || s.PCs()[0] != 10 {
+		t.Errorf("PCs = %v", s.PCs())
+	}
+	s.Remove(10)
+	if s.HasAt(10) || s.Empty() {
+		t.Error("remove broken")
+	}
+	s.Remove(200)
+	if !s.Empty() {
+		t.Error("set should be empty")
+	}
+}
+
+func TestProbeFireAll(t *testing.T) {
+	s := NewProbeSet(64)
+	c := &CounterProbe{}
+	s.Insert(5, c)
+	ctx := &Context{Stack: NewValueStack(16, true), CountStats: true}
+	fi := FrameInfo{Func: &FuncInst{}, VFP: 0, SP: 4}
+	s.FireAll(ctx, fi, 5)
+	s.FireAll(ctx, fi, 5)
+	if c.Count != 2 {
+		t.Errorf("count = %d", c.Count)
+	}
+	if ctx.Stats.ProbeFires != 2 {
+		t.Errorf("stats fires = %d", ctx.Stats.ProbeFires)
+	}
+}
+
+func TestAccessor(t *testing.T) {
+	ctx := &Context{Stack: NewValueStack(16, true)}
+	ctx.Stack.Slots[0] = 11 // local 0
+	ctx.Stack.Slots[1] = 22 // operand 0
+	ctx.Stack.Slots[2] = 33 // operand 1 (top)
+	f := &FuncInst{Info: &validate.FuncInfo{LocalTypes: []wasm.ValueType{wasm.I32}}}
+	a := &Accessor{Ctx: ctx, Frame: FrameInfo{Func: f, VFP: 0, SP: 3, PC: 9}}
+	if a.Local(0) != 11 || a.Operand(0) != 22 || a.Top() != 33 {
+		t.Error("accessor reads wrong slots")
+	}
+	if a.StackHeight() != 2 || a.PC() != 9 {
+		t.Error("accessor metadata wrong")
+	}
+}
+
+func TestCheckStack(t *testing.T) {
+	ctx := &Context{Stack: NewValueStack(128, false), MaxDepth: 4}
+	if err := ctx.CheckStack(0, 32, 0); err != nil {
+		t.Errorf("fits but rejected: %v", err)
+	}
+	if err := ctx.CheckStack(100, 32, 0); err == nil {
+		t.Error("overflow accepted")
+	}
+	ctx.Depth = 4
+	if err := ctx.CheckStack(0, 1, 0); err == nil {
+		t.Error("depth overflow accepted")
+	}
+}
+
+func TestFramePushPop(t *testing.T) {
+	ctx := &Context{}
+	idx := ctx.PushFrame(FrameInfo{VFP: 1})
+	ctx.PushFrame(FrameInfo{VFP: 2})
+	if len(ctx.Frames) != 2 || ctx.Frames[idx].VFP != 1 {
+		t.Error("push broken")
+	}
+	ctx.PopFrame()
+	if len(ctx.Frames) != 1 {
+		t.Error("pop broken")
+	}
+}
+
+func TestTagModeStrings(t *testing.T) {
+	want := map[TagMode]string{
+		TagsNone: "notags", TagsEager: "eagertags", TagsEagerOperands: "eagertags-o",
+		TagsEagerLocals: "eagertags-l", TagsOnDemand: "on-demand", TagsLazy: "lazytags",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d -> %q, want %q", m, m.String(), s)
+		}
+	}
+}
+
+func TestTrapError(t *testing.T) {
+	trap := NewTrap(TrapDivByZero, 3, 17)
+	msg := trap.Error()
+	if msg == "" || trap.Kind != TrapDivByZero {
+		t.Errorf("trap: %q", msg)
+	}
+	for k := TrapNone; k <= TrapHostError; k++ {
+		if k.String() == "" {
+			t.Errorf("trap kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,683 @@
+package spc
+
+import (
+	"wizgo/internal/mach"
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+// instr compiles one Wasm instruction. Unreachable code is decoded but
+// generates nothing; control nesting is still tracked so labels resolve.
+func (c *compiler) instr(op wasm.Opcode) error {
+	if !c.reachable() {
+		return c.skipInstr(op)
+	}
+
+	// Probes fire before the instruction executes; the site is an
+	// observation point (Section IV-D).
+	if c.probes != nil && c.probes.HasAt(c.opPC) {
+		c.compileProbe(c.opPC)
+	}
+
+	// A deferred comparison can only be consumed by an immediately
+	// following br_if or if; anything else materializes it.
+	if c.pending != nil && op != wasm.OpBrIf && op != wasm.OpIf && op != wasm.OpDrop {
+		c.matPending()
+	}
+
+	switch op {
+	case wasm.OpUnreachable:
+		c.asm.Emit(mach.Instr{Op: mach.OTrap, A: int32(rt.TrapUnreachable), Imm: uint64(c.opPC)})
+		c.setUnreachable()
+	case wasm.OpNop:
+	case wasm.OpBlock:
+		in, out, err := c.blockType()
+		if err != nil {
+			return err
+		}
+		c.ctrls = append(c.ctrls, ctrl{
+			op: wasm.OpBlock, startTypes: in, endTypes: out,
+			height:   c.st.h - len(in),
+			endLabel: c.asm.NewLabel(), elseLabel: -1, headerLabel: -1,
+			ifReachable: true,
+		})
+	case wasm.OpLoop:
+		in, out, err := c.blockType()
+		if err != nil {
+			return err
+		}
+		// Loop headers are merge points with unknown back-edge state:
+		// canonicalize (flush + forget registers and constants), bind
+		// the header, and plant the OSR/deopt checkpoint.
+		c.flush()
+		c.resetState(c.st.h, in)
+		header := c.asm.NewLabel()
+		c.asm.Bind(header)
+		bodyPC := c.r.Pos
+		if c.pinned == nil {
+			// With pinned locals the frame is not canonical at loop
+			// headers, so OSR entry / deopt is not offered (optimizing
+			// tiers in production engines behave the same way).
+			c.osrEntries[bodyPC] = c.asm.Pos()
+		}
+		c.asm.Emit(mach.Instr{Op: mach.OCheckPoint, A: int32(c.nLocals + c.st.h), Imm: uint64(bodyPC)})
+		c.ctrls = append(c.ctrls, ctrl{
+			op: wasm.OpLoop, startTypes: in, endTypes: out,
+			height:      c.st.h - len(in),
+			headerLabel: header, endLabel: -1, elseLabel: -1,
+			ifReachable: true,
+		})
+	case wasm.OpIf:
+		in, out, err := c.blockType()
+		if err != nil {
+			return err
+		}
+		elseLabel := c.asm.NewLabel()
+		endLabel := c.asm.NewLabel()
+		c.flushExcept(1)
+		c.emitCondBranch(elseLabel, true)
+		fr := ctrl{
+			op: wasm.OpIf, startTypes: in, endTypes: out,
+			height:   c.st.h - len(in),
+			endLabel: endLabel, elseLabel: elseLabel, headerLabel: -1,
+			ifReachable: true,
+		}
+		fr.saved = c.st.snapshot()
+		c.ctrls = append(c.ctrls, fr)
+	case wasm.OpElse:
+		fr := &c.ctrls[len(c.ctrls)-1]
+		fr.hasElse = true
+		if !fr.unreachable {
+			c.matPending()
+			c.flush()
+			c.transferTo(fr.height, len(fr.endTypes))
+			c.asm.EmitBranch(mach.Instr{Op: mach.OJump}, fr.endLabel)
+			fr.branched = true
+		}
+		c.asm.Bind(fr.elseLabel)
+		c.st.restore(fr.saved)
+		fr.unreachable = !fr.ifReachable
+	case wasm.OpEnd:
+		return c.compileEnd()
+	case wasm.OpBr:
+		depth, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		c.branchTo(depth)
+		c.setUnreachable()
+	case wasm.OpBrIf:
+		depth, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		fr := c.frameAt(depth)
+		fr.branched = true
+		arity := fr.labelArity()
+		// Branch folding: a constant condition becomes an
+		// unconditional branch or no code at all (feature "KF").
+		if c.cfg.ConstFold && c.pending == nil && c.st.h > 0 {
+			if av := c.st.avals[c.top()]; av.isConst {
+				v := c.pop()
+				c.release(&v)
+				if uint32(av.konst) != 0 {
+					c.branchTo(depth)
+					c.setUnreachable()
+				}
+				return nil
+			}
+		}
+		c.flushExcept(1)
+		if arity == 0 {
+			label := fr.endLabel
+			if fr.op == wasm.OpLoop {
+				label = fr.headerLabel
+			}
+			c.emitCondBranch(label, false)
+		} else {
+			skip := c.asm.NewLabel()
+			c.emitCondBranch(skip, true)
+			c.transferTo(fr.height, arity)
+			label := fr.endLabel
+			if fr.op == wasm.OpLoop {
+				label = fr.headerLabel
+			}
+			c.asm.EmitBranch(mach.Instr{Op: mach.OJump}, label)
+			c.asm.Bind(skip)
+		}
+	case wasm.OpBrTable:
+		return c.compileBrTable()
+	case wasm.OpReturn:
+		c.epilogueReturn(false)
+		c.setUnreachable()
+	case wasm.OpCall:
+		fidx, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		ft, err := c.m.FuncTypeAt(fidx)
+		if err != nil {
+			return c.fail("%v", err)
+		}
+		c.observableCall(c.opPC, len(ft.Params))
+		argBase := c.nLocals + c.st.h - len(ft.Params)
+		c.asm.Emit(mach.Instr{Op: mach.OCall, A: int32(fidx), B: int32(argBase)})
+		c.finishCall(ft)
+	case wasm.OpCallIndirect:
+		typeIdx, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		if _, err := c.r.U32(); err != nil { // table index
+			return err
+		}
+		idx := c.pop()
+		ridx := c.ensureReg(&idx, c.nLocals+c.st.h)
+		ft := c.m.Types[typeIdx]
+		c.observableCall(c.opPC, len(ft.Params))
+		argBase := c.nLocals + c.st.h - len(ft.Params)
+		c.asm.Emit(mach.Instr{Op: mach.OCallIndirect, A: int32(typeIdx), B: int32(argBase), C: int32(ridx)})
+		c.release(&idx)
+		c.finishCall(ft)
+
+	case wasm.OpDrop:
+		if c.pending != nil {
+			p := c.pending
+			c.pending = nil
+			c.st.regs.release(p.rb)
+			if !p.isImm && p.op != wasm.OpI32Eqz && p.op != wasm.OpI64Eqz {
+				c.st.regs.release(p.rc)
+			}
+			c.st.h--
+			return nil
+		}
+		v := c.pop()
+		c.release(&v)
+	case wasm.OpSelect:
+		c.compileSelect()
+	case wasm.OpSelectT:
+		n, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		if _, err := c.r.Take(int(n)); err != nil {
+			return err
+		}
+		c.compileSelect()
+
+	case wasm.OpLocalGet:
+		idx, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		c.localGet(int(idx))
+	case wasm.OpLocalSet:
+		idx, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		c.localSet(int(idx))
+	case wasm.OpLocalTee:
+		idx, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		c.localSet(int(idx))
+		c.localGet(int(idx))
+	case wasm.OpGlobalGet:
+		idx, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		t, _, _ := c.m.GlobalTypeAt(idx)
+		r := c.alloc()
+		c.asm.Emit(mach.Instr{Op: mach.OGlobalGet, A: int32(r), Imm: uint64(idx)})
+		c.push(aval{typ: t, reg: r})
+	case wasm.OpGlobalSet:
+		idx, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		t, _, _ := c.m.GlobalTypeAt(idx)
+		v := c.pop()
+		rv := c.ensureReg(&v, c.nLocals+c.st.h)
+		c.asm.Emit(mach.Instr{Op: mach.OGlobalSet, B: int32(rv), C: int32(wasm.TagOf(t)), Imm: uint64(idx)})
+		c.release(&v)
+
+	case wasm.OpI32Const:
+		v, err := c.r.S32()
+		if err != nil {
+			return err
+		}
+		c.pushConst(wasm.I32, uint64(uint32(v)))
+	case wasm.OpI64Const:
+		v, err := c.r.S64()
+		if err != nil {
+			return err
+		}
+		c.pushConst(wasm.I64, uint64(v))
+	case wasm.OpF32Const:
+		bits, err := c.r.F32()
+		if err != nil {
+			return err
+		}
+		c.pushConst(wasm.F32, uint64(bits))
+	case wasm.OpF64Const:
+		bits, err := c.r.F64()
+		if err != nil {
+			return err
+		}
+		c.pushConst(wasm.F64, bits)
+
+	case wasm.OpMemorySize:
+		if _, err := c.r.Byte(); err != nil {
+			return err
+		}
+		r := c.alloc()
+		c.asm.Emit(mach.Instr{Op: mach.OMemSize, A: int32(r)})
+		c.push(aval{typ: wasm.I32, reg: r})
+	case wasm.OpMemoryGrow:
+		if _, err := c.r.Byte(); err != nil {
+			return err
+		}
+		v := c.pop()
+		rv := c.ensureReg(&v, c.nLocals+c.st.h)
+		rd := c.destReg(&v)
+		c.releaseAll(&v)
+		c.asm.Emit(mach.Instr{Op: mach.OMemGrow, A: int32(rd), B: int32(rv)})
+		c.push(aval{typ: wasm.I32, reg: rd})
+	case wasm.OpMemoryCopy:
+		if _, err := c.r.Take(2); err != nil {
+			return err
+		}
+		n := c.pop()
+		rn := c.ensureReg(&n, c.nLocals+c.st.h)
+		src := c.pop()
+		rs := c.ensureReg(&src, c.nLocals+c.st.h)
+		dst := c.pop()
+		rd := c.ensureReg(&dst, c.nLocals+c.st.h)
+		c.asm.Emit(mach.Instr{Op: mach.OMemCopy, A: int32(rd), B: int32(rs), C: int32(rn)})
+		c.releaseAll(&n, &src, &dst)
+	case wasm.OpMemoryFill:
+		if _, err := c.r.Byte(); err != nil {
+			return err
+		}
+		n := c.pop()
+		rn := c.ensureReg(&n, c.nLocals+c.st.h)
+		val := c.pop()
+		rv := c.ensureReg(&val, c.nLocals+c.st.h)
+		dst := c.pop()
+		rd := c.ensureReg(&dst, c.nLocals+c.st.h)
+		c.asm.Emit(mach.Instr{Op: mach.OMemFill, A: int32(rd), B: int32(rv), C: int32(rn)})
+		c.releaseAll(&n, &val, &dst)
+
+	case wasm.OpRefNull:
+		if _, err := c.r.Byte(); err != nil {
+			return err
+		}
+		c.pushConst(wasm.ExternRef, wasm.NullRef)
+	case wasm.OpRefIsNull:
+		v := c.pop()
+		rv := c.ensureReg(&v, c.nLocals+c.st.h)
+		rd := c.destReg(&v)
+		c.releaseAll(&v)
+		c.asm.Emit(mach.Instr{Op: mach.OI64Eqz, A: int32(rd), B: int32(rv)})
+		c.push(aval{typ: wasm.I32, reg: rd})
+	case wasm.OpRefFunc:
+		fidx, err := c.r.U32()
+		if err != nil {
+			return err
+		}
+		c.pushConst(wasm.FuncRef, uint64(fidx)+1)
+
+	default:
+		return c.compileNumericOrMem(op)
+	}
+	return nil
+}
+
+// pushConst pushes a constant abstract value, or materializes it when
+// constant tracking is disabled (the "nok" ablation).
+func (c *compiler) pushConst(t wasm.ValueType, bits uint64) {
+	if c.cfg.TrackConsts {
+		c.push(aval{typ: t, reg: noReg, isConst: true, konst: bits})
+		return
+	}
+	r := c.alloc()
+	c.asm.Emit(mach.Instr{Op: mach.OConst, A: int32(r), Imm: bits})
+	c.push(aval{typ: t, reg: r})
+}
+
+// finishCall pops arguments and pushes results after a call site.
+// Registers are dropped: the callee clobbered them.
+func (c *compiler) finishCall(ft wasm.FuncType) {
+	for range ft.Params {
+		v := c.pop()
+		c.release(&v)
+	}
+	c.dropRegs()
+	for _, rtyp := range ft.Results {
+		c.push(aval{typ: rtyp, reg: noReg, inMem: true, tagFresh: true})
+	}
+}
+
+func (c *compiler) compileSelect() {
+	cond := c.pop()
+	rc := c.ensureReg(&cond, c.nLocals+c.st.h)
+	b := c.pop()
+	bSlot := c.nLocals + c.st.h
+	a := c.pop()
+	aSlot := c.nLocals + c.st.h
+	if c.cfg.ConstFold && cond.isConst {
+		c.release(&cond)
+		if uint32(cond.konst) != 0 {
+			c.release(&b)
+			c.push(a)
+		} else {
+			c.release(&a)
+			c.push(b)
+		}
+		return
+	}
+	ra := c.ensureReg(&a, aSlot)
+	rb := c.ensureReg(&b, bSlot)
+	var rd int8
+	if c.st.regs.refs[ra] == 1 {
+		rd = ra
+		a.reg = noReg
+	} else {
+		rd = c.alloc()
+		c.asm.Emit(mach.Instr{Op: mach.OMov, A: int32(rd), B: int32(ra)})
+		c.release(&a)
+	}
+	c.asm.Emit(mach.Instr{Op: mach.OSelect, A: int32(rd), B: int32(rb), C: int32(rc)})
+	c.release(&b)
+	c.release(&cond)
+	c.push(aval{typ: a.typ, reg: rd})
+}
+
+func (c *compiler) localGet(idx int) {
+	local := &c.st.avals[idx]
+	if c.isPinned(idx) {
+		if c.cfg.MultiReg {
+			c.st.regs.retain(local.reg)
+			c.push(aval{typ: local.typ, reg: local.reg})
+		} else {
+			r := c.alloc()
+			c.asm.Emit(mach.Instr{Op: mach.OMov, A: int32(r), B: int32(local.reg)})
+			c.push(aval{typ: local.typ, reg: r})
+		}
+		return
+	}
+	if local.isConst {
+		c.push(aval{typ: local.typ, reg: noReg, isConst: true, konst: local.konst})
+		return
+	}
+	if local.reg != noReg {
+		if c.cfg.MultiReg {
+			c.st.regs.retain(local.reg)
+			c.push(aval{typ: local.typ, reg: local.reg})
+			return
+		}
+		// Pin the source register so allocating the copy's destination
+		// cannot evict it (the victim spill would null local.reg
+		// between the read and the move).
+		src := local.reg
+		c.st.regs.retain(src)
+		r := c.alloc()
+		c.asm.Emit(mach.Instr{Op: mach.OMov, A: int32(r), B: int32(src)})
+		c.st.regs.release(src)
+		c.push(aval{typ: local.typ, reg: r})
+		return
+	}
+	// Local lives only in memory: load it, and with MR also cache the
+	// register on the local so later reads cost nothing.
+	r := c.alloc()
+	c.asm.Emit(mach.Instr{Op: mach.OLoadSlot, A: int32(r), Imm: uint64(idx)})
+	if c.cfg.MultiReg {
+		local.reg = r
+		c.st.regs.retain(r)
+	}
+	c.push(aval{typ: c.st.avals[idx].typ, reg: r})
+}
+
+func (c *compiler) localSet(idx int) {
+	v := c.pop()
+	vSlot := c.nLocals + c.st.h
+	local := &c.st.avals[idx]
+	if c.isPinned(idx) {
+		rP := c.pinned[idx]
+		// A pinned register is overwritten in place, so any operand
+		// slot still aliasing it (pushed by an earlier local.get) must
+		// be moved to its own register first.
+		if c.st.regs.refs[rP] > 1 {
+			limit := c.nLocals + c.st.h
+			for slot := 0; slot < limit; slot++ {
+				if slot < c.nLocals && c.isPinned(slot) {
+					continue // a pinned local's own binding is its home
+				}
+				av := &c.st.avals[slot]
+				if av.reg != rP {
+					continue
+				}
+				fresh := c.alloc()
+				c.asm.Emit(mach.Instr{Op: mach.OMov, A: int32(fresh), B: int32(rP)})
+				av.reg = fresh
+				c.st.regs.release(rP)
+			}
+		}
+		if v.isConst {
+			c.asm.Emit(mach.Instr{Op: mach.OConst, A: int32(rP), Imm: v.konst})
+		} else {
+			rv := c.ensureReg(&v, vSlot)
+			if rv != rP {
+				c.asm.Emit(mach.Instr{Op: mach.OMov, A: int32(rP), B: int32(rv)})
+			}
+			c.release(&v)
+		}
+		return
+	}
+	if local.reg != noReg {
+		c.st.regs.release(local.reg)
+		local.reg = noReg
+	}
+	local.isConst = false
+	switch {
+	case v.isConst && c.cfg.TrackConsts:
+		local.isConst = true
+		local.konst = v.konst
+		local.inMem = false
+	case v.reg != noReg:
+		local.reg = v.reg // transfer the popped value's reference
+		local.inMem = false
+	default:
+		r := c.ensureReg(&v, vSlot)
+		local.reg = r
+		local.inMem = false
+	}
+	if c.cfg.Tags == rt.TagsEager || c.cfg.Tags == rt.TagsEagerLocals {
+		c.emitTag(idx, local.typ)
+		local.tagFresh = true
+	}
+}
+
+// compileEnd closes the innermost construct: the merge-point logic of
+// the single-pass approach.
+func (c *compiler) compileEnd() error {
+	fr := c.ctrls[len(c.ctrls)-1]
+	c.ctrls = c.ctrls[:len(c.ctrls)-1]
+	live := !fr.unreachable
+	if live {
+		c.matPending()
+	}
+
+	switch {
+	case fr.op == wasm.OpLoop:
+		// No branches target a loop's end; fall-through state flows out
+		// unchanged, preserving register and constant knowledge.
+		if !live {
+			c.resetState(fr.height+len(fr.endTypes), fr.endTypes)
+			if len(c.ctrls) > 0 {
+				c.ctrls[len(c.ctrls)-1].unreachable = true
+			}
+		}
+		return nil
+
+	case fr.op == wasm.OpIf && !fr.hasElse:
+		if fr.elseLabel < 0 {
+			// The if itself was in unreachable code (no labels, no
+			// edges); the merge stays unreachable.
+			c.resetState(fr.height+len(fr.endTypes), fr.endTypes)
+			if len(c.ctrls) > 0 {
+				c.ctrls[len(c.ctrls)-1].unreachable = true
+			}
+			return nil
+		}
+		// The false edge lands here carrying the snapshot state.
+		if live {
+			c.flush()
+			c.asm.EmitBranch(mach.Instr{Op: mach.OJump}, fr.endLabel)
+		}
+		c.asm.Bind(fr.elseLabel)
+		c.st.restore(fr.saved)
+		if fr.ifReachable {
+			c.flush()
+		}
+		c.asm.Bind(fr.endLabel)
+		c.resetState(fr.height+len(fr.endTypes), fr.endTypes)
+		return nil
+
+	case fr.op == 0:
+		// Function end.
+		if live {
+			if fr.branched {
+				c.flush()
+				c.asm.Bind(fr.endLabel)
+				c.epilogueReturn(true)
+			} else {
+				c.epilogueReturn(false)
+			}
+		} else if fr.branched {
+			c.asm.Bind(fr.endLabel)
+			c.st.h = fr.height + len(fr.endTypes)
+			c.epilogueReturn(true)
+		}
+		return nil
+
+	default: // block, or if with else
+		if live && fr.branched {
+			c.flush()
+		}
+		if fr.endLabel >= 0 && (fr.branched || !live) {
+			c.asm.Bind(fr.endLabel)
+		} else if fr.endLabel >= 0 && live && !fr.branched {
+			// Label allocated but never referenced; bind to keep the
+			// assembler consistent (no fixups pending).
+			c.asm.Bind(fr.endLabel)
+		}
+		if fr.branched || !live {
+			c.resetState(fr.height+len(fr.endTypes), fr.endTypes)
+		}
+		// Pure fall-through keeps the abstract state (registers and
+		// constants survive the block).
+		return nil
+	}
+}
+
+func (c *compiler) compileBrTable() error {
+	n, err := c.r.U32()
+	if err != nil {
+		return err
+	}
+	depths := make([]uint32, n+1)
+	for i := range depths {
+		if depths[i], err = c.r.U32(); err != nil {
+			return err
+		}
+	}
+	idx := c.pop()
+	ridx := c.ensureReg(&idx, c.nLocals+c.st.h)
+	c.flush()
+
+	def := c.frameAt(depths[n])
+	arity := def.labelArity()
+
+	labels := make([]int, len(depths))
+	type tramp struct {
+		label int
+		depth uint32
+	}
+	var tramps []tramp
+	for i, d := range depths {
+		fr := c.frameAt(d)
+		fr.branched = true
+		direct := fr.endLabel
+		if fr.op == wasm.OpLoop {
+			direct = fr.headerLabel
+		}
+		if arity == 0 || c.st.h-1-arity == fr.height {
+			// Values (if any) are already in place after the flush...
+			// except transfers with matching height still need memory
+			// residency, which flush guaranteed.
+			labels[i] = direct
+		} else {
+			l := c.asm.NewLabel()
+			labels[i] = l
+			tramps = append(tramps, tramp{l, d})
+		}
+	}
+	tidx := c.asm.NewTable(labels)
+	c.asm.Emit(mach.Instr{Op: mach.OBrTable, A: int32(tidx), B: int32(ridx)})
+	c.release(&idx)
+
+	// The popped index is gone; transferred values are the top `arity`.
+	for _, t := range tramps {
+		c.asm.Bind(t.label)
+		fr := c.frameAt(t.depth)
+		c.transferTo(fr.height, arity)
+		target := fr.endLabel
+		if fr.op == wasm.OpLoop {
+			target = fr.headerLabel
+		}
+		c.asm.EmitBranch(mach.Instr{Op: mach.OJump}, target)
+	}
+	c.setUnreachable()
+	return nil
+}
+
+// skipInstr decodes but does not compile an instruction in unreachable
+// code, tracking control nesting.
+func (c *compiler) skipInstr(op wasm.Opcode) error {
+	switch op {
+	case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+		if _, _, err := c.blockType(); err != nil {
+			return err
+		}
+		c.ctrls = append(c.ctrls, ctrl{
+			op: op, unreachable: true, ifReachable: false,
+			endLabel: -1, elseLabel: -1, headerLabel: -1,
+			height: c.st.h,
+		})
+		if op == wasm.OpIf {
+			// A dead if still needs labels in case... no branches can
+			// reference them from dead code; leave unallocated.
+			c.ctrls[len(c.ctrls)-1].saved = c.st.snapshot()
+		}
+		return nil
+	case wasm.OpElse:
+		fr := &c.ctrls[len(c.ctrls)-1]
+		fr.hasElse = true
+		if fr.ifReachable {
+			// Reachable if whose then-arm ended unreachable: the else
+			// arm is live again.
+			c.asm.Bind(fr.elseLabel)
+			c.st.restore(fr.saved)
+			fr.unreachable = false
+		}
+		return nil
+	case wasm.OpEnd:
+		return c.compileEnd()
+	default:
+		return c.r.SkipImm(op)
+	}
+}

@@ -1,0 +1,274 @@
+package spc_test
+
+import (
+	"strings"
+	"testing"
+
+	"wizgo/internal/mach"
+	"wizgo/internal/rt"
+	"wizgo/internal/spc"
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+// compile builds and compiles a single-function module.
+func compile(t *testing.T, cfg spc.Config, build func(f *wasm.FuncBuilder), ft wasm.FuncType) *mach.Code {
+	t.Helper()
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	f := b.NewFunc("f", ft)
+	build(f)
+	m := b.Module()
+	infos, err := validate.Module(m)
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	code, err := spc.Compile(m, 0, &m.Funcs[0], &infos[0], nil, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return code
+}
+
+func countOp(code *mach.Code, op mach.Op) int {
+	n := 0
+	for _, in := range code.Instrs {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFigure1Golden pins the compiled form of a representative function,
+// the analog of the paper's Figure 1 listing: constants fold away,
+// locals live in registers, the compare fuses into the branch.
+func TestFigure1Golden(t *testing.T) {
+	ft := wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32, wasm.I32},
+		Results: []wasm.ValueType{wasm.I32},
+	}
+	code := compile(t, spc.Wizard(), func(f *wasm.FuncBuilder) {
+		// if (p0 < p1) { return p0 + 3 } else { return p1 * p0 }
+		f.LocalGet(0).LocalGet(1).Op(wasm.OpI32LtS)
+		f.If(wasm.BlockVal(wasm.I32))
+		f.LocalGet(0).I32Const(3).Op(wasm.OpI32Add)
+		f.Else()
+		f.LocalGet(1).LocalGet(0).Op(wasm.OpI32Mul)
+		f.End()
+		f.End()
+	}, ft)
+
+	disasm := code.Disassemble()
+	want := []string{
+		"br_i32.ge_s", // fused, inverted compare branches to the else arm
+		"i32.add_imm", // immediate-mode selection for +3
+		"i32.mul",
+		"return",
+	}
+	for _, w := range want {
+		if !strings.Contains(disasm, w) {
+			t.Errorf("disassembly missing %q:\n%s", w, disasm)
+		}
+	}
+	// No compare-to-register materialization should remain.
+	if strings.Contains(disasm, "i32.lt_s ") {
+		t.Errorf("unfused compare survived:\n%s", disasm)
+	}
+}
+
+// TestConstantFoldingEliminatesCode: a constant expression tree compiles
+// to a single constant store.
+func TestConstantFolding(t *testing.T) {
+	ft := wasm.FuncType{Results: []wasm.ValueType{wasm.I32}}
+	body := func(f *wasm.FuncBuilder) {
+		f.I32Const(6).I32Const(7).Op(wasm.OpI32Mul)
+		f.I32Const(0).Op(wasm.OpI32Add) // identity, also folded
+		f.End()
+	}
+	folded := compile(t, spc.Wizard(), body, ft)
+	nok := spc.Wizard()
+	nok.TrackConsts = false
+	unfolded := compile(t, nok, body, ft)
+
+	if countOp(folded, mach.OI32Mul) != 0 || countOp(folded, mach.OI32MulImm) != 0 {
+		t.Errorf("multiply not folded:\n%s", folded.Disassemble())
+	}
+	if countOp(unfolded, mach.OI32Mul) != 1 {
+		t.Errorf("nok variant should emit the multiply:\n%s", unfolded.Disassemble())
+	}
+	if len(folded.Instrs) >= len(unfolded.Instrs) {
+		t.Errorf("folding did not shrink code: %d vs %d", len(folded.Instrs), len(unfolded.Instrs))
+	}
+}
+
+// TestRegisterCachingElidesLoads: with MR, repeated local.get of the
+// same local loads from memory once.
+func TestRegisterCachingElidesLoads(t *testing.T) {
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}}
+	body := func(f *wasm.FuncBuilder) {
+		f.LocalGet(0).LocalGet(0).Op(wasm.OpI32Mul)
+		f.LocalGet(0).Op(wasm.OpI32Add)
+		f.End()
+	}
+	mr := compile(t, spc.Wizard(), body, ft)
+	cfg := spc.Wizard()
+	cfg.MultiReg = false
+	nomr := compile(t, cfg, body, ft)
+
+	if n := countOp(mr, mach.OLoadSlot); n != 1 {
+		t.Errorf("MR should load the local once, got %d loads:\n%s", n, mr.Disassemble())
+	}
+	if countOp(nomr, mach.OLoadSlot)+countOp(nomr, mach.OMov) <= countOp(mr, mach.OLoadSlot) {
+		t.Errorf("nomr should need more moves/loads")
+	}
+}
+
+// TestTaggingModesInstructionCounts: eager emits far more tag stores
+// than on-demand; notags emits none.
+func TestTaggingModes(t *testing.T) {
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}}
+	body := func(f *wasm.FuncBuilder) {
+		l := f.AddLocal(wasm.I32)
+		f.LocalGet(0).I32Const(1).Op(wasm.OpI32Add).LocalSet(l)
+		f.LocalGet(l).LocalGet(l).Op(wasm.OpI32Mul)
+		f.End()
+	}
+	counts := map[rt.TagMode]int{}
+	for _, mode := range []rt.TagMode{rt.TagsNone, rt.TagsOnDemand, rt.TagsEager} {
+		cfg := spc.Wizard()
+		cfg.Tags = mode
+		code := compile(t, cfg, body, ft)
+		counts[mode] = countOp(code, mach.OStoreTag)
+	}
+	if counts[rt.TagsNone] != 0 {
+		t.Errorf("notags emitted %d tag stores", counts[rt.TagsNone])
+	}
+	if counts[rt.TagsEager] <= counts[rt.TagsOnDemand] {
+		t.Errorf("eager (%d) should emit more tag stores than on-demand (%d)",
+			counts[rt.TagsEager], counts[rt.TagsOnDemand])
+	}
+}
+
+// TestStackmapsRecorded: MAP-feature compilers record ref slots at call
+// sites.
+func TestStackmapsRecorded(t *testing.T) {
+	b := wasm.NewBuilder()
+	callee := b.NewFunc("callee", wasm.FuncType{})
+	callee.End()
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.ExternRef}}
+	f := b.NewFunc("f", ft)
+	l := f.AddLocal(wasm.ExternRef)
+	f.LocalGet(0).LocalSet(l)
+	f.Call(callee.Idx)
+	f.End()
+	m := b.Module()
+	infos, err := validate.Module(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spc.Wizard()
+	cfg.Stackmaps = true
+	cfg.Tags = rt.TagsNone
+	code, err := spc.Compile(m, 1, &m.Funcs[1], &infos[1], nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code.Stackmaps) != 1 {
+		t.Fatalf("expected 1 stackmap, got %d", len(code.Stackmaps))
+	}
+	for _, slots := range code.Stackmaps {
+		if len(slots) != 2 { // the ref param and the ref local
+			t.Errorf("stackmap slots = %v, want param+local", slots)
+		}
+	}
+}
+
+// TestBranchFolding: br_if with a constant condition folds away (taken
+// or not) under KF.
+func TestBranchFolding(t *testing.T) {
+	ft := wasm.FuncType{Results: []wasm.ValueType{wasm.I32}}
+	body := func(f *wasm.FuncBuilder) {
+		f.Block(wasm.BlockEmpty)
+		f.I32Const(0)
+		f.BrIf(0) // never taken: folds to nothing
+		f.End()
+		f.I32Const(7)
+		f.End()
+	}
+	code := compile(t, spc.Wizard(), body, ft)
+	for _, op := range []mach.Op{mach.OBrIfZero, mach.OBrIfNonZero, mach.OJump} {
+		if countOp(code, op) != 0 {
+			t.Errorf("constant branch not folded:\n%s", code.Disassemble())
+		}
+	}
+}
+
+// TestOSREntriesAtLoops: every loop gets a checkpoint and an OSR entry.
+func TestOSREntriesAtLoops(t *testing.T) {
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.I32}}
+	code := compile(t, spc.Wizard(), func(f *wasm.FuncBuilder) {
+		f.Loop(wasm.BlockEmpty)
+		f.LocalGet(0).I32Const(1).Op(wasm.OpI32Sub).LocalTee(0)
+		f.I32Const(0).Op(wasm.OpI32GtS)
+		f.BrIf(0)
+		f.End()
+		f.End()
+	}, ft)
+	if len(code.OSREntries) != 1 {
+		t.Fatalf("OSR entries = %d, want 1", len(code.OSREntries))
+	}
+	if countOp(code, mach.OCheckPoint) != 1 {
+		t.Error("missing loop checkpoint")
+	}
+	for _, machPC := range code.OSREntries {
+		if code.Instrs[machPC].Op != mach.OCheckPoint {
+			t.Error("OSR entry does not point at a checkpoint")
+		}
+	}
+}
+
+// TestPinnedLocalsRemoveLoopTraffic: the optimizing pre-pass keeps the
+// induction variable in a register, removing per-iteration loads.
+func TestPinnedLocalsRemoveLoopTraffic(t *testing.T) {
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}}
+	body := func(f *wasm.FuncBuilder) {
+		acc := f.AddLocal(wasm.I32)
+		f.Loop(wasm.BlockEmpty)
+		f.LocalGet(acc).LocalGet(0).Op(wasm.OpI32Add).LocalSet(acc)
+		f.LocalGet(0).I32Const(1).Op(wasm.OpI32Sub).LocalTee(0)
+		f.I32Const(0).Op(wasm.OpI32GtS)
+		f.BrIf(0)
+		f.End()
+		f.LocalGet(acc)
+		f.End()
+	}
+	base := compile(t, spc.Wizard(), body, ft)
+	pinCfg := spc.Wizard()
+	pinCfg.Tags = rt.TagsNone
+	pinCfg.PinLocals = 8
+	pinned := compile(t, pinCfg, body, ft)
+
+	if countOp(pinned, mach.OLoadSlot) >= countOp(base, mach.OLoadSlot) {
+		t.Errorf("pinning should remove slot loads: pinned %d, base %d",
+			countOp(pinned, mach.OLoadSlot), countOp(base, mach.OLoadSlot))
+	}
+	if countOp(pinned, mach.OStoreSlot) >= countOp(base, mach.OStoreSlot) {
+		t.Errorf("pinning should remove slot stores: pinned %d, base %d",
+			countOp(pinned, mach.OStoreSlot), countOp(base, mach.OStoreSlot))
+	}
+}
+
+// TestCompileIsDeterministic: same input, same output.
+func TestCompileIsDeterministic(t *testing.T) {
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}}
+	body := func(f *wasm.FuncBuilder) {
+		f.LocalGet(0).I32Const(13).Op(wasm.OpI32Mul)
+		f.End()
+	}
+	a := compile(t, spc.Wizard(), body, ft)
+	b := compile(t, spc.Wizard(), body, ft)
+	if a.Disassemble() != b.Disassemble() {
+		t.Error("compilation is not deterministic")
+	}
+}

@@ -1,0 +1,14 @@
+package validate
+
+import "sort"
+
+// STPForPC reconstructs the sidetable pointer for an execution state
+// about to execute the instruction at pc: the number of sidetable
+// entries whose owning instruction precedes pc. Owners is sorted, so
+// this is a binary search. Tier-down (deopt) uses it to resume the
+// in-place interpreter at an arbitrary bytecode boundary.
+func (fi *FuncInfo) STPForPC(pc int) int {
+	return sort.Search(len(fi.Owners), func(i int) bool {
+		return int(fi.Owners[i]) >= pc
+	})
+}

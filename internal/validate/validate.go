@@ -1,0 +1,830 @@
+// Package validate implements Wasm code validation as a single forward
+// abstract-interpretation pass, exactly the algorithm family the paper
+// identifies as the common core of all single-pass Wasm compilers. As it
+// validates, it builds the control "sidetable" that Wizard's in-place
+// interpreter uses to take branches in O(1) without rewriting bytecode
+// (Titzer, OOPSLA 2022), and records the metadata (max operand stack
+// height, local types) every execution tier needs.
+package validate
+
+import (
+	"errors"
+	"fmt"
+
+	"wizgo/internal/wasm"
+)
+
+// SidetableEntry describes one control transfer. The in-place interpreter
+// maintains a sidetable pointer (STP) that advances in lock-step with the
+// instruction pointer; taking a branch applies the entry: jump to
+// TargetIP, set STP to TargetSTP, keep the top ValCount values and
+// discard PopCount slots beneath them.
+type SidetableEntry struct {
+	TargetIP  uint32
+	TargetSTP uint32
+	ValCount  uint32
+	PopCount  uint32
+}
+
+// FuncInfo is the validator's output for one function body.
+type FuncInfo struct {
+	// Sidetable entries in bytecode order of their owning instructions:
+	// if and else own one entry each, br and br_if own one, br_table
+	// owns len(targets)+1 consecutive entries.
+	Sidetable []SidetableEntry
+	// Owners[i] is the bytecode offset of the instruction owning
+	// Sidetable[i]. Sorted ascending by construction; used to
+	// reconstruct the sidetable pointer for an arbitrary pc during
+	// tier-down (deopt), the "reconstructing IP and STP" step of the
+	// paper's Section IV-B.
+	Owners []uint32
+	// MaxStack is the maximum operand stack height in slots.
+	MaxStack int
+	// LocalTypes lists parameter types followed by declared locals.
+	LocalTypes []wasm.ValueType
+	// Results is the function result types.
+	Results []wasm.ValueType
+	// NumParams is the number of parameters within LocalTypes.
+	NumParams int
+	// BodyLen is the length of the validated body in bytes.
+	BodyLen int
+}
+
+// NumSlots returns the frame size in value slots (locals + max operand
+// stack), the quantity both interpreter and compiled frames reserve.
+func (fi *FuncInfo) NumSlots() int { return len(fi.LocalTypes) + fi.MaxStack }
+
+// unknownType marks a polymorphic stack slot produced in unreachable code.
+const unknownType wasm.ValueType = 0
+
+type ctrlFrame struct {
+	op          wasm.Opcode // block, loop, if, or 0 for the function frame
+	startTypes  []wasm.ValueType
+	endTypes    []wasm.ValueType
+	height      int // value stack height at frame entry, params excluded
+	unreachable bool
+	hasElse     bool
+	// stpAtStart and ipAtStart give the branch target for loops.
+	stpAtStart int
+	ipAtStart  int
+	// endFixups are sidetable entry indices patched when end is reached.
+	endFixups []int
+	// ifFixup is the entry emitted at if for its false edge; patched at
+	// else (or at end when there is no else). -1 if absent.
+	ifFixup int
+}
+
+func (f *ctrlFrame) labelArity() int {
+	if f.op == wasm.OpLoop {
+		return len(f.startTypes)
+	}
+	return len(f.endTypes)
+}
+
+func (f *ctrlFrame) labelTypes() []wasm.ValueType {
+	if f.op == wasm.OpLoop {
+		return f.startTypes
+	}
+	return f.endTypes
+}
+
+type validator struct {
+	m      *wasm.Module
+	f      *wasm.Func
+	r      *wasm.Reader
+	vals   []wasm.ValueType
+	ctrls  []ctrlFrame
+	info   *FuncInfo
+	opPC   int // pc of the opcode being validated
+	locals []wasm.ValueType
+}
+
+// Error wraps a validation failure with function context.
+type Error struct {
+	FuncIdx uint32
+	PC      int
+	Msg     string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("validate: func %d at +%d: %s", e.FuncIdx, e.PC, e.Msg)
+}
+
+// Module validates every function body and the module-level index spaces,
+// returning per-function metadata in function-section order.
+func Module(m *wasm.Module) ([]FuncInfo, error) {
+	if err := moduleLevel(m); err != nil {
+		return nil, err
+	}
+	infos := make([]FuncInfo, len(m.Funcs))
+	nImp := m.NumImportedFuncs()
+	for i := range m.Funcs {
+		fi, err := Function(m, &m.Funcs[i])
+		if err != nil {
+			var verr *Error
+			if errors.As(err, &verr) {
+				verr.FuncIdx = uint32(nImp + i)
+			}
+			return nil, err
+		}
+		infos[i] = *fi
+	}
+	return infos, nil
+}
+
+func moduleLevel(m *wasm.Module) error {
+	for _, imp := range m.Imports {
+		if imp.Kind == wasm.ImportFunc && int(imp.TypeIdx) >= len(m.Types) {
+			return fmt.Errorf("validate: import %s.%s: type index %d out of range",
+				imp.Module, imp.Name, imp.TypeIdx)
+		}
+	}
+	for i, f := range m.Funcs {
+		if int(f.TypeIdx) >= len(m.Types) {
+			return fmt.Errorf("validate: func %d: type index %d out of range", i, f.TypeIdx)
+		}
+	}
+	nFuncs := uint32(m.NumFuncs())
+	for _, e := range m.Exports {
+		switch e.Kind {
+		case wasm.ImportFunc:
+			if e.Idx >= nFuncs {
+				return fmt.Errorf("validate: export %q: function index %d out of range", e.Name, e.Idx)
+			}
+		case wasm.ImportMemory:
+			if int(e.Idx) >= len(m.Memories) {
+				return fmt.Errorf("validate: export %q: memory index %d out of range", e.Name, e.Idx)
+			}
+		case wasm.ImportGlobal:
+			if int(e.Idx) >= m.NumGlobals() {
+				return fmt.Errorf("validate: export %q: global index %d out of range", e.Name, e.Idx)
+			}
+		case wasm.ImportTable:
+			if int(e.Idx) >= len(m.Tables) {
+				return fmt.Errorf("validate: export %q: table index %d out of range", e.Name, e.Idx)
+			}
+		}
+	}
+	for i, el := range m.Elems {
+		if int(el.TableIdx) >= len(m.Tables) {
+			return fmt.Errorf("validate: elem %d: table index out of range", i)
+		}
+		for _, fidx := range el.Funcs {
+			if fidx >= nFuncs {
+				return fmt.Errorf("validate: elem %d: function index %d out of range", i, fidx)
+			}
+		}
+	}
+	for i, d := range m.Datas {
+		if int(d.MemIdx) >= len(m.Memories) {
+			return fmt.Errorf("validate: data %d: memory index out of range", i)
+		}
+	}
+	if m.HasStart {
+		ft, err := m.FuncTypeAt(m.Start)
+		if err != nil {
+			return fmt.Errorf("validate: start: %v", err)
+		}
+		if len(ft.Params) != 0 || len(ft.Results) != 0 {
+			return fmt.Errorf("validate: start function must have type () -> (), has %v", ft)
+		}
+	}
+	return nil
+}
+
+// Function validates a single function body and returns its metadata.
+func Function(m *wasm.Module, f *wasm.Func) (*FuncInfo, error) {
+	ft := m.Types[f.TypeIdx]
+	locals := make([]wasm.ValueType, 0, len(ft.Params)+len(f.Locals))
+	locals = append(locals, ft.Params...)
+	locals = append(locals, f.Locals...)
+
+	v := &validator{
+		m:      m,
+		f:      f,
+		r:      wasm.NewReader(f.Body),
+		locals: locals,
+		info: &FuncInfo{
+			LocalTypes: locals,
+			Results:    ft.Results,
+			NumParams:  len(ft.Params),
+			BodyLen:    len(f.Body),
+		},
+	}
+	v.pushCtrl(0, nil, ft.Results)
+	if err := v.run(); err != nil {
+		return nil, err
+	}
+	return v.info, nil
+}
+
+func (v *validator) fail(format string, args ...any) error {
+	return &Error{PC: v.opPC, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (v *validator) pushVal(t wasm.ValueType) {
+	v.vals = append(v.vals, t)
+	if h := len(v.vals); h > v.info.MaxStack {
+		v.info.MaxStack = h
+	}
+}
+
+func (v *validator) popVal() (wasm.ValueType, error) {
+	frame := &v.ctrls[len(v.ctrls)-1]
+	if len(v.vals) == frame.height {
+		if frame.unreachable {
+			return unknownType, nil
+		}
+		return 0, v.fail("operand stack underflow")
+	}
+	t := v.vals[len(v.vals)-1]
+	v.vals = v.vals[:len(v.vals)-1]
+	return t, nil
+}
+
+func (v *validator) popExpect(want wasm.ValueType) (wasm.ValueType, error) {
+	got, err := v.popVal()
+	if err != nil {
+		return 0, err
+	}
+	if got != want && got != unknownType && want != unknownType {
+		return 0, v.fail("type mismatch: expected %v, got %v", want, got)
+	}
+	return got, nil
+}
+
+func (v *validator) popVals(types []wasm.ValueType) error {
+	for i := len(types) - 1; i >= 0; i-- {
+		if _, err := v.popExpect(types[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) pushVals(types []wasm.ValueType) {
+	for _, t := range types {
+		v.pushVal(t)
+	}
+}
+
+func (v *validator) pushCtrl(op wasm.Opcode, in, out []wasm.ValueType) {
+	v.ctrls = append(v.ctrls, ctrlFrame{
+		op:         op,
+		startTypes: in,
+		endTypes:   out,
+		height:     len(v.vals),
+		stpAtStart: len(v.info.Sidetable),
+		ipAtStart:  v.r.Pos,
+		ifFixup:    -1,
+	})
+	v.pushVals(in)
+}
+
+func (v *validator) popCtrl() (ctrlFrame, error) {
+	if len(v.ctrls) == 0 {
+		return ctrlFrame{}, v.fail("control stack underflow")
+	}
+	frame := v.ctrls[len(v.ctrls)-1]
+	if err := v.popVals(frame.endTypes); err != nil {
+		return ctrlFrame{}, err
+	}
+	if len(v.vals) != frame.height {
+		return ctrlFrame{}, v.fail("%d superfluous values at end of block", len(v.vals)-frame.height)
+	}
+	v.ctrls = v.ctrls[:len(v.ctrls)-1]
+	v.pushVals(frame.endTypes)
+	return frame, nil
+}
+
+func (v *validator) setUnreachable() {
+	frame := &v.ctrls[len(v.ctrls)-1]
+	v.vals = v.vals[:frame.height]
+	frame.unreachable = true
+}
+
+func (v *validator) frameAt(depth uint32) (*ctrlFrame, error) {
+	if int(depth) >= len(v.ctrls) {
+		return nil, v.fail("branch depth %d exceeds control stack depth %d", depth, len(v.ctrls))
+	}
+	return &v.ctrls[len(v.ctrls)-1-int(depth)], nil
+}
+
+// emitBranch emits a sidetable entry for a branch to the given frame and
+// returns the entry index. Backward (loop) targets are resolved
+// immediately; forward targets are appended to the frame's fixup list.
+func (v *validator) emitBranch(frame *ctrlFrame) int {
+	arity := frame.labelArity()
+	pop := len(v.vals) - arity - frame.height
+	if pop < 0 {
+		pop = 0 // only possible in unreachable code; entry never runs
+	}
+	idx := len(v.info.Sidetable)
+	v.info.Owners = append(v.info.Owners, uint32(v.opPC))
+	e := SidetableEntry{ValCount: uint32(arity), PopCount: uint32(pop)}
+	if frame.op == wasm.OpLoop {
+		e.TargetIP = uint32(frame.ipAtStart)
+		e.TargetSTP = uint32(frame.stpAtStart)
+	} else {
+		frame.endFixups = append(frame.endFixups, idx)
+	}
+	v.info.Sidetable = append(v.info.Sidetable, e)
+	return idx
+}
+
+func (v *validator) blockType() (in, out []wasm.ValueType, err error) {
+	bt, err := v.r.S33()
+	if err != nil {
+		return nil, nil, err
+	}
+	if bt >= 0 {
+		if int(bt) >= len(v.m.Types) {
+			return nil, nil, v.fail("block type index %d out of range", bt)
+		}
+		t := v.m.Types[bt]
+		return t.Params, t.Results, nil
+	}
+	if bt == -64 { // 0x40: empty
+		return nil, nil, nil
+	}
+	vt := wasm.ValueType(byte(bt & 0x7F))
+	if !vt.Valid() {
+		return nil, nil, v.fail("invalid block type %d", bt)
+	}
+	return nil, []wasm.ValueType{vt}, nil
+}
+
+func (v *validator) run() error {
+	for {
+		if v.r.Len() == 0 {
+			if len(v.ctrls) != 0 {
+				return v.fail("function body truncated inside %d open blocks", len(v.ctrls))
+			}
+			return nil
+		}
+		if len(v.ctrls) == 0 {
+			return v.fail("instructions after function end")
+		}
+		v.opPC = v.r.Pos
+		op, err := v.r.ReadOpcode()
+		if err != nil {
+			return err
+		}
+		if err := v.instr(op); err != nil {
+			return err
+		}
+	}
+}
+
+func (v *validator) instr(op wasm.Opcode) error {
+	// Simple instructions are fully described by their static signature.
+	if params, results, ok := op.Sig(); ok {
+		if err := v.memCheck(op); err != nil {
+			return err
+		}
+		if err := v.popVals(params); err != nil {
+			return err
+		}
+		v.pushVals(results)
+		return nil
+	}
+
+	switch op {
+	case wasm.OpUnreachable:
+		v.setUnreachable()
+	case wasm.OpNop:
+	case wasm.OpBlock:
+		in, out, err := v.blockType()
+		if err != nil {
+			return err
+		}
+		if err := v.popVals(in); err != nil {
+			return err
+		}
+		v.pushCtrl(wasm.OpBlock, in, out)
+	case wasm.OpLoop:
+		in, out, err := v.blockType()
+		if err != nil {
+			return err
+		}
+		if err := v.popVals(in); err != nil {
+			return err
+		}
+		v.pushCtrl(wasm.OpLoop, in, out)
+	case wasm.OpIf:
+		in, out, err := v.blockType()
+		if err != nil {
+			return err
+		}
+		if _, err := v.popExpect(wasm.I32); err != nil {
+			return err
+		}
+		if err := v.popVals(in); err != nil {
+			return err
+		}
+		v.pushCtrl(wasm.OpIf, in, out)
+		frame := &v.ctrls[len(v.ctrls)-1]
+		// The if's false edge: target patched at else or end.
+		frame.ifFixup = len(v.info.Sidetable)
+		v.info.Owners = append(v.info.Owners, uint32(v.opPC))
+		v.info.Sidetable = append(v.info.Sidetable, SidetableEntry{
+			ValCount: uint32(len(in)),
+		})
+	case wasm.OpElse:
+		if len(v.ctrls) == 0 || v.ctrls[len(v.ctrls)-1].op != wasm.OpIf {
+			return v.fail("else outside if")
+		}
+		frame := v.ctrls[len(v.ctrls)-1]
+		if _, err := v.popCtrl(); err != nil {
+			return err
+		}
+		// Pop the just-pushed results; the else arm starts fresh.
+		if err := v.popVals(frame.endTypes); err != nil {
+			return err
+		}
+		v.pushCtrl(wasm.OpIf, frame.startTypes, frame.endTypes)
+		nf := &v.ctrls[len(v.ctrls)-1]
+		nf.hasElse = true
+		// This entry jumps from the end of the then-arm past end.
+		elseEntry := len(v.info.Sidetable)
+		v.info.Owners = append(v.info.Owners, uint32(v.opPC))
+		v.info.Sidetable = append(v.info.Sidetable, SidetableEntry{
+			ValCount: uint32(len(frame.endTypes)),
+		})
+		// Branches inside the then-arm that target this label must
+		// still be patched at end; carry their fixups over.
+		nf.endFixups = append(frame.endFixups, elseEntry)
+		// Patch the if's false edge to just after the else opcode.
+		if frame.ifFixup >= 0 {
+			v.info.Sidetable[frame.ifFixup].TargetIP = uint32(v.r.Pos)
+			v.info.Sidetable[frame.ifFixup].TargetSTP = uint32(len(v.info.Sidetable))
+		}
+	case wasm.OpEnd:
+		frame, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		if frame.op == wasm.OpIf && !frame.hasElse && frame.ifFixup >= 0 {
+			// if without else: types must satisfy in == out.
+			if !sameTypes(frame.startTypes, frame.endTypes) {
+				return v.fail("if without else requires matching params and results")
+			}
+		}
+		endIP := uint32(v.r.Pos)
+		endSTP := uint32(len(v.info.Sidetable))
+		if frame.op == wasm.OpIf && !frame.hasElse && frame.ifFixup >= 0 {
+			v.info.Sidetable[frame.ifFixup].TargetIP = endIP
+			v.info.Sidetable[frame.ifFixup].TargetSTP = endSTP
+		}
+		for _, fixup := range frame.endFixups {
+			v.info.Sidetable[fixup].TargetIP = endIP
+			v.info.Sidetable[fixup].TargetSTP = endSTP
+		}
+		// The end of the outermost frame is the function return; no
+		// sidetable entry needed, the interpreter returns directly.
+	case wasm.OpBr:
+		depth, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		frame, err := v.frameAt(depth)
+		if err != nil {
+			return err
+		}
+		if err := v.popVals(frame.labelTypes()); err != nil {
+			return err
+		}
+		// Restore stack for emitBranch height computation: the branch
+		// transfers labelTypes; emit with them conceptually present.
+		v.pushVals(frame.labelTypes())
+		v.emitBranch(frame)
+		if err := v.popVals(frame.labelTypes()); err != nil {
+			return err
+		}
+		v.setUnreachable()
+	case wasm.OpBrIf:
+		depth, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		if _, err := v.popExpect(wasm.I32); err != nil {
+			return err
+		}
+		frame, err := v.frameAt(depth)
+		if err != nil {
+			return err
+		}
+		if err := v.popVals(frame.labelTypes()); err != nil {
+			return err
+		}
+		v.pushVals(frame.labelTypes())
+		v.emitBranch(frame)
+	case wasm.OpBrTable:
+		n, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		if _, err := v.popExpect(wasm.I32); err != nil {
+			return err
+		}
+		targets := make([]uint32, n+1)
+		for i := range targets {
+			if targets[i], err = v.r.U32(); err != nil {
+				return err
+			}
+		}
+		// All targets must agree on arity; validate against the
+		// default's label types.
+		def, err := v.frameAt(targets[n])
+		if err != nil {
+			return err
+		}
+		arity := def.labelArity()
+		for _, depth := range targets {
+			frame, err := v.frameAt(depth)
+			if err != nil {
+				return err
+			}
+			if frame.labelArity() != arity {
+				return v.fail("br_table targets have inconsistent arity")
+			}
+		}
+		if err := v.popVals(def.labelTypes()); err != nil {
+			return err
+		}
+		v.pushVals(def.labelTypes())
+		for _, depth := range targets {
+			frame, _ := v.frameAt(depth)
+			v.emitBranch(frame)
+		}
+		if err := v.popVals(def.labelTypes()); err != nil {
+			return err
+		}
+		v.setUnreachable()
+	case wasm.OpReturn:
+		if err := v.popVals(v.info.Results); err != nil {
+			return err
+		}
+		v.setUnreachable()
+	case wasm.OpCall:
+		idx, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		ft, err := v.m.FuncTypeAt(idx)
+		if err != nil {
+			return v.fail("%v", err)
+		}
+		if err := v.popVals(ft.Params); err != nil {
+			return err
+		}
+		v.pushVals(ft.Results)
+	case wasm.OpCallIndirect:
+		typeIdx, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		tableIdx, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		if int(tableIdx) >= len(v.m.Tables) {
+			return v.fail("call_indirect: table %d out of range", tableIdx)
+		}
+		if int(typeIdx) >= len(v.m.Types) {
+			return v.fail("call_indirect: type %d out of range", typeIdx)
+		}
+		if _, err := v.popExpect(wasm.I32); err != nil {
+			return err
+		}
+		ft := v.m.Types[typeIdx]
+		if err := v.popVals(ft.Params); err != nil {
+			return err
+		}
+		v.pushVals(ft.Results)
+	case wasm.OpDrop:
+		if _, err := v.popVal(); err != nil {
+			return err
+		}
+	case wasm.OpSelect:
+		if _, err := v.popExpect(wasm.I32); err != nil {
+			return err
+		}
+		t1, err := v.popVal()
+		if err != nil {
+			return err
+		}
+		t2, err := v.popVal()
+		if err != nil {
+			return err
+		}
+		if t1 != unknownType && t1.IsRef() || t2 != unknownType && t2.IsRef() {
+			return v.fail("select requires numeric operands; use typed select for references")
+		}
+		if t1 != t2 && t1 != unknownType && t2 != unknownType {
+			return v.fail("select operand types differ: %v vs %v", t1, t2)
+		}
+		if t1 == unknownType {
+			v.pushVal(t2)
+		} else {
+			v.pushVal(t1)
+		}
+	case wasm.OpSelectT:
+		n, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		if n != 1 {
+			return v.fail("typed select must list exactly one type")
+		}
+		b, err := v.r.Byte()
+		if err != nil {
+			return err
+		}
+		t := wasm.ValueType(b)
+		if !t.Valid() {
+			return v.fail("typed select: invalid type 0x%02x", b)
+		}
+		if _, err := v.popExpect(wasm.I32); err != nil {
+			return err
+		}
+		if _, err := v.popExpect(t); err != nil {
+			return err
+		}
+		if _, err := v.popExpect(t); err != nil {
+			return err
+		}
+		v.pushVal(t)
+	case wasm.OpLocalGet:
+		idx, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		if int(idx) >= len(v.locals) {
+			return v.fail("local index %d out of range", idx)
+		}
+		v.pushVal(v.locals[idx])
+	case wasm.OpLocalSet:
+		idx, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		if int(idx) >= len(v.locals) {
+			return v.fail("local index %d out of range", idx)
+		}
+		if _, err := v.popExpect(v.locals[idx]); err != nil {
+			return err
+		}
+	case wasm.OpLocalTee:
+		idx, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		if int(idx) >= len(v.locals) {
+			return v.fail("local index %d out of range", idx)
+		}
+		if _, err := v.popExpect(v.locals[idx]); err != nil {
+			return err
+		}
+		v.pushVal(v.locals[idx])
+	case wasm.OpGlobalGet:
+		idx, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		t, _, err := v.m.GlobalTypeAt(idx)
+		if err != nil {
+			return v.fail("%v", err)
+		}
+		v.pushVal(t)
+	case wasm.OpGlobalSet:
+		idx, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		t, mut, err := v.m.GlobalTypeAt(idx)
+		if err != nil {
+			return v.fail("%v", err)
+		}
+		if !mut {
+			return v.fail("global.set of immutable global %d", idx)
+		}
+		if _, err := v.popExpect(t); err != nil {
+			return err
+		}
+	case wasm.OpRefNull:
+		b, err := v.r.Byte()
+		if err != nil {
+			return err
+		}
+		t := wasm.ValueType(b)
+		if !t.IsRef() {
+			return v.fail("ref.null: invalid heap type 0x%02x", b)
+		}
+		v.pushVal(t)
+	case wasm.OpRefIsNull:
+		t, err := v.popVal()
+		if err != nil {
+			return err
+		}
+		if t != unknownType && !t.IsRef() {
+			return v.fail("ref.is_null on non-reference %v", t)
+		}
+		v.pushVal(wasm.I32)
+	case wasm.OpRefFunc:
+		idx, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		if int(idx) >= v.m.NumFuncs() {
+			return v.fail("ref.func: function index %d out of range", idx)
+		}
+		v.pushVal(wasm.FuncRef)
+	default:
+		return v.fail("unknown or unsupported opcode %v", op)
+	}
+	return nil
+}
+
+// memCheck verifies memory presence and alignment immediates for simple
+// instructions that touch memory, and consumes their immediates.
+func (v *validator) memCheck(op wasm.Opcode) error {
+	switch op.Imm() {
+	case wasm.ImmMem:
+		align, err := v.r.U32()
+		if err != nil {
+			return err
+		}
+		if _, err := v.r.U32(); err != nil { // offset
+			return err
+		}
+		if len(v.m.Memories) == 0 {
+			return v.fail("%v without declared memory", op)
+		}
+		if align > naturalAlign(op) {
+			return v.fail("%v alignment 2^%d exceeds natural alignment", op, align)
+		}
+	case wasm.ImmMemOnly, wasm.ImmOneMem:
+		if _, err := v.r.Byte(); err != nil {
+			return err
+		}
+		if len(v.m.Memories) == 0 {
+			return v.fail("%v without declared memory", op)
+		}
+	case wasm.ImmTwoMem:
+		if _, err := v.r.Byte(); err != nil {
+			return err
+		}
+		if _, err := v.r.Byte(); err != nil {
+			return err
+		}
+		if len(v.m.Memories) == 0 {
+			return v.fail("%v without declared memory", op)
+		}
+	case wasm.ImmI32:
+		if _, err := v.r.S32(); err != nil {
+			return err
+		}
+	case wasm.ImmI64:
+		if _, err := v.r.S64(); err != nil {
+			return err
+		}
+	case wasm.ImmF32:
+		if _, err := v.r.F32(); err != nil {
+			return err
+		}
+	case wasm.ImmF64:
+		if _, err := v.r.F64(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func naturalAlign(op wasm.Opcode) uint32 {
+	switch op {
+	case wasm.OpI32Load8S, wasm.OpI32Load8U, wasm.OpI64Load8S, wasm.OpI64Load8U,
+		wasm.OpI32Store8, wasm.OpI64Store8:
+		return 0
+	case wasm.OpI32Load16S, wasm.OpI32Load16U, wasm.OpI64Load16S, wasm.OpI64Load16U,
+		wasm.OpI32Store16, wasm.OpI64Store16:
+		return 1
+	case wasm.OpI32Load, wasm.OpF32Load, wasm.OpI32Store, wasm.OpF32Store,
+		wasm.OpI64Load32S, wasm.OpI64Load32U, wasm.OpI64Store32:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func sameTypes(a, b []wasm.ValueType) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,255 @@
+package validate_test
+
+import (
+	"strings"
+	"testing"
+
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+func mod(t *testing.T, build func(b *wasm.Builder)) *wasm.Module {
+	t.Helper()
+	b := wasm.NewBuilder()
+	build(b)
+	return b.Module()
+}
+
+func expectOK(t *testing.T, build func(b *wasm.Builder)) []validate.FuncInfo {
+	t.Helper()
+	infos, err := validate.Module(mod(t, build))
+	if err != nil {
+		t.Fatalf("expected valid module: %v", err)
+	}
+	return infos
+}
+
+func expectErr(t *testing.T, substr string, build func(b *wasm.Builder)) {
+	t.Helper()
+	_, err := validate.Module(mod(t, build))
+	if err == nil {
+		t.Fatalf("expected validation error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+func TestValidSimple(t *testing.T) {
+	infos := expectOK(t, func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+		f.I32Const(1).I32Const(2).Op(wasm.OpI32Add).End()
+	})
+	if infos[0].MaxStack != 2 {
+		t.Errorf("MaxStack = %d, want 2", infos[0].MaxStack)
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	expectErr(t, "type mismatch", func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+		f.I32Const(1).F64Const(2).Op(wasm.OpI32Add).End()
+	})
+}
+
+func TestStackUnderflow(t *testing.T) {
+	expectErr(t, "underflow", func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{})
+		f.Op(wasm.OpDrop).End()
+	})
+}
+
+func TestSuperfluousValues(t *testing.T) {
+	expectErr(t, "superfluous", func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{})
+		f.I32Const(1).End()
+	})
+}
+
+func TestBadLocalIndex(t *testing.T) {
+	expectErr(t, "local index", func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{})
+		f.LocalGet(3).Op(wasm.OpDrop).End()
+	})
+}
+
+func TestBranchDepth(t *testing.T) {
+	expectErr(t, "branch depth", func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{})
+		f.Br(5).End()
+	})
+}
+
+func TestIfWithoutElseTypeRule(t *testing.T) {
+	expectErr(t, "matching params and results", func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+		f.I32Const(1)
+		f.If(wasm.BlockVal(wasm.I32))
+		f.I32Const(2)
+		f.End()
+		f.End()
+	})
+}
+
+func TestGlobalSetImmutable(t *testing.T) {
+	expectErr(t, "immutable", func(b *wasm.Builder) {
+		g := b.AddGlobal(wasm.I32, false, wasm.ValI32(1))
+		f := b.NewFunc("f", wasm.FuncType{})
+		f.I32Const(2).GlobalSet(g).End()
+	})
+}
+
+func TestMemoryRequired(t *testing.T) {
+	expectErr(t, "without declared memory", func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+		f.I32Const(0).Load(wasm.OpI32Load, 0).End()
+	})
+}
+
+func TestAlignmentCheck(t *testing.T) {
+	expectErr(t, "alignment", func(b *wasm.Builder) {
+		b.AddMemory(1, 1)
+		f := b.NewFunc("f", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+		f.I32Const(0)
+		f.Raw(byte(wasm.OpI32Load))
+		f.Raw(wasm.AppendU32(nil, 5)...) // align 2^5 > natural 2^2
+		f.Raw(wasm.AppendU32(nil, 0)...)
+		f.End()
+	})
+}
+
+func TestUnreachableCodePolymorphism(t *testing.T) {
+	// After br, the stack is polymorphic: dropping and pushing anything
+	// must validate.
+	expectOK(t, func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+		f.Block(wasm.BlockEmpty)
+		f.Br(0)
+		f.Op(wasm.OpDrop)
+		f.Op(wasm.OpDrop)
+		f.End()
+		f.I32Const(1)
+		f.End()
+	})
+}
+
+func TestBrTableArityMismatch(t *testing.T) {
+	expectErr(t, "inconsistent arity", func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{})
+		f.Block(wasm.BlockVal(wasm.I32)) // arity 1
+		f.Block(wasm.BlockEmpty)         // arity 0
+		f.I32Const(0).I32Const(0)
+		f.BrTable([]uint32{0}, 1)
+		f.End()
+		f.Op(wasm.OpDrop)
+		f.End()
+		f.End()
+	})
+}
+
+func TestSelectRefRejected(t *testing.T) {
+	expectErr(t, "numeric operands", func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{})
+		f.RefNull(wasm.ExternRef).RefNull(wasm.ExternRef).I32Const(1)
+		f.Op(wasm.OpSelect)
+		f.Op(wasm.OpDrop)
+		f.End()
+	})
+}
+
+func TestStartMustBeNullary(t *testing.T) {
+	expectErr(t, "start function", func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{Params: []wasm.ValueType{wasm.I32}})
+		f.End()
+		b.SetStart(f.Idx)
+	})
+}
+
+// TestSidetableShape checks the sidetable structure of a known body.
+func TestSidetableShape(t *testing.T) {
+	infos := expectOK(t, func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}})
+		f.LocalGet(0)
+		f.If(wasm.BlockVal(wasm.I32)) // entry 0: false edge
+		f.I32Const(1)
+		f.Else() // entry 1: skip else
+		f.I32Const(2)
+		f.End()
+		f.End()
+	})
+	st := infos[0].Sidetable
+	if len(st) != 2 {
+		t.Fatalf("sidetable has %d entries, want 2", len(st))
+	}
+	// The false edge must target just after the else opcode, with the
+	// else's own entry consumed.
+	if st[0].TargetSTP != 2 {
+		t.Errorf("if false edge TargetSTP = %d, want 2", st[0].TargetSTP)
+	}
+	if st[0].TargetIP <= uint32(0) || st[1].TargetIP <= st[0].TargetIP {
+		t.Errorf("sidetable target order wrong: %+v", st)
+	}
+	if len(infos[0].Owners) != 2 || infos[0].Owners[0] > infos[0].Owners[1] {
+		t.Errorf("owners not sorted: %v", infos[0].Owners)
+	}
+}
+
+func TestSidetableLoopBackedge(t *testing.T) {
+	infos := expectOK(t, func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{})
+		i := f.AddLocal(wasm.I32)
+		f.Loop(wasm.BlockEmpty)
+		f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalTee(i)
+		f.I32Const(10).Op(wasm.OpI32LtS)
+		f.BrIf(0)
+		f.End()
+		f.End()
+	})
+	st := infos[0].Sidetable
+	if len(st) != 1 {
+		t.Fatalf("sidetable has %d entries, want 1", len(st))
+	}
+	// Backward target: loop body start (after the loop header byte+bt).
+	if st[0].TargetIP != 2 {
+		t.Errorf("backedge TargetIP = %d, want 2", st[0].TargetIP)
+	}
+	if st[0].TargetSTP != 0 {
+		t.Errorf("backedge TargetSTP = %d, want 0", st[0].TargetSTP)
+	}
+}
+
+func TestSTPForPC(t *testing.T) {
+	fi := &validate.FuncInfo{Owners: []uint32{4, 9, 9, 15}}
+	cases := map[int]int{0: 0, 4: 0, 5: 1, 9: 1, 10: 3, 15: 3, 16: 4}
+	for pc, want := range cases {
+		if got := fi.STPForPC(pc); got != want {
+			t.Errorf("STPForPC(%d) = %d, want %d", pc, got, want)
+		}
+	}
+}
+
+func TestNumSlots(t *testing.T) {
+	infos := expectOK(t, func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{Params: []wasm.ValueType{wasm.I32}})
+		f.AddLocal(wasm.F64)
+		f.I32Const(1).I32Const(2).I32Const(3).Op(wasm.OpI32Add).Op(wasm.OpI32Add).Op(wasm.OpDrop)
+		f.End()
+	})
+	if infos[0].NumSlots() != 2+3 {
+		t.Errorf("NumSlots = %d, want 5", infos[0].NumSlots())
+	}
+	if infos[0].NumParams != 1 {
+		t.Errorf("NumParams = %d", infos[0].NumParams)
+	}
+}
+
+func TestExportIndexChecks(t *testing.T) {
+	m := mod(t, func(b *wasm.Builder) {
+		f := b.NewFunc("f", wasm.FuncType{})
+		f.End()
+	})
+	m.Exports = append(m.Exports, wasm.Export{Name: "x", Kind: wasm.ImportFunc, Idx: 42})
+	if _, err := validate.Module(m); err == nil {
+		t.Error("expected export index error")
+	}
+}

@@ -1,0 +1,397 @@
+package wasm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder constructs a Module programmatically. The workload generators
+// use it to synthesize the benchmark suites; tests use it to build
+// focused snippets. All imports must be declared before the first
+// defined function so that function indices are stable.
+type Builder struct {
+	m          Module
+	funcsFixed bool
+	names      map[uint32]string
+	fbs        []*FuncBuilder
+}
+
+// NewBuilder returns an empty module builder.
+func NewBuilder() *Builder {
+	return &Builder{names: make(map[uint32]string)}
+}
+
+// AddType interns a function type and returns its index.
+func (b *Builder) AddType(ft FuncType) uint32 {
+	for i, t := range b.m.Types {
+		if t.Equal(ft) {
+			return uint32(i)
+		}
+	}
+	b.m.Types = append(b.m.Types, ft)
+	return uint32(len(b.m.Types) - 1)
+}
+
+// ImportFunc declares a function import and returns its function index.
+// It must be called before any NewFunc.
+func (b *Builder) ImportFunc(module, name string, ft FuncType) uint32 {
+	if b.funcsFixed {
+		panic("wasm.Builder: imports must precede defined functions")
+	}
+	idx := uint32(b.m.NumImportedFuncs())
+	b.m.Imports = append(b.m.Imports, Import{
+		Module: module, Name: name, Kind: ImportFunc, TypeIdx: b.AddType(ft),
+	})
+	return idx
+}
+
+// AddMemory declares the module memory in pages.
+func (b *Builder) AddMemory(minPages, maxPages uint32) {
+	b.m.Memories = append(b.m.Memories, Limits{Min: minPages, Max: maxPages, HasMax: maxPages > 0})
+}
+
+// AddGlobal declares a global and returns its index.
+func (b *Builder) AddGlobal(t ValueType, mutable bool, init Value) uint32 {
+	idx := uint32(b.m.NumGlobals())
+	b.m.Globals = append(b.m.Globals, Global{Type: t, Mutable: mutable, Init: init})
+	return idx
+}
+
+// AddTable declares a funcref table.
+func (b *Builder) AddTable(min uint32) uint32 {
+	b.m.Tables = append(b.m.Tables, Table{Lim: Limits{Min: min, Max: min, HasMax: true}})
+	return uint32(len(b.m.Tables) - 1)
+}
+
+// AddElem adds an active element segment for table 0.
+func (b *Builder) AddElem(offset uint32, funcs []uint32) {
+	b.m.Elems = append(b.m.Elems, Elem{Offset: offset, Funcs: funcs})
+}
+
+// AddData adds an active data segment for memory 0.
+func (b *Builder) AddData(offset uint32, bytes []byte) {
+	b.m.Datas = append(b.m.Datas, Data{Offset: offset, Bytes: bytes})
+}
+
+// Export exports a function index under name.
+func (b *Builder) Export(name string, funcIdx uint32) {
+	b.m.Exports = append(b.m.Exports, Export{Name: name, Kind: ImportFunc, Idx: funcIdx})
+}
+
+// ExportMemory exports memory 0 under name.
+func (b *Builder) ExportMemory(name string) {
+	b.m.Exports = append(b.m.Exports, Export{Name: name, Kind: ImportMemory, Idx: 0})
+}
+
+// SetStart marks funcIdx as the module start function.
+func (b *Builder) SetStart(funcIdx uint32) {
+	b.m.Start, b.m.HasStart = funcIdx, true
+}
+
+// NewFunc starts a function definition and returns its builder. The
+// returned FuncBuilder must be finished (all blocks ended) before the
+// module is finalized.
+func (b *Builder) NewFunc(name string, ft FuncType) *FuncBuilder {
+	b.funcsFixed = true
+	idx := uint32(b.m.NumImportedFuncs() + len(b.m.Funcs))
+	b.m.Funcs = append(b.m.Funcs, Func{TypeIdx: b.AddType(ft)})
+	if name != "" {
+		b.names[idx] = name
+	}
+	fb := &FuncBuilder{
+		mod:   b,
+		slot:  len(b.m.Funcs) - 1,
+		Idx:   idx,
+		Type:  ft,
+		depth: 1, // the implicit function block
+	}
+	b.fbs = append(b.fbs, fb)
+	return fb
+}
+
+// Module finalizes and returns the built module. The builder must not be
+// used afterwards.
+func (b *Builder) Module() *Module {
+	for _, fb := range b.fbs {
+		fb.Finish()
+	}
+	if len(b.names) > 0 {
+		b.m.Names = b.names
+	}
+	enc := Encode(&b.m)
+	b.m.Size = len(enc)
+	return &b.m
+}
+
+// Encode finalizes the module and returns its binary encoding.
+func (b *Builder) Encode() []byte {
+	return Encode(b.Module())
+}
+
+// BlockType describes the signature of a block/loop/if construct.
+type BlockType struct {
+	// kind: 0 empty, 1 single value, 2 type index
+	kind    byte
+	val     ValueType
+	typeIdx uint32
+}
+
+// BlockEmpty is the empty block type [] -> [].
+var BlockEmpty = BlockType{kind: 0}
+
+// BlockVal is the block type [] -> [t].
+func BlockVal(t ValueType) BlockType { return BlockType{kind: 1, val: t} }
+
+// BlockFunc is a multi-value block typed by a function type index.
+func BlockFunc(typeIdx uint32) BlockType { return BlockType{kind: 2, typeIdx: typeIdx} }
+
+// FuncBuilder emits the body of one function.
+type FuncBuilder struct {
+	mod  *Builder
+	slot int
+	// Idx is the function's index in the module function index space.
+	Idx    uint32
+	Type   FuncType
+	locals []ValueType
+	code   []byte
+	depth  int
+	done   bool
+}
+
+// AddLocal declares a local of type t and returns its index (parameters
+// occupy the low indices).
+func (f *FuncBuilder) AddLocal(t ValueType) uint32 {
+	f.locals = append(f.locals, t)
+	return uint32(len(f.Type.Params) + len(f.locals) - 1)
+}
+
+// Raw appends raw bytes to the body; escape hatch for tests that need
+// malformed code.
+func (f *FuncBuilder) Raw(bytes ...byte) *FuncBuilder {
+	f.code = append(f.code, bytes...)
+	return f
+}
+
+// Op emits an instruction with no immediates.
+func (f *FuncBuilder) Op(op Opcode) *FuncBuilder {
+	switch op {
+	case OpBlock, OpLoop, OpIf:
+		panic(fmt.Sprintf("wasm.FuncBuilder: %v requires a block type; use Block/Loop/If", op))
+	case OpEnd:
+		f.depth--
+	}
+	f.code = AppendOpcode(f.code, op)
+	return f
+}
+
+// I32Const emits i32.const v.
+func (f *FuncBuilder) I32Const(v int32) *FuncBuilder {
+	f.code = append(f.code, byte(OpI32Const))
+	f.code = AppendS32(f.code, v)
+	return f
+}
+
+// I64Const emits i64.const v.
+func (f *FuncBuilder) I64Const(v int64) *FuncBuilder {
+	f.code = append(f.code, byte(OpI64Const))
+	f.code = AppendS64(f.code, v)
+	return f
+}
+
+// F32Const emits f32.const v.
+func (f *FuncBuilder) F32Const(v float32) *FuncBuilder {
+	f.code = append(f.code, byte(OpF32Const))
+	f.code = AppendF32(f.code, math.Float32bits(v))
+	return f
+}
+
+// F64Const emits f64.const v.
+func (f *FuncBuilder) F64Const(v float64) *FuncBuilder {
+	f.code = append(f.code, byte(OpF64Const))
+	f.code = AppendF64(f.code, math.Float64bits(v))
+	return f
+}
+
+// LocalGet emits local.get idx.
+func (f *FuncBuilder) LocalGet(idx uint32) *FuncBuilder { return f.idxOp(OpLocalGet, idx) }
+
+// LocalSet emits local.set idx.
+func (f *FuncBuilder) LocalSet(idx uint32) *FuncBuilder { return f.idxOp(OpLocalSet, idx) }
+
+// LocalTee emits local.tee idx.
+func (f *FuncBuilder) LocalTee(idx uint32) *FuncBuilder { return f.idxOp(OpLocalTee, idx) }
+
+// GlobalGet emits global.get idx.
+func (f *FuncBuilder) GlobalGet(idx uint32) *FuncBuilder { return f.idxOp(OpGlobalGet, idx) }
+
+// GlobalSet emits global.set idx.
+func (f *FuncBuilder) GlobalSet(idx uint32) *FuncBuilder { return f.idxOp(OpGlobalSet, idx) }
+
+func (f *FuncBuilder) idxOp(op Opcode, idx uint32) *FuncBuilder {
+	f.code = append(f.code, byte(op))
+	f.code = AppendU32(f.code, idx)
+	return f
+}
+
+func (f *FuncBuilder) blockType(bt BlockType) {
+	switch bt.kind {
+	case 0:
+		f.code = append(f.code, 0x40)
+	case 1:
+		f.code = append(f.code, byte(bt.val))
+	case 2:
+		f.code = AppendS64(f.code, int64(bt.typeIdx))
+	}
+}
+
+// Block opens a block construct.
+func (f *FuncBuilder) Block(bt BlockType) *FuncBuilder {
+	f.depth++
+	f.code = append(f.code, byte(OpBlock))
+	f.blockType(bt)
+	return f
+}
+
+// Loop opens a loop construct.
+func (f *FuncBuilder) Loop(bt BlockType) *FuncBuilder {
+	f.depth++
+	f.code = append(f.code, byte(OpLoop))
+	f.blockType(bt)
+	return f
+}
+
+// If opens an if construct.
+func (f *FuncBuilder) If(bt BlockType) *FuncBuilder {
+	f.depth++
+	f.code = append(f.code, byte(OpIf))
+	f.blockType(bt)
+	return f
+}
+
+// Else emits the else of the innermost if.
+func (f *FuncBuilder) Else() *FuncBuilder {
+	f.code = append(f.code, byte(OpElse))
+	return f
+}
+
+// End closes the innermost construct (or the function body).
+func (f *FuncBuilder) End() *FuncBuilder { return f.Op(OpEnd) }
+
+// Br emits br depth.
+func (f *FuncBuilder) Br(depth uint32) *FuncBuilder { return f.idxOp(OpBr, depth) }
+
+// BrIf emits br_if depth.
+func (f *FuncBuilder) BrIf(depth uint32) *FuncBuilder { return f.idxOp(OpBrIf, depth) }
+
+// BrTable emits br_table with the given targets and default.
+func (f *FuncBuilder) BrTable(targets []uint32, def uint32) *FuncBuilder {
+	f.code = append(f.code, byte(OpBrTable))
+	f.code = AppendU32(f.code, uint32(len(targets)))
+	for _, t := range targets {
+		f.code = AppendU32(f.code, t)
+	}
+	f.code = AppendU32(f.code, def)
+	return f
+}
+
+// Call emits call funcIdx.
+func (f *FuncBuilder) Call(funcIdx uint32) *FuncBuilder { return f.idxOp(OpCall, funcIdx) }
+
+// CallIndirect emits call_indirect typeIdx (table 0).
+func (f *FuncBuilder) CallIndirect(typeIdx uint32) *FuncBuilder {
+	f.code = append(f.code, byte(OpCallIndirect))
+	f.code = AppendU32(f.code, typeIdx)
+	f.code = AppendU32(f.code, 0)
+	return f
+}
+
+// Load emits a load instruction with natural alignment and the given
+// static offset.
+func (f *FuncBuilder) Load(op Opcode, offset uint32) *FuncBuilder {
+	return f.memOp(op, offset)
+}
+
+// Store emits a store instruction with natural alignment and the given
+// static offset.
+func (f *FuncBuilder) Store(op Opcode, offset uint32) *FuncBuilder {
+	return f.memOp(op, offset)
+}
+
+func naturalAlign(op Opcode) uint32 {
+	switch op {
+	case OpI32Load8S, OpI32Load8U, OpI64Load8S, OpI64Load8U, OpI32Store8, OpI64Store8:
+		return 0
+	case OpI32Load16S, OpI32Load16U, OpI64Load16S, OpI64Load16U, OpI32Store16, OpI64Store16:
+		return 1
+	case OpI32Load, OpF32Load, OpI32Store, OpF32Store, OpI64Load32S, OpI64Load32U, OpI64Store32:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func (f *FuncBuilder) memOp(op Opcode, offset uint32) *FuncBuilder {
+	if op.Imm() != ImmMem {
+		panic(fmt.Sprintf("wasm.FuncBuilder: %v is not a memory instruction", op))
+	}
+	f.code = append(f.code, byte(op))
+	f.code = AppendU32(f.code, naturalAlign(op))
+	f.code = AppendU32(f.code, offset)
+	return f
+}
+
+// MemorySize emits memory.size.
+func (f *FuncBuilder) MemorySize() *FuncBuilder {
+	f.code = append(f.code, byte(OpMemorySize), 0)
+	return f
+}
+
+// MemoryGrow emits memory.grow.
+func (f *FuncBuilder) MemoryGrow() *FuncBuilder {
+	f.code = append(f.code, byte(OpMemoryGrow), 0)
+	return f
+}
+
+// MemoryCopy emits memory.copy.
+func (f *FuncBuilder) MemoryCopy() *FuncBuilder {
+	f.code = AppendOpcode(f.code, OpMemoryCopy)
+	f.code = append(f.code, 0, 0)
+	return f
+}
+
+// MemoryFill emits memory.fill.
+func (f *FuncBuilder) MemoryFill() *FuncBuilder {
+	f.code = AppendOpcode(f.code, OpMemoryFill)
+	f.code = append(f.code, 0)
+	return f
+}
+
+// RefNull emits ref.null t.
+func (f *FuncBuilder) RefNull(t ValueType) *FuncBuilder {
+	f.code = append(f.code, byte(OpRefNull), byte(t))
+	return f
+}
+
+// RefFunc emits ref.func funcIdx.
+func (f *FuncBuilder) RefFunc(funcIdx uint32) *FuncBuilder { return f.idxOp(OpRefFunc, funcIdx) }
+
+// Body returns the bytes emitted so far (without the locals prefix).
+func (f *FuncBuilder) Body() []byte { return f.code }
+
+// Finish seals the function body, appending the final end if the caller
+// has not already balanced the implicit function block.
+func (f *FuncBuilder) Finish() {
+	if f.done {
+		return
+	}
+	if f.depth > 0 {
+		for i := 0; i < f.depth; i++ {
+			f.code = append(f.code, byte(OpEnd))
+		}
+		f.depth = 0
+	}
+	f.done = true
+	fn := &f.mod.m.Funcs[f.slot]
+	fn.Locals = f.locals
+	fn.Body = f.code
+}

@@ -1,0 +1,593 @@
+package wasm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Binary format section IDs.
+const (
+	secCustom   = 0
+	secType     = 1
+	secImport   = 2
+	secFunction = 3
+	secTable    = 4
+	secMemory   = 5
+	secGlobal   = 6
+	secExport   = 7
+	secStart    = 8
+	secElem     = 9
+	secCode     = 10
+	secData     = 11
+)
+
+var (
+	magic   = []byte{0x00, 0x61, 0x73, 0x6D}
+	version = []byte{0x01, 0x00, 0x00, 0x00}
+)
+
+// ErrBadMagic reports a module that does not start with "\0asm".
+var ErrBadMagic = errors.New("wasm: bad magic or version")
+
+// Decode parses a binary module. It performs structural decoding only;
+// type checking of function bodies is the validator's job
+// (internal/validate), mirroring the engine pipeline of the paper where
+// parsing and validation are distinct costs.
+func Decode(b []byte) (*Module, error) {
+	r := NewReader(b)
+	hdr, err := r.Take(8)
+	if err != nil {
+		return nil, ErrBadMagic
+	}
+	for i := 0; i < 4; i++ {
+		if hdr[i] != magic[i] || hdr[4+i] != version[i] {
+			return nil, ErrBadMagic
+		}
+	}
+
+	m := &Module{Size: len(b)}
+	var funcTypeIdxs []uint32
+	lastSec := -1
+	for r.Len() > 0 {
+		id, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.U32()
+		if err != nil {
+			return nil, err
+		}
+		body, err := r.Take(int(size))
+		if err != nil {
+			return nil, err
+		}
+		if id != secCustom {
+			if int(id) <= lastSec {
+				return nil, fmt.Errorf("wasm: section %d out of order", id)
+			}
+			lastSec = int(id)
+		}
+		sr := NewReader(body)
+		// Section payload offsets must be translated to module-wide
+		// offsets for diagnostics.
+		base := r.Pos - int(size)
+		switch id {
+		case secCustom:
+			if err := decodeCustom(sr, m); err != nil {
+				return nil, err
+			}
+		case secType:
+			if err := decodeTypes(sr, m); err != nil {
+				return nil, err
+			}
+		case secImport:
+			if err := decodeImports(sr, m); err != nil {
+				return nil, err
+			}
+		case secFunction:
+			n, err := sr.U32()
+			if err != nil {
+				return nil, err
+			}
+			funcTypeIdxs = make([]uint32, n)
+			for i := range funcTypeIdxs {
+				if funcTypeIdxs[i], err = sr.U32(); err != nil {
+					return nil, err
+				}
+			}
+		case secTable:
+			if err := decodeTables(sr, m); err != nil {
+				return nil, err
+			}
+		case secMemory:
+			if err := decodeMemories(sr, m); err != nil {
+				return nil, err
+			}
+		case secGlobal:
+			if err := decodeGlobals(sr, m); err != nil {
+				return nil, err
+			}
+		case secExport:
+			if err := decodeExports(sr, m); err != nil {
+				return nil, err
+			}
+		case secStart:
+			idx, err := sr.U32()
+			if err != nil {
+				return nil, err
+			}
+			m.Start, m.HasStart = idx, true
+		case secElem:
+			if err := decodeElems(sr, m); err != nil {
+				return nil, err
+			}
+		case secCode:
+			if err := decodeCode(sr, m, funcTypeIdxs, base); err != nil {
+				return nil, err
+			}
+		case secData:
+			if err := decodeDatas(sr, m); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wasm: unknown section id %d", id)
+		}
+		if id != secCustom && sr.Len() != 0 {
+			return nil, fmt.Errorf("wasm: section %d has %d trailing bytes", id, sr.Len())
+		}
+	}
+	if len(funcTypeIdxs) != len(m.Funcs) {
+		return nil, fmt.Errorf("wasm: function section declares %d funcs, code section has %d",
+			len(funcTypeIdxs), len(m.Funcs))
+	}
+	return m, nil
+}
+
+func decodeValType(r *Reader) (ValueType, error) {
+	b, err := r.Byte()
+	if err != nil {
+		return 0, err
+	}
+	t := ValueType(b)
+	if !t.Valid() {
+		return 0, fmt.Errorf("wasm: invalid value type 0x%02x", b)
+	}
+	return t, nil
+}
+
+func decodeResultTypes(r *Reader) ([]ValueType, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	types := make([]ValueType, n)
+	for i := range types {
+		if types[i], err = decodeValType(r); err != nil {
+			return nil, err
+		}
+	}
+	return types, nil
+}
+
+func decodeTypes(r *Reader, m *Module) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	m.Types = make([]FuncType, n)
+	for i := range m.Types {
+		form, err := r.Byte()
+		if err != nil {
+			return err
+		}
+		if form != 0x60 {
+			return fmt.Errorf("wasm: type %d: expected func form 0x60, got 0x%02x", i, form)
+		}
+		if m.Types[i].Params, err = decodeResultTypes(r); err != nil {
+			return err
+		}
+		if m.Types[i].Results, err = decodeResultTypes(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeLimits(r *Reader) (Limits, error) {
+	flag, err := r.Byte()
+	if err != nil {
+		return Limits{}, err
+	}
+	var lim Limits
+	if lim.Min, err = r.U32(); err != nil {
+		return Limits{}, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		lim.HasMax = true
+		if lim.Max, err = r.U32(); err != nil {
+			return Limits{}, err
+		}
+		if lim.Max < lim.Min {
+			return Limits{}, fmt.Errorf("wasm: limits max %d < min %d", lim.Max, lim.Min)
+		}
+	default:
+		return Limits{}, fmt.Errorf("wasm: invalid limits flag 0x%02x", flag)
+	}
+	return lim, nil
+}
+
+func decodeImports(r *Reader, m *Module) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	m.Imports = make([]Import, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var imp Import
+		if imp.Module, err = r.Name(); err != nil {
+			return err
+		}
+		if imp.Name, err = r.Name(); err != nil {
+			return err
+		}
+		kind, err := r.Byte()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case 0x00:
+			imp.Kind = ImportFunc
+			if imp.TypeIdx, err = r.U32(); err != nil {
+				return err
+			}
+		case 0x01:
+			imp.Kind = ImportTable
+			if _, err = r.Byte(); err != nil { // reftype
+				return err
+			}
+			if imp.Lim, err = decodeLimits(r); err != nil {
+				return err
+			}
+		case 0x02:
+			imp.Kind = ImportMemory
+			if imp.Lim, err = decodeLimits(r); err != nil {
+				return err
+			}
+		case 0x03:
+			imp.Kind = ImportGlobal
+			if imp.GlobalType, err = decodeValType(r); err != nil {
+				return err
+			}
+			mut, err := r.Byte()
+			if err != nil {
+				return err
+			}
+			imp.Mutable = mut == 1
+		default:
+			return fmt.Errorf("wasm: invalid import kind 0x%02x", kind)
+		}
+		m.Imports = append(m.Imports, imp)
+	}
+	return nil
+}
+
+func decodeTables(r *Reader, m *Module) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	m.Tables = make([]Table, n)
+	for i := range m.Tables {
+		refType, err := r.Byte()
+		if err != nil {
+			return err
+		}
+		if !ValueType(refType).IsRef() {
+			return fmt.Errorf("wasm: table %d: invalid element type 0x%02x", i, refType)
+		}
+		if m.Tables[i].Lim, err = decodeLimits(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeMemories(r *Reader, m *Module) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	if n > 1 {
+		return errors.New("wasm: at most one memory is supported")
+	}
+	m.Memories = make([]Limits, n)
+	for i := range m.Memories {
+		if m.Memories[i], err = decodeLimits(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeConstExpr evaluates the single-instruction constant expressions
+// this subset supports: t.const, ref.null, ref.func.
+func decodeConstExpr(r *Reader, want ValueType) (Value, error) {
+	op, err := r.ReadOpcode()
+	if err != nil {
+		return Value{}, err
+	}
+	var v Value
+	switch op {
+	case OpI32Const:
+		c, err := r.S32()
+		if err != nil {
+			return Value{}, err
+		}
+		v = ValI32(c)
+	case OpI64Const:
+		c, err := r.S64()
+		if err != nil {
+			return Value{}, err
+		}
+		v = ValI64(c)
+	case OpF32Const:
+		bits, err := r.F32()
+		if err != nil {
+			return Value{}, err
+		}
+		v = Value{F32, uint64(bits)}
+	case OpF64Const:
+		bits, err := r.F64()
+		if err != nil {
+			return Value{}, err
+		}
+		v = Value{F64, bits}
+	case OpRefNull:
+		ht, err := r.Byte()
+		if err != nil {
+			return Value{}, err
+		}
+		v = Value{ValueType(ht), NullRef}
+	case OpRefFunc:
+		idx, err := r.U32()
+		if err != nil {
+			return Value{}, err
+		}
+		// funcref handles are 1-based so that 0 remains null.
+		v = Value{FuncRef, uint64(idx) + 1}
+	default:
+		return Value{}, fmt.Errorf("wasm: unsupported constant expression opcode %v", op)
+	}
+	end, err := r.ReadOpcode()
+	if err != nil {
+		return Value{}, err
+	}
+	if end != OpEnd {
+		return Value{}, fmt.Errorf("wasm: constant expression not terminated by end, got %v", end)
+	}
+	if v.Type != want {
+		return Value{}, fmt.Errorf("wasm: constant expression type %v, want %v", v.Type, want)
+	}
+	return v, nil
+}
+
+func decodeGlobals(r *Reader, m *Module) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	m.Globals = make([]Global, n)
+	for i := range m.Globals {
+		t, err := decodeValType(r)
+		if err != nil {
+			return err
+		}
+		mut, err := r.Byte()
+		if err != nil {
+			return err
+		}
+		init, err := decodeConstExpr(r, t)
+		if err != nil {
+			return err
+		}
+		m.Globals[i] = Global{Type: t, Mutable: mut == 1, Init: init}
+	}
+	return nil
+}
+
+func decodeExports(r *Reader, m *Module) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	m.Exports = make([]Export, n)
+	seen := make(map[string]bool, n)
+	for i := range m.Exports {
+		name, err := r.Name()
+		if err != nil {
+			return err
+		}
+		if seen[name] {
+			return fmt.Errorf("wasm: duplicate export %q", name)
+		}
+		seen[name] = true
+		kind, err := r.Byte()
+		if err != nil {
+			return err
+		}
+		if kind > 3 {
+			return fmt.Errorf("wasm: invalid export kind 0x%02x", kind)
+		}
+		idx, err := r.U32()
+		if err != nil {
+			return err
+		}
+		m.Exports[i] = Export{Name: name, Kind: ImportKind(kind), Idx: idx}
+	}
+	return nil
+}
+
+func decodeElems(r *Reader, m *Module) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	m.Elems = make([]Elem, n)
+	for i := range m.Elems {
+		flag, err := r.U32()
+		if err != nil {
+			return err
+		}
+		if flag != 0 {
+			return fmt.Errorf("wasm: only active funcref element segments supported (flag %d)", flag)
+		}
+		off, err := decodeConstExpr(r, I32)
+		if err != nil {
+			return err
+		}
+		cnt, err := r.U32()
+		if err != nil {
+			return err
+		}
+		funcs := make([]uint32, cnt)
+		for j := range funcs {
+			if funcs[j], err = r.U32(); err != nil {
+				return err
+			}
+		}
+		m.Elems[i] = Elem{TableIdx: 0, Offset: uint32(off.I32()), Funcs: funcs}
+	}
+	return nil
+}
+
+func decodeCode(r *Reader, m *Module, typeIdxs []uint32, base int) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(typeIdxs) {
+		return fmt.Errorf("wasm: code count %d != function count %d", n, len(typeIdxs))
+	}
+	m.Funcs = make([]Func, n)
+	for i := range m.Funcs {
+		size, err := r.U32()
+		if err != nil {
+			return err
+		}
+		bodyStart := r.Pos
+		body, err := r.Take(int(size))
+		if err != nil {
+			return err
+		}
+		br := NewReader(body)
+		numDecls, err := br.U32()
+		if err != nil {
+			return err
+		}
+		var locals []ValueType
+		for d := uint32(0); d < numDecls; d++ {
+			cnt, err := br.U32()
+			if err != nil {
+				return err
+			}
+			t, err := decodeValType(br)
+			if err != nil {
+				return err
+			}
+			if len(locals)+int(cnt) > 65536 {
+				return fmt.Errorf("wasm: function %d: too many locals", i)
+			}
+			for c := uint32(0); c < cnt; c++ {
+				locals = append(locals, t)
+			}
+		}
+		m.Funcs[i] = Func{
+			TypeIdx:    typeIdxs[i],
+			Locals:     locals,
+			Body:       body[br.Pos:],
+			BodyOffset: base + bodyStart + br.Pos,
+		}
+	}
+	return nil
+}
+
+func decodeDatas(r *Reader, m *Module) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	m.Datas = make([]Data, n)
+	for i := range m.Datas {
+		flag, err := r.U32()
+		if err != nil {
+			return err
+		}
+		if flag != 0 {
+			return fmt.Errorf("wasm: only active data segments supported (flag %d)", flag)
+		}
+		off, err := decodeConstExpr(r, I32)
+		if err != nil {
+			return err
+		}
+		cnt, err := r.U32()
+		if err != nil {
+			return err
+		}
+		bytes, err := r.Take(int(cnt))
+		if err != nil {
+			return err
+		}
+		m.Datas[i] = Data{MemIdx: 0, Offset: uint32(off.I32()), Bytes: bytes}
+	}
+	return nil
+}
+
+func decodeCustom(r *Reader, m *Module) error {
+	name, err := r.Name()
+	if err != nil {
+		return err
+	}
+	if name != "name" {
+		return nil // ignore unknown custom sections
+	}
+	// Name section: subsections; we only parse function names (id 1).
+	for r.Len() > 0 {
+		id, err := r.Byte()
+		if err != nil {
+			return err
+		}
+		size, err := r.U32()
+		if err != nil {
+			return err
+		}
+		body, err := r.Take(int(size))
+		if err != nil {
+			return err
+		}
+		if id != 1 {
+			continue
+		}
+		sr := NewReader(body)
+		cnt, err := sr.U32()
+		if err != nil {
+			return err
+		}
+		if m.Names == nil {
+			m.Names = make(map[uint32]string, cnt)
+		}
+		for i := uint32(0); i < cnt; i++ {
+			idx, err := sr.U32()
+			if err != nil {
+				return err
+			}
+			fname, err := sr.Name()
+			if err != nil {
+				return err
+			}
+			m.Names[idx] = fname
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package wasm
+
+// Encode serializes a module to the binary format. Together with Decode
+// it round-trips: Decode(Encode(m)) yields an equivalent module. The
+// workload generators build Modules programmatically (see builder.go) and
+// encode them so every engine tier in this repository consumes real wasm
+// bytes, paying real parse/validate costs.
+func Encode(m *Module) []byte {
+	var out []byte
+	out = append(out, magic...)
+	out = append(out, version...)
+
+	out = encodeSection(out, secType, func(b []byte) []byte {
+		b = AppendU32(b, uint32(len(m.Types)))
+		for _, t := range m.Types {
+			b = append(b, 0x60)
+			b = appendResultTypes(b, t.Params)
+			b = appendResultTypes(b, t.Results)
+		}
+		return b
+	}, len(m.Types) > 0)
+
+	out = encodeSection(out, secImport, func(b []byte) []byte {
+		b = AppendU32(b, uint32(len(m.Imports)))
+		for _, imp := range m.Imports {
+			b = appendName(b, imp.Module)
+			b = appendName(b, imp.Name)
+			switch imp.Kind {
+			case ImportFunc:
+				b = append(b, 0x00)
+				b = AppendU32(b, imp.TypeIdx)
+			case ImportTable:
+				b = append(b, 0x01, byte(FuncRef))
+				b = appendLimits(b, imp.Lim)
+			case ImportMemory:
+				b = append(b, 0x02)
+				b = appendLimits(b, imp.Lim)
+			case ImportGlobal:
+				b = append(b, 0x03, byte(imp.GlobalType))
+				if imp.Mutable {
+					b = append(b, 1)
+				} else {
+					b = append(b, 0)
+				}
+			}
+		}
+		return b
+	}, len(m.Imports) > 0)
+
+	out = encodeSection(out, secFunction, func(b []byte) []byte {
+		b = AppendU32(b, uint32(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			b = AppendU32(b, f.TypeIdx)
+		}
+		return b
+	}, len(m.Funcs) > 0)
+
+	out = encodeSection(out, secTable, func(b []byte) []byte {
+		b = AppendU32(b, uint32(len(m.Tables)))
+		for _, t := range m.Tables {
+			b = append(b, byte(FuncRef))
+			b = appendLimits(b, t.Lim)
+		}
+		return b
+	}, len(m.Tables) > 0)
+
+	out = encodeSection(out, secMemory, func(b []byte) []byte {
+		b = AppendU32(b, uint32(len(m.Memories)))
+		for _, lim := range m.Memories {
+			b = appendLimits(b, lim)
+		}
+		return b
+	}, len(m.Memories) > 0)
+
+	out = encodeSection(out, secGlobal, func(b []byte) []byte {
+		b = AppendU32(b, uint32(len(m.Globals)))
+		for _, g := range m.Globals {
+			b = append(b, byte(g.Type))
+			if g.Mutable {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = appendConstExpr(b, g.Init)
+		}
+		return b
+	}, len(m.Globals) > 0)
+
+	out = encodeSection(out, secExport, func(b []byte) []byte {
+		b = AppendU32(b, uint32(len(m.Exports)))
+		for _, e := range m.Exports {
+			b = appendName(b, e.Name)
+			b = append(b, byte(e.Kind))
+			b = AppendU32(b, e.Idx)
+		}
+		return b
+	}, len(m.Exports) > 0)
+
+	out = encodeSection(out, secStart, func(b []byte) []byte {
+		return AppendU32(b, m.Start)
+	}, m.HasStart)
+
+	out = encodeSection(out, secElem, func(b []byte) []byte {
+		b = AppendU32(b, uint32(len(m.Elems)))
+		for _, e := range m.Elems {
+			b = AppendU32(b, 0) // flag: active, table 0
+			b = appendConstExpr(b, ValI32(int32(e.Offset)))
+			b = AppendU32(b, uint32(len(e.Funcs)))
+			for _, f := range e.Funcs {
+				b = AppendU32(b, f)
+			}
+		}
+		return b
+	}, len(m.Elems) > 0)
+
+	out = encodeSection(out, secCode, func(b []byte) []byte {
+		b = AppendU32(b, uint32(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			var fb []byte
+			fb = appendLocalDecls(fb, f.Locals)
+			fb = append(fb, f.Body...)
+			b = AppendU32(b, uint32(len(fb)))
+			b = append(b, fb...)
+		}
+		return b
+	}, len(m.Funcs) > 0)
+
+	out = encodeSection(out, secData, func(b []byte) []byte {
+		b = AppendU32(b, uint32(len(m.Datas)))
+		for _, d := range m.Datas {
+			b = AppendU32(b, 0) // flag: active, memory 0
+			b = appendConstExpr(b, ValI32(int32(d.Offset)))
+			b = AppendU32(b, uint32(len(d.Bytes)))
+			b = append(b, d.Bytes...)
+		}
+		return b
+	}, len(m.Datas) > 0)
+
+	if len(m.Names) > 0 {
+		out = encodeSection(out, secCustom, func(b []byte) []byte {
+			b = appendName(b, "name")
+			var sub []byte
+			sub = AppendU32(sub, uint32(len(m.Names)))
+			// Name maps must be sorted by index in the binary format.
+			idxs := make([]uint32, 0, len(m.Names))
+			for idx := range m.Names {
+				idxs = append(idxs, idx)
+			}
+			for i := 1; i < len(idxs); i++ {
+				for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
+					idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+				}
+			}
+			for _, idx := range idxs {
+				sub = AppendU32(sub, idx)
+				sub = appendName(sub, m.Names[idx])
+			}
+			b = append(b, 1) // subsection: function names
+			b = AppendU32(b, uint32(len(sub)))
+			return append(b, sub...)
+		}, true)
+	}
+	return out
+}
+
+func encodeSection(out []byte, id byte, fill func([]byte) []byte, present bool) []byte {
+	if !present {
+		return out
+	}
+	body := fill(nil)
+	out = append(out, id)
+	out = AppendU32(out, uint32(len(body)))
+	return append(out, body...)
+}
+
+func appendName(b []byte, s string) []byte {
+	b = AppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendResultTypes(b []byte, types []ValueType) []byte {
+	b = AppendU32(b, uint32(len(types)))
+	for _, t := range types {
+		b = append(b, byte(t))
+	}
+	return b
+}
+
+func appendLimits(b []byte, lim Limits) []byte {
+	if lim.HasMax {
+		b = append(b, 1)
+		b = AppendU32(b, lim.Min)
+		return AppendU32(b, lim.Max)
+	}
+	b = append(b, 0)
+	return AppendU32(b, lim.Min)
+}
+
+func appendConstExpr(b []byte, v Value) []byte {
+	switch v.Type {
+	case I32:
+		b = append(b, byte(OpI32Const))
+		b = AppendS32(b, v.I32())
+	case I64:
+		b = append(b, byte(OpI64Const))
+		b = AppendS64(b, v.I64())
+	case F32:
+		b = append(b, byte(OpF32Const))
+		b = AppendF32(b, uint32(v.Bits))
+	case F64:
+		b = append(b, byte(OpF64Const))
+		b = AppendF64(b, v.Bits)
+	case FuncRef:
+		if v.Bits == NullRef {
+			b = append(b, byte(OpRefNull), byte(FuncRef))
+		} else {
+			b = append(b, byte(OpRefFunc))
+			b = AppendU32(b, uint32(v.Bits-1))
+		}
+	case ExternRef:
+		b = append(b, byte(OpRefNull), byte(ExternRef))
+	}
+	return append(b, byte(OpEnd))
+}
+
+func appendLocalDecls(b []byte, locals []ValueType) []byte {
+	// Run-length encode consecutive locals of the same type.
+	type run struct {
+		t ValueType
+		n uint32
+	}
+	var runs []run
+	for _, t := range locals {
+		if len(runs) > 0 && runs[len(runs)-1].t == t {
+			runs[len(runs)-1].n++
+		} else {
+			runs = append(runs, run{t, 1})
+		}
+	}
+	b = AppendU32(b, uint32(len(runs)))
+	for _, r := range runs {
+		b = AppendU32(b, r.n)
+		b = append(b, byte(r.t))
+	}
+	return b
+}

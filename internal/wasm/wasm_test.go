@@ -1,0 +1,318 @@
+package wasm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLEBU32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		enc := AppendU32(nil, v)
+		r := NewReader(enc)
+		got, err := r.U32()
+		return err == nil && got == v && r.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLEBU64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := AppendU64(nil, v)
+		r := NewReader(enc)
+		got, err := r.U64()
+		return err == nil && got == v && r.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLEBS32RoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		enc := AppendS32(nil, v)
+		r := NewReader(enc)
+		got, err := r.S32()
+		return err == nil && got == v && r.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []int32{0, -1, 1, 63, 64, -64, -65, math.MaxInt32, math.MinInt32} {
+		enc := AppendS32(nil, v)
+		r := NewReader(enc)
+		got, err := r.S32()
+		if err != nil || got != v {
+			t.Errorf("S32 round trip of %d: got %d, err %v", v, got, err)
+		}
+	}
+}
+
+func TestLEBS64RoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		enc := AppendS64(nil, v)
+		r := NewReader(enc)
+		got, err := r.S64()
+		return err == nil && got == v && r.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLEBTooLong(t *testing.T) {
+	r := NewReader([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	if _, err := r.U32(); err == nil {
+		t.Error("expected error for over-long u32 LEB")
+	}
+}
+
+func TestLEBTruncated(t *testing.T) {
+	r := NewReader([]byte{0x80})
+	if _, err := r.U32(); err == nil {
+		t.Error("expected error for truncated LEB")
+	}
+}
+
+func TestValueBoxing(t *testing.T) {
+	if UnboxI32(BoxI32(-42)) != -42 {
+		t.Error("i32 box round trip failed")
+	}
+	if UnboxI64(BoxI64(-1<<62)) != -1<<62 {
+		t.Error("i64 box round trip failed")
+	}
+	if UnboxF32(BoxF32(3.25)) != 3.25 {
+		t.Error("f32 box round trip failed")
+	}
+	if UnboxF64(BoxF64(-1e300)) != -1e300 {
+		t.Error("f64 box round trip failed")
+	}
+	nan := UnboxF64(BoxF64(math.NaN()))
+	if nan == nan {
+		t.Error("NaN should survive boxing")
+	}
+}
+
+func TestTagOf(t *testing.T) {
+	cases := map[ValueType]Tag{
+		I32: TagI32, I64: TagI64, F32: TagF32, F64: TagF64,
+		FuncRef: TagFuncRef, ExternRef: TagRef,
+	}
+	for vt, want := range cases {
+		if TagOf(vt) != want {
+			t.Errorf("TagOf(%v) = %v, want %v", vt, TagOf(vt), want)
+		}
+	}
+	if !TagRef.IsRef() || TagI64.IsRef() {
+		t.Error("tag ref classification wrong")
+	}
+}
+
+func TestOpcodeTable(t *testing.T) {
+	if !OpI32Add.Known() || Opcode(0xFF).Known() {
+		t.Error("Known misclassifies opcodes")
+	}
+	if OpI32Add.String() != "i32.add" {
+		t.Errorf("String: %q", OpI32Add.String())
+	}
+	p, r, ok := OpI32Add.Sig()
+	if !ok || len(p) != 2 || len(r) != 1 || p[0] != I32 || r[0] != I32 {
+		t.Errorf("Sig(i32.add) = %v %v %v", p, r, ok)
+	}
+	if _, _, ok := OpBlock.Sig(); ok {
+		t.Error("block should have no static signature")
+	}
+	if OpI32DivS.IsPure() {
+		t.Error("div can trap; must not be pure")
+	}
+	if !OpI32Add.IsPure() {
+		t.Error("add is pure")
+	}
+}
+
+func TestSkipImmAllKinds(t *testing.T) {
+	// Construct immediates for each kind and check SkipImm consumes them.
+	type tc struct {
+		op  Opcode
+		imm []byte
+	}
+	cases := []tc{
+		{OpNop, nil},
+		{OpBlock, []byte{0x40}},
+		{OpBr, AppendU32(nil, 3)},
+		{OpBrTable, append(AppendU32(AppendU32(nil, 1), 0), AppendU32(nil, 2)...)},
+		{OpCall, AppendU32(nil, 7)},
+		{OpCallIndirect, AppendU32(AppendU32(nil, 1), 0)},
+		{OpLocalGet, AppendU32(nil, 9)},
+		{OpGlobalGet, AppendU32(nil, 2)},
+		{OpI32Load, AppendU32(AppendU32(nil, 2), 16)},
+		{OpMemorySize, []byte{0}},
+		{OpI32Const, AppendS32(nil, -7)},
+		{OpI64Const, AppendS64(nil, 1<<40)},
+		{OpF32Const, AppendF32(nil, 0x3F800000)},
+		{OpF64Const, AppendF64(nil, 0x3FF0000000000000)},
+		{OpRefNull, []byte{byte(ExternRef)}},
+		{OpSelectT, append(AppendU32(nil, 1), byte(I32))},
+		{OpMemoryCopy, []byte{0, 0}},
+		{OpMemoryFill, []byte{0}},
+	}
+	for _, c := range cases {
+		r := NewReader(c.imm)
+		if err := r.SkipImm(c.op); err != nil {
+			t.Errorf("SkipImm(%v): %v", c.op, err)
+		}
+		if r.Len() != 0 {
+			t.Errorf("SkipImm(%v) left %d bytes", c.op, r.Len())
+		}
+	}
+}
+
+func TestReadOpcodePrefixed(t *testing.T) {
+	enc := AppendOpcode(nil, OpMemoryCopy)
+	r := NewReader(enc)
+	op, err := r.ReadOpcode()
+	if err != nil || op != OpMemoryCopy {
+		t.Fatalf("got %v, %v", op, err)
+	}
+}
+
+func buildModule(t *testing.T) *Module {
+	t.Helper()
+	b := NewBuilder()
+	ft := FuncType{Params: []ValueType{I32, I64}, Results: []ValueType{F64}}
+	imp := b.ImportFunc("env", "h", FuncType{Params: []ValueType{I32}})
+	b.AddMemory(2, 4)
+	g := b.AddGlobal(I64, true, ValI64(99))
+	b.AddTable(4)
+	f := b.NewFunc("f", ft)
+	f.LocalGet(0).Call(imp)
+	f.GlobalGet(g).Op(OpF64ConvertI64S)
+	f.End()
+	b.AddElem(1, []uint32{f.Idx})
+	b.AddData(64, []byte{1, 2, 3})
+	b.Export("f", f.Idx)
+	b.ExportMemory("memory")
+	return b.Module()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := buildModule(t)
+	enc := Encode(m)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Types) != len(m.Types) {
+		t.Errorf("types: %d != %d", len(dec.Types), len(m.Types))
+	}
+	if len(dec.Funcs) != len(m.Funcs) {
+		t.Errorf("funcs: %d != %d", len(dec.Funcs), len(m.Funcs))
+	}
+	if dec.NumImportedFuncs() != 1 {
+		t.Errorf("imports: %d != 1", dec.NumImportedFuncs())
+	}
+	if !bytes.Equal(dec.Funcs[0].Body, m.Funcs[0].Body) {
+		t.Error("function body changed in round trip")
+	}
+	if len(dec.Memories) != 1 || dec.Memories[0].Min != 2 || dec.Memories[0].Max != 4 {
+		t.Errorf("memory limits: %+v", dec.Memories)
+	}
+	if len(dec.Globals) != 1 || dec.Globals[0].Init.I64() != 99 {
+		t.Errorf("globals: %+v", dec.Globals)
+	}
+	if len(dec.Elems) != 1 || dec.Elems[0].Offset != 1 {
+		t.Errorf("elems: %+v", dec.Elems)
+	}
+	if len(dec.Datas) != 1 || dec.Datas[0].Offset != 64 {
+		t.Errorf("datas: %+v", dec.Datas)
+	}
+	if name := dec.FuncName(dec.Funcs[0].TypeIdx + 1); name == "" {
+		t.Error("missing function name")
+	}
+	// Re-encoding the decoded module must be byte-identical.
+	if !bytes.Equal(Encode(dec), enc) {
+		t.Error("encode(decode(x)) != x")
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	if _, err := Decode([]byte("not a wasm module")); err == nil {
+		t.Error("expected bad magic error")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestDecodeSectionOrder(t *testing.T) {
+	m := buildModule(t)
+	enc := Encode(m)
+	// Duplicate a section id by appending a type section at the end.
+	bad := append(append([]byte{}, enc...), 1 /*type*/, 1, 0)
+	if _, err := Decode(bad); err == nil {
+		t.Error("expected section-order error")
+	}
+}
+
+func TestFuncTypeAt(t *testing.T) {
+	m := buildModule(t)
+	ft, err := m.FuncTypeAt(0) // the import
+	if err != nil || len(ft.Params) != 1 {
+		t.Errorf("import type: %v %v", ft, err)
+	}
+	ft, err = m.FuncTypeAt(1)
+	if err != nil || len(ft.Params) != 2 || len(ft.Results) != 1 {
+		t.Errorf("func type: %v %v", ft, err)
+	}
+	if _, err := m.FuncTypeAt(2); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestExportedFunc(t *testing.T) {
+	m := buildModule(t)
+	if idx, ok := m.ExportedFunc("f"); !ok || idx != 1 {
+		t.Errorf("ExportedFunc: %d %v", idx, ok)
+	}
+	if _, ok := m.ExportedFunc("missing"); ok {
+		t.Error("found non-existent export")
+	}
+}
+
+func TestMemoryGrowEncoding(t *testing.T) {
+	lim := Limits{Min: 1}
+	enc := appendLimits(nil, lim)
+	r := NewReader(enc)
+	got, err := decodeLimits(r)
+	if err != nil || got.Min != 1 || got.HasMax {
+		t.Errorf("limits: %+v %v", got, err)
+	}
+}
+
+func TestBuilderLocalRuns(t *testing.T) {
+	b := NewBuilder()
+	f := b.NewFunc("g", FuncType{})
+	f.AddLocal(I32)
+	f.AddLocal(I32)
+	f.AddLocal(F64)
+	f.End()
+	m := b.Module()
+	enc := Encode(m)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dec.Funcs[0].Locals
+	want := []ValueType{I32, I32, F64}
+	if len(got) != len(want) {
+		t.Fatalf("locals %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("locals %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,523 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wizgo/internal/wasm"
+)
+
+// Libsodium returns 39 line items mirroring the libsodium WebAssembly
+// benchmark suite: integer/bit-manipulation-heavy cryptographic
+// primitives. Each item is a real round-function implementation (ChaCha
+// and Salsa quarter-rounds, SipHash and BLAKE2b i64 mixing, a SHA-256
+// compression loop, constant-time comparison) run over memory buffers;
+// the 39 items instantiate these kernels at the block counts and round
+// counts that correspond to the original suite's primitives.
+func Libsodium() []Item {
+	type spec struct {
+		name   string
+		kernel func(k *K)
+	}
+	specs := []spec{
+		{"stream_chacha20", func(k *K) { lsChaCha(k, 10, 48) }},
+		{"stream_chacha20_ietf", func(k *K) { lsChaCha(k, 10, 44) }},
+		{"stream_xchacha20", func(k *K) { lsChaCha(k, 10, 52) }},
+		{"stream_salsa20", func(k *K) { lsSalsa(k, 10, 48) }},
+		{"stream_salsa2012", func(k *K) { lsSalsa(k, 6, 48) }},
+		{"stream_salsa208", func(k *K) { lsSalsa(k, 4, 48) }},
+		{"stream_xsalsa20", func(k *K) { lsSalsa(k, 10, 52) }},
+		{"aead_chacha20poly1305", func(k *K) { lsChaCha(k, 10, 32); lsPoly(k, 2048) }},
+		{"aead_chacha20poly1305_ietf", func(k *K) { lsChaCha(k, 10, 30); lsPoly(k, 2048) }},
+		{"aead_xchacha20poly1305_ietf", func(k *K) { lsChaCha(k, 10, 34); lsPoly(k, 2048) }},
+		{"aead_aes256gcm", func(k *K) { lsGFMul(k, 1400) }},
+		{"onetimeauth", func(k *K) { lsPoly(k, 6000) }},
+		{"onetimeauth_verify", func(k *K) { lsPoly(k, 5600); lsVerify(k, 512) }},
+		{"auth", func(k *K) { lsSha256(k, 28) }},
+		{"auth_hmacsha256", func(k *K) { lsSha256(k, 30) }},
+		{"auth_hmacsha512", func(k *K) { lsBlake(k, 40, 24) }},
+		{"hash", func(k *K) { lsBlake(k, 48, 24) }},
+		{"hash_sha256", func(k *K) { lsSha256(k, 32) }},
+		{"hash_sha512", func(k *K) { lsBlake(k, 52, 24) }},
+		{"generichash", func(k *K) { lsBlake(k, 44, 12) }},
+		{"generichash_stream", func(k *K) { lsBlake(k, 36, 12) }},
+		{"shorthash", func(k *K) { lsSiphash(k, 2, 4, 4200) }},
+		{"shorthash_siphashx24", func(k *K) { lsSiphash(k, 2, 4, 4600) }},
+		{"kdf", func(k *K) { lsBlake(k, 30, 12) }},
+		{"keygen", func(k *K) { lsXorshift(k, 9000) }},
+		{"randombytes", func(k *K) { lsXorshift(k, 11000) }},
+		{"secretbox_easy", func(k *K) { lsSalsa(k, 10, 36); lsPoly(k, 2048) }},
+		{"secretbox_open_easy", func(k *K) { lsSalsa(k, 10, 34); lsPoly(k, 2048); lsVerify(k, 512) }},
+		{"secretstream_xchacha20poly1305", func(k *K) { lsChaCha(k, 10, 38); lsPoly(k, 1536) }},
+		{"box_easy", func(k *K) { lsFieldMul(k, 160); lsSalsa(k, 10, 20); lsPoly(k, 1024) }},
+		{"box_open_easy", func(k *K) { lsFieldMul(k, 160); lsSalsa(k, 10, 18); lsPoly(k, 1024) }},
+		{"box_seal", func(k *K) { lsFieldMul(k, 220); lsSalsa(k, 10, 20); lsPoly(k, 1024) }},
+		{"sign", func(k *K) { lsFieldMul(k, 260); lsBlake(k, 16, 12) }},
+		{"sign_verify", func(k *K) { lsFieldMul(k, 300); lsBlake(k, 16, 12) }},
+		{"sign_keypair", func(k *K) { lsFieldMul(k, 240) }},
+		{"scalarmult", func(k *K) { lsFieldMul(k, 420) }},
+		{"scalarmult_base", func(k *K) { lsFieldMul(k, 380) }},
+		{"verify_16", func(k *K) { lsVerify(k, 22000) }},
+		{"sodium_utils", func(k *K) { lsVerify(k, 12000); lsXorshift(k, 4000) }},
+	}
+	items := make([]Item, len(specs))
+	for idx, sp := range specs {
+		items[idx] = gen(SuiteLibsodium, sp.name, sp.kernel)
+	}
+	if len(items) != 39 {
+		panic(fmt.Sprintf("libsodium suite must have 39 items, has %d", len(items)))
+	}
+	return items
+}
+
+// lsChaCha runs `blocks` ChaCha block functions with `dr` double-rounds
+// each: 16 i32 words of state in locals, quarter-rounds of add/xor/rotl.
+func lsChaCha(k *K, dr, blocks int32) {
+	f := k.F
+	var st [16]uint32
+	for w := 0; w < 16; w++ {
+		st[w] = f.AddLocal(wasm.I32)
+	}
+	blk := f.AddLocal(wasm.I32)
+	r := f.AddLocal(wasm.I32)
+
+	qr := func(a, b, c, d uint32, rot1, rot2, rot3, rot4 int32) {
+		// a += b; d ^= a; d <<<= rot1
+		f.LocalGet(a).LocalGet(b).Op(wasm.OpI32Add).LocalSet(a)
+		f.LocalGet(d).LocalGet(a).Op(wasm.OpI32Xor)
+		f.I32Const(rot1).Op(wasm.OpI32Rotl).LocalSet(d)
+		// c += d; b ^= c; b <<<= rot2
+		f.LocalGet(c).LocalGet(d).Op(wasm.OpI32Add).LocalSet(c)
+		f.LocalGet(b).LocalGet(c).Op(wasm.OpI32Xor)
+		f.I32Const(rot2).Op(wasm.OpI32Rotl).LocalSet(b)
+		// a += b; d ^= a; d <<<= rot3
+		f.LocalGet(a).LocalGet(b).Op(wasm.OpI32Add).LocalSet(a)
+		f.LocalGet(d).LocalGet(a).Op(wasm.OpI32Xor)
+		f.I32Const(rot3).Op(wasm.OpI32Rotl).LocalSet(d)
+		// c += d; b ^= c; b <<<= rot4
+		f.LocalGet(c).LocalGet(d).Op(wasm.OpI32Add).LocalSet(c)
+		f.LocalGet(b).LocalGet(c).Op(wasm.OpI32Xor)
+		f.I32Const(rot4).Op(wasm.OpI32Rotl).LocalSet(b)
+	}
+
+	k.ForI32(blk, 0, blocks, func() {
+		// Key/nonce/counter setup from the block number.
+		for w := 0; w < 16; w++ {
+			f.LocalGet(blk).I32Const(int32(w)*0x9E37 + 1).Op(wasm.OpI32Mul)
+			f.I32Const(int32(w) + 0x61707865).Op(wasm.OpI32Xor)
+			f.LocalSet(st[w])
+		}
+		k.ForI32(r, 0, dr, func() {
+			// Column round.
+			qr(st[0], st[4], st[8], st[12], 16, 12, 8, 7)
+			qr(st[1], st[5], st[9], st[13], 16, 12, 8, 7)
+			qr(st[2], st[6], st[10], st[14], 16, 12, 8, 7)
+			qr(st[3], st[7], st[11], st[15], 16, 12, 8, 7)
+			// Diagonal round.
+			qr(st[0], st[5], st[10], st[15], 16, 12, 8, 7)
+			qr(st[1], st[6], st[11], st[12], 16, 12, 8, 7)
+			qr(st[2], st[7], st[8], st[13], 16, 12, 8, 7)
+			qr(st[3], st[4], st[9], st[14], 16, 12, 8, 7)
+		})
+		// Fold the block into the checksum.
+		for w := 0; w < 16; w += 4 {
+			f.LocalGet(st[w]).LocalGet(st[w+1]).Op(wasm.OpI32Add)
+			f.LocalGet(st[w+2]).Op(wasm.OpI32Xor)
+			f.LocalGet(st[w+3]).Op(wasm.OpI32Add)
+			f.Op(wasm.OpI64ExtendI32U)
+			k.Mix()
+		}
+	})
+}
+
+// lsSalsa is the Salsa20 core: same cost profile as ChaCha with the
+// Salsa rotation pattern.
+func lsSalsa(k *K, dr, blocks int32) {
+	f := k.F
+	var st [16]uint32
+	for w := 0; w < 16; w++ {
+		st[w] = f.AddLocal(wasm.I32)
+	}
+	blk := f.AddLocal(wasm.I32)
+	r := f.AddLocal(wasm.I32)
+
+	op := func(dst, a, b uint32, rot int32) {
+		// dst ^= (a + b) <<< rot
+		f.LocalGet(a).LocalGet(b).Op(wasm.OpI32Add)
+		f.I32Const(rot).Op(wasm.OpI32Rotl)
+		f.LocalGet(dst).Op(wasm.OpI32Xor).LocalSet(dst)
+	}
+	k.ForI32(blk, 0, blocks, func() {
+		for w := 0; w < 16; w++ {
+			f.LocalGet(blk).I32Const(int32(w)*0x3C6E + 1).Op(wasm.OpI32Mul)
+			f.I32Const(int32(w) * 0x0B440E2F).Op(wasm.OpI32Xor)
+			f.LocalSet(st[w])
+		}
+		k.ForI32(r, 0, dr, func() {
+			// Column ops.
+			op(st[4], st[0], st[12], 7)
+			op(st[8], st[4], st[0], 9)
+			op(st[12], st[8], st[4], 13)
+			op(st[0], st[12], st[8], 18)
+			op(st[9], st[5], st[1], 7)
+			op(st[13], st[9], st[5], 9)
+			op(st[1], st[13], st[9], 13)
+			op(st[5], st[1], st[13], 18)
+			// Row ops.
+			op(st[1], st[0], st[3], 7)
+			op(st[2], st[1], st[0], 9)
+			op(st[3], st[2], st[1], 13)
+			op(st[0], st[3], st[2], 18)
+			op(st[6], st[5], st[4], 7)
+			op(st[7], st[6], st[5], 9)
+			op(st[4], st[7], st[6], 13)
+			op(st[5], st[4], st[7], 18)
+		})
+		for w := 0; w < 16; w += 8 {
+			f.LocalGet(st[w]).LocalGet(st[w+3]).Op(wasm.OpI32Xor)
+			f.LocalGet(st[w+5]).Op(wasm.OpI32Add)
+			f.Op(wasm.OpI64ExtendI32U)
+			k.Mix()
+		}
+	})
+}
+
+// lsSiphash: SipHash-c-d over `words` 8-byte inputs, i64 state rounds.
+func lsSiphash(k *K, c, d, words int32) {
+	f := k.F
+	v0 := f.AddLocal(wasm.I64)
+	v1 := f.AddLocal(wasm.I64)
+	v2 := f.AddLocal(wasm.I64)
+	v3 := f.AddLocal(wasm.I64)
+	m := f.AddLocal(wasm.I64)
+	i := f.AddLocal(wasm.I32)
+	r := f.AddLocal(wasm.I32)
+
+	sipround := func() {
+		// v0 += v1; v1 = rotl(v1,13) ^ v0; v0 = rotl(v0,32)
+		f.LocalGet(v0).LocalGet(v1).Op(wasm.OpI64Add).LocalSet(v0)
+		f.LocalGet(v1).I64Const(13).Op(wasm.OpI64Rotl)
+		f.LocalGet(v0).Op(wasm.OpI64Xor).LocalSet(v1)
+		f.LocalGet(v0).I64Const(32).Op(wasm.OpI64Rotl).LocalSet(v0)
+		// v2 += v3; v3 = rotl(v3,16) ^ v2
+		f.LocalGet(v2).LocalGet(v3).Op(wasm.OpI64Add).LocalSet(v2)
+		f.LocalGet(v3).I64Const(16).Op(wasm.OpI64Rotl)
+		f.LocalGet(v2).Op(wasm.OpI64Xor).LocalSet(v3)
+		// v0 += v3; v3 = rotl(v3,21) ^ v0
+		f.LocalGet(v0).LocalGet(v3).Op(wasm.OpI64Add).LocalSet(v0)
+		f.LocalGet(v3).I64Const(21).Op(wasm.OpI64Rotl)
+		f.LocalGet(v0).Op(wasm.OpI64Xor).LocalSet(v3)
+		// v2 += v1; v1 = rotl(v1,17) ^ v2; v2 = rotl(v2,32)
+		f.LocalGet(v2).LocalGet(v1).Op(wasm.OpI64Add).LocalSet(v2)
+		f.LocalGet(v1).I64Const(17).Op(wasm.OpI64Rotl)
+		f.LocalGet(v2).Op(wasm.OpI64Xor).LocalSet(v1)
+		f.LocalGet(v2).I64Const(32).Op(wasm.OpI64Rotl).LocalSet(v2)
+	}
+
+	f.I64Const(0x736F6D6570736575).LocalSet(v0)
+	f.I64Const(0x646F72616E646F6D).LocalSet(v1)
+	f.I64Const(0x6C7967656E657261).LocalSet(v2)
+	f.I64Const(0x7465646279746573).LocalSet(v3)
+	k.ForI32(i, 0, words, func() {
+		f.LocalGet(i).Op(wasm.OpI64ExtendI32U)
+		f.I64Const(-7046029254386353131).Op(wasm.OpI64Mul)
+		f.LocalSet(m)
+		f.LocalGet(v3).LocalGet(m).Op(wasm.OpI64Xor).LocalSet(v3)
+		k.ForI32(r, 0, c, func() { sipround() })
+		f.LocalGet(v0).LocalGet(m).Op(wasm.OpI64Xor).LocalSet(v0)
+	})
+	f.LocalGet(v2).I64Const(0xFF).Op(wasm.OpI64Xor).LocalSet(v2)
+	k.ForI32(r, 0, d, func() { sipround() })
+	f.LocalGet(v0).LocalGet(v1).Op(wasm.OpI64Xor)
+	f.LocalGet(v2).Op(wasm.OpI64Xor)
+	f.LocalGet(v3).Op(wasm.OpI64Xor)
+	k.Mix()
+}
+
+// lsSha256: `blocks` compressions of a SHA-256-style round function
+// (message schedule in memory, 64 rounds of sigma/ch/maj mixing).
+func lsSha256(k *K, blocks int32) {
+	f := k.F
+	a := f.AddLocal(wasm.I32)
+	b := f.AddLocal(wasm.I32)
+	cc := f.AddLocal(wasm.I32)
+	d := f.AddLocal(wasm.I32)
+	e := f.AddLocal(wasm.I32)
+	g := f.AddLocal(wasm.I32)
+	h := f.AddLocal(wasm.I32)
+	p := f.AddLocal(wasm.I32)
+	t1 := f.AddLocal(wasm.I32)
+	blk := f.AddLocal(wasm.I32)
+	i := f.AddLocal(wasm.I32)
+
+	// Message schedule W[0..63] i32 at vX.
+	wAddr := func(idx uint32, off int32) {
+		f.LocalGet(idx)
+		if off != 0 {
+			f.I32Const(off).Op(wasm.OpI32Add)
+		}
+		f.I32Const(4).Op(wasm.OpI32Mul).I32Const(vX).Op(wasm.OpI32Add)
+	}
+	k.ForI32(blk, 0, blocks, func() {
+		k.ForI32(i, 0, 16, func() {
+			wAddr(i, 0)
+			f.LocalGet(i).LocalGet(blk).Op(wasm.OpI32Add)
+			f.I32Const(0x428A2F98).Op(wasm.OpI32Mul)
+			f.Store(wasm.OpI32Store, 0)
+		})
+		k.ForI32(i, 16, 64, func() {
+			// s0 = ror(w[i-15],7) ^ ror(w[i-15],18) ^ (w[i-15] >> 3)
+			wAddr(i, -15)
+			f.Load(wasm.OpI32Load, 0).LocalSet(t1)
+			f.LocalGet(t1).I32Const(7).Op(wasm.OpI32Rotr)
+			f.LocalGet(t1).I32Const(18).Op(wasm.OpI32Rotr)
+			f.Op(wasm.OpI32Xor)
+			f.LocalGet(t1).I32Const(3).Op(wasm.OpI32ShrU)
+			f.Op(wasm.OpI32Xor)
+			// + w[i-16] + w[i-7]
+			wAddr(i, -16)
+			f.Load(wasm.OpI32Load, 0)
+			f.Op(wasm.OpI32Add)
+			wAddr(i, -7)
+			f.Load(wasm.OpI32Load, 0)
+			f.Op(wasm.OpI32Add)
+			// + s1 = ror(w[i-2],17) ^ ror(w[i-2],19) ^ (w[i-2] >> 10)
+			wAddr(i, -2)
+			f.Load(wasm.OpI32Load, 0).LocalSet(t1)
+			f.LocalGet(t1).I32Const(17).Op(wasm.OpI32Rotr)
+			f.LocalGet(t1).I32Const(19).Op(wasm.OpI32Rotr)
+			f.Op(wasm.OpI32Xor)
+			f.LocalGet(t1).I32Const(10).Op(wasm.OpI32ShrU)
+			f.Op(wasm.OpI32Xor)
+			f.Op(wasm.OpI32Add)
+			f.LocalSet(t1)
+			wAddr(i, 0)
+			f.LocalGet(t1)
+			f.Store(wasm.OpI32Store, 0)
+		})
+		f.I32Const(0x6A09E667).LocalSet(a)
+		f.I32Const(-0x4498517B).LocalSet(b)
+		f.I32Const(0x3C6EF372).LocalSet(cc)
+		f.I32Const(-0x5AB00AC6).LocalSet(d)
+		f.I32Const(0x510E527F).LocalSet(e)
+		f.I32Const(-0x64FA9774).LocalSet(g)
+		f.I32Const(0x1F83D9AB).LocalSet(h)
+		f.I32Const(0x5BE0CD19).LocalSet(p)
+		k.ForI32(i, 0, 64, func() {
+			// t1 = p + S1(e) + ch(e,g,h) + w[i]
+			f.LocalGet(e).I32Const(6).Op(wasm.OpI32Rotr)
+			f.LocalGet(e).I32Const(11).Op(wasm.OpI32Rotr)
+			f.Op(wasm.OpI32Xor)
+			f.LocalGet(e).I32Const(25).Op(wasm.OpI32Rotr)
+			f.Op(wasm.OpI32Xor)
+			f.LocalGet(p).Op(wasm.OpI32Add)
+			f.LocalGet(e).LocalGet(g).Op(wasm.OpI32And)
+			f.LocalGet(e).I32Const(-1).Op(wasm.OpI32Xor).LocalGet(h).Op(wasm.OpI32And)
+			f.Op(wasm.OpI32Xor)
+			f.Op(wasm.OpI32Add)
+			wAddr(i, 0)
+			f.Load(wasm.OpI32Load, 0)
+			f.Op(wasm.OpI32Add)
+			f.LocalSet(t1)
+			// shift registers
+			f.LocalGet(h).LocalSet(p)
+			f.LocalGet(g).LocalSet(h)
+			f.LocalGet(e).LocalSet(g)
+			f.LocalGet(d).LocalGet(t1).Op(wasm.OpI32Add).LocalSet(e)
+			f.LocalGet(cc).LocalSet(d)
+			f.LocalGet(b).LocalSet(cc)
+			f.LocalGet(a).LocalSet(b)
+			// a = t1 + S0(a) + maj(a,b,c)
+			f.LocalGet(a).I32Const(2).Op(wasm.OpI32Rotr)
+			f.LocalGet(a).I32Const(13).Op(wasm.OpI32Rotr)
+			f.Op(wasm.OpI32Xor)
+			f.LocalGet(a).I32Const(22).Op(wasm.OpI32Rotr)
+			f.Op(wasm.OpI32Xor)
+			f.LocalGet(t1).Op(wasm.OpI32Add)
+			f.LocalGet(a).LocalGet(b).Op(wasm.OpI32And)
+			f.LocalGet(a).LocalGet(cc).Op(wasm.OpI32And)
+			f.Op(wasm.OpI32Xor)
+			f.LocalGet(b).LocalGet(cc).Op(wasm.OpI32And)
+			f.Op(wasm.OpI32Xor)
+			f.Op(wasm.OpI32Add)
+			f.LocalSet(a)
+		})
+		f.LocalGet(a).LocalGet(e).Op(wasm.OpI32Xor)
+		f.LocalGet(p).Op(wasm.OpI32Add)
+		f.Op(wasm.OpI64ExtendI32U)
+		k.Mix()
+	})
+}
+
+// lsBlake: BLAKE2b-style i64 G-function mixing, `blocks` x `rounds`.
+func lsBlake(k *K, blocks, rounds int32) {
+	f := k.F
+	var v [8]uint32
+	for w := 0; w < 8; w++ {
+		v[w] = f.AddLocal(wasm.I64)
+	}
+	blk := f.AddLocal(wasm.I32)
+	r := f.AddLocal(wasm.I32)
+
+	g := func(a, b, c, d uint32) {
+		f.LocalGet(a).LocalGet(b).Op(wasm.OpI64Add).LocalSet(a)
+		f.LocalGet(d).LocalGet(a).Op(wasm.OpI64Xor)
+		f.I64Const(32).Op(wasm.OpI64Rotr).LocalSet(d)
+		f.LocalGet(c).LocalGet(d).Op(wasm.OpI64Add).LocalSet(c)
+		f.LocalGet(b).LocalGet(c).Op(wasm.OpI64Xor)
+		f.I64Const(24).Op(wasm.OpI64Rotr).LocalSet(b)
+		f.LocalGet(a).LocalGet(b).Op(wasm.OpI64Add).LocalSet(a)
+		f.LocalGet(d).LocalGet(a).Op(wasm.OpI64Xor)
+		f.I64Const(16).Op(wasm.OpI64Rotr).LocalSet(d)
+		f.LocalGet(c).LocalGet(d).Op(wasm.OpI64Add).LocalSet(c)
+		f.LocalGet(b).LocalGet(c).Op(wasm.OpI64Xor)
+		f.I64Const(63).Op(wasm.OpI64Rotr).LocalSet(b)
+	}
+	k.ForI32(blk, 0, blocks, func() {
+		for w := 0; w < 8; w++ {
+			f.LocalGet(blk).Op(wasm.OpI64ExtendI32U)
+			f.I64Const(int64(w+1) * 0x6A09E667F3BCC908).Op(wasm.OpI64Mul)
+			f.I64Const(int64(w) * 0x510E527FADE682D1).Op(wasm.OpI64Xor)
+			f.LocalSet(v[w])
+		}
+		k.ForI32(r, 0, rounds, func() {
+			g(v[0], v[4], v[1], v[5])
+			g(v[2], v[6], v[3], v[7])
+			g(v[0], v[5], v[2], v[7])
+			g(v[1], v[4], v[3], v[6])
+		})
+		f.LocalGet(v[0]).LocalGet(v[3]).Op(wasm.OpI64Xor)
+		f.LocalGet(v[5]).Op(wasm.OpI64Add)
+		k.Mix()
+	})
+}
+
+// lsPoly: Poly1305-flavoured accumulate-multiply-reduce over n words.
+func lsPoly(k *K, n int32) {
+	f := k.F
+	acc := f.AddLocal(wasm.I64)
+	rk := f.AddLocal(wasm.I64)
+	i := f.AddLocal(wasm.I32)
+	f.I64Const(0x0FFFFFFC0FFFFFFF).LocalSet(rk)
+	f.I64Const(0).LocalSet(acc)
+	k.ForI32(i, 0, n, func() {
+		f.LocalGet(i).Op(wasm.OpI64ExtendI32U)
+		f.I64Const(0x100000000).Op(wasm.OpI64Or)
+		f.LocalGet(acc).Op(wasm.OpI64Add)
+		f.LocalGet(rk).Op(wasm.OpI64Mul)
+		// reduce mod 2^61-1 style
+		f.LocalSet(acc)
+		f.LocalGet(acc).I64Const(61).Op(wasm.OpI64ShrU)
+		f.LocalGet(acc).I64Const(0x1FFFFFFFFFFFFFFF).Op(wasm.OpI64And)
+		f.Op(wasm.OpI64Add)
+		f.LocalSet(acc)
+	})
+	f.LocalGet(acc)
+	k.Mix()
+}
+
+// lsGFMul: GF(2^128)-flavoured carry-less multiply-accumulate loop
+// (GHASH stand-in for AES-GCM).
+func lsGFMul(k *K, n int32) {
+	f := k.F
+	x := f.AddLocal(wasm.I64)
+	y := f.AddLocal(wasm.I64)
+	z := f.AddLocal(wasm.I64)
+	i := f.AddLocal(wasm.I32)
+	bit := f.AddLocal(wasm.I32)
+	f.I64Const(0x736F6D6570736575).LocalSet(x)
+	k.ForI32(i, 0, n, func() {
+		f.LocalGet(i).Op(wasm.OpI64ExtendI32U)
+		f.I64Const(0x87).Op(wasm.OpI64Or).LocalSet(y)
+		f.I64Const(0).LocalSet(z)
+		k.ForI32(bit, 0, 8, func() {
+			// if x & 1: z ^= y
+			f.LocalGet(x).I64Const(1).Op(wasm.OpI64And)
+			f.I64Const(0).Op(wasm.OpI64Ne)
+			f.If(wasm.BlockEmpty)
+			f.LocalGet(z).LocalGet(y).Op(wasm.OpI64Xor).LocalSet(z)
+			f.End()
+			f.LocalGet(x).I64Const(1).Op(wasm.OpI64ShrU).LocalSet(x)
+			f.LocalGet(y).I64Const(1).Op(wasm.OpI64Shl)
+			f.I64Const(0x87).Op(wasm.OpI64Xor).LocalSet(y)
+		})
+		f.LocalGet(z).LocalGet(x).Op(wasm.OpI64Xor)
+		f.I64Const(-7046029254386353131).Op(wasm.OpI64Add)
+		f.LocalSet(x)
+	})
+	f.LocalGet(x)
+	k.Mix()
+}
+
+// lsFieldMul: Curve25519-flavoured field multiply chains (i64 limbs).
+func lsFieldMul(k *K, n int32) {
+	f := k.F
+	var limb [4]uint32
+	for w := 0; w < 4; w++ {
+		limb[w] = f.AddLocal(wasm.I64)
+	}
+	i := f.AddLocal(wasm.I32)
+	for w := 0; w < 4; w++ {
+		f.I64Const(int64(w+1) * 0x1FFFFFFFFFFFF).LocalSet(limb[w])
+	}
+	k.ForI32(i, 0, n, func() {
+		// A ladder-ish step: limb mixing with 51-bit carries.
+		for w := 0; w < 4; w++ {
+			nxt := limb[(w+1)%4]
+			f.LocalGet(limb[w]).LocalGet(nxt).Op(wasm.OpI64Mul)
+			f.LocalGet(limb[w]).I64Const(19).Op(wasm.OpI64Mul)
+			f.Op(wasm.OpI64Add)
+			f.LocalSet(limb[w])
+			f.LocalGet(limb[w]).I64Const(51).Op(wasm.OpI64ShrU)
+			f.LocalGet(nxt).Op(wasm.OpI64Add).LocalSet(nxt)
+			f.LocalGet(limb[w]).I64Const(0x7FFFFFFFFFFFF).Op(wasm.OpI64And).LocalSet(limb[w])
+		}
+	})
+	f.LocalGet(limb[0]).LocalGet(limb[2]).Op(wasm.OpI64Add)
+	f.LocalGet(limb[1]).Op(wasm.OpI64Xor)
+	f.LocalGet(limb[3]).Op(wasm.OpI64Add)
+	k.Mix()
+}
+
+// lsVerify: constant-time comparison over n bytes (or-reduce of xors).
+func lsVerify(k *K, n int32) {
+	f := k.F
+	d := f.AddLocal(wasm.I32)
+	i := f.AddLocal(wasm.I32)
+	// Fill two buffers.
+	k.ForI32(i, 0, n, func() {
+		f.LocalGet(i).I32Const(vX).Op(wasm.OpI32Add)
+		f.LocalGet(i).I32Const(251).Op(wasm.OpI32RemU)
+		f.Store(wasm.OpI32Store8, 0)
+		f.LocalGet(i).I32Const(vY).Op(wasm.OpI32Add)
+		f.LocalGet(i).I32Const(251).Op(wasm.OpI32RemU)
+		f.Store(wasm.OpI32Store8, 0)
+	})
+	f.I32Const(0).LocalSet(d)
+	k.ForI32(i, 0, n, func() {
+		f.LocalGet(i).I32Const(vX).Op(wasm.OpI32Add).Load(wasm.OpI32Load8U, 0)
+		f.LocalGet(i).I32Const(vY).Op(wasm.OpI32Add).Load(wasm.OpI32Load8U, 0)
+		f.Op(wasm.OpI32Xor)
+		f.LocalGet(d).Op(wasm.OpI32Or).LocalSet(d)
+	})
+	f.LocalGet(d).Op(wasm.OpI64ExtendI32U)
+	k.Mix()
+}
+
+// lsXorshift: xorshift64* PRNG stream (keygen/randombytes stand-in).
+func lsXorshift(k *K, n int32) {
+	f := k.F
+	s := f.AddLocal(wasm.I64)
+	i := f.AddLocal(wasm.I32)
+	f.I64Const(-7046029254386353131).LocalSet(s)
+	k.ForI32(i, 0, n, func() {
+		f.LocalGet(s).I64Const(12).Op(wasm.OpI64ShrU)
+		f.LocalGet(s).Op(wasm.OpI64Xor).LocalSet(s)
+		f.LocalGet(s).I64Const(25).Op(wasm.OpI64Shl)
+		f.LocalGet(s).Op(wasm.OpI64Xor).LocalSet(s)
+		f.LocalGet(s).I64Const(27).Op(wasm.OpI64ShrU)
+		f.LocalGet(s).Op(wasm.OpI64Xor).LocalSet(s)
+		f.LocalGet(s).I64Const(0x2545F4914F6CDD1D).Op(wasm.OpI64Mul).LocalSet(s)
+	})
+	f.LocalGet(s)
+	k.Mix()
+}

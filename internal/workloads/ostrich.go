@@ -1,0 +1,551 @@
+package workloads
+
+import "wizgo/internal/wasm"
+
+// Ostrich returns the 11 numerical-computing line items mirroring the
+// Ostrich benchmark suite (Herrera et al.): mixed float/integer kernels
+// with both regular and irregular memory access, including recursion and
+// indirect data-dependent control flow.
+func Ostrich() []Item {
+	return []Item{
+		gen(SuiteOstrich, "nbody", func(k *K) { osNBody(k, 48, 6) }),
+		gen(SuiteOstrich, "spmv", func(k *K) { osSpmv(k, 360, 16, 14) }),
+		gen(SuiteOstrich, "bfs", func(k *K) { osBfs(k, 1600, 5) }),
+		gen(SuiteOstrich, "crc", func(k *K) { osCrc(k, 14000) }),
+		gen(SuiteOstrich, "lud", func(k *K) { pbLU(k, 34) }),
+		gen(SuiteOstrich, "nqueens", func(k *K) { osNQueens(k, 8) }),
+		gen(SuiteOstrich, "fft", func(k *K) { osFft(k, 9, 4) }),
+		gen(SuiteOstrich, "primes", func(k *K) { osPrimes(k, 22000) }),
+		gen(SuiteOstrich, "pagerank", func(k *K) { osPageRank(k, 220, 14) }),
+		gen(SuiteOstrich, "srad", func(k *K) { osSrad(k, 26, 8) }),
+		gen(SuiteOstrich, "montecarlo", func(k *K) { osMonteCarlo(k, 16000) }),
+	}
+}
+
+// osNBody: n-body gravitational simulation, `steps` leapfrog steps.
+func osNBody(k *K, n, steps int32) {
+	f := k.F
+	i, j, t := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	fx, fy := f.AddLocal(wasm.F64), f.AddLocal(wasm.F64)
+	dx, dy := f.AddLocal(wasm.F64), f.AddLocal(wasm.F64)
+	inv := f.AddLocal(wasm.F64)
+	// pos x/y, vel x/y as f64 vectors.
+	const px, py, vx2, vy2 = vX, vY, vZ, vW
+	k.InitVec(px, n, i)
+	k.InitVec(py, n, i)
+	k.ForI32(i, 0, n, func() {
+		k.StoreVec(vx2, i, func() { f.F64Const(0) })
+		k.StoreVec(vy2, i, func() { f.F64Const(0) })
+	})
+	k.ForI32(t, 0, steps, func() {
+		k.ForI32(i, 0, n, func() {
+			f.F64Const(0).LocalSet(fx)
+			f.F64Const(0).LocalSet(fy)
+			k.ForI32(j, 0, n, func() {
+				k.LoadVec(px, j)
+				k.LoadVec(px, i)
+				f.Op(wasm.OpF64Sub).LocalSet(dx)
+				k.LoadVec(py, j)
+				k.LoadVec(py, i)
+				f.Op(wasm.OpF64Sub).LocalSet(dy)
+				// inv = 1 / (dx^2 + dy^2 + eps)^(3/2)
+				f.LocalGet(dx).LocalGet(dx).Op(wasm.OpF64Mul)
+				f.LocalGet(dy).LocalGet(dy).Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+				f.F64Const(0.01).Op(wasm.OpF64Add)
+				f.LocalSet(inv)
+				f.F64Const(1)
+				f.LocalGet(inv).LocalGet(inv).Op(wasm.OpF64Mul)
+				f.LocalGet(inv).Op(wasm.OpF64Sqrt)
+				f.Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Div)
+				f.LocalSet(inv)
+				f.LocalGet(fx).LocalGet(dx).LocalGet(inv).Op(wasm.OpF64Mul).Op(wasm.OpF64Add).LocalSet(fx)
+				f.LocalGet(fy).LocalGet(dy).LocalGet(inv).Op(wasm.OpF64Mul).Op(wasm.OpF64Add).LocalSet(fy)
+			})
+			k.StoreVec(vx2, i, func() {
+				k.LoadVec(vx2, i)
+				f.LocalGet(fx).F64Const(0.001).Op(wasm.OpF64Mul).Op(wasm.OpF64Add)
+			})
+			k.StoreVec(vy2, i, func() {
+				k.LoadVec(vy2, i)
+				f.LocalGet(fy).F64Const(0.001).Op(wasm.OpF64Mul).Op(wasm.OpF64Add)
+			})
+		})
+		k.ForI32(i, 0, n, func() {
+			k.StoreVec(px, i, func() {
+				k.LoadVec(px, i)
+				k.LoadVec(vx2, i)
+				f.F64Const(0.001).Op(wasm.OpF64Mul).Op(wasm.OpF64Add)
+			})
+			k.StoreVec(py, i, func() {
+				k.LoadVec(py, i)
+				k.LoadVec(vy2, i)
+				f.F64Const(0.001).Op(wasm.OpF64Mul).Op(wasm.OpF64Add)
+			})
+		})
+	})
+	k.ChecksumVec(px, n, i)
+	k.ChecksumVec(py, n, i)
+}
+
+// osSpmv: sparse matrix-vector multiply in CSR-like form with
+// pseudo-random column indices, `iters` products.
+func osSpmv(k *K, rows, nnzPerRow, iters int32) {
+	f := k.F
+	i, j, t := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	col := f.AddLocal(wasm.I32)
+	// values f64 at mA, x at vX, y at vY; col computed on the fly from
+	// a hash of (i,j) to model irregular access.
+	k.InitVec(vX, rows, i)
+	k.ForI32(i, 0, rows*nnzPerRow, func() {
+		k.StoreVec(mA, i, func() {
+			f.LocalGet(i).I32Const(17).Op(wasm.OpI32Mul).I32Const(41).Op(wasm.OpI32RemS)
+			f.Op(wasm.OpF64ConvertI32S)
+			f.F64Const(1.0 / 41.0).Op(wasm.OpF64Mul)
+		})
+	})
+	k.ForI32(t, 0, iters, func() {
+		k.ForI32(i, 0, rows, func() {
+			f.F64Const(0).LocalSet(acc)
+			k.ForI32(j, 0, nnzPerRow, func() {
+				// col = hash(i,j) % rows
+				f.LocalGet(i).I32Const(-1640531535).Op(wasm.OpI32Mul)
+				f.LocalGet(j).I32Const(40503).Op(wasm.OpI32Mul)
+				f.Op(wasm.OpI32Add)
+				f.I32Const(16).Op(wasm.OpI32ShrU)
+				f.I32Const(rows).Op(wasm.OpI32RemU)
+				f.LocalSet(col)
+				// acc += val[i*nnz+j] * x[col]
+				f.LocalGet(i).I32Const(nnzPerRow).Op(wasm.OpI32Mul)
+				f.LocalGet(j).Op(wasm.OpI32Add)
+				f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+				f.Load(wasm.OpF64Load, 0)
+				k.LoadVec(vX, col)
+				f.Op(wasm.OpF64Mul)
+				f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+			})
+			k.StoreVec(vY, i, func() { f.LocalGet(acc) })
+		})
+		// x <- normalized y (cheap copy)
+		k.ForI32(i, 0, rows, func() {
+			k.StoreVec(vX, i, func() {
+				k.LoadVec(vY, i)
+				f.F64Const(0.125).Op(wasm.OpF64Mul)
+			})
+		})
+	})
+	k.ChecksumVec(vX, rows, i)
+}
+
+// osBfs: breadth-first search over a synthetic graph in memory using an
+// explicit frontier queue — data-dependent branching and irregular loads.
+func osBfs(k *K, nodes, deg int32) {
+	f := k.F
+	i, j := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	head, tail := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	cur, nxt := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	// dist i32 at mA; queue i32 at mB; edges computed by hashing.
+	k.ForI32(i, 0, nodes, func() {
+		f.LocalGet(i).I32Const(4).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+		f.I32Const(-1)
+		f.Store(wasm.OpI32Store, 0)
+	})
+	// dist[0] = 0; queue[0] = 0
+	f.I32Const(mA).I32Const(0).Store(wasm.OpI32Store, 0)
+	f.I32Const(mB).I32Const(0).Store(wasm.OpI32Store, 0)
+	f.I32Const(0).LocalSet(head)
+	f.I32Const(1).LocalSet(tail)
+	f.Block(wasm.BlockEmpty)
+	f.Loop(wasm.BlockEmpty)
+	{
+		f.LocalGet(head).LocalGet(tail).Op(wasm.OpI32GeS).BrIf(1)
+		// cur = queue[head++]
+		f.LocalGet(head).I32Const(4).Op(wasm.OpI32Mul).I32Const(mB).Op(wasm.OpI32Add)
+		f.Load(wasm.OpI32Load, 0).LocalSet(cur)
+		f.LocalGet(head).I32Const(1).Op(wasm.OpI32Add).LocalSet(head)
+		k.ForI32(j, 0, deg, func() {
+			// nxt = hash(cur, j) % nodes
+			f.LocalGet(cur).I32Const(-1640531535).Op(wasm.OpI32Mul)
+			f.LocalGet(j).I32Const(97).Op(wasm.OpI32Mul)
+			f.Op(wasm.OpI32Add)
+			f.I32Const(15).Op(wasm.OpI32ShrU)
+			f.I32Const(nodes).Op(wasm.OpI32RemU)
+			f.LocalSet(nxt)
+			// if dist[nxt] < 0 { dist[nxt] = dist[cur]+1; queue[tail++] = nxt }
+			f.LocalGet(nxt).I32Const(4).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+			f.Load(wasm.OpI32Load, 0)
+			f.I32Const(0).Op(wasm.OpI32LtS)
+			f.If(wasm.BlockEmpty)
+			f.LocalGet(nxt).I32Const(4).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+			f.LocalGet(cur).I32Const(4).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+			f.Load(wasm.OpI32Load, 0)
+			f.I32Const(1).Op(wasm.OpI32Add)
+			f.Store(wasm.OpI32Store, 0)
+			f.LocalGet(tail).I32Const(4).Op(wasm.OpI32Mul).I32Const(mB).Op(wasm.OpI32Add)
+			f.LocalGet(nxt)
+			f.Store(wasm.OpI32Store, 0)
+			f.LocalGet(tail).I32Const(1).Op(wasm.OpI32Add).LocalSet(tail)
+			f.End()
+		})
+		f.Br(0)
+	}
+	f.End()
+	f.End()
+	k.ChecksumMem(mA, nodes*4, i)
+}
+
+// osCrc: CRC-32 with an in-memory table over n bytes.
+func osCrc(k *K, n int32) {
+	f := k.F
+	i, j := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	c := f.AddLocal(wasm.I32)
+	// Build the table at mA (256 u32 entries).
+	k.ForI32(i, 0, 256, func() {
+		f.LocalGet(i).LocalSet(c)
+		k.ForI32(j, 0, 8, func() {
+			f.LocalGet(c).I32Const(1).Op(wasm.OpI32And)
+			f.If(wasm.BlockEmpty)
+			f.LocalGet(c).I32Const(1).Op(wasm.OpI32ShrU)
+			f.I32Const(-306674912).Op(wasm.OpI32Xor) // 0xEDB88320
+			f.LocalSet(c)
+			f.Else()
+			f.LocalGet(c).I32Const(1).Op(wasm.OpI32ShrU).LocalSet(c)
+			f.End()
+		})
+		f.LocalGet(i).I32Const(4).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+		f.LocalGet(c)
+		f.Store(wasm.OpI32Store, 0)
+	})
+	// crc over synthetic bytes i*31&0xff
+	f.I32Const(-1).LocalSet(c)
+	k.ForI32(i, 0, n, func() {
+		f.LocalGet(c)
+		f.LocalGet(i).I32Const(31).Op(wasm.OpI32Mul).I32Const(255).Op(wasm.OpI32And)
+		f.Op(wasm.OpI32Xor)
+		f.I32Const(255).Op(wasm.OpI32And)
+		f.I32Const(4).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+		f.Load(wasm.OpI32Load, 0)
+		f.LocalGet(c).I32Const(8).Op(wasm.OpI32ShrU)
+		f.Op(wasm.OpI32Xor)
+		f.LocalSet(c)
+	})
+	f.LocalGet(c).Op(wasm.OpI64ExtendI32U)
+	k.Mix()
+}
+
+// osNQueens: recursive backtracking N-queens via an auxiliary function —
+// the suite's call-heavy item.
+func osNQueens(k *K, n int32) {
+	b := k.B
+	// solve(row, cols, diag1, diag2) -> count
+	ft := wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32, wasm.I32, wasm.I32, wasm.I32},
+		Results: []wasm.ValueType{wasm.I32},
+	}
+	solve := b.NewFunc("solve", ft)
+	{
+		f := solve
+		cnt := f.AddLocal(wasm.I32)
+		col := f.AddLocal(wasm.I32)
+		full := int32((1 << uint(n)) - 1)
+		// if row == n: return 1
+		f.LocalGet(0).I32Const(n).Op(wasm.OpI32Eq)
+		f.If(wasm.BlockEmpty)
+		f.I32Const(1).Op(wasm.OpReturn)
+		f.End()
+		ForI32Func(f, col, 0, n, func() {
+			// bit = 1 << col; if free in cols|diag1|diag2:
+			f.I32Const(1).LocalGet(col).Op(wasm.OpI32Shl)
+			f.LocalGet(1).LocalGet(2).Op(wasm.OpI32Or).LocalGet(3).Op(wasm.OpI32Or)
+			f.Op(wasm.OpI32And)
+			f.Op(wasm.OpI32Eqz)
+			f.If(wasm.BlockEmpty)
+			// cnt += solve(row+1, cols|bit, ((diag1|bit)<<1)&full, (diag2|bit)>>1)
+			f.LocalGet(0).I32Const(1).Op(wasm.OpI32Add)
+			f.LocalGet(1).I32Const(1).LocalGet(col).Op(wasm.OpI32Shl).Op(wasm.OpI32Or)
+			f.LocalGet(2).I32Const(1).LocalGet(col).Op(wasm.OpI32Shl).Op(wasm.OpI32Or)
+			f.I32Const(1).Op(wasm.OpI32Shl).I32Const(full).Op(wasm.OpI32And)
+			f.LocalGet(3).I32Const(1).LocalGet(col).Op(wasm.OpI32Shl).Op(wasm.OpI32Or)
+			f.I32Const(1).Op(wasm.OpI32ShrU)
+			f.Call(solve.Idx)
+			f.LocalGet(cnt).Op(wasm.OpI32Add).LocalSet(cnt)
+			f.End()
+		})
+		f.LocalGet(cnt)
+		f.End()
+	}
+	f := k.F
+	f.I32Const(0).I32Const(0).I32Const(0).I32Const(0)
+	f.Call(solve.Idx)
+	f.Op(wasm.OpI64ExtendI32U)
+	k.Mix()
+}
+
+// osFft: iterative radix-2 FFT butterflies on 2^logN complex points,
+// repeated `reps` times.
+func osFft(k *K, logN, reps int32) {
+	f := k.F
+	n := int32(1) << uint(logN)
+	i, t := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	size, half := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	base, off := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	wr, wi := f.AddLocal(wasm.F64), f.AddLocal(wasm.F64)
+	tr, ti := f.AddLocal(wasm.F64), f.AddLocal(wasm.F64)
+	// re at vX, im at vY.
+	k.InitVec(vX, n, i)
+	k.InitVec(vY, n, i)
+	idxAddr := func(vec int32, idx uint32, plus uint32) {
+		f.LocalGet(idx)
+		if plus != 0 {
+			f.LocalGet(plus).Op(wasm.OpI32Add)
+		}
+		f.I32Const(8).Op(wasm.OpI32Mul)
+		f.I32Const(vec).Op(wasm.OpI32Add)
+	}
+	k.ForI32(t, 0, reps, func() {
+		// for size = 2; size <= n; size *= 2
+		f.I32Const(2).LocalSet(size)
+		f.Block(wasm.BlockEmpty)
+		f.Loop(wasm.BlockEmpty)
+		{
+			f.LocalGet(size).I32Const(n).Op(wasm.OpI32GtS).BrIf(1)
+			f.LocalGet(size).I32Const(1).Op(wasm.OpI32ShrS).LocalSet(half)
+			// for base = 0; base < n; base += size
+			f.I32Const(0).LocalSet(base)
+			f.Block(wasm.BlockEmpty)
+			f.Loop(wasm.BlockEmpty)
+			{
+				f.LocalGet(base).I32Const(n).Op(wasm.OpI32GeS).BrIf(1)
+				k.ForI32N(off, uint32(half), func() {
+					// twiddle ~ cheap polynomial of off/half
+					f.LocalGet(off).Op(wasm.OpF64ConvertI32S)
+					f.LocalGet(half).Op(wasm.OpF64ConvertI32S)
+					f.Op(wasm.OpF64Div).LocalSet(wr)
+					f.F64Const(1)
+					f.LocalGet(wr).LocalGet(wr).Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Sub).LocalSet(wi)
+					// butterflies: a = base+off, b = a+half
+					f.LocalGet(base).LocalGet(off).Op(wasm.OpI32Add).LocalSet(i)
+					// tr = wr*re[b] - wi*im[b]; ti = wr*im[b] + wi*re[b]
+					f.LocalGet(wr)
+					idxAddr(vX, i, uint32(half))
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Mul)
+					f.LocalGet(wi)
+					idxAddr(vY, i, uint32(half))
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Sub)
+					f.LocalSet(tr)
+					f.LocalGet(wr)
+					idxAddr(vY, i, uint32(half))
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Mul)
+					f.LocalGet(wi)
+					idxAddr(vX, i, uint32(half))
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Add)
+					f.LocalSet(ti)
+					// re[b] = re[a]-tr; im[b] = im[a]-ti; re[a]+=tr; im[a]+=ti
+					idxAddr(vX, i, uint32(half))
+					idxAddr(vX, i, 0)
+					f.Load(wasm.OpF64Load, 0)
+					f.LocalGet(tr).Op(wasm.OpF64Sub)
+					f.Store(wasm.OpF64Store, 0)
+					idxAddr(vY, i, uint32(half))
+					idxAddr(vY, i, 0)
+					f.Load(wasm.OpF64Load, 0)
+					f.LocalGet(ti).Op(wasm.OpF64Sub)
+					f.Store(wasm.OpF64Store, 0)
+					idxAddr(vX, i, 0)
+					idxAddr(vX, i, 0)
+					f.Load(wasm.OpF64Load, 0)
+					f.LocalGet(tr).Op(wasm.OpF64Add)
+					f.Store(wasm.OpF64Store, 0)
+					idxAddr(vY, i, 0)
+					idxAddr(vY, i, 0)
+					f.Load(wasm.OpF64Load, 0)
+					f.LocalGet(ti).Op(wasm.OpF64Add)
+					f.Store(wasm.OpF64Store, 0)
+				})
+				f.LocalGet(base).LocalGet(size).Op(wasm.OpI32Add).LocalSet(base)
+				f.Br(0)
+			}
+			f.End()
+			f.End()
+			f.LocalGet(size).I32Const(1).Op(wasm.OpI32Shl).LocalSet(size)
+			f.Br(0)
+		}
+		f.End()
+		f.End()
+	})
+	k.ChecksumVec(vX, n, i)
+	k.ChecksumVec(vY, n, i)
+}
+
+// osPrimes: sieve of Eratosthenes over n flags.
+func osPrimes(k *K, n int32) {
+	f := k.F
+	i, j, cnt := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	k.ForI32(i, 0, n, func() {
+		f.LocalGet(i).I32Const(mA).Op(wasm.OpI32Add)
+		f.I32Const(1)
+		f.Store(wasm.OpI32Store8, 0)
+	})
+	k.ForI32(i, 2, n, func() {
+		f.LocalGet(i).I32Const(mA).Op(wasm.OpI32Add).Load(wasm.OpI32Load8U, 0)
+		f.If(wasm.BlockEmpty)
+		// for j = i*i; j < n; j += i   (guard i*i < n)
+		f.LocalGet(i).LocalGet(i).Op(wasm.OpI32Mul).LocalSet(j)
+		f.Block(wasm.BlockEmpty)
+		f.Loop(wasm.BlockEmpty)
+		f.LocalGet(j).I32Const(n).Op(wasm.OpI32GeS).BrIf(1)
+		f.LocalGet(j).I32Const(mA).Op(wasm.OpI32Add)
+		f.I32Const(0)
+		f.Store(wasm.OpI32Store8, 0)
+		f.LocalGet(j).LocalGet(i).Op(wasm.OpI32Add).LocalSet(j)
+		f.Br(0)
+		f.End()
+		f.End()
+		f.End()
+	})
+	k.ForI32(i, 2, n, func() {
+		f.LocalGet(i).I32Const(mA).Op(wasm.OpI32Add).Load(wasm.OpI32Load8U, 0)
+		f.LocalGet(cnt).Op(wasm.OpI32Add).LocalSet(cnt)
+	})
+	f.LocalGet(cnt).Op(wasm.OpI64ExtendI32U)
+	k.Mix()
+}
+
+// osPageRank: power iteration over a hashed synthetic link graph.
+func osPageRank(k *K, nodes, iters int32) {
+	f := k.F
+	i, j, t := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	dst := f.AddLocal(wasm.I32)
+	const deg = 6
+	k.ForI32(i, 0, nodes, func() {
+		k.StoreVec(vX, i, func() { f.F64Const(1) })
+		k.StoreVec(vY, i, func() { f.F64Const(0) })
+	})
+	k.ForI32(t, 0, iters, func() {
+		k.ForI32(i, 0, nodes, func() {
+			k.StoreVec(vY, i, func() { f.F64Const(0.15) })
+		})
+		k.ForI32(i, 0, nodes, func() {
+			k.ForI32(j, 0, deg, func() {
+				f.LocalGet(i).I32Const(-1640531535).Op(wasm.OpI32Mul)
+				f.LocalGet(j).I32Const(193).Op(wasm.OpI32Mul)
+				f.Op(wasm.OpI32Add)
+				f.I32Const(13).Op(wasm.OpI32ShrU)
+				f.I32Const(nodes).Op(wasm.OpI32RemU)
+				f.LocalSet(dst)
+				k.StoreVec(vY, dst, func() {
+					k.LoadVec(vY, dst)
+					k.LoadVec(vX, i)
+					f.F64Const(0.85 / deg).Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Add)
+				})
+			})
+		})
+		k.ForI32(i, 0, nodes, func() {
+			k.StoreVec(vX, i, func() { k.LoadVec(vY, i) })
+		})
+	})
+	k.ChecksumVec(vX, nodes, i)
+}
+
+// osSrad: SRAD-style diffusion stencil with data-dependent coefficients.
+func osSrad(k *K, n, iters int32) {
+	f := k.F
+	i, j, t := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	g2, lap, coef := f.AddLocal(wasm.F64), f.AddLocal(wasm.F64), f.AddLocal(wasm.F64)
+	A, B := Mat{mA, n}, Mat{mB, n}
+	k.InitMat(A, n, i, j)
+	k.ForI32(t, 0, iters, func() {
+		k.ForI32(i, 1, n-1, func() {
+			k.ForI32(j, 1, n-1, func() {
+				// lap = N+S+E+W - 4*c
+				f.LocalGet(i).I32Const(1).Op(wasm.OpI32Sub).I32Const(n).Op(wasm.OpI32Mul)
+				f.LocalGet(j).Op(wasm.OpI32Add)
+				f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+				f.Load(wasm.OpF64Load, 0)
+				f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).I32Const(n).Op(wasm.OpI32Mul)
+				f.LocalGet(j).Op(wasm.OpI32Add)
+				f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+				f.Load(wasm.OpF64Load, 0)
+				f.Op(wasm.OpF64Add)
+				f.LocalGet(i).I32Const(n).Op(wasm.OpI32Mul)
+				f.LocalGet(j).I32Const(1).Op(wasm.OpI32Sub).Op(wasm.OpI32Add)
+				f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+				f.Load(wasm.OpF64Load, 0)
+				f.Op(wasm.OpF64Add)
+				f.LocalGet(i).I32Const(n).Op(wasm.OpI32Mul)
+				f.LocalGet(j).I32Const(1).Op(wasm.OpI32Add).Op(wasm.OpI32Add)
+				f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+				f.Load(wasm.OpF64Load, 0)
+				f.Op(wasm.OpF64Add)
+				k.LoadEl(A, i, j)
+				f.F64Const(4).Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Sub)
+				f.LocalSet(lap)
+				// g2 = (lap/c)^2; coef = 1/(1+g2)
+				f.LocalGet(lap)
+				k.LoadEl(A, i, j)
+				f.F64Const(1e-6).Op(wasm.OpF64Add)
+				f.Op(wasm.OpF64Div)
+				f.LocalSet(g2)
+				f.F64Const(1)
+				f.F64Const(1)
+				f.LocalGet(g2).LocalGet(g2).Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+				f.Op(wasm.OpF64Div)
+				f.LocalSet(coef)
+				k.StoreEl(B, i, j, func() {
+					k.LoadEl(A, i, j)
+					f.LocalGet(coef).LocalGet(lap).Op(wasm.OpF64Mul)
+					f.F64Const(0.125).Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Add)
+				})
+			})
+		})
+		k.ForI32(i, 1, n-1, func() {
+			k.ForI32(j, 1, n-1, func() {
+				k.StoreEl(A, i, j, func() { k.LoadEl(B, i, j) })
+			})
+		})
+	})
+	k.ChecksumMat(A, n, i, j)
+}
+
+// osMonteCarlo: LCG-driven Monte Carlo integration of a disc area.
+func osMonteCarlo(k *K, samples int32) {
+	f := k.F
+	s := f.AddLocal(wasm.I64)
+	i, hits := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	x, y := f.AddLocal(wasm.F64), f.AddLocal(wasm.F64)
+	f.I64Const(88172645463325252).LocalSet(s)
+	next := func(dst uint32) {
+		// s = s*6364136223846793005 + 1442695040888963407; dst = (s>>11)/2^53
+		f.LocalGet(s).I64Const(6364136223846793005).Op(wasm.OpI64Mul)
+		f.I64Const(1442695040888963407).Op(wasm.OpI64Add)
+		f.LocalSet(s)
+		f.LocalGet(s).I64Const(11).Op(wasm.OpI64ShrU)
+		f.Op(wasm.OpF64ConvertI64U)
+		f.F64Const(1.0 / 9007199254740992.0).Op(wasm.OpF64Mul)
+		f.LocalSet(dst)
+	}
+	k.ForI32(i, 0, samples, func() {
+		next(x)
+		next(y)
+		f.LocalGet(x).LocalGet(x).Op(wasm.OpF64Mul)
+		f.LocalGet(y).LocalGet(y).Op(wasm.OpF64Mul)
+		f.Op(wasm.OpF64Add)
+		f.F64Const(1).Op(wasm.OpF64Lt)
+		f.LocalGet(hits).Op(wasm.OpI32Add).LocalSet(hits)
+	})
+	f.LocalGet(hits).Op(wasm.OpI64ExtendI32U)
+	k.Mix()
+}

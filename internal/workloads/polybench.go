@@ -1,0 +1,819 @@
+package workloads
+
+import "wizgo/internal/wasm"
+
+// PolyBench returns the 28 numerical line items mirroring PolyBenchC:
+// dense f64 loop nests over linear memory. Problem sizes are scaled so a
+// line item runs in roughly a millisecond under the interpreter,
+// matching the paper's use of the suite as a code-quality (not
+// throughput) benchmark.
+func PolyBench() []Item {
+	const n = 28 // problem dimension for square kernels
+	items := []Item{
+		gen(SuitePolyBench, "gemm", func(k *K) { pbGemm(k, n) }),
+		gen(SuitePolyBench, "2mm", func(k *K) { pb2mm(k, n) }),
+		gen(SuitePolyBench, "3mm", func(k *K) { pb3mm(k, n) }),
+		gen(SuitePolyBench, "atax", func(k *K) { pbAtax(k, 48) }),
+		gen(SuitePolyBench, "bicg", func(k *K) { pbBicg(k, 48) }),
+		gen(SuitePolyBench, "mvt", func(k *K) { pbMvt(k, 48) }),
+		gen(SuitePolyBench, "gemver", func(k *K) { pbGemver(k, 44) }),
+		gen(SuitePolyBench, "gesummv", func(k *K) { pbGesummv(k, 48) }),
+		gen(SuitePolyBench, "symm", func(k *K) { pbSymm(k, n) }),
+		gen(SuitePolyBench, "syrk", func(k *K) { pbSyrk(k, n) }),
+		gen(SuitePolyBench, "syr2k", func(k *K) { pbSyr2k(k, n) }),
+		gen(SuitePolyBench, "trmm", func(k *K) { pbTrmm(k, n) }),
+		gen(SuitePolyBench, "cholesky", func(k *K) { pbCholesky(k, 36) }),
+		gen(SuitePolyBench, "durbin", func(k *K) { pbDurbin(k, 72) }),
+		gen(SuitePolyBench, "gramschmidt", func(k *K) { pbGramschmidt(k, n) }),
+		gen(SuitePolyBench, "lu", func(k *K) { pbLU(k, 36) }),
+		gen(SuitePolyBench, "ludcmp", func(k *K) { pbLudcmp(k, 36) }),
+		gen(SuitePolyBench, "trisolv", func(k *K) { pbTrisolv(k, 96) }),
+		gen(SuitePolyBench, "correlation", func(k *K) { pbCorrelation(k, n) }),
+		gen(SuitePolyBench, "covariance", func(k *K) { pbCovariance(k, n) }),
+		gen(SuitePolyBench, "floyd-warshall", func(k *K) { pbFloyd(k, 30) }),
+		gen(SuitePolyBench, "nussinov", func(k *K) { pbNussinov(k, 44) }),
+		gen(SuitePolyBench, "doitgen", func(k *K) { pbDoitgen(k, 14) }),
+		gen(SuitePolyBench, "jacobi-1d", func(k *K) { pbJacobi1D(k, 512, 40) }),
+		gen(SuitePolyBench, "jacobi-2d", func(k *K) { pbJacobi2D(k, 26, 12) }),
+		gen(SuitePolyBench, "seidel-2d", func(k *K) { pbSeidel2D(k, 26, 10) }),
+		gen(SuitePolyBench, "fdtd-2d", func(k *K) { pbFdtd2D(k, 24, 10) }),
+		gen(SuitePolyBench, "heat-3d", func(k *K) { pbHeat3D(k, 12, 10) }),
+	}
+	return items
+}
+
+// Matrix bases in the 1 MiB memory (each region 64 KiB apart).
+const (
+	mA = 0x00000
+	mB = 0x10000
+	mC = 0x20000
+	mD = 0x30000
+	mE = 0x40000
+	vX = 0x50000
+	vY = 0x58000
+	vZ = 0x60000
+	vW = 0x68000
+)
+
+// pbGemm: C = alpha*A*B + beta*C.
+func pbGemm(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	A, B, C := Mat{mA, n}, Mat{mB, n}, Mat{mC, n}
+	k.InitMat(A, n, i, j)
+	k.InitMat(B, n, i, j)
+	k.InitMat(C, n, i, j)
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			f.F64Const(0).LocalSet(acc)
+			k.ForI32(l, 0, n, func() {
+				k.LoadEl(A, i, l)
+				k.LoadEl(B, l, j)
+				f.Op(wasm.OpF64Mul)
+				f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+			})
+			k.StoreEl(C, i, j, func() {
+				f.LocalGet(acc).F64Const(1.5).Op(wasm.OpF64Mul)
+				k.LoadEl(C, i, j)
+				f.F64Const(1.2).Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+			})
+		})
+	})
+	k.ChecksumMat(C, n, i, j)
+}
+
+func matmul(k *K, dst, a, b Mat, n int32, i, j, l, acc uint32) {
+	f := k.F
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			f.F64Const(0).LocalSet(acc)
+			k.ForI32(l, 0, n, func() {
+				k.LoadEl(a, i, l)
+				k.LoadEl(b, l, j)
+				f.Op(wasm.OpF64Mul)
+				f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+			})
+			k.StoreEl(dst, i, j, func() { f.LocalGet(acc) })
+		})
+	})
+}
+
+// pb2mm: E = (A*B)*C.
+func pb2mm(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	A, B, C, D := Mat{mA, n}, Mat{mB, n}, Mat{mC, n}, Mat{mD, n}
+	k.InitMat(A, n, i, j)
+	k.InitMat(B, n, i, j)
+	k.InitMat(C, n, i, j)
+	matmul(k, D, A, B, n, i, j, l, acc)
+	E := Mat{mE, n}
+	matmul(k, E, D, C, n, i, j, l, acc)
+	k.ChecksumMat(E, n, i, j)
+}
+
+// pb3mm: G = (A*B)*(C*D).
+func pb3mm(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	A, B, C, D := Mat{mA, n}, Mat{mB, n}, Mat{mC, n}, Mat{mD, n}
+	k.InitMat(A, n, i, j)
+	k.InitMat(B, n, i, j)
+	k.InitMat(C, n, i, j)
+	k.InitMat(D, n, i, j)
+	E, F2, G := Mat{mE, n}, Mat{vX, n}, Mat{vZ, n}
+	matmul(k, E, A, B, n, i, j, l, acc)
+	matmul(k, F2, C, D, n, i, j, l, acc)
+	matmul(k, G, E, F2, n, i, j, l, acc)
+	k.ChecksumMat(G, n, i, j)
+}
+
+// pbAtax: y = A^T (A x).
+func pbAtax(k *K, n int32) {
+	f := k.F
+	i, j := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	A := Mat{mA, n}
+	k.InitMat(A, n, i, j)
+	k.InitVec(vX, n, i)
+	// tmp = A*x
+	k.ForI32(i, 0, n, func() {
+		f.F64Const(0).LocalSet(acc)
+		k.ForI32(j, 0, n, func() {
+			k.LoadEl(A, i, j)
+			k.LoadVec(vX, j)
+			f.Op(wasm.OpF64Mul)
+			f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+		})
+		k.StoreVec(vY, i, func() { f.LocalGet(acc) })
+	})
+	// y = A^T * tmp
+	k.ForI32(j, 0, n, func() {
+		f.F64Const(0).LocalSet(acc)
+		k.ForI32(i, 0, n, func() {
+			k.LoadEl(A, i, j)
+			k.LoadVec(vY, i)
+			f.Op(wasm.OpF64Mul)
+			f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+		})
+		k.StoreVec(vZ, j, func() { f.LocalGet(acc) })
+	})
+	k.ChecksumVec(vZ, n, i)
+}
+
+// pbBicg: q = A p, s = A^T r.
+func pbBicg(k *K, n int32) {
+	f := k.F
+	i, j := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	A := Mat{mA, n}
+	k.InitMat(A, n, i, j)
+	k.InitVec(vX, n, i) // p
+	k.InitVec(vY, n, i) // r
+	k.ForI32(i, 0, n, func() {
+		f.F64Const(0).LocalSet(acc)
+		k.ForI32(j, 0, n, func() {
+			k.LoadEl(A, i, j)
+			k.LoadVec(vX, j)
+			f.Op(wasm.OpF64Mul)
+			f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+		})
+		k.StoreVec(vZ, i, func() { f.LocalGet(acc) })
+	})
+	k.ForI32(j, 0, n, func() {
+		f.F64Const(0).LocalSet(acc)
+		k.ForI32(i, 0, n, func() {
+			k.LoadEl(A, i, j)
+			k.LoadVec(vY, i)
+			f.Op(wasm.OpF64Mul)
+			f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+		})
+		k.StoreVec(vW, j, func() { f.LocalGet(acc) })
+	})
+	k.ChecksumVec(vZ, n, i)
+	k.ChecksumVec(vW, n, i)
+}
+
+// pbMvt: x1 += A y1; x2 += A^T y2.
+func pbMvt(k *K, n int32) {
+	f := k.F
+	i, j := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	A := Mat{mA, n}
+	k.InitMat(A, n, i, j)
+	k.InitVec(vX, n, i)
+	k.InitVec(vY, n, i)
+	k.InitVec(vZ, n, i)
+	k.InitVec(vW, n, i)
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			k.StoreVec(vX, i, func() {
+				k.LoadVec(vX, i)
+				k.LoadEl(A, i, j)
+				k.LoadVec(vZ, j)
+				f.Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+			})
+		})
+	})
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			k.StoreVec(vY, i, func() {
+				k.LoadVec(vY, i)
+				k.LoadEl(A, j, i)
+				k.LoadVec(vW, j)
+				f.Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+			})
+		})
+	})
+	k.ChecksumVec(vX, n, i)
+	k.ChecksumVec(vY, n, i)
+}
+
+// pbGemver: multiple matrix-vector products with rank-2 update.
+func pbGemver(k *K, n int32) {
+	f := k.F
+	i, j := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	A := Mat{mA, n}
+	k.InitMat(A, n, i, j)
+	k.InitVec(vX, n, i) // u1
+	k.InitVec(vY, n, i) // v1
+	k.InitVec(vZ, n, i) // y
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			k.StoreEl(A, i, j, func() {
+				k.LoadEl(A, i, j)
+				k.LoadVec(vX, i)
+				k.LoadVec(vY, j)
+				f.Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+			})
+		})
+	})
+	// x = beta * A^T y
+	k.ForI32(i, 0, n, func() {
+		k.StoreVec(vW, i, func() { f.F64Const(0) })
+		k.ForI32(j, 0, n, func() {
+			k.StoreVec(vW, i, func() {
+				k.LoadVec(vW, i)
+				k.LoadEl(A, j, i)
+				k.LoadVec(vZ, j)
+				f.Op(wasm.OpF64Mul)
+				f.F64Const(1.2).Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+			})
+		})
+	})
+	// w = alpha * A x
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			k.StoreVec(vX, i, func() {
+				k.LoadVec(vX, i)
+				k.LoadEl(A, i, j)
+				k.LoadVec(vW, j)
+				f.Op(wasm.OpF64Mul)
+				f.F64Const(1.5).Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+			})
+		})
+	})
+	k.ChecksumVec(vX, n, i)
+}
+
+// pbGesummv: y = alpha*A*x + beta*B*x.
+func pbGesummv(k *K, n int32) {
+	f := k.F
+	i, j := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	t1, t2 := f.AddLocal(wasm.F64), f.AddLocal(wasm.F64)
+	A, B := Mat{mA, n}, Mat{mB, n}
+	k.InitMat(A, n, i, j)
+	k.InitMat(B, n, i, j)
+	k.InitVec(vX, n, i)
+	k.ForI32(i, 0, n, func() {
+		f.F64Const(0).LocalSet(t1)
+		f.F64Const(0).LocalSet(t2)
+		k.ForI32(j, 0, n, func() {
+			k.LoadEl(A, i, j)
+			k.LoadVec(vX, j)
+			f.Op(wasm.OpF64Mul)
+			f.LocalGet(t1).Op(wasm.OpF64Add).LocalSet(t1)
+			k.LoadEl(B, i, j)
+			k.LoadVec(vX, j)
+			f.Op(wasm.OpF64Mul)
+			f.LocalGet(t2).Op(wasm.OpF64Add).LocalSet(t2)
+		})
+		k.StoreVec(vY, i, func() {
+			f.LocalGet(t1).F64Const(1.5).Op(wasm.OpF64Mul)
+			f.LocalGet(t2).F64Const(1.2).Op(wasm.OpF64Mul)
+			f.Op(wasm.OpF64Add)
+		})
+	})
+	k.ChecksumVec(vY, n, i)
+}
+
+// pbSymm: C = alpha*A*B + beta*C with A symmetric (simplified triangular
+// access pattern).
+func pbSymm(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	A, B, C := Mat{mA, n}, Mat{mB, n}, Mat{mC, n}
+	k.InitMat(A, n, i, j)
+	k.InitMat(B, n, i, j)
+	k.InitMat(C, n, i, j)
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			f.F64Const(0).LocalSet(acc)
+			k.ForI32N(l, i, func() {
+				k.LoadEl(A, i, l)
+				k.LoadEl(B, l, j)
+				f.Op(wasm.OpF64Mul)
+				f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+			})
+			k.StoreEl(C, i, j, func() {
+				k.LoadEl(C, i, j)
+				f.F64Const(1.2).Op(wasm.OpF64Mul)
+				f.LocalGet(acc).F64Const(1.5).Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+				k.LoadEl(B, i, j)
+				k.LoadEl(A, i, i)
+				f.Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+			})
+		})
+	})
+	k.ChecksumMat(C, n, i, j)
+}
+
+// pbSyrk: C = alpha*A*A^T + beta*C.
+func pbSyrk(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	A, C := Mat{mA, n}, Mat{mC, n}
+	k.InitMat(A, n, i, j)
+	k.InitMat(C, n, i, j)
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			f.F64Const(0).LocalSet(acc)
+			k.ForI32(l, 0, n, func() {
+				k.LoadEl(A, i, l)
+				k.LoadEl(A, j, l)
+				f.Op(wasm.OpF64Mul)
+				f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+			})
+			k.StoreEl(C, i, j, func() {
+				k.LoadEl(C, i, j)
+				f.F64Const(1.2).Op(wasm.OpF64Mul)
+				f.LocalGet(acc).F64Const(1.5).Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+			})
+		})
+	})
+	k.ChecksumMat(C, n, i, j)
+}
+
+// pbSyr2k: C = alpha*(A*B^T + B*A^T) + beta*C.
+func pbSyr2k(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	A, B, C := Mat{mA, n}, Mat{mB, n}, Mat{mC, n}
+	k.InitMat(A, n, i, j)
+	k.InitMat(B, n, i, j)
+	k.InitMat(C, n, i, j)
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			f.F64Const(0).LocalSet(acc)
+			k.ForI32(l, 0, n, func() {
+				k.LoadEl(A, i, l)
+				k.LoadEl(B, j, l)
+				f.Op(wasm.OpF64Mul)
+				k.LoadEl(B, i, l)
+				k.LoadEl(A, j, l)
+				f.Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+				f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+			})
+			k.StoreEl(C, i, j, func() {
+				k.LoadEl(C, i, j)
+				f.F64Const(1.2).Op(wasm.OpF64Mul)
+				f.LocalGet(acc).F64Const(1.5).Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Add)
+			})
+		})
+	})
+	k.ChecksumMat(C, n, i, j)
+}
+
+// pbTrmm: B = alpha*A*B with A lower-triangular.
+func pbTrmm(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	A, B := Mat{mA, n}, Mat{mB, n}
+	k.InitMat(A, n, i, j)
+	k.InitMat(B, n, i, j)
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			k.ForI32N(l, i, func() {
+				k.StoreEl(B, i, j, func() {
+					k.LoadEl(B, i, j)
+					k.LoadEl(A, i, l)
+					k.LoadEl(B, l, j)
+					f.Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Add)
+				})
+			})
+		})
+	})
+	k.ChecksumMat(B, n, i, j)
+}
+
+// pbCholesky: in-place Cholesky factorization of a diagonally dominant
+// matrix.
+func pbCholesky(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	A := Mat{mA, n}
+	k.InitMat(A, n, i, j)
+	// Make diagonally dominant: A[i][i] += n.
+	k.ForI32(i, 0, n, func() {
+		k.StoreEl(A, i, i, func() {
+			k.LoadEl(A, i, i)
+			f.F64Const(float64(n)).Op(wasm.OpF64Add)
+		})
+	})
+	k.ForI32(i, 0, n, func() {
+		k.ForI32N(j, i, func() {
+			k.ForI32N(l, j, func() {
+				k.StoreEl(A, i, j, func() {
+					k.LoadEl(A, i, j)
+					k.LoadEl(A, i, l)
+					k.LoadEl(A, j, l)
+					f.Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Sub)
+				})
+			})
+			k.StoreEl(A, i, j, func() {
+				k.LoadEl(A, i, j)
+				k.LoadEl(A, j, j)
+				f.Op(wasm.OpF64Div)
+			})
+		})
+		k.ForI32N(l, i, func() {
+			k.StoreEl(A, i, i, func() {
+				k.LoadEl(A, i, i)
+				k.LoadEl(A, i, l)
+				k.LoadEl(A, i, l)
+				f.Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Sub)
+			})
+		})
+		k.StoreEl(A, i, i, func() {
+			k.LoadEl(A, i, i)
+			f.Op(wasm.OpF64Sqrt)
+		})
+	})
+	k.ChecksumMat(A, n, i, j)
+}
+
+// pbDurbin: Levinson-Durbin recursion (simplified inner structure).
+func pbDurbin(k *K, n int32) {
+	f := k.F
+	i, j := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	alpha, beta, sum := f.AddLocal(wasm.F64), f.AddLocal(wasm.F64), f.AddLocal(wasm.F64)
+	k.InitVec(vX, n, i) // r
+	f.F64Const(1).LocalSet(beta)
+	f.I32Const(0).LocalSet(i)
+	k.LoadVec(vX, i)
+	f.Op(wasm.OpF64Neg).LocalSet(alpha)
+	k.StoreVec(vY, i, func() { f.LocalGet(alpha) })
+	k.ForI32(i, 1, n, func() {
+		// beta = (1 - alpha^2) * beta
+		f.F64Const(1)
+		f.LocalGet(alpha).LocalGet(alpha).Op(wasm.OpF64Mul)
+		f.Op(wasm.OpF64Sub)
+		f.LocalGet(beta).Op(wasm.OpF64Mul).LocalSet(beta)
+		// sum = r[i] + sum_j r[i-j-1]*y[j]
+		f.F64Const(0).LocalSet(sum)
+		k.ForI32N(j, i, func() {
+			f.LocalGet(i).LocalGet(j).Op(wasm.OpI32Sub).I32Const(1).Op(wasm.OpI32Sub)
+			f.I32Const(8).Op(wasm.OpI32Mul).I32Const(vX).Op(wasm.OpI32Add)
+			f.Load(wasm.OpF64Load, 0)
+			k.LoadVec(vY, j)
+			f.Op(wasm.OpF64Mul)
+			f.LocalGet(sum).Op(wasm.OpF64Add).LocalSet(sum)
+		})
+		k.LoadVec(vX, i)
+		f.LocalGet(sum).Op(wasm.OpF64Add)
+		f.Op(wasm.OpF64Neg)
+		f.LocalGet(beta).Op(wasm.OpF64Div)
+		f.LocalSet(alpha)
+		k.StoreVec(vY, i, func() { f.LocalGet(alpha) })
+	})
+	k.ChecksumVec(vY, n, i)
+}
+
+// pbGramschmidt: QR decomposition by modified Gram-Schmidt.
+func pbGramschmidt(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	nrm := f.AddLocal(wasm.F64)
+	A, R, Q := Mat{mA, n}, Mat{mB, n}, Mat{mC, n}
+	k.InitMat(A, n, i, j)
+	k.ForI32(l, 0, n, func() {
+		f.F64Const(0).LocalSet(nrm)
+		k.ForI32(i, 0, n, func() {
+			k.LoadEl(A, i, l)
+			k.LoadEl(A, i, l)
+			f.Op(wasm.OpF64Mul)
+			f.LocalGet(nrm).Op(wasm.OpF64Add).LocalSet(nrm)
+		})
+		k.StoreEl(R, l, l, func() { f.LocalGet(nrm).Op(wasm.OpF64Sqrt) })
+		k.ForI32(i, 0, n, func() {
+			k.StoreEl(Q, i, l, func() {
+				k.LoadEl(A, i, l)
+				k.LoadEl(R, l, l)
+				f.Op(wasm.OpF64Div)
+			})
+		})
+		k.ForI32(j, 0, n, func() {
+			f.LocalGet(j).LocalGet(l).Op(wasm.OpI32GtS)
+			f.If(wasm.BlockEmpty)
+			f.F64Const(0).LocalSet(nrm)
+			k.ForI32(i, 0, n, func() {
+				k.LoadEl(Q, i, l)
+				k.LoadEl(A, i, j)
+				f.Op(wasm.OpF64Mul)
+				f.LocalGet(nrm).Op(wasm.OpF64Add).LocalSet(nrm)
+			})
+			k.StoreEl(R, l, j, func() { f.LocalGet(nrm) })
+			k.ForI32(i, 0, n, func() {
+				k.StoreEl(A, i, j, func() {
+					k.LoadEl(A, i, j)
+					k.LoadEl(Q, i, l)
+					k.LoadEl(R, l, j)
+					f.Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Sub)
+				})
+			})
+			f.End()
+		})
+	})
+	k.ChecksumMat(Q, n, i, j)
+}
+
+// pbLU: in-place LU decomposition.
+func pbLU(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	A := Mat{mA, n}
+	k.InitMat(A, n, i, j)
+	k.ForI32(i, 0, n, func() {
+		k.StoreEl(A, i, i, func() {
+			k.LoadEl(A, i, i)
+			f.F64Const(float64(n)).Op(wasm.OpF64Add)
+		})
+	})
+	k.ForI32(i, 0, n, func() {
+		k.ForI32N(j, i, func() {
+			k.ForI32N(l, j, func() {
+				k.StoreEl(A, i, j, func() {
+					k.LoadEl(A, i, j)
+					k.LoadEl(A, i, l)
+					k.LoadEl(A, l, j)
+					f.Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Sub)
+				})
+			})
+			k.StoreEl(A, i, j, func() {
+				k.LoadEl(A, i, j)
+				k.LoadEl(A, j, j)
+				f.Op(wasm.OpF64Div)
+			})
+		})
+		// j from i to n.
+		f.LocalGet(i).LocalSet(j)
+		f.Block(wasm.BlockEmpty)
+		f.LocalGet(j).I32Const(n).Op(wasm.OpI32GeS).BrIf(0)
+		f.Loop(wasm.BlockEmpty)
+		k.ForI32N(l, i, func() {
+			k.StoreEl(A, i, j, func() {
+				k.LoadEl(A, i, j)
+				k.LoadEl(A, i, l)
+				k.LoadEl(A, l, j)
+				f.Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Sub)
+			})
+		})
+		f.LocalGet(j).I32Const(1).Op(wasm.OpI32Add).LocalTee(j)
+		f.I32Const(n).Op(wasm.OpI32LtS).BrIf(0)
+		f.End()
+		f.End()
+	})
+	k.ChecksumMat(A, n, i, j)
+}
+
+// pbLudcmp: LU + forward/back substitution.
+func pbLudcmp(k *K, n int32) {
+	f := k.F
+	i, j := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	pbLU(k, n)
+	A := Mat{mA, n}
+	k.InitVec(vX, n, i) // b
+	// Forward substitution: y = L\b.
+	k.ForI32(i, 0, n, func() {
+		k.LoadVec(vX, i)
+		f.LocalSet(acc)
+		k.ForI32N(j, i, func() {
+			k.LoadEl(A, i, j)
+			k.LoadVec(vY, j)
+			f.Op(wasm.OpF64Mul)
+			f.LocalGet(acc)
+			f.Op(wasm.OpF64Sub).Op(wasm.OpF64Neg)
+			f.LocalSet(acc)
+		})
+		k.StoreVec(vY, i, func() { f.LocalGet(acc) })
+	})
+	k.ChecksumVec(vY, n, i)
+}
+
+// pbTrisolv: triangular solver.
+func pbTrisolv(k *K, n int32) {
+	f := k.F
+	i, j := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	t := f.AddLocal(wasm.F64)
+	A := Mat{mA, n}
+	k.InitMat(A, n, i, j)
+	k.InitVec(vX, n, i)
+	k.ForI32(i, 0, n, func() {
+		k.LoadVec(vX, i)
+		f.LocalSet(t)
+		k.ForI32N(j, i, func() {
+			f.LocalGet(t)
+			k.LoadEl(A, i, j)
+			k.LoadVec(vY, j)
+			f.Op(wasm.OpF64Mul)
+			f.Op(wasm.OpF64Sub)
+			f.LocalSet(t)
+		})
+		k.StoreVec(vY, i, func() {
+			f.LocalGet(t)
+			k.LoadEl(A, i, i)
+			f.F64Const(1).Op(wasm.OpF64Add)
+			f.Op(wasm.OpF64Div)
+		})
+	})
+	k.ChecksumVec(vY, n, i)
+}
+
+// pbCorrelation: correlation matrix of a data matrix.
+func pbCorrelation(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	D, C := Mat{mA, n}, Mat{mC, n}
+	k.InitMat(D, n, i, j)
+	// mean[j] -> vX; stddev-ish norm -> vY
+	k.ForI32(j, 0, n, func() {
+		f.F64Const(0).LocalSet(acc)
+		k.ForI32(i, 0, n, func() {
+			k.LoadEl(D, i, j)
+			f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+		})
+		k.StoreVec(vX, j, func() {
+			f.LocalGet(acc).F64Const(float64(n)).Op(wasm.OpF64Div)
+		})
+	})
+	k.ForI32(j, 0, n, func() {
+		f.F64Const(0).LocalSet(acc)
+		k.ForI32(i, 0, n, func() {
+			k.LoadEl(D, i, j)
+			k.LoadVec(vX, j)
+			f.Op(wasm.OpF64Sub)
+			k.LoadEl(D, i, j)
+			k.LoadVec(vX, j)
+			f.Op(wasm.OpF64Sub)
+			f.Op(wasm.OpF64Mul)
+			f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+		})
+		k.StoreVec(vY, j, func() {
+			f.LocalGet(acc).Op(wasm.OpF64Sqrt)
+			f.F64Const(1e-9).Op(wasm.OpF64Add)
+		})
+	})
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			f.F64Const(0).LocalSet(acc)
+			k.ForI32(l, 0, n, func() {
+				k.LoadEl(D, l, i)
+				k.LoadVec(vX, i)
+				f.Op(wasm.OpF64Sub)
+				k.LoadEl(D, l, j)
+				k.LoadVec(vX, j)
+				f.Op(wasm.OpF64Sub)
+				f.Op(wasm.OpF64Mul)
+				f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+			})
+			k.StoreEl(C, i, j, func() {
+				f.LocalGet(acc)
+				k.LoadVec(vY, i)
+				k.LoadVec(vY, j)
+				f.Op(wasm.OpF64Mul)
+				f.Op(wasm.OpF64Div)
+			})
+		})
+	})
+	k.ChecksumMat(C, n, i, j)
+}
+
+// pbCovariance: covariance matrix.
+func pbCovariance(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	D, C := Mat{mA, n}, Mat{mC, n}
+	k.InitMat(D, n, i, j)
+	k.ForI32(j, 0, n, func() {
+		f.F64Const(0).LocalSet(acc)
+		k.ForI32(i, 0, n, func() {
+			k.LoadEl(D, i, j)
+			f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+		})
+		k.StoreVec(vX, j, func() {
+			f.LocalGet(acc).F64Const(float64(n)).Op(wasm.OpF64Div)
+		})
+	})
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			f.F64Const(0).LocalSet(acc)
+			k.ForI32(l, 0, n, func() {
+				k.LoadEl(D, l, i)
+				k.LoadVec(vX, i)
+				f.Op(wasm.OpF64Sub)
+				k.LoadEl(D, l, j)
+				k.LoadVec(vX, j)
+				f.Op(wasm.OpF64Sub)
+				f.Op(wasm.OpF64Mul)
+				f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+			})
+			k.StoreEl(C, i, j, func() {
+				f.LocalGet(acc).F64Const(float64(n - 1)).Op(wasm.OpF64Div)
+			})
+		})
+	})
+	k.ChecksumMat(C, n, i, j)
+}
+
+// pbFloyd: Floyd-Warshall all-pairs shortest paths over i32 weights.
+func pbFloyd(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	tmp := f.AddLocal(wasm.I32)
+	// i32 path matrix at mA, row-major, 4-byte elements.
+	addr := func(r, c uint32) {
+		f.LocalGet(r).I32Const(n).Op(wasm.OpI32Mul)
+		f.LocalGet(c).Op(wasm.OpI32Add)
+		f.I32Const(4).Op(wasm.OpI32Mul)
+	}
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			addr(i, j)
+			f.LocalGet(i).I32Const(13).Op(wasm.OpI32Mul)
+			f.LocalGet(j).I32Const(7).Op(wasm.OpI32Mul)
+			f.Op(wasm.OpI32Add)
+			f.I32Const(99).Op(wasm.OpI32RemS)
+			f.I32Const(1).Op(wasm.OpI32Add)
+			f.Store(wasm.OpI32Store, 0)
+		})
+	})
+	k.ForI32(l, 0, n, func() {
+		k.ForI32(i, 0, n, func() {
+			k.ForI32(j, 0, n, func() {
+				// tmp = p[i][l] + p[l][j]
+				addr(i, l)
+				f.Load(wasm.OpI32Load, 0)
+				addr(l, j)
+				f.Load(wasm.OpI32Load, 0)
+				f.Op(wasm.OpI32Add)
+				f.LocalSet(tmp)
+				// if tmp < p[i][j] { p[i][j] = tmp }
+				f.LocalGet(tmp)
+				addr(i, j)
+				f.Load(wasm.OpI32Load, 0)
+				f.Op(wasm.OpI32LtS)
+				f.If(wasm.BlockEmpty)
+				addr(i, j)
+				f.LocalGet(tmp)
+				f.Store(wasm.OpI32Store, 0)
+				f.End()
+			})
+		})
+	})
+	k.ChecksumMem(mA, n*n*4, i)
+}

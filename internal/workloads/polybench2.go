@@ -1,0 +1,396 @@
+package workloads
+
+import "wizgo/internal/wasm"
+
+// pbNussinov: RNA secondary-structure dynamic programming (max-scoring),
+// i32 table with triangular dependencies — the most branch-heavy
+// PolyBench kernel.
+func pbNussinov(k *K, n int32) {
+	f := k.F
+	i, j, l := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	best := f.AddLocal(wasm.I32)
+	tmp := f.AddLocal(wasm.I32)
+	// seq[i] = i*31 % 4 at vX (bytes); table at mA (i32, n x n).
+	k.ForI32(i, 0, n, func() {
+		f.LocalGet(i).I32Const(vX).Op(wasm.OpI32Add)
+		f.LocalGet(i).I32Const(31).Op(wasm.OpI32Mul).I32Const(4).Op(wasm.OpI32RemS)
+		f.Store(wasm.OpI32Store8, 0)
+	})
+	addr := func(r, c uint32) {
+		f.LocalGet(r).I32Const(n).Op(wasm.OpI32Mul)
+		f.LocalGet(c).Op(wasm.OpI32Add)
+		f.I32Const(4).Op(wasm.OpI32Mul)
+		f.I32Const(mA).Op(wasm.OpI32Add)
+	}
+	// for i = n-1 downto 0: for j = i+1 to n-1:
+	f.I32Const(n - 1).LocalSet(i)
+	f.Loop(wasm.BlockEmpty)
+	{
+		f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalSet(j)
+		f.Block(wasm.BlockEmpty)
+		f.LocalGet(j).I32Const(n).Op(wasm.OpI32GeS).BrIf(0)
+		f.Loop(wasm.BlockEmpty)
+		{
+			// best = table[i+1][j-1] + pair(seq[i], seq[j])
+			f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).I32Const(n).Op(wasm.OpI32Mul)
+			f.LocalGet(j).I32Const(1).Op(wasm.OpI32Sub).Op(wasm.OpI32Add)
+			f.I32Const(4).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+			f.Load(wasm.OpI32Load, 0)
+			// pair bonus: (seq[i]+seq[j]) == 3 ? 1 : 0
+			f.LocalGet(i).I32Const(vX).Op(wasm.OpI32Add).Load(wasm.OpI32Load8U, 0)
+			f.LocalGet(j).I32Const(vX).Op(wasm.OpI32Add).Load(wasm.OpI32Load8U, 0)
+			f.Op(wasm.OpI32Add).I32Const(3).Op(wasm.OpI32Eq)
+			f.Op(wasm.OpI32Add)
+			f.LocalSet(best)
+			// splits: best = max(best, table[i][l] + table[l+1][j])
+			f.LocalGet(i).LocalSet(l)
+			f.Block(wasm.BlockEmpty)
+			f.LocalGet(l).LocalGet(j).Op(wasm.OpI32GeS).BrIf(0)
+			f.Loop(wasm.BlockEmpty)
+			{
+				addr(i, l)
+				f.Load(wasm.OpI32Load, 0)
+				f.LocalGet(l).I32Const(1).Op(wasm.OpI32Add).I32Const(n).Op(wasm.OpI32Mul)
+				f.LocalGet(j).Op(wasm.OpI32Add)
+				f.I32Const(4).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+				f.Load(wasm.OpI32Load, 0)
+				f.Op(wasm.OpI32Add)
+				f.LocalSet(tmp)
+				f.LocalGet(tmp).LocalGet(best).Op(wasm.OpI32GtS)
+				f.If(wasm.BlockEmpty)
+				f.LocalGet(tmp).LocalSet(best)
+				f.End()
+				f.LocalGet(l).I32Const(1).Op(wasm.OpI32Add).LocalTee(l)
+				f.LocalGet(j).Op(wasm.OpI32LtS).BrIf(0)
+			}
+			f.End()
+			f.End()
+			addr(i, j)
+			f.LocalGet(best)
+			f.Store(wasm.OpI32Store, 0)
+
+			f.LocalGet(j).I32Const(1).Op(wasm.OpI32Add).LocalTee(j)
+			f.I32Const(n).Op(wasm.OpI32LtS).BrIf(0)
+		}
+		f.End()
+		f.End()
+		f.LocalGet(i).I32Const(1).Op(wasm.OpI32Sub).LocalTee(i)
+		f.I32Const(0).Op(wasm.OpI32GeS).BrIf(0)
+	}
+	f.End()
+	k.ChecksumMem(mA, n*n*4, i)
+}
+
+// pbDoitgen: multi-resolution analysis kernel: A[r][q][p] = sum_s
+// A[r][q][s] * C4[s][p].
+func pbDoitgen(k *K, n int32) {
+	f := k.F
+	r, q, p, s := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	acc := f.AddLocal(wasm.F64)
+	C4 := Mat{mB, n}
+	k.InitMat(C4, n, r, q)
+	// A is n*n*n f64 at mA; sum buffer at vX (n f64).
+	aAddr := func() { // expects r,q,s pattern pushed by caller closure
+	}
+	_ = aAddr
+	// init A
+	k.ForI32(r, 0, n, func() {
+		k.ForI32(q, 0, n, func() {
+			k.ForI32(p, 0, n, func() {
+				f.LocalGet(r).I32Const(n).Op(wasm.OpI32Mul)
+				f.LocalGet(q).Op(wasm.OpI32Add).I32Const(n).Op(wasm.OpI32Mul)
+				f.LocalGet(p).Op(wasm.OpI32Add)
+				f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+				f.LocalGet(r).LocalGet(q).Op(wasm.OpI32Add).LocalGet(p).Op(wasm.OpI32Add)
+				f.I32Const(37).Op(wasm.OpI32RemS)
+				f.Op(wasm.OpF64ConvertI32S)
+				f.F64Const(1.0 / 37.0).Op(wasm.OpF64Mul)
+				f.Store(wasm.OpF64Store, 0)
+			})
+		})
+	})
+	k.ForI32(r, 0, n, func() {
+		k.ForI32(q, 0, n, func() {
+			k.ForI32(p, 0, n, func() {
+				f.F64Const(0).LocalSet(acc)
+				k.ForI32(s, 0, n, func() {
+					f.LocalGet(r).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(q).Op(wasm.OpI32Add).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(s).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					k.LoadEl(C4, s, p)
+					f.Op(wasm.OpF64Mul)
+					f.LocalGet(acc).Op(wasm.OpF64Add).LocalSet(acc)
+				})
+				k.StoreVec(vX, p, func() { f.LocalGet(acc) })
+			})
+			k.ForI32(p, 0, n, func() {
+				f.LocalGet(r).I32Const(n).Op(wasm.OpI32Mul)
+				f.LocalGet(q).Op(wasm.OpI32Add).I32Const(n).Op(wasm.OpI32Mul)
+				f.LocalGet(p).Op(wasm.OpI32Add)
+				f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+				k.LoadVec(vX, p)
+				f.Store(wasm.OpF64Store, 0)
+			})
+		})
+	})
+	k.ChecksumMem(mA, n*n*n*8, r)
+}
+
+// pbJacobi1D: 1-D three-point stencil, tsteps sweeps.
+func pbJacobi1D(k *K, n, tsteps int32) {
+	f := k.F
+	i, t := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	k.InitVec(vX, n, i) // A
+	k.InitVec(vY, n, i) // B
+	k.ForI32(t, 0, tsteps, func() {
+		k.ForI32(i, 1, n-1, func() {
+			k.StoreVec(vY, i, func() {
+				f.LocalGet(i).I32Const(1).Op(wasm.OpI32Sub).I32Const(8).Op(wasm.OpI32Mul)
+				f.I32Const(vX).Op(wasm.OpI32Add).Load(wasm.OpF64Load, 0)
+				k.LoadVec(vX, i)
+				f.Op(wasm.OpF64Add)
+				f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).I32Const(8).Op(wasm.OpI32Mul)
+				f.I32Const(vX).Op(wasm.OpI32Add).Load(wasm.OpF64Load, 0)
+				f.Op(wasm.OpF64Add)
+				f.F64Const(1.0 / 3.0).Op(wasm.OpF64Mul)
+			})
+		})
+		k.ForI32(i, 1, n-1, func() {
+			k.StoreVec(vX, i, func() { k.LoadVec(vY, i) })
+		})
+	})
+	k.ChecksumVec(vX, n, i)
+}
+
+// pbJacobi2D: 2-D five-point stencil.
+func pbJacobi2D(k *K, n, tsteps int32) {
+	f := k.F
+	i, j, t := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	A, B := Mat{mA, n}, Mat{mB, n}
+	k.InitMat(A, n, i, j)
+	k.ForI32(t, 0, tsteps, func() {
+		k.ForI32(i, 1, n-1, func() {
+			k.ForI32(j, 1, n-1, func() {
+				k.StoreEl(B, i, j, func() {
+					k.LoadEl(A, i, j)
+					// A[i][j-1]
+					f.LocalGet(i).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).Op(wasm.OpI32Add).I32Const(1).Op(wasm.OpI32Sub)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					// A[i][j+1]
+					f.LocalGet(i).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).Op(wasm.OpI32Add).I32Const(1).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					// A[i-1][j]
+					f.LocalGet(i).I32Const(1).Op(wasm.OpI32Sub).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					// A[i+1][j]
+					f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					f.F64Const(0.2).Op(wasm.OpF64Mul)
+				})
+			})
+		})
+		k.ForI32(i, 1, n-1, func() {
+			k.ForI32(j, 1, n-1, func() {
+				k.StoreEl(A, i, j, func() { k.LoadEl(B, i, j) })
+			})
+		})
+	})
+	k.ChecksumMat(A, n, i, j)
+}
+
+// pbSeidel2D: Gauss-Seidel in-place 2-D sweep.
+func pbSeidel2D(k *K, n, tsteps int32) {
+	f := k.F
+	i, j, t := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	A := Mat{mA, n}
+	k.InitMat(A, n, i, j)
+	k.ForI32(t, 0, tsteps, func() {
+		k.ForI32(i, 1, n-1, func() {
+			k.ForI32(j, 1, n-1, func() {
+				k.StoreEl(A, i, j, func() {
+					// 5-point average with already-updated neighbors.
+					f.LocalGet(i).I32Const(1).Op(wasm.OpI32Sub).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.LocalGet(i).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).I32Const(1).Op(wasm.OpI32Sub).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					k.LoadEl(A, i, j)
+					f.Op(wasm.OpF64Add)
+					f.LocalGet(i).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).I32Const(1).Op(wasm.OpI32Add).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					f.F64Const(0.2).Op(wasm.OpF64Mul)
+				})
+			})
+		})
+	})
+	k.ChecksumMat(A, n, i, j)
+}
+
+// pbFdtd2D: 2-D finite-difference time-domain (Ex/Ey/Hz fields).
+func pbFdtd2D(k *K, n, tsteps int32) {
+	f := k.F
+	i, j, t := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	Ex, Ey, Hz := Mat{mA, n}, Mat{mB, n}, Mat{mC, n}
+	k.InitMat(Ex, n, i, j)
+	k.InitMat(Ey, n, i, j)
+	k.InitMat(Hz, n, i, j)
+	k.ForI32(t, 0, tsteps, func() {
+		k.ForI32(i, 1, n, func() {
+			k.ForI32(j, 0, n, func() {
+				k.StoreEl(Ey, i, j, func() {
+					k.LoadEl(Ey, i, j)
+					k.LoadEl(Hz, i, j)
+					f.LocalGet(i).I32Const(1).Op(wasm.OpI32Sub).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mC).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Sub)
+					f.F64Const(0.5).Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Sub)
+				})
+			})
+		})
+		k.ForI32(i, 0, n, func() {
+			k.ForI32(j, 1, n, func() {
+				k.StoreEl(Ex, i, j, func() {
+					k.LoadEl(Ex, i, j)
+					k.LoadEl(Hz, i, j)
+					f.LocalGet(i).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).I32Const(1).Op(wasm.OpI32Sub).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mC).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Sub)
+					f.F64Const(0.5).Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Sub)
+				})
+			})
+		})
+		k.ForI32(i, 0, n-1, func() {
+			k.ForI32(j, 0, n-1, func() {
+				k.StoreEl(Hz, i, j, func() {
+					k.LoadEl(Hz, i, j)
+					// 0.7 * (Ex[i][j+1] - Ex[i][j] + Ey[i+1][j] - Ey[i][j])
+					f.LocalGet(i).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).I32Const(1).Op(wasm.OpI32Add).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mA).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					k.LoadEl(Ex, i, j)
+					f.Op(wasm.OpF64Sub)
+					f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).I32Const(n).Op(wasm.OpI32Mul)
+					f.LocalGet(j).Op(wasm.OpI32Add)
+					f.I32Const(8).Op(wasm.OpI32Mul).I32Const(mB).Op(wasm.OpI32Add)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					k.LoadEl(Ey, i, j)
+					f.Op(wasm.OpF64Sub)
+					f.F64Const(0.7).Op(wasm.OpF64Mul)
+					f.Op(wasm.OpF64Sub)
+				})
+			})
+		})
+	})
+	k.ChecksumMat(Hz, n, i, j)
+}
+
+// pbHeat3D: 3-D seven-point heat stencil over an n^3 grid.
+func pbHeat3D(k *K, n, tsteps int32) {
+	f := k.F
+	i, j, l, t := f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32), f.AddLocal(wasm.I32)
+	// A at mA, B at mB, both n^3 f64.
+	addr := func(base int32, di, dj, dl int32) {
+		f.LocalGet(i)
+		if di != 0 {
+			f.I32Const(di).Op(wasm.OpI32Add)
+		}
+		f.I32Const(n).Op(wasm.OpI32Mul)
+		f.LocalGet(j)
+		if dj != 0 {
+			f.I32Const(dj).Op(wasm.OpI32Add)
+		}
+		f.Op(wasm.OpI32Add)
+		f.I32Const(n).Op(wasm.OpI32Mul)
+		f.LocalGet(l)
+		if dl != 0 {
+			f.I32Const(dl).Op(wasm.OpI32Add)
+		}
+		f.Op(wasm.OpI32Add)
+		f.I32Const(8).Op(wasm.OpI32Mul)
+		f.I32Const(base).Op(wasm.OpI32Add)
+	}
+	// init
+	k.ForI32(i, 0, n, func() {
+		k.ForI32(j, 0, n, func() {
+			k.ForI32(l, 0, n, func() {
+				addr(mA, 0, 0, 0)
+				f.LocalGet(i).LocalGet(j).Op(wasm.OpI32Add).LocalGet(l).Op(wasm.OpI32Add)
+				f.I32Const(29).Op(wasm.OpI32RemS)
+				f.Op(wasm.OpF64ConvertI32S)
+				f.F64Const(1.0 / 29.0).Op(wasm.OpF64Mul)
+				f.Store(wasm.OpF64Store, 0)
+			})
+		})
+	})
+	step := func(dst, src int32) {
+		k.ForI32(i, 1, n-1, func() {
+			k.ForI32(j, 1, n-1, func() {
+				k.ForI32(l, 1, n-1, func() {
+					addr(dst, 0, 0, 0)
+					addr(src, 0, 0, 0)
+					f.Load(wasm.OpF64Load, 0)
+					addr(src, -1, 0, 0)
+					f.Load(wasm.OpF64Load, 0)
+					addr(src, 1, 0, 0)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					addr(src, 0, -1, 0)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					addr(src, 0, 1, 0)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					addr(src, 0, 0, -1)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					addr(src, 0, 0, 1)
+					f.Load(wasm.OpF64Load, 0)
+					f.Op(wasm.OpF64Add)
+					f.F64Const(0.125).Op(wasm.OpF64Mul)
+					f.F64Const(0.875).Op(wasm.OpF64Mul) // damping
+					f.Op(wasm.OpF64Add)
+					f.Store(wasm.OpF64Store, 0)
+				})
+			})
+		})
+	}
+	k.ForI32(t, 0, tsteps, func() {
+		step(mB, mA)
+		step(mA, mB)
+	})
+	k.ChecksumMem(mA, n*n*n*8, i)
+}

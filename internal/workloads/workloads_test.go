@@ -1,0 +1,104 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+	"wizgo/internal/workloads"
+)
+
+func TestSuiteSizes(t *testing.T) {
+	if n := len(workloads.PolyBench()); n != 28 {
+		t.Errorf("polybench has %d items, want 28", n)
+	}
+	if n := len(workloads.Libsodium()); n != 39 {
+		t.Errorf("libsodium has %d items, want 39", n)
+	}
+	if n := len(workloads.Ostrich()); n != 11 {
+		t.Errorf("ostrich has %d items, want 11", n)
+	}
+	if n := len(workloads.All()); n != 78 {
+		t.Errorf("total %d items, want 78", n)
+	}
+}
+
+func TestAllItemsValidate(t *testing.T) {
+	for _, it := range workloads.All() {
+		for variant, bytes := range map[string][]byte{"full": it.Bytes, "m0": it.BytesM0} {
+			m, err := wasm.Decode(bytes)
+			if err != nil {
+				t.Fatalf("%s/%s (%s): decode: %v", it.Suite, it.Name, variant, err)
+			}
+			if _, err := validate.Module(m); err != nil {
+				t.Fatalf("%s/%s (%s): validate: %v", it.Suite, it.Name, variant, err)
+			}
+		}
+	}
+}
+
+func TestMnopValidates(t *testing.T) {
+	m, err := wasm.Decode(workloads.Mnop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := validate.Module(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size == 0 {
+		t.Fatal("Mnop has zero size")
+	}
+}
+
+// run executes an item under one configuration and returns its checksum.
+func run(t *testing.T, cfg engine.Config, bytes []byte) int64 {
+	t.Helper()
+	inst, err := engine.New(cfg, nil).Instantiate(bytes)
+	if err != nil {
+		t.Fatalf("%s: instantiate: %v", cfg.Name, err)
+	}
+	if _, err := inst.Call("_start"); err != nil {
+		t.Fatalf("%s: _start: %v", cfg.Name, err)
+	}
+	sum, err := inst.Call("checksum")
+	if err != nil {
+		t.Fatalf("%s: checksum: %v", cfg.Name, err)
+	}
+	return sum[0].I64()
+}
+
+// TestChecksumsAgreeAcrossTiers runs every line item under the
+// interpreter and four structurally different compilers and requires
+// identical checksums — the strongest end-to-end differential test in
+// the repository.
+func TestChecksumsAgreeAcrossTiers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite run is slow")
+	}
+	cfgs := []engine.Config{
+		engines.WizardINT(),
+		engines.WizardSPC(),
+		engines.WasmNowLike(),
+		engines.Wasm3Like(),
+		engines.TurboFanLike(),
+	}
+	for _, it := range workloads.All() {
+		want := run(t, cfgs[0], it.Bytes)
+		if want == 0 {
+			t.Errorf("%s/%s: zero checksum (vacuous workload?)", it.Suite, it.Name)
+		}
+		for _, cfg := range cfgs[1:] {
+			got := run(t, cfg, it.Bytes)
+			if got != want {
+				t.Errorf("%s/%s: %s checksum %#x, interpreter %#x",
+					it.Suite, it.Name, cfg.Name, got, want)
+			}
+		}
+		// m0 must be cheap and leave checksum zero.
+		if m0 := run(t, cfgs[0], it.BytesM0); m0 != 0 {
+			t.Errorf("%s/%s: m0 computed %#x, want 0", it.Suite, it.Name, m0)
+		}
+	}
+}
