@@ -16,6 +16,7 @@
 package wizgo
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -372,6 +373,115 @@ func BenchmarkInterpreterDispatch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkInstantiate quantifies the compile-once / instantiate-many
+// split on a polybench module: "full" pays decode+validate+compile per
+// iteration (the old single-shot Instantiate(bytes) path), "cached"
+// instantiates from a pre-compiled CompiledModule and pays only the
+// link cost. The ratio is the serving amortization factor.
+func BenchmarkInstantiate(b *testing.B) {
+	item := workloads.PolyBench()[0] // gemm
+	cfg := engines.WizardSPC()
+	e := engine.New(cfg, nil)
+
+	// The old path: every load decodes, validates, compiles, and
+	// allocates a fresh value stack, with nothing reused.
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Instantiate(item.Bytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cm, err := e.Compile(item.Bytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst, err := cm.Instantiate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst.Release()
+		}
+	})
+}
+
+// manyFuncModule synthesizes a module with n independent functions of
+// real compile weight (nested control flow, memory traffic, arithmetic
+// chains), the shape that makes per-function compile fan-out pay —
+// workload line items have only two functions each.
+func manyFuncModule(n int) []byte {
+	bb := wasm.NewBuilder()
+	bb.AddMemory(1, 1)
+	for fi := 0; fi < n; fi++ {
+		f := bb.NewFunc(fmt.Sprintf("work%d", fi),
+			wasm.FuncType{Params: []wasm.ValueType{wasm.I64}, Results: []wasm.ValueType{wasm.I64}})
+		acc := f.AddLocal(wasm.I64)
+		tmp := f.AddLocal(wasm.I64)
+		for k := 0; k < 40; k++ {
+			f.LocalGet(acc).LocalGet(0).I64Const(int64(fi*40 + k + 1)).Op(wasm.OpI64Mul)
+			f.Op(wasm.OpI64Add).LocalSet(acc)
+			f.LocalGet(acc).I64Const(int64(k + 3)).Op(wasm.OpI64Shl).LocalSet(tmp)
+			f.LocalGet(acc).LocalGet(tmp).Op(wasm.OpI64Xor).LocalSet(acc)
+			f.LocalGet(acc).I64Const(1).Op(wasm.OpI64And).Op(wasm.OpI64Eqz)
+			f.If(wasm.BlockEmpty)
+			f.LocalGet(acc).I64Const(int64(k)).Op(wasm.OpI64Add).LocalSet(acc)
+			f.End()
+			f.I32Const(int32(k%64)).LocalGet(acc).Store(wasm.OpI64Store, 0)
+			f.I32Const(int32(k%64)).Load(wasm.OpI64Load, 0).LocalGet(acc)
+			f.Op(wasm.OpI64Add).LocalSet(acc)
+		}
+		f.LocalGet(acc)
+		f.End()
+		bb.Export(fmt.Sprintf("work%d", fi), f.Idx)
+	}
+	return bb.Encode()
+}
+
+// BenchmarkCompileParallel measures per-function compile fan-out on a
+// 64-function module: serial (1 worker) vs all cores. The speedup
+// scales with core count; on a single-core host the pool degenerates to
+// serial and the two variants measure the same work.
+func BenchmarkCompileParallel(b *testing.B) {
+	module := manyFuncModule(64)
+	for _, workers := range []int{1, 0} { // 1 = serial, 0 = GOMAXPROCS
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := engines.WizardSPC()
+			cfg.CompileWorkers = workers
+			e := engine.New(cfg, nil)
+			b.SetBytes(int64(len(module)))
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Compile(module); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServiceThroughput runs the harness's serving measurement:
+// compile once, instantiate+run many, reporting compile throughput and
+// the amortization factor as custom metrics.
+func BenchmarkServiceThroughput(b *testing.B) {
+	item := workloads.Ostrich()[3] // crc
+	for i := 0; i < b.N; i++ {
+		s, err := harness.MeasureService(engines.WizardSPC(), item.Bytes, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(s.CompileThroughput(), "compile-MB/s")
+			b.ReportMetric(s.Amortization(), "amortization-x")
+		}
 	}
 }
 

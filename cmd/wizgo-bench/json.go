@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"wizgo/internal/harness"
+)
+
+// Report is the machine-readable form of a wizgo-bench run, written by
+// the -json flag. It feeds the BENCH_*.json perf trajectory: every
+// figure the run produced, plus run metadata so results are comparable
+// across commits.
+type Report struct {
+	Runs    int             `json:"runs"`
+	Suite   string          `json:"suite,omitempty"`
+	Items   int             `json:"items,omitempty"`
+	Figures []FigureResult  `json:"figures"`
+	Service []ServiceResult `json:"service,omitempty"`
+}
+
+// FigureResult is one figure's output: tables carry rows, scatter
+// figures carry points.
+type FigureResult struct {
+	Figure  int               `json:"figure"`
+	Title   string            `json:"title,omitempty"`
+	Columns []string          `json:"columns,omitempty"`
+	Rows    []RowResult       `json:"rows,omitempty"`
+	Points  []harness.SQPoint `json:"points,omitempty"`
+}
+
+// RowResult is one table line.
+type RowResult struct {
+	Label string   `json:"label"`
+	Cells []string `json:"cells"`
+}
+
+// ServiceResult is one compile-once/instantiate-many measurement.
+type ServiceResult struct {
+	Engine               string        `json:"engine"`
+	Item                 string        `json:"item"`
+	Compile              time.Duration `json:"compile_ns"`
+	Instantiate          time.Duration `json:"instantiate_ns"`
+	Main                 time.Duration `json:"main_ns"`
+	CompileThroughputMBs float64       `json:"compile_mb_s"`
+	Amortization         float64       `json:"amortization"`
+}
+
+func (r *Report) addTable(fig int, t *harness.Table) {
+	fr := FigureResult{Figure: fig, Title: t.Title, Columns: t.Columns}
+	for _, row := range t.Rows {
+		fr.Rows = append(fr.Rows, RowResult{Label: row.Label, Cells: row.Cells})
+	}
+	r.Figures = append(r.Figures, fr)
+}
+
+func (r *Report) addPoints(fig int, title string, points []harness.SQPoint) {
+	r.Figures = append(r.Figures, FigureResult{Figure: fig, Title: title, Points: points})
+}
+
+func (r *Report) write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -2,12 +2,17 @@
 //
 // Usage:
 //
-//	wizgo-bench -fig 4 [-runs 5] [-suite polybench] [-items 10]
+//	wizgo-bench -fig 4 [-runs 5] [-suite polybench] [-items 10] [-json out.json]
 //
 // Figures: 3 (feature matrix), 4 (SPC optimization ablations),
 // 5 (value-tag configurations), 6 (probe overhead), 7 (baseline
 // execution shootout), 8 (baseline compile-speed shootout), 9 (baseline
 // SQ-space scatter), 10 (full 18-tier SQ-space).
+//
+// -service additionally measures the compile-once / instantiate-many
+// pipeline (compile throughput and instantiation amortization) for the
+// baseline compilers. -json writes everything the run produced as
+// machine-readable JSON for the perf trajectory.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"wizgo/internal/engines"
 	"wizgo/internal/harness"
 	"wizgo/internal/workloads"
 )
@@ -24,6 +30,9 @@ func main() {
 	runs := flag.Int("runs", 5, "runs per line item (paper: 25)")
 	suite := flag.String("suite", "", "restrict to one suite (polybench, libsodium, ostrich)")
 	items := flag.Int("items", 0, "restrict to first N items per suite (0 = all)")
+	jsonPath := flag.String("json", "", "write figure results as JSON to this path")
+	service := flag.Bool("service", false, "measure compile-once/instantiate-many for the baseline compilers")
+	instances := flag.Int("instances", 8, "instances per module for -service")
 	flag.Parse()
 
 	all := workloads.All()
@@ -52,28 +61,39 @@ func main() {
 		os.Exit(1)
 	}
 
+	report := &Report{Runs: *runs, Suite: *suite, Items: *items}
+
 	run := func(n int) {
 		switch n {
 		case 3:
-			fmt.Print(harness.Figure3().Render())
+			t := harness.Figure3()
+			fmt.Print(t.Render())
+			report.addTable(3, t)
 		case 4:
-			emit(harness.Figure4(all, *runs))
+			t, err := harness.Figure4(all, *runs)
+			emit(report, 4, t, err)
 		case 5:
-			emit(harness.Figure5(all, *runs))
+			t, err := harness.Figure5(all, *runs)
+			emit(report, 5, t, err)
 		case 6:
-			emit(harness.Figure6(all, *runs))
+			t, err := harness.Figure6(all, *runs)
+			emit(report, 6, t, err)
 		case 7:
-			emit(harness.Figure7(all, *runs))
+			t, err := harness.Figure7(all, *runs)
+			emit(report, 7, t, err)
 		case 8:
-			emit(harness.Figure8(all, *runs))
+			t, err := harness.Figure8(all, *runs)
+			emit(report, 8, t, err)
 		case 9:
 			points, err := harness.Figure9(all, *runs)
 			check(err)
 			fmt.Print(harness.RenderSQ("Figure 9: SQ-space of baseline compilers", points))
+			report.addPoints(9, "SQ-space of baseline compilers", points)
 		case 10:
 			points, err := harness.Figure10(all, *runs)
 			check(err)
 			fmt.Print(harness.RenderSQ("Figure 10: SQ-space of 18 execution tiers", points))
+			report.addPoints(10, "SQ-space of 18 execution tiers", points)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %d\n", n)
 			os.Exit(1)
@@ -83,16 +103,54 @@ func main() {
 
 	if *fig != 0 {
 		run(*fig)
-		return
+	} else {
+		for _, n := range []int{3, 4, 5, 6, 7, 8, 9, 10} {
+			run(n)
+		}
 	}
-	for _, n := range []int{3, 4, 5, 6, 7, 8, 9, 10} {
-		run(n)
+
+	if *service {
+		runService(report, all, *instances)
+	}
+
+	if *jsonPath != "" {
+		if err := report.write(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "wizgo-bench: writing json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }
 
-func emit(t *harness.Table, err error) {
+// runService measures the compile-once / instantiate-many shape for the
+// six baseline compilers over the selected items.
+func runService(report *Report, items []workloads.Item, instances int) {
+	fmt.Println("== Service: compile once, instantiate many ==")
+	fmt.Printf("%-14s %-22s %12s %14s %12s %10s\n",
+		"engine", "item", "compile", "instantiate", "MB/s", "amort")
+	for _, cfg := range engines.BaselineShootout() {
+		for _, it := range items {
+			s, err := harness.MeasureService(cfg, it.Bytes, instances)
+			check(err)
+			key := it.Suite + "/" + it.Name
+			fmt.Printf("%-14s %-22s %12v %14v %12.2f %9.0fx\n",
+				cfg.Name, key, s.Compile, s.Instantiate,
+				s.CompileThroughput(), s.Amortization())
+			report.Service = append(report.Service, ServiceResult{
+				Engine: cfg.Name, Item: key,
+				Compile: s.Compile, Instantiate: s.Instantiate, Main: s.Main,
+				CompileThroughputMBs: s.CompileThroughput(),
+				Amortization:         s.Amortization(),
+			})
+		}
+	}
+	fmt.Println()
+}
+
+func emit(report *Report, fig int, t *harness.Table, err error) {
 	check(err)
 	fmt.Print(t.Render())
+	report.addTable(fig, t)
 }
 
 func check(err error) {

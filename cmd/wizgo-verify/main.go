@@ -44,48 +44,67 @@ func main() {
 	for _, it := range items {
 		var want int64
 		for ci, cfg := range cfgs {
-			sum, err := runOne(cfg, it.Bytes)
+			// Compile once per (config, item); both verification runs
+			// below instantiate from the same artifact, so artifact
+			// reuse is itself under differential test.
+			sums, err := runTwice(cfg, it.Bytes)
 			if err != nil {
 				fmt.Printf("FAIL %s on %s/%s: %v\n", cfg.Name, it.Suite, it.Name, err)
 				bad++
 				continue
 			}
+			if sums[0] != sums[1] {
+				fmt.Printf("REUSE MISMATCH %s on %s/%s: %#x != %#x\n",
+					cfg.Name, it.Suite, it.Name, sums[0], sums[1])
+				bad++
+			}
 			if ci == 0 {
-				want = sum
-			} else if sum != want {
-				fmt.Printf("MISMATCH %s on %s/%s: %#x != %#x\n", cfg.Name, it.Suite, it.Name, sum, want)
+				want = sums[0]
+			} else if sums[0] != want {
+				fmt.Printf("MISMATCH %s on %s/%s: %#x != %#x\n", cfg.Name, it.Suite, it.Name, sums[0], want)
 				bad++
 			}
 			// The early-return variant must compile everywhere too and
 			// compute nothing.
-			if m0, err := runOne(cfg, it.BytesM0); err != nil || m0 != 0 {
-				fmt.Printf("M0 FAIL %s on %s/%s: sum %#x err %v\n", cfg.Name, it.Suite, it.Name, m0, err)
+			if m0, err := runTwice(cfg, it.BytesM0); err != nil || m0[0] != 0 || m0[1] != 0 {
+				fmt.Printf("M0 FAIL %s on %s/%s: sums %#x,%#x err %v\n",
+					cfg.Name, it.Suite, it.Name, m0[0], m0[1], err)
 				bad++
 			}
 		}
 	}
-	fmt.Printf("verified %d items x %d configs (plus m0 variants): %d failures\n", len(items), len(cfgs), bad)
+	fmt.Printf("verified %d items x %d configs (plus m0 variants, x2 instances each): %d failures\n",
+		len(items), len(cfgs), bad)
 	if bad > 0 {
 		os.Exit(1)
 	}
 }
 
-func runOne(cfg engine.Config, bytes []byte) (s int64, err error) {
+// runTwice compiles bytes once and runs two fresh instances of the
+// artifact, returning both checksums.
+func runTwice(cfg engine.Config, bytes []byte) (sums [2]int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	inst, err := engine.New(cfg, nil).Instantiate(bytes)
+	cm, err := engine.New(cfg, nil).Compile(bytes)
 	if err != nil {
-		return 0, err
+		return sums, err
 	}
-	if _, err := inst.Call("_start"); err != nil {
-		return 0, err
+	for i := range sums {
+		inst, err := cm.Instantiate()
+		if err != nil {
+			return sums, err
+		}
+		if _, err := inst.Call("_start"); err != nil {
+			return sums, err
+		}
+		res, err := inst.Call("checksum")
+		if err != nil {
+			return sums, err
+		}
+		sums[i] = res[0].I64()
 	}
-	res, err := inst.Call("checksum")
-	if err != nil {
-		return 0, err
-	}
-	return res[0].I64(), nil
+	return sums, nil
 }

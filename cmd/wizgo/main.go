@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	wizgo [-tier wizeng-spc] [-invoke name] [-trace-compile] module.wasm [args...]
+//	wizgo [-tier wizeng-spc] [-invoke name] [-instances N] [-compile-workers N] module.wasm [args...]
+//
+// The module is compiled once (per-function compilation fans out over
+// -compile-workers cores) and then instantiated -instances times from
+// the shared artifact, reporting the compile and instantiate phases
+// separately.
 //
 // Tiers: any name from `wizgo -list`, e.g. wizeng-int, wizeng-spc,
 // wizeng-tiered, v8-liftoff, sm-base, wasmer-base, wazero, wasm-now,
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"wizgo/internal/engine"
 	"wizgo/internal/engines"
@@ -23,23 +29,14 @@ import (
 	"wizgo/internal/wasm"
 )
 
-func tierByName(name string) (engine.Config, bool) {
-	cfgs := engines.SQSpaceTiers()
-	cfgs = append(cfgs, engines.WizardTiered(100))
-	for _, c := range cfgs {
-		if c.Name == name {
-			return c, true
-		}
-	}
-	return engine.Config{}, false
-}
-
 func main() {
 	tier := flag.String("tier", "wizeng-spc", "execution tier")
 	invoke := flag.String("invoke", "_start", "exported function to call")
 	list := flag.Bool("list", false, "list available tiers")
 	disasm := flag.Bool("disasm", false, "print compiled code of the invoked function")
 	branches := flag.Bool("monitor-branches", false, "attach the branch monitor and report after the run")
+	workers := flag.Int("compile-workers", 0, "per-function compile workers (0 = all cores, 1 = serial)")
+	instances := flag.Int("instances", 1, "instantiate the compiled module N times and run each")
 	flag.Parse()
 
 	if *list {
@@ -54,65 +51,94 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg, ok := tierByName(*tier)
+	cfg, ok := engines.ByName(*tier)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "wizgo: unknown tier %q (try -list)\n", *tier)
 		os.Exit(2)
 	}
+	cfg.CompileWorkers = *workers
 	bytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	inst, err := engine.New(cfg, nil).Instantiate(bytes)
+
+	// Compile once; every instance below links against this artifact.
+	t0 := time.Now()
+	cm, err := engine.New(cfg, nil).Compile(bytes)
 	if err != nil {
 		fatal(err)
 	}
+	compileWall := time.Since(t0)
 
-	var mon *monitors.BranchMonitor
-	if *branches {
-		if mon, err = monitors.AttachBranchMonitor(inst); err != nil {
-			fatal(err)
-		}
+	if *instances < 1 {
+		*instances = 1
 	}
 
-	f, ok := inst.RT.FuncByName(*invoke)
+	// Resolve the export and parse arguments once, before any instance
+	// exists: the function type is a property of the compiled module.
+	fidx, ok := cm.Module.ExportedFunc(*invoke)
 	if !ok {
 		fatal(fmt.Errorf("no exported function %q", *invoke))
 	}
+	ftype, err := cm.Module.FuncTypeAt(fidx)
+	if err != nil {
+		fatal(err)
+	}
 	args := make([]wasm.Value, flag.NArg()-1)
 	for i, a := range flag.Args()[1:] {
-		if i >= len(f.Type.Params) {
-			fatal(fmt.Errorf("too many arguments for %s %v", *invoke, f.Type))
+		if i >= len(ftype.Params) {
+			fatal(fmt.Errorf("too many arguments for %s %v", *invoke, ftype))
 		}
-		v, err := parseArg(f.Type.Params[i], a)
+		v, err := parseArg(ftype.Params[i], a)
 		if err != nil {
 			fatal(err)
 		}
 		args[i] = v
 	}
 
-	if *disasm {
-		if code, ok := f.Compiled.(*mach.Code); ok {
-			fmt.Printf("; %s (%s), %d instructions\n%s\n",
-				f.Name, cfg.Name, len(code.Instrs), code.Disassemble())
-		} else {
-			fmt.Fprintf(os.Stderr, "wizgo: %s has no MachCode under tier %s\n", f.Name, cfg.Name)
+	var instantiateWall time.Duration
+	for n := 0; n < *instances; n++ {
+		t1 := time.Now()
+		inst, err := cm.Instantiate()
+		if err != nil {
+			fatal(err)
 		}
-	}
+		instantiateWall += time.Since(t1)
 
-	results, err := inst.CallFunc(f, args...)
-	if err != nil {
-		fatal(err)
+		var mon *monitors.BranchMonitor
+		if *branches {
+			if mon, err = monitors.AttachBranchMonitor(inst); err != nil {
+				fatal(err)
+			}
+		}
+		f := inst.RT.Funcs[fidx]
+
+		if *disasm && n == 0 {
+			if code, ok := f.Compiled.(*mach.Code); ok {
+				fmt.Printf("; %s (%s), %d instructions\n%s\n",
+					f.Name, cfg.Name, len(code.Instrs), code.Disassemble())
+			} else {
+				fmt.Fprintf(os.Stderr, "wizgo: %s has no MachCode under tier %s\n", f.Name, cfg.Name)
+			}
+		}
+
+		results, err := inst.CallFunc(f, args...)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		if mon != nil {
+			fmt.Print(mon.Report(10))
+		}
+		inst.Release() // recycle the value stack for the next instance
 	}
-	for _, r := range results {
-		fmt.Println(r)
-	}
-	if mon != nil {
-		fmt.Print(mon.Report(10))
-	}
-	fmt.Fprintf(os.Stderr, "setup: %v (decode %v, validate %v, compile %v), code %d bytes\n",
-		inst.Timings.Setup(), inst.Timings.Decode, inst.Timings.Validate,
-		inst.Timings.Compile, inst.Timings.CodeBytes)
+	fmt.Fprintf(os.Stderr, "compile: %v (decode %v, validate %v, compile %v), code %d bytes\n",
+		compileWall, cm.Timings.Decode, cm.Timings.Validate,
+		cm.Timings.Compile, cm.Timings.CodeBytes)
+	fmt.Fprintf(os.Stderr, "instantiate: %v total across %d instance(s)\n",
+		instantiateWall, *instances)
 }
 
 func parseArg(t wasm.ValueType, s string) (wasm.Value, error) {

@@ -22,7 +22,13 @@ func main() {
 	fmt.Printf("instrumenting %s/%s (%d bytes)\n\n", item.Suite, item.Name, len(item.Bytes))
 
 	for _, cfg := range []engine.Config{engines.WizardINT(), engines.WizardSPC()} {
-		inst, err := engine.New(cfg, nil).Instantiate(item.Bytes)
+		// Compile once; probes are per-instance state attached after
+		// instantiation, so the shared artifact stays pristine.
+		cm, err := engine.New(cfg, nil).Compile(item.Bytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := cm.Instantiate()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -35,5 +41,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("--- %s (ran in %v) ---\n%s\n", cfg.Name, time.Since(t0), mon.Report(5))
+
+		// A sibling instance of the same artifact runs uninstrumented at
+		// full speed — instrumentation never leaks across instances.
+		plain, err := cm.Instantiate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, err := plain.Call("_start"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    uninstrumented sibling instance ran in %v\n\n", time.Since(t1))
 	}
 }

@@ -45,7 +45,11 @@ func run(cfg engine.Config, mode heap.ScanMode, label string) {
 			return err
 		})
 	cfg.Tags = true
-	inst, err := engine.New(cfg, linker).Instantiate(buildModule())
+	cm, err := engine.New(cfg, linker).Compile(buildModule())
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := cm.Instantiate()
 	if err != nil {
 		log.Fatal(err)
 	}

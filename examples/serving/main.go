@@ -1,0 +1,103 @@
+// Serving example: the deployment shape the compile-once /
+// instantiate-many pipeline exists for. A pool of worker goroutines
+// serves "requests", each of which names one of several modules; every
+// worker compiles through a shared, sharded code cache, so each distinct
+// module is decoded, validated and compiled exactly once (concurrent
+// first requests collapse into a single compilation), and every request
+// after that pays only the instantiation (link) cost.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"wizgo/internal/codecache"
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/workloads"
+)
+
+func main() {
+	cache := codecache.New(codecache.Options{Shards: 16, Capacity: 128})
+	cfg := engines.WizardSPC()
+	cfg.Cache = cache
+	e := engine.New(cfg, nil)
+
+	// The "deployed" modules: a few fast line items from each suite.
+	modules := []workloads.Item{
+		workloads.Ostrich()[3],   // crc
+		workloads.Ostrich()[2],   // bfs
+		workloads.Libsodium()[0], // stream_chacha20
+	}
+
+	const workers = 8
+	const requests = 96
+
+	type result struct {
+		item     string
+		checksum int64
+		latency  time.Duration
+	}
+	results := make([]result, requests)
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := w; r < requests; r += workers {
+				item := modules[r%len(modules)]
+				t1 := time.Now()
+				cm, err := e.Compile(item.Bytes) // cache hit after the first request per module
+				if err != nil {
+					log.Fatal(err)
+				}
+				inst, err := cm.Instantiate()
+				if err != nil {
+					log.Fatal(err)
+				}
+				if _, err := inst.Call("_start"); err != nil {
+					log.Fatal(err)
+				}
+				sum, err := inst.Call("checksum")
+				if err != nil {
+					log.Fatal(err)
+				}
+				inst.Release()
+				results[r] = result{
+					item:     item.Name,
+					checksum: sum[0].I64(),
+					latency:  time.Since(t1),
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	// Every request for the same module must agree.
+	want := map[string]int64{}
+	for _, r := range results {
+		if prev, ok := want[r.item]; ok && prev != r.checksum {
+			log.Fatalf("checksum divergence on %s: %#x != %#x", r.item, r.checksum, prev)
+		}
+		want[r.item] = r.checksum
+	}
+
+	var total time.Duration
+	for _, r := range results {
+		total += r.latency
+	}
+	st := cache.Stats()
+	fmt.Printf("served %d requests over %d modules with %d workers in %v\n",
+		requests, len(modules), workers, wall)
+	fmt.Printf("mean request latency: %v\n", total/time.Duration(requests))
+	fmt.Printf("code cache: %d artifacts, %d hits, %d misses, %d evictions\n",
+		cache.Len(), st.Hits, st.Misses, st.Evictions)
+	fmt.Printf("compiles actually run: %d (one per distinct module+config)\n", st.Misses)
+}

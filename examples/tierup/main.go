@@ -35,7 +35,14 @@ func main() {
 	b.Export("spin", f.Idx)
 
 	cfg := engines.WizardTiered(1000) // tier up after 1000 back-edges
-	inst, err := engine.New(cfg, nil).Instantiate(b.Encode())
+	// Under the tiered (lazy) preset the compiled artifact carries no
+	// code: each instance starts in the interpreter and compiles its own
+	// functions when they get hot.
+	cm, err := engine.New(cfg, nil).Compile(b.Encode())
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := cm.Instantiate()
 	if err != nil {
 		log.Fatal(err)
 	}

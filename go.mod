@@ -1,0 +1,3 @@
+module wizgo
+
+go 1.24

@@ -1,0 +1,249 @@
+// Package codecache is a sharded, content-addressed cache for compiled
+// module artifacts. It exists so a serving deployment can amortize the
+// per-module setup cost the paper's Figure 8 measures: decode, validate
+// and per-function compilation happen once per distinct (module bytes,
+// engine configuration) pair, and every subsequent instantiation pays
+// only the link cost.
+//
+// The cache is safe for concurrent use. Keys are the SHA-256 of the
+// module bytes combined with an engine-configuration fingerprint, so two
+// presets that would emit different code never share an artifact. The
+// key space is split across power-of-two shards, each with its own
+// mutex, so compile-heavy and lookup-heavy goroutines contend only
+// per-shard. Concurrent misses on the same key are collapsed into one
+// compilation (single-flight): the losers block until the winner's
+// artifact is published and then share it.
+package codecache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one cached artifact: a content hash plus the
+// configuration fingerprint of the engine that compiled it.
+type Key struct {
+	Hash   [sha256.Size]byte
+	Config string
+}
+
+// KeyFor builds the cache key for a module under a configuration
+// fingerprint. The fingerprint must capture everything that changes the
+// emitted code (tier, mode, compiler flags); engines derive it from
+// their Config.
+func KeyFor(moduleBytes []byte, config string) Key {
+	return Key{Hash: sha256.Sum256(moduleBytes), Config: config}
+}
+
+// Stats are the cache's monotonic counters. Evictions counts entries
+// dropped to capacity pressure, not explicit invalidation.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// Options configures a Cache.
+type Options struct {
+	// Shards is rounded up to a power of two; 0 means 16.
+	Shards int
+	// Capacity bounds the total number of cached artifacts across all
+	// shards; 0 means 256. When a shard exceeds its slice of the
+	// capacity, its least-recently-used entry is evicted.
+	Capacity int
+}
+
+// Cache is a sharded artifact cache. The zero value is not usable; call
+// New.
+type Cache struct {
+	shards      []shard
+	mask        uint64
+	perShardCap int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	clock     atomic.Uint64 // logical LRU clock, stamped on every touch
+}
+
+type shard struct {
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	inflight map[Key]*flight
+}
+
+type entry struct {
+	value any
+	used  uint64 // last-touch stamp from Cache.clock
+}
+
+type flight struct {
+	wg    sync.WaitGroup
+	value any
+	err   error
+}
+
+// New creates a cache.
+func New(opts Options) *Cache {
+	n := opts.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = 256
+	}
+	perShard := (capacity + pow - 1) / pow
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{
+		shards:      make([]shard, pow),
+		mask:        uint64(pow - 1),
+		perShardCap: perShard,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*entry)
+		c.shards[i].inflight = make(map[Key]*flight)
+	}
+	return c
+}
+
+// shardFor selects a shard from the leading key bytes. The hash is
+// uniform, so the first 8 bytes are as good a shard index as any.
+func (c *Cache) shardFor(k Key) *shard {
+	idx := uint64(k.Hash[0]) | uint64(k.Hash[1])<<8 | uint64(k.Hash[2])<<16 |
+		uint64(k.Hash[3])<<24 | uint64(k.Hash[4])<<32 | uint64(k.Hash[5])<<40 |
+		uint64(k.Hash[6])<<48 | uint64(k.Hash[7])<<56
+	// Fold the config fingerprint in so the same module under two
+	// presets can land on different shards.
+	for i := 0; i < len(k.Config); i++ {
+		idx = idx*31 + uint64(k.Config[i])
+	}
+	return &c.shards[idx&c.mask]
+}
+
+// Get returns the cached artifact for k, if present.
+func (c *Cache) Get(k Key) (any, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if ok {
+		e.used = c.clock.Add(1)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return e.value, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores an artifact under k, evicting the shard's least-recently
+// used entry if the shard is at capacity.
+func (c *Cache) Put(k Key, v any) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	c.putLocked(s, k, v)
+	s.mu.Unlock()
+}
+
+func (c *Cache) putLocked(s *shard, k Key, v any) {
+	if _, exists := s.entries[k]; !exists && len(s.entries) >= c.perShardCap {
+		var victim Key
+		oldest := uint64(1<<64 - 1)
+		for kk, e := range s.entries {
+			if e.used < oldest {
+				oldest = e.used
+				victim = kk
+			}
+		}
+		delete(s.entries, victim)
+		c.evictions.Add(1)
+	}
+	s.entries[k] = &entry{value: v, used: c.clock.Add(1)}
+}
+
+// GetOrAdd returns the artifact for k, building it with build on a miss.
+// Concurrent callers missing on the same key run build exactly once and
+// share its result; a build error (or panic, converted to an error) is
+// returned to every waiter and nothing is cached, so a later call
+// retries.
+func (c *Cache) GetOrAdd(k Key, build func() (any, error)) (v any, err error) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		e.used = c.clock.Add(1)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.value, nil
+	}
+	if fl, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		c.hits.Add(1) // a collapsed miss costs one compile fleet-wide: count as hit
+		fl.wg.Wait()
+		return fl.value, fl.err
+	}
+	fl := &flight{}
+	fl.wg.Add(1)
+	s.inflight[k] = fl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	// The cleanup must run even if build panics (compiler bugs surface
+	// as panics): a leaked inflight entry would block every future
+	// compile of this key forever. The panic is converted into an error
+	// so the caller and all collapsed waiters observe the same failure.
+	defer func() {
+		if r := recover(); r != nil {
+			fl.value, fl.err = nil, fmt.Errorf("codecache: build panicked: %v", r)
+		}
+		s.mu.Lock()
+		delete(s.inflight, k)
+		if fl.err == nil {
+			c.putLocked(s, k, fl.value)
+		}
+		s.mu.Unlock()
+		fl.wg.Done()
+		v, err = fl.value, fl.err
+	}()
+	fl.value, fl.err = build()
+	return fl.value, fl.err
+}
+
+// Invalidate drops the artifact for k, reporting whether it was present.
+func (c *Cache) Invalidate(k Key) bool {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	_, ok := s.entries[k]
+	delete(s.entries, k)
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

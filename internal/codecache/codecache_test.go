@@ -1,0 +1,194 @@
+package codecache_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wizgo/internal/codecache"
+)
+
+func TestGetPut(t *testing.T) {
+	c := codecache.New(codecache.Options{})
+	k := codecache.KeyFor([]byte("module-a"), "wizeng-spc")
+
+	if _, ok := c.Get(k); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put(k, "artifact")
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "artifact" {
+		t.Fatalf("get after put: %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss 1 hit", st)
+	}
+}
+
+func TestKeySeparatesConfigs(t *testing.T) {
+	c := codecache.New(codecache.Options{})
+	bytes := []byte("same module")
+	kSPC := codecache.KeyFor(bytes, "wizeng-spc")
+	kINT := codecache.KeyFor(bytes, "wizeng-int")
+	if kSPC == kINT {
+		t.Fatal("different configs produced the same key")
+	}
+	c.Put(kSPC, "spc-code")
+	if _, ok := c.Get(kINT); ok {
+		t.Error("config fingerprint not part of the lookup")
+	}
+}
+
+func TestEviction(t *testing.T) {
+	// One shard with capacity 4: after filling it, refreshing key 0 and
+	// inserting 3 fresh keys must evict exactly keys 1..3 (the LRU ones).
+	c := codecache.New(codecache.Options{Shards: 1, Capacity: 4})
+	keys := make([]codecache.Key, 7)
+	for i := range keys {
+		keys[i] = codecache.KeyFor([]byte{byte(i)}, "cfg")
+	}
+	for i := 0; i < 4; i++ {
+		c.Put(keys[i], i)
+	}
+	c.Get(keys[0]) // refresh key 0 so it is not an LRU victim
+	for i := 4; i < 7; i++ {
+		c.Put(keys[i], i)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want 4", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3", st.Evictions)
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := c.Get(keys[i]); ok {
+			t.Errorf("LRU entry %d survived past capacity", i)
+		}
+	}
+}
+
+func TestGetOrAddSingleFlight(t *testing.T) {
+	c := codecache.New(codecache.Options{})
+	k := codecache.KeyFor([]byte("hot module"), "cfg")
+
+	var builds atomic.Int32
+	var wg sync.WaitGroup
+	const goroutines = 32
+	results := make([]any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := c.GetOrAdd(k, func() (any, error) {
+				builds.Add(1)
+				return "built", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times, want 1 (single-flight)", n)
+	}
+	for g, v := range results {
+		if v.(string) != "built" {
+			t.Fatalf("goroutine %d got %v", g, v)
+		}
+	}
+}
+
+func TestGetOrAddErrorNotCached(t *testing.T) {
+	c := codecache.New(codecache.Options{})
+	k := codecache.KeyFor([]byte("bad module"), "cfg")
+	boom := errors.New("compile failed")
+
+	if _, err := c.GetOrAdd(k, func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	v, err := c.GetOrAdd(k, func() (any, error) { return "ok now", nil })
+	if err != nil || v.(string) != "ok now" {
+		t.Fatalf("retry after error: %v, %v", v, err)
+	}
+}
+
+func TestGetOrAddBuildPanic(t *testing.T) {
+	// A panicking build must not leak the in-flight entry: the caller
+	// gets an error, nothing is cached, and a later call retries.
+	c := codecache.New(codecache.Options{})
+	k := codecache.KeyFor([]byte("panicky"), "cfg")
+
+	_, err := c.GetOrAdd(k, func() (any, error) { panic("compiler bug") })
+	if err == nil {
+		t.Fatal("panicking build returned no error")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.GetOrAdd(k, func() (any, error) { return "recovered", nil })
+		if err != nil || v.(string) != "recovered" {
+			t.Errorf("retry after panic: %v, %v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry after panic deadlocked on a leaked in-flight entry")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := codecache.New(codecache.Options{})
+	k := codecache.KeyFor([]byte("m"), "cfg")
+	c.Put(k, 1)
+	if !c.Invalidate(k) {
+		t.Error("invalidate reported absent for a present key")
+	}
+	if _, ok := c.Get(k); ok {
+		t.Error("entry survived invalidation")
+	}
+	if c.Invalidate(k) {
+		t.Error("double invalidation reported present")
+	}
+}
+
+func TestConcurrentMixedOperations(t *testing.T) {
+	// Hammer all operations from many goroutines; correctness here is
+	// "no race, no panic, bounded size" (run under -race in CI).
+	c := codecache.New(codecache.Options{Shards: 8, Capacity: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := codecache.KeyFor([]byte(fmt.Sprintf("m%d", i%97)), "cfg")
+				switch i % 4 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.Get(k)
+				case 2:
+					if _, err := c.GetOrAdd(k, func() (any, error) { return i, nil }); err != nil {
+						t.Error(err)
+					}
+				case 3:
+					c.Invalidate(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("cache grew past capacity: %d", c.Len())
+	}
+}

@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wizgo/internal/codecache"
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+// CompiledModule is the immutable product of Engine.Compile: the decoded
+// module, its validation metadata, and (in eager JIT modes) the compiled
+// code of every local function. It is safe to share between goroutines
+// and to instantiate any number of times — the compile-once /
+// instantiate-many split that lets a serving deployment amortize the
+// per-module setup cost the paper's Figure 8 measures. Mutable
+// per-instance state (memories, globals, tables, value stacks, probe
+// sets, lazily compiled code) lives on the Instance; the only mutable
+// field of compiled code, the invalidation flag, is copied per instance
+// at link time (see mach.Code.InstanceView).
+//
+// Compilation always runs without probes: instrumentation is a
+// per-instance concern, so Instance.AttachProbe recompiles the affected
+// function privately and never touches the shared artifact.
+type CompiledModule struct {
+	engine *Engine
+
+	// Module is the decoded module. Read-only after Compile.
+	Module *wasm.Module
+	// Infos is the per-local-function validation metadata. Read-only.
+	Infos []validate.FuncInfo
+	// Codes holds compiled code per local function (index-aligned with
+	// Module.Funcs). Nil in interpreter mode and under lazy compilation,
+	// where functions compile per instance on first call.
+	Codes []Code
+	// Timings records the one-time setup cost: decode, validate, and
+	// the wall-clock time of the (possibly parallel) compile phase.
+	Timings Timings
+}
+
+// Engine returns the engine this module was compiled under.
+func (cm *CompiledModule) Engine() *Engine { return cm.engine }
+
+// Fingerprint returns the cache identity of a configuration: everything
+// that changes the emitted code must appear here, so two presets never
+// share a cached artifact. The tier is rendered with %#v so its
+// concrete type and every compilation flag it carries (e.g. an SPC
+// feature set) participate, guarding ad-hoc configurations that reuse a
+// preset name with different flags.
+func (cfg Config) Fingerprint() string {
+	tier := "none"
+	if cfg.Tier != nil {
+		tier = fmt.Sprintf("%s %#v", cfg.Tier.Name(), cfg.Tier)
+	}
+	return fmt.Sprintf("%s|%s|%s|lazy=%v|tags=%v|skipv=%v",
+		cfg.Name, cfg.Mode, tier, cfg.LazyCompile, cfg.Tags, cfg.SkipValidation)
+}
+
+// Compile decodes, validates, and (in eager JIT modes) compiles every
+// function of a module exactly once, returning a reusable artifact.
+// When the engine is configured with a code cache, the artifact is
+// memoized by content hash and configuration fingerprint, and concurrent
+// compiles of the same module collapse into one.
+func (e *Engine) Compile(bytes []byte) (*CompiledModule, error) {
+	if e.cfg.Cache == nil {
+		return e.compile(bytes)
+	}
+	key := codecache.KeyFor(bytes, e.cfg.Fingerprint())
+	v, err := e.cfg.Cache.GetOrAdd(key, func() (any, error) {
+		return e.compile(bytes)
+	})
+	if err != nil {
+		return nil, err
+	}
+	cm := v.(*CompiledModule)
+	if cm.engine != e {
+		// A different engine (same configuration) compiled this
+		// artifact. Re-bind so Instantiate links against our linker.
+		bound := *cm
+		bound.engine = e
+		return &bound, nil
+	}
+	return cm, nil
+}
+
+// compile is the uncached compile pipeline.
+func (e *Engine) compile(bytes []byte) (*CompiledModule, error) {
+	t0 := time.Now()
+	m, err := wasm.Decode(bytes)
+	if err != nil {
+		return nil, err
+	}
+	tDecode := time.Since(t0)
+
+	t1 := time.Now()
+	infos, err := validate.Module(m)
+	if err != nil {
+		return nil, err
+	}
+	tValidate := time.Since(t1)
+
+	cm := &CompiledModule{
+		engine: e, Module: m, Infos: infos,
+		Timings: Timings{
+			Decode: tDecode, Validate: tValidate, ModuleBytes: len(bytes),
+		},
+	}
+
+	if e.cfg.Mode != ModeInterp && !e.cfg.LazyCompile {
+		t2 := time.Now()
+		codes, err := e.compileAll(m, infos)
+		if err != nil {
+			return nil, err
+		}
+		cm.Codes = codes
+		cm.Timings.Compile = time.Since(t2)
+		for _, c := range codes {
+			cm.Timings.CodeBytes += c.Bytes()
+		}
+	}
+	return cm, nil
+}
+
+// compileAll runs the tier over every local function. Functions are
+// independent compilation units (the property Copy-and-Patch and Druid
+// exploit), so the work fans out over a bounded worker pool sized by
+// Config.CompileWorkers. Compilation sees no probe sets — those are
+// per-instance — which is what makes the fan-out safe.
+func (e *Engine) compileAll(m *wasm.Module, infos []validate.FuncInfo) ([]Code, error) {
+	n := len(m.Funcs)
+	codes := make([]Code, n)
+	imported := m.NumImportedFuncs()
+
+	compileOne := func(i int) (Code, error) {
+		return e.cfg.Tier.Compile(m, uint32(imported+i), &m.Funcs[i], &infos[i], nil)
+	}
+
+	workers := e.cfg.CompileWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			code, err := compileOne(i)
+			if err != nil {
+				return nil, err
+			}
+			codes[i] = code
+		}
+		return codes, nil
+	}
+
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		firstI  = n
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				code, err := compileOne(i)
+				if err != nil {
+					// Every claimed index is compiled even after a
+					// failure (errors are rare and compilation is
+					// cheap), so the surviving error is always the
+					// lowest-index one — exactly what serial
+					// compilation reports.
+					mu.Lock()
+					if i < firstI {
+						firstI, firstEr = i, err
+					}
+					mu.Unlock()
+					continue
+				}
+				codes[i] = code
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return codes, nil
+}
+
+// Instantiate links a fresh instance of the compiled module: resolve
+// imports, allocate memory/tables/globals and a value stack, install
+// per-instance views of the shared code, and run the start function.
+// This is the only per-instance cost — the artifact itself is never
+// touched, so any number of goroutines may instantiate concurrently.
+func (cm *CompiledModule) Instantiate() (*Instance, error) {
+	inst, err := cm.engine.link(cm.Module, cm.Infos)
+	if err != nil {
+		return nil, err
+	}
+	inst.Timings = cm.Timings
+
+	if cm.Codes != nil {
+		imported := cm.Module.NumImportedFuncs()
+		for i, code := range cm.Codes {
+			if code == nil {
+				continue
+			}
+			inst.RT.Funcs[imported+i].Compiled = instanceCode(code)
+		}
+	}
+
+	if cm.Module.HasStart {
+		if err := inst.CallIdx(cm.Module.Start); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// instanceViewer is implemented by code objects that carry mutable
+// execution state (today: the invalidation flag) and can produce a
+// per-instance view of themselves. Code types that are immutable after
+// compilation are shared between instances directly.
+type instanceViewer interface{ InstanceView() any }
+
+func instanceCode(code Code) any {
+	if v, ok := code.(instanceViewer); ok {
+		return v.InstanceView()
+	}
+	return code
+}

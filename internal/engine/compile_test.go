@@ -1,0 +1,453 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+
+	"wizgo/internal/codecache"
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/mach"
+	"wizgo/internal/monitors"
+	"wizgo/internal/spc"
+	"wizgo/internal/wasm"
+	"wizgo/internal/workloads"
+)
+
+// corpus returns a few workload modules spanning the three suites, kept
+// small so -race runs stay fast.
+func corpus() []workloads.Item {
+	return []workloads.Item{
+		workloads.PolyBench()[0],
+		workloads.Libsodium()[0],
+		workloads.Ostrich()[3],
+	}
+}
+
+// counterModule builds a module with a memory-backed counter so that
+// instance-state isolation is observable: bump() increments a cell and
+// returns the new value.
+func counterModule() []byte {
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	f := b.NewFunc("bump", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+	f.I32Const(0)
+	f.I32Const(0).Load(wasm.OpI32Load, 0)
+	f.I32Const(1).Op(wasm.OpI32Add)
+	f.Store(wasm.OpI32Store, 0)
+	f.I32Const(0).Load(wasm.OpI32Load, 0)
+	f.End()
+	b.Export("bump", f.Idx)
+	return b.Encode()
+}
+
+func TestCompileOnceInstantiateMany(t *testing.T) {
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(counterModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Timings.CodeBytes == 0 || len(cm.Codes) != 1 {
+		t.Fatalf("compile artifact incomplete: %d codes, %d code bytes",
+			len(cm.Codes), cm.Timings.CodeBytes)
+	}
+
+	// Each instance must own its memory: counters advance independently.
+	a, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		got, err := a.Call("bump")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].I32() != int32(i) {
+			t.Fatalf("instance a bump %d = %d", i, got[0].I32())
+		}
+	}
+	got, err := b.Call("bump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].I32() != 1 {
+		t.Fatalf("instance b saw instance a's memory: bump = %d", got[0].I32())
+	}
+}
+
+func TestInstantiateChecksumMatchesSingleShot(t *testing.T) {
+	// The two-phase path must compute exactly what the single-shot path
+	// computes, for every workload in the corpus.
+	for _, it := range corpus() {
+		e := engine.New(engines.WizardSPC(), nil)
+		single, err := e.Instantiate(it.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := single.Call("_start"); err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.Call("checksum")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cm, err := e.Compile(it.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 2; round++ {
+			inst, err := cm.Instantiate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := inst.Call("_start"); err != nil {
+				t.Fatal(err)
+			}
+			got, err := inst.Call("checksum")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0].I64() != want[0].I64() {
+				t.Errorf("%s/%s round %d: checksum %#x != %#x",
+					it.Suite, it.Name, round, got[0].I64(), want[0].I64())
+			}
+		}
+	}
+}
+
+func TestParallelCompileMatchesSerial(t *testing.T) {
+	// Per-function compilation must be order- and
+	// concurrency-insensitive: the same code comes out of 1 worker and
+	// 8 workers.
+	for _, it := range corpus() {
+		serialCfg := engines.WizardSPC()
+		serialCfg.CompileWorkers = 1
+		parallelCfg := engines.WizardSPC()
+		parallelCfg.CompileWorkers = 8
+
+		serial, err := engine.New(serialCfg, nil).Compile(it.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := engine.New(parallelCfg, nil).Compile(it.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial.Codes) != len(parallel.Codes) {
+			t.Fatalf("%s: code count %d != %d", it.Name, len(serial.Codes), len(parallel.Codes))
+		}
+		if serial.Timings.CodeBytes != parallel.Timings.CodeBytes {
+			t.Errorf("%s: total code bytes %d != %d",
+				it.Name, serial.Timings.CodeBytes, parallel.Timings.CodeBytes)
+		}
+		for i := range serial.Codes {
+			s := serial.Codes[i].(*mach.Code)
+			p := parallel.Codes[i].(*mach.Code)
+			if len(s.Instrs) != len(p.Instrs) || s.CodeBytes != p.CodeBytes {
+				t.Errorf("%s func %d: serial %d instrs/%d bytes, parallel %d instrs/%d bytes",
+					it.Name, i, len(s.Instrs), s.CodeBytes, len(p.Instrs), p.CodeBytes)
+			}
+		}
+	}
+}
+
+func TestConcurrentCompile(t *testing.T) {
+	// Many goroutines compiling the whole corpus on one engine: exercised
+	// under -race in CI. Each compile is independent; results must be
+	// complete every time.
+	e := engine.New(engines.WizardSPC(), nil)
+	items := corpus()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, it := range items {
+				cm, err := e.Compile(it.Bytes)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i, c := range cm.Codes {
+					if c == nil {
+						t.Errorf("%s: func %d not compiled", it.Name, i)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentInstantiateAndCall(t *testing.T) {
+	// One CompiledModule, many goroutines instantiating and running
+	// concurrently — the serving shape. Checksums must all agree.
+	item := workloads.Ostrich()[3] // crc: fast
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(item.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Call("_start"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Call("checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 3; r++ {
+				inst, err := cm.Instantiate()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := inst.Call("_start"); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := inst.Call("checksum")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got[0].I64() != want[0].I64() {
+					t.Errorf("checksum %#x != %#x", got[0].I64(), want[0].I64())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCompileCacheHitsAndRebinding(t *testing.T) {
+	cache := codecache.New(codecache.Options{})
+	cfg := engines.WizardSPC()
+	cfg.Cache = cache
+	item := workloads.Ostrich()[3]
+
+	e1 := engine.New(cfg, nil)
+	cm1, err := e1.Compile(item.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm2, err := e1.Compile(item.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm1 != cm2 {
+		t.Error("same engine, same bytes: expected the identical cached artifact")
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats after two compiles = %+v, want 1 miss 1 hit", st)
+	}
+
+	// A second engine with the same configuration shares the artifact
+	// but gets it re-bound, so instantiation uses its own linker.
+	e2 := engine.New(cfg, nil)
+	cm3, err := e2.Compile(item.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm3 == cm1 {
+		t.Error("artifact not re-bound to the second engine")
+	}
+	if cm3.Engine() != e2 {
+		t.Error("re-bound artifact does not reference the compiling engine")
+	}
+	if cm3.Codes[0] != cm1.Codes[0] {
+		t.Error("re-bound artifact should share the compiled code")
+	}
+
+	// A different configuration must never share the artifact.
+	other := engines.LiftoffLike()
+	other.Cache = cache
+	if _, err := engine.New(other, nil).Compile(item.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache has %d artifacts, want 2 (one per configuration)", cache.Len())
+	}
+
+	inst, err := cm3.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Call("_start"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintSeparatesTierFlags(t *testing.T) {
+	// Two configs sharing Name and tier name but differing in a single
+	// compiler flag must never share a cached artifact.
+	a := engines.SPCVariant("same", func(c *spc.Config) {})
+	b := engines.SPCVariant("same", func(c *spc.Config) { c.ConstFold = false })
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("configs with different tier flags share fingerprint %q", a.Fingerprint())
+	}
+	if a.Fingerprint() != engines.SPCVariant("same", func(c *spc.Config) {}).Fingerprint() {
+		t.Error("identical configs should share a fingerprint")
+	}
+}
+
+func TestProbeIsolationBetweenInstances(t *testing.T) {
+	// Attaching a monitor to one instance must not deoptimize or
+	// instrument a sibling instance sharing the same CompiledModule.
+	item := workloads.Ostrich()[3]
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(item.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mon, err := monitors.AttachBranchMonitor(probed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The shared artifact must still be valid even though the probed
+	// instance invalidated its private view during recompilation.
+	for _, code := range cm.Codes {
+		if code.(*mach.Code).Invalidated {
+			t.Fatal("probe attach invalidated the shared compiled module")
+		}
+	}
+
+	plain.Ctx.CountStats = true
+	if _, err := plain.Call("_start"); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Ctx.Stats.ProbeFires != 0 {
+		t.Errorf("unprobed instance fired %d probes", plain.Ctx.Stats.ProbeFires)
+	}
+	if plain.Ctx.Stats.MachOps == 0 {
+		t.Error("unprobed instance did not run compiled code")
+	}
+
+	if _, err := probed.Call("_start"); err != nil {
+		t.Fatal(err)
+	}
+	if mon.TotalFires() == 0 {
+		t.Error("probed instance fired no probes")
+	}
+}
+
+func TestConcurrentCachedCompileSingleFlight(t *testing.T) {
+	// Hammer one engine+cache with concurrent compiles of the same
+	// corpus: exactly one compilation per (module, config) must happen.
+	cache := codecache.New(codecache.Options{})
+	cfg := engines.WizardSPC()
+	cfg.Cache = cache
+	e := engine.New(cfg, nil)
+	items := corpus()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, it := range items {
+				if _, err := e.Compile(it.Bytes); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := cache.Stats(); st.Misses != uint64(len(items)) {
+		t.Errorf("misses = %d, want %d (one real compile per module)",
+			cache.Stats().Misses, len(items))
+	}
+}
+
+func TestReleaseRecyclesStacks(t *testing.T) {
+	// Released stacks are reused dirty; correctness must not depend on
+	// zeroed slots. Run a real workload through many instantiate →
+	// run → release cycles and demand stable checksums.
+	item := workloads.Ostrich()[3]
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(item.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := 0; i < 5; i++ {
+		inst, err := cm.Instantiate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inst.Call("_start"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := inst.Call("checksum")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = got[0].I64()
+		} else if got[0].I64() != want {
+			t.Fatalf("cycle %d: checksum %#x != %#x on a recycled stack", i, got[0].I64(), want)
+		}
+		inst.Release()
+		inst.Release() // double release must be a no-op
+	}
+}
+
+func TestLazyTierCompilesPerInstance(t *testing.T) {
+	// Under lazy compilation the artifact carries no code; each instance
+	// compiles privately on first call, and instances stay independent.
+	e := engine.New(engines.WizardTiered(100), nil)
+	cm, err := e.Compile(counterModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Codes != nil {
+		t.Fatal("lazy configuration should not compile eagerly")
+	}
+	a, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Call("bump"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := b.Call("bump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].I32() != 1 {
+		t.Fatalf("lazy instances share state: bump = %d", got[0].I32())
+	}
+}

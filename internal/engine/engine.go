@@ -4,12 +4,24 @@
 // compiler, optimizing compiler), and performs tier-up (OSR) and
 // tier-down (deopt) by rewriting execution frames on the shared value
 // stack — the integration story of the paper's Section IV.
+//
+// Module setup is a two-phase pipeline. Engine.Compile performs the
+// per-module work — decode, validate, per-function tier compilation
+// (fanned out over a worker pool) — once, yielding an immutable,
+// goroutine-safe CompiledModule. CompiledModule.Instantiate then only
+// links imports, allocates memories/tables/globals and a value stack,
+// and runs the start function, so one compiled artifact serves many
+// concurrent instances. Engine.Instantiate composes the two for callers
+// that load a module exactly once, and a codecache.Cache plugged into
+// Config memoizes Compile across engines of the same configuration.
 package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"wizgo/internal/codecache"
 	"wizgo/internal/interp"
 	"wizgo/internal/rt"
 	"wizgo/internal/validate"
@@ -93,6 +105,15 @@ type Config struct {
 	// validation pass, but the sidetable must still be built, so this
 	// only skips module-level checks in our implementation.
 	SkipValidation bool
+	// CompileWorkers bounds the worker pool Compile fans per-function
+	// tier compilation out over (functions are independent compilation
+	// units). 0 means GOMAXPROCS; 1 forces serial compilation, the
+	// behavior the paper's single-threaded setup measurements assume.
+	CompileWorkers int
+	// Cache, when non-nil, memoizes Compile results by module content
+	// hash and configuration fingerprint, so repeated loads of the same
+	// module pay only the instantiation (link) cost.
+	Cache *codecache.Cache
 }
 
 // Timings records per-phase setup costs for the compile-speed and
@@ -110,10 +131,22 @@ type Timings struct {
 // Setup returns total per-module processing time before execution.
 func (t Timings) Setup() time.Duration { return t.Decode + t.Validate + t.Compile }
 
-// Engine creates instances under one configuration.
+// Engine creates instances under one configuration. An Engine is safe
+// for concurrent use once constructed, provided its Linker is not
+// mutated after construction: Compile and Instantiate only read the
+// configuration and linker.
 type Engine struct {
 	cfg    Config
 	linker *Linker
+	// stacks recycles value stacks between instances. Allocating (and,
+	// on reuse, re-zeroing) the multi-megabyte slot and tag arrays is
+	// by far the largest per-instance cost, so a serving loop that
+	// Releases finished instances instantiates in microseconds. Reuse
+	// without zeroing is sound: every executor zeroes and tags declared
+	// locals at frame entry, operand slots are written before they are
+	// read (a validation guarantee), and stack walkers only scan live
+	// frame ranges [VFP, SP).
+	stacks sync.Pool
 }
 
 // New creates an engine. A nil linker provides no host imports.
@@ -127,7 +160,11 @@ func New(cfg Config, linker *Linker) *Engine {
 	if linker == nil {
 		linker = NewLinker()
 	}
-	return &Engine{cfg: cfg, linker: linker}
+	e := &Engine{cfg: cfg, linker: linker}
+	e.stacks.New = func() any {
+		return rt.NewValueStack(e.cfg.StackSlots, e.cfg.Tags)
+	}
+	return e
 }
 
 // Config returns the engine configuration.
@@ -142,55 +179,16 @@ type Instance struct {
 	Timings Timings
 }
 
-// Instantiate decodes, validates, links, (optionally) compiles, and
-// runs the start function of a module.
+// Instantiate is the single-shot compatibility path: Compile followed
+// by CompiledModule.Instantiate. Callers that load a module more than
+// once should hold on to the CompiledModule (or configure a Cache) and
+// instantiate from it, paying decode/validate/compile only once.
 func (e *Engine) Instantiate(bytes []byte) (*Instance, error) {
-	t0 := time.Now()
-	m, err := wasm.Decode(bytes)
+	cm, err := e.Compile(bytes)
 	if err != nil {
 		return nil, err
 	}
-	tDecode := time.Since(t0)
-
-	t1 := time.Now()
-	infos, err := validate.Module(m)
-	if err != nil {
-		return nil, err
-	}
-	tValidate := time.Since(t1)
-
-	inst, err := e.link(m, infos)
-	if err != nil {
-		return nil, err
-	}
-	inst.Timings = Timings{
-		Decode: tDecode, Validate: tValidate, ModuleBytes: len(bytes),
-	}
-
-	if e.cfg.Mode != ModeInterp && !e.cfg.LazyCompile {
-		t2 := time.Now()
-		for _, f := range inst.RT.Funcs {
-			if f.IsHost() {
-				continue
-			}
-			if err := inst.compileFunc(f); err != nil {
-				return nil, err
-			}
-		}
-		inst.Timings.Compile = time.Since(t2)
-		for _, f := range inst.RT.Funcs {
-			if c, ok := f.Compiled.(Code); ok {
-				inst.Timings.CodeBytes += c.Bytes()
-			}
-		}
-	}
-
-	if m.HasStart {
-		if err := inst.CallIdx(m.Start); err != nil {
-			return nil, err
-		}
-	}
-	return inst, nil
+	return cm.Instantiate()
 }
 
 // link builds the runtime instance: imports, memory, globals, tables.
@@ -262,7 +260,7 @@ func (e *Engine) link(m *wasm.Module, infos []validate.FuncInfo) (*Instance, err
 	}
 
 	ctx := &rt.Context{
-		Stack:        rt.NewValueStack(e.cfg.StackSlots, e.cfg.Tags),
+		Stack:        e.stacks.Get().(*rt.ValueStack),
 		Inst:         ri,
 		MaxDepth:     e.cfg.MaxDepth,
 		OSRThreshold: e.cfg.OSRThreshold,
@@ -365,6 +363,21 @@ func (inst *Instance) resumeInterp(f *rt.FuncInst, vfp int) (rt.Status, error) {
 		SP:  inst.Ctx.Resume.SP,
 	}
 	return interp.Run(inst.Ctx, f, vfp, entry)
+}
+
+// Release returns the instance's value stack to the engine's pool so a
+// future instantiation can reuse it without re-allocating. The instance
+// must be quiescent (no call in progress) and must not be used again
+// afterwards. Calling Release is optional — an instance that is simply
+// dropped is collected normally — but serving loops that release
+// finished instances make CompiledModule.Instantiate a microsecond-scale
+// operation.
+func (inst *Instance) Release() {
+	if inst.Ctx == nil || inst.Ctx.Stack == nil {
+		return
+	}
+	inst.Engine.stacks.Put(inst.Ctx.Stack)
+	inst.Ctx.Stack = nil
 }
 
 // Call invokes an exported function with typed arguments.

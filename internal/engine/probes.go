@@ -12,6 +12,12 @@ import (
 // baked in; frames currently executing the old code tier down at their
 // next checkpoint and continue in the interpreter, which honors probes
 // at every instruction — instrumentation is never missed for long.
+//
+// Probes are strictly per-instance state: the recompilation replaces
+// only this instance's code, and the invalidation hits this instance's
+// private code view (mach.Code.InstanceView), so other instances
+// sharing the same CompiledModule keep running uninstrumented at full
+// speed.
 func (inst *Instance) AttachProbe(funcIdx uint32, pc int, p rt.Probe) error {
 	if int(funcIdx) >= len(inst.RT.Funcs) {
 		return fmt.Errorf("engine: function index %d out of range", funcIdx)

@@ -29,6 +29,20 @@ func (t SPCTier) Compile(m *wasm.Module, fidx uint32, decl *wasm.Func,
 	return spc.Compile(m, fidx, decl, info, probes, t.Cfg)
 }
 
+// ByName resolves a preset by its figure name: any of the 18 SQ-space
+// tiers plus "wizeng-tiered". Shared by cmd/wizgo, the serving example,
+// and tests.
+func ByName(name string) (engine.Config, bool) {
+	cfgs := SQSpaceTiers()
+	cfgs = append(cfgs, WizardTiered(100))
+	for _, c := range cfgs {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return engine.Config{}, false
+}
+
 // WizardINT is the in-place interpreter configuration (Wizard-INT).
 func WizardINT() engine.Config {
 	return engine.Config{Name: "wizeng-int", Mode: engine.ModeInterp, Tags: true}

@@ -161,6 +161,7 @@ func Figure5(items []workloads.Item, runs int) (*Table, error) {
 
 // probedMainTimes measures main time with the branch monitor attached.
 func probedMainTimes(cfg engine.Config, items []workloads.Item, runs int) (map[string]time.Duration, error) {
+	cfg.CompileWorkers = 1 // match RunOnce's single-threaded methodology
 	out := make(map[string]time.Duration, len(items))
 	for _, it := range items {
 		var best []time.Duration
@@ -322,11 +323,11 @@ func Figure8(items []workloads.Item, runs int) (*Table, error) {
 
 // SQPoint is one scatter point of Figures 9 and 10.
 type SQPoint struct {
-	Engine  string
-	Class   string
-	Item    string
-	SetupMB float64 // setup speed, MB/s
-	Speedup float64 // speedup over wizeng-int
+	Engine  string  `json:"engine"`
+	Class   string  `json:"class"`
+	Item    string  `json:"item"`
+	SetupMB float64 `json:"setup_mb_s"` // setup speed, MB/s
+	Speedup float64 `json:"speedup"`    // speedup over wizeng-int
 }
 
 // Figure9 produces the baseline-compiler SQ-space scatter: per line item,

@@ -34,7 +34,12 @@ type Sample struct {
 
 // RunOnce instantiates a fresh engine (a fresh "VM instance", as the
 // paper does for every run) and executes the module's _start.
+// Compilation is pinned serial: the paper's setup-time measurements are
+// single-threaded, and parallel fan-out would skew every compile-speed
+// axis (Figures 8-10). The serving-shape measurement that does exploit
+// the worker pool is MeasureService.
 func RunOnce(cfg engine.Config, bytes []byte) (Sample, error) {
+	cfg.CompileWorkers = 1
 	e := engine.New(cfg, nil)
 	t0 := time.Now()
 	inst, err := e.Instantiate(bytes)

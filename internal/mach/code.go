@@ -15,6 +15,21 @@ func (c *Code) OSREntry(wasmPC int) (int, bool) {
 // flag at their next checkpoint and deopt to the interpreter.
 func (c *Code) Invalidate() { c.Invalidated = true }
 
+// InstanceView returns a shallow per-instance copy of the code. The
+// instruction stream, tables and stackmaps are immutable after
+// compilation and stay shared; only the invalidation flag — the one
+// field the engine mutates after compilation (probe attach/detach) — is
+// private to the copy. This is what lets one compiled artifact serve
+// many concurrent instances: instance A attaching a probe invalidates
+// its own view, never the cached module another instance is executing.
+// The return type is any to keep mach free of an engine dependency; the
+// value is a *Code.
+func (c *Code) InstanceView() any {
+	view := *c
+	view.Invalidated = false
+	return &view
+}
+
 // StackmapAt returns the reference-slot stackmap recorded at a call-site
 // wasm pc, for engines that scan JIT frames with stackmaps instead of
 // value tags.
