@@ -411,6 +411,69 @@ func BenchmarkInstantiate(b *testing.B) {
 	})
 }
 
+// BenchmarkInstantiatePooled extends BenchmarkInstantiate one level up
+// the amortization ladder: "instantiate" is the PR-1 cached path (link
+// a fresh instance from the CompiledModule, recycling only the value
+// stack), "pooled" recycles the whole instance — Get resets memory
+// via dirty-granule replay, globals and tables from the snapshot. Each
+// pooled iteration times Get+Put around an untimed gemm run, so the
+// reset pays for a genuinely mutated 1 MiB memory (the matrices gemm
+// initializes and writes) every iteration, not for a clean instance.
+func BenchmarkInstantiatePooled(b *testing.B) {
+	item := workloads.PolyBench()[0] // gemm: 1 MiB memory, 3 matrices written
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(item.Bytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("instantiate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inst, err := cm.Instantiate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst.Release()
+		}
+	})
+
+	b.Run("pooled", func(b *testing.B) {
+		pool := cm.NewPool(1)
+		defer pool.Close()
+		inst, err := pool.Get() // prime: the one miss
+		if err != nil {
+			b.Fatal(err)
+		}
+		start, ok := inst.RT.FuncByName("_start")
+		if !ok {
+			b.Fatal("gemm has no _start")
+		}
+		fidx := start.Idx
+		if _, err := inst.CallFunc(start); err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(inst)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst, err := pool.Get() // timed: replays gemm's dirty granules
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if _, err := inst.CallFunc(inst.RT.Funcs[fidx]); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			pool.Put(inst)
+		}
+		b.StopTimer()
+		st := pool.Stats()
+		if st.Hits > 0 {
+			b.ReportMetric(float64(st.ResetTime.Nanoseconds())/float64(st.Hits), "reset-ns/op")
+		}
+	})
+}
+
 // manyFuncModule synthesizes a module with n independent functions of
 // real compile weight (nested control flow, memory traffic, arithmetic
 // chains), the shape that makes per-function compile fan-out pay —

@@ -18,6 +18,7 @@ type Report struct {
 	Items   int             `json:"items,omitempty"`
 	Figures []FigureResult  `json:"figures"`
 	Service []ServiceResult `json:"service,omitempty"`
+	Pooled  []PooledResult  `json:"pooled,omitempty"`
 }
 
 // FigureResult is one figure's output: tables carry rows, scatter
@@ -45,6 +46,24 @@ type ServiceResult struct {
 	Main                 time.Duration `json:"main_ns"`
 	CompileThroughputMBs float64       `json:"compile_mb_s"`
 	Amortization         float64       `json:"amortization"`
+}
+
+// PooledResult is one pooled-serving measurement: requests served from
+// an instance pool, setup cost split by the hit (reset) and miss
+// (instantiate) paths.
+type PooledResult struct {
+	Engine       string        `json:"engine"`
+	Item         string        `json:"item"`
+	Compile      time.Duration `json:"compile_ns"`
+	Get          time.Duration `json:"get_p50_ns"`
+	MeanReset    time.Duration `json:"reset_mean_ns"`
+	MeanMiss     time.Duration `json:"miss_mean_ns"`
+	ResetMax     time.Duration `json:"reset_max_ns"`
+	Hits         uint64        `json:"hits"`
+	Misses       uint64        `json:"misses"`
+	Workers      int           `json:"workers"`
+	Requests     int           `json:"requests"`
+	Amortization float64       `json:"amortization"`
 }
 
 func (r *Report) addTable(fig int, t *harness.Table) {

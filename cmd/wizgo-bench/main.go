@@ -11,8 +11,11 @@
 //
 // -service additionally measures the compile-once / instantiate-many
 // pipeline (compile throughput and instantiation amortization) for the
-// baseline compilers. -json writes everything the run produced as
-// machine-readable JSON for the perf trajectory.
+// baseline compilers. -pool measures the pooled serving mode on top of
+// it: requests drawn from an instance pool with copy-on-write reset,
+// reporting get/reset/miss latencies under -pool-workers contention.
+// -json writes everything the run produced as machine-readable JSON
+// for the perf trajectory.
 package main
 
 import (
@@ -33,6 +36,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write figure results as JSON to this path")
 	service := flag.Bool("service", false, "measure compile-once/instantiate-many for the baseline compilers")
 	instances := flag.Int("instances", 8, "instances per module for -service")
+	pooled := flag.Bool("pool", false, "measure pooled serving (instance recycling + copy-on-write reset) for the baseline compilers")
+	requests := flag.Int("requests", 32, "requests per module for -pool")
+	poolWorkers := flag.Int("pool-workers", 4, "concurrent workers driving the pool for -pool")
+	poolSize := flag.Int("pool-size", 4, "idle instances the pool retains for -pool")
 	flag.Parse()
 
 	all := workloads.All()
@@ -112,6 +119,9 @@ func main() {
 	if *service {
 		runService(report, all, *instances)
 	}
+	if *pooled {
+		runPooled(report, all, *requests, *poolWorkers, *poolSize)
+	}
 
 	if *jsonPath != "" {
 		if err := report.write(*jsonPath); err != nil {
@@ -141,6 +151,34 @@ func runService(report *Report, items []workloads.Item, instances int) {
 				Compile: s.Compile, Instantiate: s.Instantiate, Main: s.Main,
 				CompileThroughputMBs: s.CompileThroughput(),
 				Amortization:         s.Amortization(),
+			})
+		}
+	}
+	fmt.Println()
+}
+
+// runPooled measures the pooled serving mode: requests served from an
+// instance pool under worker contention, reporting the per-request get
+// latency split into the reset (hit) and instantiate (miss) paths.
+func runPooled(report *Report, items []workloads.Item, requests, workers, poolSize int) {
+	fmt.Println("== Pooled: recycle instances, copy-on-write reset ==")
+	fmt.Printf("%-14s %-22s %12s %12s %12s %8s %10s\n",
+		"engine", "item", "get(p50)", "reset", "miss", "hits", "amort")
+	for _, cfg := range engines.BaselineShootout() {
+		for _, it := range items {
+			s, err := harness.MeasurePooled(cfg, it.Bytes, requests, workers, poolSize)
+			check(err)
+			key := it.Suite + "/" + it.Name
+			fmt.Printf("%-14s %-22s %12v %12v %12v %3d/%-4d %9.0fx\n",
+				cfg.Name, key, s.Get, s.MeanReset, s.MeanMiss,
+				s.Hits, s.Hits+s.Misses, s.Amortization())
+			report.Pooled = append(report.Pooled, PooledResult{
+				Engine: cfg.Name, Item: key,
+				Compile: s.Compile, Get: s.Get,
+				MeanReset: s.MeanReset, MeanMiss: s.MeanMiss, ResetMax: s.ResetMax,
+				Hits: s.Hits, Misses: s.Misses,
+				Workers: s.Workers, Requests: s.Requests,
+				Amortization: s.Amortization(),
 			})
 		}
 	}

@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	wizgo [-tier wizeng-spc] [-invoke name] [-instances N] [-compile-workers N] module.wasm [args...]
+//	wizgo [-tier wizeng-spc] [-invoke name] [-instances N] [-compile-workers N] [-pool [-pool-size N]] module.wasm [args...]
 //
 // The module is compiled once (per-function compilation fans out over
 // -compile-workers cores) and then instantiated -instances times from
 // the shared artifact, reporting the compile and instantiate phases
-// separately.
+// separately. With -pool, the runs are served from an instance pool
+// instead: finished instances are recycled and reset copy-on-write, so
+// each run after the first pays reset cost proportional to what the
+// previous run wrote, not a full instantiation.
 //
 // Tiers: any name from `wizgo -list`, e.g. wizeng-int, wizeng-spc,
 // wizeng-tiered, v8-liftoff, sm-base, wasmer-base, wazero, wasm-now,
@@ -37,6 +40,8 @@ func main() {
 	branches := flag.Bool("monitor-branches", false, "attach the branch monitor and report after the run")
 	workers := flag.Int("compile-workers", 0, "per-function compile workers (0 = all cores, 1 = serial)")
 	instances := flag.Int("instances", 1, "instantiate the compiled module N times and run each")
+	usePool := flag.Bool("pool", false, "serve the -instances runs from an instance pool (recycle + copy-on-write reset) instead of fresh links")
+	poolSize := flag.Int("pool-size", 0, "idle instances the pool retains (0 = default)")
 	flag.Parse()
 
 	if *list {
@@ -96,10 +101,27 @@ func main() {
 		args[i] = v
 	}
 
+	var pool *engine.InstancePool
+	if *usePool {
+		if *branches {
+			// Probes persist across pooled recycling, so re-attaching a
+			// monitor every request would stack duplicate probes.
+			fatal(fmt.Errorf("-pool and -monitor-branches are mutually exclusive"))
+		}
+		pool = cm.NewPool(*poolSize)
+		defer pool.Close()
+	}
+
 	var instantiateWall time.Duration
 	for n := 0; n < *instances; n++ {
 		t1 := time.Now()
-		inst, err := cm.Instantiate()
+		var inst *engine.Instance
+		var err error
+		if pool != nil {
+			inst, err = pool.Get()
+		} else {
+			inst, err = cm.Instantiate()
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -132,13 +154,24 @@ func main() {
 		if mon != nil {
 			fmt.Print(mon.Report(10))
 		}
-		inst.Release() // recycle the value stack for the next instance
+		if pool != nil {
+			pool.Put(inst) // recycle the whole instance for the next run
+		} else {
+			inst.Release() // recycle the value stack for the next instance
+		}
 	}
 	fmt.Fprintf(os.Stderr, "compile: %v (decode %v, validate %v, compile %v), code %d bytes\n",
 		compileWall, cm.Timings.Decode, cm.Timings.Validate,
 		cm.Timings.Compile, cm.Timings.CodeBytes)
-	fmt.Fprintf(os.Stderr, "instantiate: %v total across %d instance(s)\n",
-		instantiateWall, *instances)
+	if pool != nil {
+		st := pool.Stats()
+		fmt.Fprintf(os.Stderr, "pool: %v total across %d get(s): %d hits (reset mean %v, max %v), %d misses (mean %v)\n",
+			instantiateWall, *instances, st.Hits, st.MeanReset(), st.ResetMax,
+			st.Misses, st.MeanMiss())
+	} else {
+		fmt.Fprintf(os.Stderr, "instantiate: %v total across %d instance(s)\n",
+			instantiateWall, *instances)
+	}
 }
 
 func parseArg(t wasm.ValueType, s string) (wasm.Value, error) {

@@ -1,10 +1,19 @@
 // Serving example: the deployment shape the compile-once /
-// instantiate-many pipeline exists for. A pool of worker goroutines
-// serves "requests", each of which names one of several modules; every
-// worker compiles through a shared, sharded code cache, so each distinct
-// module is decoded, validated and compiled exactly once (concurrent
-// first requests collapse into a single compilation), and every request
-// after that pays only the instantiation (link) cost.
+// instantiate-many pipeline exists for, in two phases.
+//
+// Phase 1 (cache): a pool of worker goroutines serves "requests", each
+// of which names one of several modules; every worker compiles through
+// a shared, sharded code cache, so each distinct module is decoded,
+// validated and compiled exactly once (concurrent first requests
+// collapse into a single compilation), and every request after that
+// pays only the instantiation (link) cost.
+//
+// Phase 2 (pool): the same requests served from per-module instance
+// pools. Finished instances are recycled instead of dropped, and
+// Pool.Get resets them copy-on-write — dirty memory granules replayed
+// from the post-instantiation snapshot, globals and tables re-seeded —
+// so the per-request setup cost drops from a full link to a reset
+// proportional to what the previous request wrote.
 //
 //	go run ./examples/serving
 package main
@@ -21,6 +30,58 @@ import (
 	"wizgo/internal/workloads"
 )
 
+const (
+	workers  = 8
+	requests = 96
+)
+
+type result struct {
+	item     string
+	checksum int64
+	latency  time.Duration
+}
+
+// serve fans requests over the worker pool; handle serves one request
+// for one module and returns its checksum.
+func serve(modules []workloads.Item, handle func(workloads.Item) (int64, error)) ([]result, time.Duration) {
+	results := make([]result, requests)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := w; r < requests; r += workers {
+				item := modules[r%len(modules)]
+				t1 := time.Now()
+				sum, err := handle(item)
+				if err != nil {
+					log.Fatal(err)
+				}
+				results[r] = result{item: item.Name, checksum: sum, latency: time.Since(t1)}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results, time.Since(t0)
+}
+
+// verify checks that every request for the same module agreed — in
+// phase 2 this is what proves resets do not leak state between
+// requests — and returns the mean latency.
+func verify(results []result) time.Duration {
+	want := map[string]int64{}
+	var total time.Duration
+	for _, r := range results {
+		if prev, ok := want[r.item]; ok && prev != r.checksum {
+			log.Fatalf("checksum divergence on %s: %#x != %#x", r.item, r.checksum, prev)
+		}
+		want[r.item] = r.checksum
+		total += r.latency
+	}
+	return total / time.Duration(len(results))
+}
+
 func main() {
 	cache := codecache.New(codecache.Options{Shards: 16, Capacity: 128})
 	cfg := engines.WizardSPC()
@@ -34,70 +95,77 @@ func main() {
 		workloads.Libsodium()[0], // stream_chacha20
 	}
 
-	const workers = 8
-	const requests = 96
-
-	type result struct {
-		item     string
-		checksum int64
-		latency  time.Duration
-	}
-	results := make([]result, requests)
-
-	t0 := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for r := w; r < requests; r += workers {
-				item := modules[r%len(modules)]
-				t1 := time.Now()
-				cm, err := e.Compile(item.Bytes) // cache hit after the first request per module
-				if err != nil {
-					log.Fatal(err)
-				}
-				inst, err := cm.Instantiate()
-				if err != nil {
-					log.Fatal(err)
-				}
-				if _, err := inst.Call("_start"); err != nil {
-					log.Fatal(err)
-				}
-				sum, err := inst.Call("checksum")
-				if err != nil {
-					log.Fatal(err)
-				}
-				inst.Release()
-				results[r] = result{
-					item:     item.Name,
-					checksum: sum[0].I64(),
-					latency:  time.Since(t1),
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	wall := time.Since(t0)
-
-	// Every request for the same module must agree.
-	want := map[string]int64{}
-	for _, r := range results {
-		if prev, ok := want[r.item]; ok && prev != r.checksum {
-			log.Fatalf("checksum divergence on %s: %#x != %#x", r.item, r.checksum, prev)
+	// Phase 1: shared code cache, fresh instance per request.
+	cached, cachedWall := serve(modules, func(item workloads.Item) (int64, error) {
+		cm, err := e.Compile(item.Bytes) // cache hit after the first request per module
+		if err != nil {
+			return 0, err
 		}
-		want[r.item] = r.checksum
+		inst, err := cm.Instantiate()
+		if err != nil {
+			return 0, err
+		}
+		if _, err := inst.Call("_start"); err != nil {
+			return 0, err
+		}
+		sum, err := inst.Call("checksum")
+		if err != nil {
+			return 0, err
+		}
+		inst.Release()
+		return sum[0].I64(), nil
+	})
+	cachedMean := verify(cached)
+	st := cache.Stats()
+	fmt.Printf("phase 1 (code cache, fresh instances): %d requests, %d workers, wall %v\n",
+		requests, workers, cachedWall)
+	fmt.Printf("  mean request latency: %v\n", cachedMean)
+	fmt.Printf("  code cache: %d artifacts, %d hits, %d misses, %d evictions\n",
+		cache.Len(), st.Hits, st.Misses, st.Evictions)
+
+	// Phase 2: same artifacts, requests served from instance pools.
+	// Workers contend on one pool per module; resets replay only what
+	// the previous request dirtied.
+	pools := make(map[string]*engine.InstancePool, len(modules))
+	for _, item := range modules {
+		cm, err := e.Compile(item.Bytes) // all cache hits now
+		if err != nil {
+			log.Fatal(err)
+		}
+		pools[item.Name] = cm.NewPool(workers)
+	}
+	pooled, pooledWall := serve(modules, func(item workloads.Item) (int64, error) {
+		pool := pools[item.Name]
+		inst, err := pool.Get()
+		if err != nil {
+			return 0, err
+		}
+		if _, err := inst.Call("_start"); err != nil {
+			return 0, err
+		}
+		sum, err := inst.Call("checksum")
+		if err != nil {
+			return 0, err
+		}
+		pool.Put(inst)
+		return sum[0].I64(), nil
+	})
+	pooledMean := verify(pooled)
+
+	// The two phases must agree module by module.
+	for i := range cached {
+		if cached[i].checksum != pooled[i].checksum {
+			log.Fatalf("pooled checksum diverged from cached on %s", cached[i].item)
+		}
 	}
 
-	var total time.Duration
-	for _, r := range results {
-		total += r.latency
+	fmt.Printf("phase 2 (instance pools, copy-on-write reset): wall %v\n", pooledWall)
+	fmt.Printf("  mean request latency: %v (%.2fx phase 1)\n",
+		pooledMean, float64(cachedMean)/float64(pooledMean))
+	for _, item := range modules {
+		pst := pools[item.Name].Stats()
+		fmt.Printf("  pool %-16s %2d hits / %2d misses, reset mean %v max %v, miss mean %v\n",
+			item.Name, pst.Hits, pst.Misses, pst.MeanReset(), pst.ResetMax, pst.MeanMiss())
+		pools[item.Name].Close()
 	}
-	st := cache.Stats()
-	fmt.Printf("served %d requests over %d modules with %d workers in %v\n",
-		requests, len(modules), workers, wall)
-	fmt.Printf("mean request latency: %v\n", total/time.Duration(requests))
-	fmt.Printf("code cache: %d artifacts, %d hits, %d misses, %d evictions\n",
-		cache.Len(), st.Hits, st.Misses, st.Evictions)
-	fmt.Printf("compiles actually run: %d (one per distinct module+config)\n", st.Misses)
 }

@@ -3,6 +3,7 @@ package codecache_test
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -190,5 +191,83 @@ func TestConcurrentMixedOperations(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 64 {
 		t.Errorf("cache grew past capacity: %d", c.Len())
+	}
+}
+
+// TestSingleFlightUnderEvictionRace pins the single-flight guarantees
+// while capacity pressure is actively evicting (run with -race in CI):
+// the sequential eviction tests above never exercise a build finishing
+// into a shard whose entries are being churned by other keys. One shard
+// with a capacity far below the live key count forces every GetOrAdd
+// to race misses, publishes and evictions; the invariants are that a
+// build's result is always the one every collapsed waiter sees, that
+// results never cross keys, and that the cache never exceeds capacity.
+func TestSingleFlightUnderEvictionRace(t *testing.T) {
+	const (
+		capacity   = 2
+		keyCount   = 8
+		goroutines = 16
+		iterations = 300
+	)
+	c := codecache.New(codecache.Options{Shards: 1, Capacity: capacity})
+	keys := make([]codecache.Key, keyCount)
+	for i := range keys {
+		keys[i] = codecache.KeyFor([]byte{byte(i)}, "cfg")
+	}
+
+	// builds[k] counts how often key k was actually built; with evictions
+	// racing, rebuilds are legitimate, duplicate *concurrent* builds are
+	// not — inflight collapse must hold even while the entry table churns.
+	var builds [keyCount]atomic.Int64
+	var inflight [keyCount]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				k := (g + i) % keyCount
+				v, err := c.GetOrAdd(keys[k], func() (any, error) {
+					if inflight[k].Add(1) != 1 {
+						t.Errorf("key %d: concurrent duplicate build", k)
+					}
+					builds[k].Add(1)
+					// Widen the window in which an eviction of another
+					// key can land inside this build.
+					runtime.Gosched()
+					inflight[k].Add(-1)
+					return k, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v.(int) != k {
+					t.Errorf("key %d returned value %v (cross-key leak)", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if c.Len() > capacity {
+		t.Errorf("cache size %d exceeds capacity %d", c.Len(), capacity)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("test exercised no evictions — capacity pressure missing")
+	}
+	var totalBuilds int64
+	for k := range builds {
+		if builds[k].Load() == 0 {
+			t.Errorf("key %d never built", k)
+		}
+		totalBuilds += builds[k].Load()
+	}
+	// Every build is a miss recorded under the shard lock; if collapse
+	// broke, builds would exceed misses.
+	if uint64(totalBuilds) != st.Misses {
+		t.Errorf("%d builds != %d recorded misses", totalBuilds, st.Misses)
 	}
 }

@@ -19,6 +19,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wizgo/internal/codecache"
@@ -177,6 +178,11 @@ type Instance struct {
 	Ctx     *rt.Context
 	Infos   []validate.FuncInfo
 	Timings Timings
+
+	// released latches the first Release so a double release (including
+	// a racing one) cannot push the same value stack into the engine's
+	// pool twice — two later instantiations would then share a stack.
+	released atomic.Bool
 }
 
 // Instantiate is the single-shot compatibility path: Compile followed
@@ -233,9 +239,10 @@ func (e *Engine) link(m *wasm.Module, infos []validate.FuncInfo) (*Instance, err
 	} else {
 		ri.Memory = &rt.Memory{} // zero-size memory simplifies executors
 	}
-	for _, d := range m.Datas {
-		if int(d.Offset)+len(d.Bytes) > len(ri.Memory.Data) {
-			return nil, fmt.Errorf("engine: data segment at %d overflows memory", d.Offset)
+	for di, d := range m.Datas {
+		if end := int(d.Offset) + len(d.Bytes); end > len(ri.Memory.Data) {
+			return nil, fmt.Errorf("engine: data segment %d: [%#x, %#x) overflows %d-byte memory",
+				di, d.Offset, end, len(ri.Memory.Data))
 		}
 		copy(ri.Memory.Data[d.Offset:], d.Bytes)
 	}
@@ -294,6 +301,11 @@ func (inst *Instance) invoke(f *rt.FuncInst, argBase int) error {
 		results := ctx.Stack.Slots[argBase : argBase+len(f.Type.Results)]
 		err := f.Host(ctx, args, results)
 		ctx.Depth--
+		// Host functions can write linear memory through ctx without the
+		// executors' Mark hooks seeing it; declare the memory dirty so a
+		// pooled reset falls back to a full restore rather than leaking
+		// host-written bytes across requests. Free when tracking is off.
+		ctx.Inst.Memory.MarkAll()
 		if err != nil {
 			return &rt.Trap{Kind: rt.TrapHostError, FuncIdx: f.Idx, Wrapped: err}
 		}
@@ -373,7 +385,13 @@ func (inst *Instance) resumeInterp(f *rt.FuncInst, vfp int) (rt.Status, error) {
 // finished instances make CompiledModule.Instantiate a microsecond-scale
 // operation.
 func (inst *Instance) Release() {
-	if inst.Ctx == nil || inst.Ctx.Stack == nil {
+	// The latch must win before the stack is even read: concurrent
+	// releases may otherwise both observe a non-nil stack and pool it
+	// twice. Only the CAS winner touches Ctx.Stack.
+	if inst.Ctx == nil || !inst.released.CompareAndSwap(false, true) {
+		return
+	}
+	if inst.Ctx.Stack == nil {
 		return
 	}
 	inst.Engine.stacks.Put(inst.Ctx.Stack)

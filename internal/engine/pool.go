@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wizgo/internal/instancepool"
+	"wizgo/internal/rt"
+)
+
+// Snapshot is the post-instantiation state of an instance — linear
+// memory after data segments and the start function, globals, and
+// tables — captured once and shared read-only by every reset against
+// it. It is the baseline the instance pool restores instances to.
+type Snapshot struct {
+	mem     []byte
+	globals []rt.GlobalSlot
+	tables  [][]uint64
+}
+
+// Snapshot captures the instance's current memory, globals and tables.
+// Call it on a quiescent instance, normally right after instantiation.
+func (inst *Instance) Snapshot() *Snapshot {
+	s := &Snapshot{
+		mem:     append([]byte(nil), inst.RT.Memory.Data...),
+		globals: append([]rt.GlobalSlot(nil), inst.RT.Globals...),
+	}
+	for _, t := range inst.RT.Tables {
+		s.tables = append(s.tables, append([]uint64(nil), t.Elems...))
+	}
+	return s
+}
+
+// Reset restores the instance to the snapshot state: linear memory via
+// the memory's dirty-granule tracking (only granules written since the
+// last reset are copied back; see rt.Memory.ResetTo), globals and
+// tables wholesale (they are small). The execution context is cleared
+// of any aborted-call residue, and a Released instance is re-armed with
+// a recycled value stack. The value stack itself is reused dirty for
+// the same reason Release can pool it: executors never read slots they
+// have not written.
+//
+// Per-function tier state (lazily compiled code, call counts, attached
+// probes) is deliberately retained — a recycled instance stays warm,
+// and none of it is observable in execution results.
+func (inst *Instance) Reset(s *Snapshot) error {
+	if inst.Ctx.Depth != 0 || len(inst.Ctx.Frames) != 0 {
+		return fmt.Errorf("engine: cannot reset an instance with a call in progress")
+	}
+	if len(inst.RT.Globals) != len(s.globals) || len(inst.RT.Tables) != len(s.tables) {
+		return fmt.Errorf("engine: snapshot shape mismatch: %d/%d globals, %d/%d tables",
+			len(inst.RT.Globals), len(s.globals), len(inst.RT.Tables), len(s.tables))
+	}
+	inst.RT.Memory.ResetTo(s.mem)
+	copy(inst.RT.Globals, s.globals)
+	for i, t := range inst.RT.Tables {
+		if len(t.Elems) != len(s.tables[i]) {
+			t.Elems = append(t.Elems[:0], s.tables[i]...)
+		} else {
+			copy(t.Elems, s.tables[i])
+		}
+	}
+	inst.Ctx.Resume = rt.FrameInfo{}
+	if inst.Ctx.Stack == nil {
+		inst.Ctx.Stack = inst.Engine.stacks.Get().(*rt.ValueStack)
+		inst.released.Store(false)
+	}
+	return nil
+}
+
+// InstancePool recycles whole instances of one CompiledModule: Get
+// returns an instance reset to its post-instantiation state (memory,
+// globals, tables), instantiating fresh only when the pool is empty.
+// It is the engine-typed facade over instancepool.Pool and is safe for
+// concurrent use.
+type InstancePool struct {
+	cm       *CompiledModule
+	pool     *instancepool.Pool[*Instance]
+	snap     atomic.Pointer[Snapshot]
+	snapOnce sync.Once
+}
+
+// NewPool creates an instance pool retaining up to capacity idle
+// instances (capacity <= 0 selects the instancepool default).
+//
+// The reset baseline is the post-instantiation state of the first
+// instance the pool creates; modules whose start function is
+// nondeterministic (e.g. via host imports) would make that baseline
+// instance-specific and should not be pooled. Instances obtained from
+// Get must not be Released while still in the pool's custody — return
+// them with Put, which releases on overflow.
+func (cm *CompiledModule) NewPool(capacity int) *InstancePool {
+	ip := &InstancePool{cm: cm}
+	pool, err := instancepool.New(instancepool.Config[*Instance]{
+		Capacity: capacity,
+		New:      ip.newInstance,
+		Reset:    func(inst *Instance) error { return inst.Reset(ip.snap.Load()) },
+		Discard: func(inst *Instance) {
+			// A discard can follow a failed reset, and a reset fails
+			// when the instance was Put with a call still in progress —
+			// releasing then would pool a stack that call is executing
+			// on. Leaking the misused instance is always safe; pooling
+			// its stack is not.
+			if inst.Ctx.Depth == 0 && len(inst.Ctx.Frames) == 0 {
+				inst.Release()
+			}
+		},
+	})
+	if err != nil {
+		// Unreachable: both callbacks are always supplied.
+		panic(err)
+	}
+	ip.pool = pool
+	return ip
+}
+
+// newInstance is the pool's miss path: instantiate, capture the shared
+// reset baseline the first time, and start write tracking so the next
+// reset copies only what the instance's runs actually dirtied.
+func (ip *InstancePool) newInstance() (*Instance, error) {
+	inst, err := ip.cm.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	// Every fresh instance is an equally valid baseline; the Once keeps
+	// concurrent cold misses from each copying a multi-megabyte memory
+	// only to discard all but one.
+	ip.snapOnce.Do(func() { ip.snap.Store(inst.Snapshot()) })
+	inst.RT.Memory.EnableWriteTracking()
+	return inst, nil
+}
+
+// Get returns a ready instance: recycled and reset when possible,
+// freshly instantiated otherwise.
+func (ip *InstancePool) Get() (*Instance, error) { return ip.pool.Get() }
+
+// Put returns a quiescent instance obtained from Get for recycling.
+func (ip *InstancePool) Put(inst *Instance) { ip.pool.Put(inst) }
+
+// Stats returns the pool's counters (get/reset/miss latencies, hit and
+// drop counts).
+func (ip *InstancePool) Stats() instancepool.Stats { return ip.pool.Stats() }
+
+// Len returns the number of idle instances.
+func (ip *InstancePool) Len() int { return ip.pool.Len() }
+
+// Close releases every idle instance; subsequent Gets still work but
+// always instantiate fresh.
+func (ip *InstancePool) Close() { ip.pool.Close() }

@@ -1,0 +1,470 @@
+package engine_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+	"wizgo/internal/workloads"
+)
+
+// mutatorModule builds a module that dirties every class of instance
+// state a pool reset must undo: scattered linear-memory stores (three
+// distinct granules plus a memory.fill), a data segment that the
+// stores overwrite, and a mutable global. It also carries a table with
+// an element segment so table re-seeding is exercised.
+func mutatorModule() []byte {
+	b := wasm.NewBuilder()
+	b.AddMemory(4, 4) // 256 KiB = 64 reset granules
+	b.AddData(16, []byte("baseline-data-segment"))
+	b.AddData(0x20000, []byte{1, 2, 3, 4})
+	g := b.AddGlobal(wasm.I64, true, wasm.ValI64(7))
+
+	id := b.NewFunc("id", wasm.FuncType{
+		Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}})
+	id.LocalGet(0)
+	id.End()
+	b.Export("id", id.Idx)
+
+	b.AddTable(2)
+	b.AddElem(0, []uint32{id.Idx, id.Idx})
+
+	f := b.NewFunc("mutate", wasm.FuncType{Results: []wasm.ValueType{wasm.I64}})
+	// Overwrite the data segment region.
+	f.I32Const(16).I64Const(-1).Store(wasm.OpI64Store, 0)
+	// Scattered stores in two more granules.
+	f.I32Const(0x8000).F64Const(3.25).Store(wasm.OpF64Store, 0)
+	f.I32Const(0x20000).I32Const(0x5A5A5A5A).Store(wasm.OpI32Store, 4)
+	// A memory.fill burst.
+	f.I32Const(0x30000).I32Const(0xCC).I32Const(64).MemoryFill()
+	// Mutate the global.
+	f.GlobalGet(g).I64Const(3).Op(wasm.OpI64Mul).GlobalSet(g)
+	// Result folds mutated state so runs are comparable.
+	f.GlobalGet(g)
+	f.I32Const(16).Load(wasm.OpI64Load, 0)
+	f.Op(wasm.OpI64Add)
+	f.I32Const(0x30000).Load(wasm.OpI64Load, 0)
+	f.Op(wasm.OpI64Add)
+	f.End()
+	b.Export("mutate", f.Idx)
+	return b.Encode()
+}
+
+// stateEqual compares the observable state of two instances: memory
+// bytes, globals (bits and tags), and table contents.
+func stateEqual(t *testing.T, label string, a, b *engine.Instance) {
+	t.Helper()
+	if !bytes.Equal(a.RT.Memory.Data, b.RT.Memory.Data) {
+		for i := range a.RT.Memory.Data {
+			if a.RT.Memory.Data[i] != b.RT.Memory.Data[i] {
+				t.Fatalf("%s: memory differs at %#x: %#x != %#x",
+					label, i, a.RT.Memory.Data[i], b.RT.Memory.Data[i])
+			}
+		}
+		t.Fatalf("%s: memory lengths differ: %d != %d",
+			label, len(a.RT.Memory.Data), len(b.RT.Memory.Data))
+	}
+	for i := range a.RT.Globals {
+		if a.RT.Globals[i] != b.RT.Globals[i] {
+			t.Fatalf("%s: global %d differs: %+v != %+v",
+				label, i, a.RT.Globals[i], b.RT.Globals[i])
+		}
+	}
+	for ti := range a.RT.Tables {
+		for ei := range a.RT.Tables[ti].Elems {
+			if a.RT.Tables[ti].Elems[ei] != b.RT.Tables[ti].Elems[ei] {
+				t.Fatalf("%s: table %d elem %d differs", label, ti, ei)
+			}
+		}
+	}
+}
+
+// TestPooledResetObservationallyIdentical is the pool's correctness
+// contract: after a mutating run and a reset, a recycled instance must
+// be indistinguishable from a freshly instantiated one — memory,
+// globals, tables, and the results of the next run.
+func TestPooledResetObservationallyIdentical(t *testing.T) {
+	module := mutatorModule()
+	for _, cfg := range []engine.Config{
+		engines.WizardINT(), engines.WizardSPC(),
+	} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			e := engine.New(cfg, nil)
+			cm, err := e.Compile(module)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := cm.NewPool(2)
+			defer pool.Close()
+
+			inst, err := pool.Get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := inst.Call("mutate")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Host-side table poke so restore (not just never-mutated) is
+			// what the comparison proves.
+			inst.RT.Tables[0].Elems[1] = 0
+			pool.Put(inst)
+
+			recycled, err := pool.Get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if recycled != inst {
+				t.Fatal("pool did not recycle the released instance")
+			}
+			fresh, err := cm.Instantiate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stateEqual(t, "after reset", recycled, fresh)
+
+			// And the next run must behave exactly like a fresh one.
+			again, err := recycled.Call("mutate")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again[0].Bits != first[0].Bits {
+				t.Fatalf("re-run result %#x != first run %#x", again[0].Bits, first[0].Bits)
+			}
+			freshRes, err := fresh.Call("mutate")
+			if err != nil {
+				t.Fatal(err)
+			}
+			stateEqual(t, "after second run", recycled, fresh)
+			if freshRes[0].Bits != again[0].Bits {
+				t.Fatalf("fresh result %#x != recycled result %#x", freshRes[0].Bits, again[0].Bits)
+			}
+		})
+	}
+}
+
+// TestPooledResetIsSparse verifies the copy-on-write property the pool
+// exists for: a run that touches a few granules must not trigger a
+// full-memory restore.
+func TestPooledResetIsSparse(t *testing.T) {
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(mutatorModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cm.NewPool(1)
+	defer pool.Close()
+	inst, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.RT.Memory.WriteTracking() {
+		t.Fatal("pooled instance is not write-tracking")
+	}
+	if _, err := inst.Call("mutate"); err != nil {
+		t.Fatal(err)
+	}
+	// mutate touches 4 granules (16, 0x8000, 0x20004, 0x30000) out of
+	// 64 — well under the full-wipe threshold, so the recycle below
+	// takes the sparse path by construction.
+	if dirty := inst.RT.Memory.DirtyGranules(); dirty != 4 {
+		t.Fatalf("dirty granules = %d, want 4", dirty)
+	}
+	pool.Put(inst)
+	recycled, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recycled.RT.Memory.DirtyGranules() != 0 || recycled.RT.Memory.Grown() {
+		t.Error("reset did not leave tracking clean")
+	}
+}
+
+// TestPoolGemmChecksums drives a real workload through the pool: every
+// pooled request must produce the identical checksum a fresh instance
+// produces, across enough iterations to exercise the reset path
+// repeatedly.
+func TestPoolGemmChecksums(t *testing.T) {
+	item := workloads.PolyBench()[0] // gemm
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(item.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Call("_start"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Call("checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := cm.NewPool(2)
+	defer pool.Close()
+	for i := 0; i < 5; i++ {
+		inst, err := pool.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inst.Call("_start"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := inst.Call("checksum")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].Bits != want[0].Bits {
+			t.Fatalf("pooled run %d checksum %#x != fresh %#x", i, got[0].Bits, want[0].Bits)
+		}
+		pool.Put(inst)
+	}
+	st := pool.Stats()
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Errorf("stats = %+v, want 1 miss / 4 hits", st)
+	}
+}
+
+// TestPoolConcurrentServing hammers one pool from many workers (run
+// with -race in CI): checksums must agree and stats must balance.
+func TestPoolConcurrentServing(t *testing.T) {
+	item := workloads.Ostrich()[3] // crc, fast enough for -race
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(item.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cm.NewPool(4)
+	defer pool.Close()
+
+	const workers, perWorker = 8, 6
+	sums := make([]uint64, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				inst, err := pool.Get()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := inst.Call("_start"); err != nil {
+					t.Error(err)
+					return
+				}
+				sum, err := inst.Call("checksum")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sums[w*perWorker+i] = sum[0].Bits
+				pool.Put(inst)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, s := range sums {
+		if s != sums[0] {
+			t.Fatalf("request %d checksum %#x != %#x", i, s, sums[0])
+		}
+	}
+	st := pool.Stats()
+	if st.Gets != workers*perWorker || st.Hits+st.Misses != st.Gets {
+		t.Errorf("unbalanced stats: %+v", st)
+	}
+}
+
+// TestResetRejectsInFlightCall: a reset must refuse an instance that is
+// mid-call (a host function observes exactly that state).
+func TestResetRejectsInFlightCall(t *testing.T) {
+	linker := engine.NewLinker()
+	var target *engine.Instance
+	var resetErr error
+	linker.Func("env", "poke", wasm.FuncType{}, func(ctx *rt.Context, args, results []uint64) error {
+		resetErr = target.Reset(target.Snapshot())
+		return nil
+	})
+
+	b := wasm.NewBuilder()
+	imp := b.ImportFunc("env", "poke", wasm.FuncType{})
+	f := b.NewFunc("go", wasm.FuncType{})
+	f.Call(imp)
+	f.End()
+	b.Export("go", f.Idx)
+
+	e := engine.New(engines.WizardINT(), linker)
+	inst, err := e.Instantiate(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target = inst
+	if _, err := inst.Call("go"); err != nil {
+		t.Fatal(err)
+	}
+	if resetErr == nil {
+		t.Fatal("Reset accepted an instance with a call in progress")
+	}
+}
+
+// TestDoubleReleaseDoesNotDuplicateStacks is the regression test for
+// the double-release guard: without it, releasing twice pushes the same
+// value stack into the engine pool twice, and two later instances
+// share one stack.
+func TestDoubleReleaseDoesNotDuplicateStacks(t *testing.T) {
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(counterModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := inst.Ctx.Stack
+	inst.Release()
+	inst.Ctx.Stack = stack // simulate a stale caller holding on
+	inst.Release()         // must be latched, not re-pooled
+
+	a, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ctx.Stack == b.Ctx.Stack {
+		t.Fatal("double release leaked one stack into two instances")
+	}
+}
+
+// TestConcurrentReleaseRace releases the same instance from many
+// goroutines; under -race this flags any unsynchronized double put.
+func TestConcurrentReleaseRace(t *testing.T) {
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(counterModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		inst, err := cm.Instantiate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				inst.Release()
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestPooledHostWriteIsReset: host functions write linear memory
+// without passing the executors' Mark hooks; the engine declares the
+// memory dirty around host calls (rt.Memory.MarkAll), so a pooled
+// reset must still restore host-written bytes.
+func TestPooledHostWriteIsReset(t *testing.T) {
+	linker := engine.NewLinker()
+	linker.Func("env", "scribble", wasm.FuncType{}, func(ctx *rt.Context, args, results []uint64) error {
+		ctx.Inst.Memory.Data[0x1234] = 0xAB
+		return nil
+	})
+	b := wasm.NewBuilder()
+	imp := b.ImportFunc("env", "scribble", wasm.FuncType{})
+	b.AddMemory(1, 1)
+	f := b.NewFunc("go", wasm.FuncType{})
+	f.Call(imp)
+	f.End()
+	b.Export("go", f.Idx)
+
+	e := engine.New(engines.WizardSPC(), linker)
+	cm, err := e.Compile(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cm.NewPool(1)
+	defer pool.Close()
+	inst, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Call("go"); err != nil {
+		t.Fatal(err)
+	}
+	if inst.RT.Memory.Data[0x1234] != 0xAB {
+		t.Fatal("host write did not land")
+	}
+	pool.Put(inst)
+	recycled, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recycled.RT.Memory.Data[0x1234] != 0 {
+		t.Fatal("host-written byte leaked across a pooled reset")
+	}
+}
+
+// TestPoolDiscardDoesNotReleaseBusyInstance: a Get that finds a
+// mid-call instance in the pool (a misuse: someone Put it from inside
+// a host call) must fail its reset and drop the instance WITHOUT
+// pooling its value stack — the call is still executing on it.
+func TestPoolDiscardDoesNotReleaseBusyInstance(t *testing.T) {
+	var pool *engine.InstancePool
+	var self *engine.Instance
+	var fresh *engine.Instance
+	linker := engine.NewLinker()
+	linker.Func("env", "misuse", wasm.FuncType{}, func(ctx *rt.Context, args, results []uint64) error {
+		pool.Put(self) // Put while this very call is in progress
+		inst, err := pool.Get()
+		if err != nil {
+			return err
+		}
+		fresh = inst
+		return nil
+	})
+	b := wasm.NewBuilder()
+	imp := b.ImportFunc("env", "misuse", wasm.FuncType{})
+	b.AddMemory(1, 1)
+	f := b.NewFunc("go", wasm.FuncType{})
+	f.Call(imp)
+	f.End()
+	b.Export("go", f.Idx)
+
+	e := engine.New(engines.WizardSPC(), linker)
+	cm, err := e.Compile(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool = cm.NewPool(2)
+	defer pool.Close()
+	self, err = pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := self.Call("go"); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.ResetFailures != 1 {
+		t.Fatalf("reset failures = %d, want 1 (mid-call reset must fail)", st.ResetFailures)
+	}
+	if self.Ctx.Stack == nil {
+		t.Fatal("busy instance's stack was released")
+	}
+	if fresh == self || fresh.Ctx.Stack == self.Ctx.Stack {
+		t.Fatal("mid-call instance (or its stack) was handed back out")
+	}
+}

@@ -124,3 +124,23 @@ func TestFigure4Small(t *testing.T) {
 		t.Errorf("columns %v", tbl.Columns)
 	}
 }
+
+func TestMeasurePooled(t *testing.T) {
+	item := workloads.Ostrich()[3] // crc
+	s, err := harness.MeasurePooled(engines.WizardSPC(), item.Bytes, 12, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hits+s.Misses != 12 {
+		t.Errorf("hits %d + misses %d != 12 requests", s.Hits, s.Misses)
+	}
+	if s.Misses == 0 {
+		t.Error("a cold pool must record at least one miss")
+	}
+	if s.Checksum == 0 {
+		t.Error("checksum not captured")
+	}
+	if s.Main <= 0 || s.Get < 0 {
+		t.Errorf("implausible latencies: get=%v main=%v", s.Get, s.Main)
+	}
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wizgo/internal/engine"
+)
+
+// PooledSample measures the pooled serving mode: compile once, then
+// serve requests from an instance pool under worker contention, where
+// each request pays only Pool.Get (copy-on-write reset or, on a miss,
+// a fresh link) instead of a full instantiation. It is the third rung
+// of the amortization ladder after ServiceSample: compile → cache →
+// pool → call.
+type PooledSample struct {
+	// Compile is the one-time artifact cost.
+	Compile time.Duration
+	// Requests and Workers describe the load shape.
+	Requests, Workers int
+	// Get is the median request acquisition latency observed by the
+	// workers (reset on hits, instantiation on misses, contention
+	// included). MeanReset and MeanMiss split the pool-side cost by
+	// path; ResetMax is the worst single reset.
+	Get       time.Duration
+	MeanReset time.Duration
+	MeanMiss  time.Duration
+	ResetMax  time.Duration
+	// Hits and Misses count recycled vs freshly instantiated requests.
+	Hits, Misses uint64
+	// Main is the median per-request _start execution time.
+	Main time.Duration
+	// Checksum verifies cross-request agreement (0 if not exported) —
+	// a reset that leaks state between requests shows up here.
+	Checksum int64
+}
+
+// Amortization returns how many times cheaper a pooled request setup is
+// than a fresh instantiation (miss cost over hit cost).
+func (s PooledSample) Amortization() float64 {
+	if s.MeanReset <= 0 || s.MeanMiss <= 0 {
+		return 0
+	}
+	return float64(s.MeanMiss) / float64(s.MeanReset)
+}
+
+// MeasurePooled compiles bytes once under cfg, then serves `requests`
+// _start runs from an instance pool of the given capacity driven by
+// `workers` goroutines, verifying every request computes the same
+// checksum. It reports get/reset/miss latencies and the hit ratio.
+func MeasurePooled(cfg engine.Config, bytes []byte, requests, workers, poolSize int) (PooledSample, error) {
+	if requests < 1 {
+		requests = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e := engine.New(cfg, nil)
+	t0 := time.Now()
+	cm, err := e.Compile(bytes)
+	if err != nil {
+		return PooledSample{}, err
+	}
+	s := PooledSample{
+		Compile:  time.Since(t0),
+		Requests: requests,
+		Workers:  workers,
+	}
+	if _, ok := cm.Module.ExportedFunc("_start"); !ok {
+		return PooledSample{}, fmt.Errorf("harness: module has no _start")
+	}
+	_, hasChecksum := cm.Module.ExportedFunc("checksum")
+	pool := cm.NewPool(poolSize)
+	defer pool.Close()
+
+	getTimes := make([]time.Duration, requests)
+	mainTimes := make([]time.Duration, requests)
+	checksums := make([]int64, requests)
+	errs := make(chan error, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := w; r < requests; r += workers {
+				t1 := time.Now()
+				inst, err := pool.Get()
+				if err != nil {
+					errs <- err
+					return
+				}
+				getTimes[r] = time.Since(t1)
+
+				startFn, _ := inst.RT.FuncByName("_start")
+				t2 := time.Now()
+				if _, err := inst.CallFunc(startFn); err != nil {
+					errs <- err
+					return
+				}
+				mainTimes[r] = time.Since(t2)
+
+				if sumFn, ok := inst.RT.FuncByName("checksum"); ok && hasChecksum {
+					sum, err := inst.CallFunc(sumFn)
+					if err != nil {
+						errs <- fmt.Errorf("harness: request %d checksum: %w", r, err)
+						return
+					}
+					if len(sum) == 1 {
+						checksums[r] = sum[0].I64()
+					}
+				}
+				pool.Put(inst)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return PooledSample{}, err
+	}
+
+	if hasChecksum {
+		s.Checksum = checksums[0]
+		for r, sum := range checksums {
+			if sum != s.Checksum {
+				return PooledSample{}, fmt.Errorf(
+					"harness: pooled request %d checksum %#x != %#x (reset leaked state?)",
+					r, sum, s.Checksum)
+			}
+		}
+	}
+
+	st := pool.Stats()
+	s.Get = median(getTimes)
+	s.MeanReset = st.MeanReset()
+	s.MeanMiss = st.MeanMiss()
+	s.ResetMax = st.ResetMax
+	s.Hits = st.Hits
+	s.Misses = st.Misses
+	s.Main = median(mainTimes)
+	return s, nil
+}

@@ -1,0 +1,221 @@
+// Package instancepool recycles whole module instances between
+// requests. Where internal/codecache amortizes the per-module cost
+// (decode, validate, compile) and Instance.Release amortizes the value
+// stack, this pool amortizes everything that is left: a released
+// instance keeps its memory, globals, tables and stack, and the next
+// Get hands it back after a reset to its post-instantiation state
+// instead of constructing a new one. With copy-on-write memory reset
+// (rt.Memory write tracking), the reset cost is proportional to what
+// the previous request actually wrote — the same amortize-everything
+// discipline the baseline-compiler paper applies to setup time, applied
+// to instance state.
+//
+// The pool is generic over the instance type so it carries no engine
+// dependency; internal/engine wraps it with a typed facade
+// (CompiledModule.NewPool) that supplies the instantiate / reset /
+// release callbacks. All methods are safe for concurrent use.
+package instancepool
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Config wires a Pool to its instance type.
+type Config[T comparable] struct {
+	// Capacity bounds the number of idle instances retained; Put past
+	// capacity discards. 0 means 8.
+	Capacity int
+	// New instantiates a fresh instance — the miss path.
+	New func() (T, error)
+	// Reset restores a recycled instance to its post-instantiation
+	// state; it runs on Get, so idle instances hold their dirty state
+	// until demanded. An error discards the instance and Get falls back
+	// to another idle instance or to New.
+	Reset func(T) error
+	// Discard, if non-nil, releases an instance the pool will never
+	// hand out again (capacity overflow, failed reset, Close).
+	Discard func(T)
+}
+
+// Stats are cumulative pool counters. Latencies are totals; divide by
+// the corresponding count for means. Hits+Misses = Gets.
+type Stats struct {
+	// Gets counts successful Get calls; Hits of them were recycled
+	// instances, Misses were fresh instantiations.
+	Gets, Hits, Misses uint64
+	// Puts counts instances returned; Drops of those were not retained:
+	// discarded on capacity overflow or a closed pool, or ignored as
+	// duplicate Puts of an already-idle instance. ResetFailures counts
+	// recycled instances a failing Reset forced the pool to throw away.
+	Puts, Drops, ResetFailures uint64
+	// GetTime is total wall time inside Get (reset or instantiate
+	// included); ResetTime and MissTime split it by path. ResetMax is
+	// the worst single reset.
+	GetTime, ResetTime, MissTime time.Duration
+	ResetMax                     time.Duration
+}
+
+// MeanGet returns the mean Get latency.
+func (s Stats) MeanGet() time.Duration { return meanDur(s.GetTime, s.Gets) }
+
+// MeanReset returns the mean reset latency on the hit path.
+func (s Stats) MeanReset() time.Duration { return meanDur(s.ResetTime, s.Hits) }
+
+// MeanMiss returns the mean instantiate latency on the miss path.
+func (s Stats) MeanMiss() time.Duration { return meanDur(s.MissTime, s.Misses) }
+
+func meanDur(total time.Duration, n uint64) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}
+
+// Pool recycles instances of one compiled module.
+type Pool[T comparable] struct {
+	cfg Config[T]
+
+	mu   sync.Mutex
+	idle []T
+	// inPool mirrors idle as a set so Put detects a duplicate in O(1)
+	// instead of scanning under the mutex on the hot path.
+	inPool map[T]struct{}
+	closed bool
+	stats  Stats
+}
+
+// New creates a pool. New and Reset callbacks are mandatory.
+func New[T comparable](cfg Config[T]) (*Pool[T], error) {
+	if cfg.New == nil || cfg.Reset == nil {
+		return nil, errors.New("instancepool: Config.New and Config.Reset are required")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 8
+	}
+	return &Pool[T]{cfg: cfg, inPool: make(map[T]struct{})}, nil
+}
+
+// Get returns a ready instance: a recycled one reset to its
+// post-instantiation state when the pool has any, otherwise a fresh
+// instantiation. Get never blocks waiting for a Put — an empty pool is
+// a miss, not a queue.
+func (p *Pool[T]) Get() (T, error) {
+	t0 := time.Now()
+	for {
+		p.mu.Lock()
+		n := len(p.idle)
+		if n == 0 {
+			p.mu.Unlock()
+			break
+		}
+		inst := p.idle[n-1]
+		var zero T
+		p.idle[n-1] = zero // do not retain the reference
+		p.idle = p.idle[:n-1]
+		delete(p.inPool, inst)
+		p.mu.Unlock()
+
+		r0 := time.Now()
+		err := p.cfg.Reset(inst)
+		resetDur := time.Since(r0)
+		if err != nil {
+			// A corrupt instance is cheaper to replace than to repair:
+			// drop it and try the next idle one (or fall through to New).
+			if p.cfg.Discard != nil {
+				p.cfg.Discard(inst)
+			}
+			p.mu.Lock()
+			p.stats.ResetFailures++
+			p.mu.Unlock()
+			continue
+		}
+		p.mu.Lock()
+		p.stats.Gets++
+		p.stats.Hits++
+		p.stats.ResetTime += resetDur
+		if resetDur > p.stats.ResetMax {
+			p.stats.ResetMax = resetDur
+		}
+		p.stats.GetTime += time.Since(t0)
+		p.mu.Unlock()
+		return inst, nil
+	}
+
+	m0 := time.Now()
+	inst, err := p.cfg.New()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	missDur := time.Since(m0)
+	p.mu.Lock()
+	p.stats.Gets++
+	p.stats.Misses++
+	p.stats.MissTime += missDur
+	p.stats.GetTime += time.Since(t0)
+	p.mu.Unlock()
+	return inst, nil
+}
+
+// Put returns an instance for recycling. The instance must be quiescent
+// (no call in progress) and must have come from this pool's Get — the
+// reset contract assumes the pool's own instantiation baseline. Past
+// capacity, or after Close, the instance is discarded instead.
+func (p *Pool[T]) Put(inst T) {
+	p.mu.Lock()
+	p.stats.Puts++
+	// A double Put would store two references to one instance and let
+	// two Gets hand it out concurrently (the same hazard class the
+	// engine latches Release against); an already-idle instance is
+	// simply ignored, counted as a drop — not discarded, since the
+	// pool's own reference to it stays live.
+	if _, dup := p.inPool[inst]; dup {
+		p.stats.Drops++
+		p.mu.Unlock()
+		return
+	}
+	if p.closed || len(p.idle) >= p.cfg.Capacity {
+		p.stats.Drops++
+		p.mu.Unlock()
+		if p.cfg.Discard != nil {
+			p.cfg.Discard(inst)
+		}
+		return
+	}
+	p.idle = append(p.idle, inst)
+	p.inPool[inst] = struct{}{}
+	p.mu.Unlock()
+}
+
+// Len returns the number of idle instances.
+func (p *Pool[T]) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool[T]) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close discards every idle instance and makes future Puts discard
+// immediately. Get still works (every call becomes a miss), so a pool
+// can be drained without coordinating in-flight requests.
+func (p *Pool[T]) Close() {
+	p.mu.Lock()
+	drained := p.idle
+	p.idle = nil
+	clear(p.inPool)
+	p.closed = true
+	p.mu.Unlock()
+	if p.cfg.Discard != nil {
+		for _, inst := range drained {
+			p.cfg.Discard(inst)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package instancepool_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wizgo/internal/instancepool"
+)
+
+// fake is a minimal poolable instance: a serial number plus a dirty
+// flag the Reset callback clears.
+type fake struct {
+	id    int
+	dirty bool
+}
+
+type callbacks struct {
+	news      atomic.Int64
+	resets    atomic.Int64
+	discards  atomic.Int64
+	resetErr  error
+	resetFail atomic.Int64 // fail the first N resets
+}
+
+func (c *callbacks) config(capacity int) instancepool.Config[*fake] {
+	return instancepool.Config[*fake]{
+		Capacity: capacity,
+		New: func() (*fake, error) {
+			return &fake{id: int(c.news.Add(1))}, nil
+		},
+		Reset: func(f *fake) error {
+			c.resets.Add(1)
+			if c.resetFail.Load() > 0 {
+				c.resetFail.Add(-1)
+				return c.resetErr
+			}
+			f.dirty = false
+			return nil
+		},
+		Discard: func(f *fake) { c.discards.Add(1) },
+	}
+}
+
+func TestGetPutRecycles(t *testing.T) {
+	var cb callbacks
+	p, err := instancepool.New(cb.config(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.dirty = true
+	p.Put(a)
+	b, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Error("pool did not recycle the released instance")
+	}
+	if b.dirty {
+		t.Error("recycled instance was not reset")
+	}
+	st := p.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 gets / 1 hit / 1 miss", st)
+	}
+	if cb.news.Load() != 1 || cb.resets.Load() != 1 {
+		t.Errorf("news=%d resets=%d, want 1/1", cb.news.Load(), cb.resets.Load())
+	}
+}
+
+func TestCapacityOverflowDiscards(t *testing.T) {
+	var cb callbacks
+	p, _ := instancepool.New(cb.config(2))
+	var got []*fake
+	for i := 0; i < 5; i++ {
+		f, err := p.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, f)
+	}
+	for _, f := range got {
+		p.Put(f)
+	}
+	if p.Len() != 2 {
+		t.Errorf("idle = %d, want capacity 2", p.Len())
+	}
+	if cb.discards.Load() != 3 {
+		t.Errorf("discards = %d, want 3", cb.discards.Load())
+	}
+	if st := p.Stats(); st.Puts != 5 || st.Drops != 3 {
+		t.Errorf("stats = %+v, want 5 puts / 3 drops", st)
+	}
+}
+
+func TestResetFailureFallsThrough(t *testing.T) {
+	var cb callbacks
+	cb.resetErr = errors.New("corrupt")
+	p, _ := instancepool.New(cb.config(4))
+	a, _ := p.Get()
+	b, _ := p.Get()
+	p.Put(a)
+	p.Put(b)
+
+	// The first reset fails: that instance must be discarded and Get
+	// must fall through to the other idle instance.
+	cb.resetFail.Store(1)
+	c, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a && c != b {
+		t.Error("fall-through did not reuse the surviving idle instance")
+	}
+	st := p.Stats()
+	if st.ResetFailures != 1 || cb.discards.Load() != 1 {
+		t.Errorf("reset failures = %d, discards = %d, want 1/1",
+			st.ResetFailures, cb.discards.Load())
+	}
+
+	// Both idle instances failing drains the pool into a miss.
+	p.Put(c)
+	cb.resetFail.Store(5)
+	d, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a || d == b {
+		t.Error("instance revived after its reset failed")
+	}
+	if st := p.Stats(); st.Misses != 3 {
+		t.Errorf("misses = %d, want 3 (two initial + one drained)", st.Misses)
+	}
+}
+
+func TestNewErrorPropagates(t *testing.T) {
+	boom := errors.New("no memory")
+	p, _ := instancepool.New(instancepool.Config[*fake]{
+		New:   func() (*fake, error) { return nil, boom },
+		Reset: func(*fake) error { return nil },
+	})
+	if _, err := p.Get(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if st := p.Stats(); st.Gets != 0 {
+		t.Errorf("failed Get counted: %+v", st)
+	}
+}
+
+func TestMissingCallbacksRejected(t *testing.T) {
+	if _, err := instancepool.New(instancepool.Config[*fake]{}); err == nil {
+		t.Error("nil callbacks accepted")
+	}
+}
+
+func TestCloseDrainsAndDiscards(t *testing.T) {
+	var cb callbacks
+	p, _ := instancepool.New(cb.config(4))
+	a, _ := p.Get()
+	b, _ := p.Get()
+	p.Put(a)
+	p.Close()
+	if cb.discards.Load() != 1 {
+		t.Errorf("discards after close = %d, want 1", cb.discards.Load())
+	}
+	p.Put(b) // post-close Put discards immediately
+	if cb.discards.Load() != 2 || p.Len() != 0 {
+		t.Errorf("post-close put retained instance (discards=%d len=%d)",
+			cb.discards.Load(), p.Len())
+	}
+	if _, err := p.Get(); err != nil { // Get still works, as a miss
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentGetPut hammers the pool from many goroutines (run with
+// -race in CI): every Get must observe a reset (non-dirty) instance,
+// and no instance may be handed to two goroutines at once.
+func TestConcurrentGetPut(t *testing.T) {
+	var cb callbacks
+	p, _ := instancepool.New(cb.config(4))
+	var inUse sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f, err := p.Get()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if f.dirty {
+					t.Error("got a dirty instance")
+				}
+				if _, loaded := inUse.LoadOrStore(f, true); loaded {
+					t.Errorf("instance %d handed out twice", f.id)
+				}
+				f.dirty = true
+				inUse.Delete(f)
+				p.Put(f)
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Gets != 8*500 {
+		t.Errorf("gets = %d, want %d", st.Gets, 8*500)
+	}
+	if st.Hits+st.Misses != st.Gets {
+		t.Errorf("hits %d + misses %d != gets %d", st.Hits, st.Misses, st.Gets)
+	}
+	if st.Puts != st.Gets {
+		t.Errorf("puts = %d, want %d", st.Puts, st.Gets)
+	}
+}
+
+func TestDoublePutIgnored(t *testing.T) {
+	var cb callbacks
+	p, _ := instancepool.New(cb.config(4))
+	a, _ := p.Get()
+	p.Put(a)
+	p.Put(a) // must not store a second reference
+	if p.Len() != 1 {
+		t.Fatalf("idle = %d after double put, want 1", p.Len())
+	}
+	if st := p.Stats(); st.Drops != 1 {
+		t.Errorf("drops = %d, want 1 (the duplicate)", st.Drops)
+	}
+	if cb.discards.Load() != 0 {
+		t.Errorf("duplicate put discarded a live instance (%d discards)", cb.discards.Load())
+	}
+	b, _ := p.Get()
+	c, _ := p.Get()
+	if b == c {
+		t.Fatal("double put let one instance be handed out twice")
+	}
+}

@@ -449,6 +449,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			if !mem.InBounds(addr, off, 4) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, off, 4)
 			putU32(mem.Data, int(addr)+int(off), uint32(slots[sp+1]))
 		case wasm.OpI64Store:
 			var off uint32
@@ -458,6 +459,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			if !mem.InBounds(addr, off, 8) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, off, 8)
 			putU64(mem.Data, int(addr)+int(off), slots[sp+1])
 		case wasm.OpF32Store:
 			var off uint32
@@ -467,6 +469,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			if !mem.InBounds(addr, off, 4) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, off, 4)
 			putU32(mem.Data, int(addr)+int(off), uint32(slots[sp+1]))
 		case wasm.OpF64Store:
 			var off uint32
@@ -476,6 +479,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			if !mem.InBounds(addr, off, 8) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, off, 8)
 			putU64(mem.Data, int(addr)+int(off), slots[sp+1])
 		case wasm.OpI32Store8:
 			var off uint32
@@ -485,6 +489,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			if !mem.InBounds(addr, off, 1) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, off, 1)
 			mem.Data[int(addr)+int(off)] = byte(slots[sp+1])
 		case wasm.OpI32Store16:
 			var off uint32
@@ -494,6 +499,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			if !mem.InBounds(addr, off, 2) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, off, 2)
 			putU16(mem.Data, int(addr)+int(off), uint16(slots[sp+1]))
 		case wasm.OpI64Store8:
 			var off uint32
@@ -503,6 +509,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			if !mem.InBounds(addr, off, 1) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, off, 1)
 			mem.Data[int(addr)+int(off)] = byte(slots[sp+1])
 		case wasm.OpI64Store16:
 			var off uint32
@@ -512,6 +519,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			if !mem.InBounds(addr, off, 2) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, off, 2)
 			putU16(mem.Data, int(addr)+int(off), uint16(slots[sp+1]))
 		case wasm.OpI64Store32:
 			var off uint32
@@ -521,6 +529,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			if !mem.InBounds(addr, off, 4) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, off, 4)
 			putU32(mem.Data, int(addr)+int(off), uint32(slots[sp+1]))
 		case wasm.OpMemorySize:
 			ip++ // memory index byte

@@ -572,6 +572,7 @@ func fcOp(sub uint32, body []byte, ip int, slots []uint64, tags []wasm.Tag, sp i
 		if !mem.InBounds(dst, 0, int(n)) || !mem.InBounds(src, 0, int(n)) {
 			return sp, ip, rt.TrapOOBMemory
 		}
+		mem.Mark(dst, 0, int(n))
 		copy(mem.Data[dst:dst+n], mem.Data[src:src+n])
 		return sp, ip, rt.TrapNone
 	case wasm.OpMemoryFill:
@@ -581,6 +582,7 @@ func fcOp(sub uint32, body []byte, ip int, slots []uint64, tags []wasm.Tag, sp i
 		if !mem.InBounds(dst, 0, int(n)) {
 			return sp, ip, rt.TrapOOBMemory
 		}
+		mem.Mark(dst, 0, int(n))
 		for i := uint32(0); i < n; i++ {
 			mem.Data[dst+i] = val
 		}

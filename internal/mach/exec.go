@@ -677,24 +677,28 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 			if !mem.InBounds(addr, uint32(in.Imm), 1) {
 				return rt.Done, c.trapAt(rt.TrapOOBMemory, f, pc)
 			}
+			mem.Mark(addr, uint32(in.Imm), 1)
 			mem.Data[int(addr)+int(uint32(in.Imm))] = byte(regs[in.C])
 		case OSt16:
 			addr := uint32(regs[in.B])
 			if !mem.InBounds(addr, uint32(in.Imm), 2) {
 				return rt.Done, c.trapAt(rt.TrapOOBMemory, f, pc)
 			}
+			mem.Mark(addr, uint32(in.Imm), 2)
 			binary.LittleEndian.PutUint16(mem.Data[int(addr)+int(uint32(in.Imm)):], uint16(regs[in.C]))
 		case OSt32:
 			addr := uint32(regs[in.B])
 			if !mem.InBounds(addr, uint32(in.Imm), 4) {
 				return rt.Done, c.trapAt(rt.TrapOOBMemory, f, pc)
 			}
+			mem.Mark(addr, uint32(in.Imm), 4)
 			binary.LittleEndian.PutUint32(mem.Data[int(addr)+int(uint32(in.Imm)):], uint32(regs[in.C]))
 		case OSt64:
 			addr := uint32(regs[in.B])
 			if !mem.InBounds(addr, uint32(in.Imm), 8) {
 				return rt.Done, c.trapAt(rt.TrapOOBMemory, f, pc)
 			}
+			mem.Mark(addr, uint32(in.Imm), 8)
 			binary.LittleEndian.PutUint64(mem.Data[int(addr)+int(uint32(in.Imm)):], regs[in.C])
 
 		case OMemSize:
@@ -706,12 +710,14 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 			if !mem.InBounds(dst, 0, int(n)) || !mem.InBounds(src, 0, int(n)) {
 				return rt.Done, c.trapAt(rt.TrapOOBMemory, f, pc)
 			}
+			mem.Mark(dst, 0, int(n))
 			copy(mem.Data[dst:dst+n], mem.Data[src:src+n])
 		case OMemFill:
 			dst, val, n := uint32(regs[in.A]), byte(regs[in.B]), uint32(regs[in.C])
 			if !mem.InBounds(dst, 0, int(n)) {
 				return rt.Done, c.trapAt(rt.TrapOOBMemory, f, pc)
 			}
+			mem.Mark(dst, 0, int(n))
 			for i := uint32(0); i < n; i++ {
 				mem.Data[dst+i] = val
 			}

@@ -159,6 +159,7 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 			if !mem.InBounds(dst, 0, int(n)) || !mem.InBounds(src, 0, int(n)) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(dst, 0, int(n))
 			copy(mem.Data[dst:dst+n], mem.Data[src:src+n])
 		case wasm.OpMemoryFill:
 			sp -= 3
@@ -166,6 +167,7 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 			if !mem.InBounds(dst, 0, int(n)) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(dst, 0, int(n))
 			for i := uint32(0); i < n; i++ {
 				mem.Data[dst+i] = val
 			}
@@ -268,6 +270,7 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 			if !mem.InBounds(addr, uint32(in.Imm), 4) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, uint32(in.Imm), 4)
 			binary.LittleEndian.PutUint32(mem.Data[int(addr)+int(uint32(in.Imm)):], uint32(slots[sp+1]))
 		case wasm.OpI64Store, wasm.OpF64Store:
 			sp -= 2
@@ -275,6 +278,7 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 			if !mem.InBounds(addr, uint32(in.Imm), 8) {
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
+			mem.Mark(addr, uint32(in.Imm), 8)
 			binary.LittleEndian.PutUint64(mem.Data[int(addr)+int(uint32(in.Imm)):], slots[sp+1])
 
 		default:
@@ -325,6 +329,7 @@ func (c *Code) slowOp(in *Instr, slots []uint64, sp int, mem *rt.Memory, f *rt.F
 		if !mem.InBounds(addr, uint32(in.Imm), size) {
 			return sp, trap(rt.TrapOOBMemory)
 		}
+		mem.Mark(addr, uint32(in.Imm), size)
 		storeBits(op, mem.Data, int(addr)+int(uint32(in.Imm)), slots[sp+1])
 		return sp, nil
 	}

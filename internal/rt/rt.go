@@ -12,6 +12,7 @@ package rt
 
 import (
 	"fmt"
+	"math/bits"
 
 	"wizgo/internal/validate"
 	"wizgo/internal/wasm"
@@ -144,11 +145,36 @@ func NewValueStack(capacity int, withTags bool) *ValueStack {
 	return vs
 }
 
+// Write-tracking granularity: instance-pool reset copies back snapshot
+// bytes per granule, so the granule must be small enough that a run
+// touching a few buffers does not dirty the whole memory, and large
+// enough that the bitmap stays tiny (32 B of bitmap per 1 MiB of
+// memory at 4 KiB granules).
+const (
+	DirtyGranuleShift = 12
+	DirtyGranule      = 1 << DirtyGranuleShift
+)
+
 // Memory is a linear memory instance.
+//
+// A memory can optionally track which granules (DirtyGranule-sized
+// blocks) have been written since EnableWriteTracking, the mechanism
+// behind copy-on-write instance reset: executors call Mark on every
+// store, and ResetTo replays a snapshot over only the dirty granules.
+// Tracking state is not goroutine-safe — like Data itself, it assumes
+// one execution context mutates the memory at a time.
 type Memory struct {
 	Data []byte
 	// MaxPages caps growth; engines clamp it so benchmarks stay small.
 	MaxPages uint32
+
+	// dirty is the granule bitmap (nil = tracking off); dirtyCount is
+	// the number of set bits. grown records that Grow replaced Data (or
+	// a host mutated memory out of band via MarkAll), which invalidates
+	// per-granule accounting until the next full reset.
+	dirty      []uint64
+	dirtyCount int
+	grown      bool
 }
 
 // NewMemory allocates a memory from limits.
@@ -179,6 +205,17 @@ func (m *Memory) Grow(delta uint32) int32 {
 	grown := make([]byte, next*wasm.PageSize)
 	copy(grown, m.Data)
 	m.Data = grown
+	if m.dirty != nil {
+		// A grown memory no longer matches the snapshot shape, so the
+		// next reset must be a full restore; the bitmap still has to
+		// cover the new size so Mark stays in bounds until then.
+		m.grown = true
+		if need := bitmapWords(len(m.Data)); need > len(m.dirty) {
+			bigger := make([]uint64, need)
+			copy(bigger, m.dirty)
+			m.dirty = bigger
+		}
+	}
 	return int32(old)
 }
 
@@ -186,6 +223,130 @@ func (m *Memory) Grow(delta uint32) int32 {
 func (m *Memory) InBounds(addr, offset uint32, size int) bool {
 	eff := uint64(addr) + uint64(offset)
 	return eff+uint64(size) <= uint64(len(m.Data))
+}
+
+func bitmapWords(dataLen int) int {
+	granules := (dataLen + DirtyGranule - 1) >> DirtyGranuleShift
+	return (granules + 63) / 64
+}
+
+// EnableWriteTracking starts recording which granules of the memory are
+// written. The current contents become the implicit baseline: a
+// subsequent ResetTo with a snapshot of this state touches only the
+// granules dirtied in between.
+func (m *Memory) EnableWriteTracking() {
+	m.dirty = make([]uint64, bitmapWords(len(m.Data)))
+	m.dirtyCount = 0
+	m.grown = false
+}
+
+// WriteTracking reports whether the memory records writes.
+func (m *Memory) WriteTracking() bool { return m.dirty != nil }
+
+// Mark records a write of size bytes at addr+offset (the same
+// coordinates InBounds checks). Executors call it on every store,
+// memory.copy and memory.fill; when tracking is off it is a single
+// predictable branch.
+func (m *Memory) Mark(addr, offset uint32, size int) {
+	if m.dirty != nil {
+		m.mark(int(addr)+int(offset), size)
+	}
+}
+
+// mark is kept out of line so that Mark's fast path (one nil check)
+// stays under the inlining budget — executors then pay a single
+// predictable branch per store while tracking is off.
+//
+//go:noinline
+func (m *Memory) mark(at, size int) {
+	if size <= 0 {
+		return
+	}
+	first := at >> DirtyGranuleShift
+	last := (at + size - 1) >> DirtyGranuleShift
+	for g := first; g <= last; g++ {
+		w, bit := g>>6, uint64(1)<<(g&63)
+		if w >= len(m.dirty) {
+			// Out-of-band mutation past the tracked range (should not
+			// happen — Grow resizes the bitmap); degrade to full reset.
+			m.grown = true
+			return
+		}
+		if m.dirty[w]&bit == 0 {
+			m.dirty[w] |= bit
+			m.dirtyCount++
+		}
+	}
+}
+
+// MarkAll declares the whole memory dirty — the escape hatch for host
+// functions that write linear memory without going through an executor.
+// The next ResetTo falls back to a full restore.
+func (m *Memory) MarkAll() {
+	if m.dirty != nil {
+		m.grown = true
+	}
+}
+
+// DirtyGranules returns the number of granules written since tracking
+// was enabled (or the last reset).
+func (m *Memory) DirtyGranules() int { return m.dirtyCount }
+
+// Grown reports whether per-granule accounting was invalidated (Grow or
+// MarkAll) since the last reset.
+func (m *Memory) Grown() bool { return m.grown }
+
+// fullWipeDenominator: when at least 1/fullWipeDenominator of the
+// granules are dirty, per-granule replay loses to one sequential copy
+// of the whole snapshot, so ResetTo switches strategy.
+const fullWipeDenominator = 2
+
+// ResetTo restores Data to exactly the snapshot taken when the memory
+// was in its baseline state, using the dirty bitmap to copy back only
+// the granules written since — so reset cost is proportional to
+// mutation, not memory size. Past the dirtiness threshold, after a
+// Grow, or without tracking, it falls back to a full wipe. It returns
+// the bytes copied and whether the full path ran; tracking (if enabled)
+// restarts clean against the restored baseline.
+func (m *Memory) ResetTo(snapshot []byte) (copied int, full bool) {
+	granules := (len(snapshot) + DirtyGranule - 1) >> DirtyGranuleShift
+	sparse := m.dirty != nil && !m.grown && len(m.Data) == len(snapshot) &&
+		m.dirtyCount*fullWipeDenominator < granules
+	if !sparse {
+		if cap(m.Data) >= len(snapshot) {
+			m.Data = m.Data[:len(snapshot)]
+		} else {
+			m.Data = make([]byte, len(snapshot))
+		}
+		copy(m.Data, snapshot)
+		if m.dirty != nil {
+			clear(m.dirty)
+			m.dirtyCount = 0
+			m.grown = false
+		}
+		return len(snapshot), true
+	}
+	for w := 0; w < len(m.dirty) && m.dirtyCount > 0; w++ {
+		word := m.dirty[w]
+		if word == 0 {
+			continue
+		}
+		m.dirty[w] = 0
+		for word != 0 {
+			g := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			m.dirtyCount--
+			start := g << DirtyGranuleShift
+			end := start + DirtyGranule
+			if end > len(snapshot) {
+				end = len(snapshot)
+			}
+			if start < end {
+				copied += copy(m.Data[start:end], snapshot[start:end])
+			}
+		}
+	}
+	return copied, false
 }
 
 // Table is a funcref table. Entries are 1-based function handles

@@ -137,3 +137,118 @@ func TestTrapError(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteTrackingMarkAndReset(t *testing.T) {
+	m := NewMemory(wasm.Limits{Min: 4, Max: 4, HasMax: true}) // 256 KiB = 64 granules
+	snapshot := make([]byte, len(m.Data))
+	for i := range m.Data {
+		m.Data[i] = byte(i * 7)
+		snapshot[i] = byte(i * 7)
+	}
+	m.EnableWriteTracking()
+	if !m.WriteTracking() || m.DirtyGranules() != 0 {
+		t.Fatalf("tracking = %v, dirty = %d", m.WriteTracking(), m.DirtyGranules())
+	}
+
+	// One write in granule 0, one straddling the granule 2/3 boundary.
+	m.Mark(100, 0, 8)
+	m.Data[100] = 0xFF
+	m.Mark(3*DirtyGranule-4, 0, 8)
+	m.Data[3*DirtyGranule-4] = 0xEE
+	m.Data[3*DirtyGranule+3] = 0xDD
+	if m.DirtyGranules() != 3 {
+		t.Fatalf("dirty granules = %d, want 3", m.DirtyGranules())
+	}
+	// Re-marking the same granule must not double count.
+	m.Mark(101, 3, 1)
+	if m.DirtyGranules() != 3 {
+		t.Fatalf("re-mark counted twice: %d", m.DirtyGranules())
+	}
+
+	copied, full := m.ResetTo(snapshot)
+	if full {
+		t.Fatal("sparse reset took the full-wipe path")
+	}
+	if copied != 3*DirtyGranule {
+		t.Fatalf("copied %d bytes, want %d", copied, 3*DirtyGranule)
+	}
+	if m.DirtyGranules() != 0 {
+		t.Fatalf("dirty granules after reset = %d", m.DirtyGranules())
+	}
+	for i := range m.Data {
+		if m.Data[i] != snapshot[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, m.Data[i], snapshot[i])
+		}
+	}
+}
+
+func TestWriteTrackingFullWipeThreshold(t *testing.T) {
+	m := NewMemory(wasm.Limits{Min: 1, Max: 1, HasMax: true}) // 16 granules
+	snapshot := make([]byte, len(m.Data))
+	m.EnableWriteTracking()
+	// Dirty half the granules: per-granule replay loses, full wipe runs.
+	for g := 0; g < 8; g++ {
+		m.Mark(uint32(g*DirtyGranule), 0, 1)
+		m.Data[g*DirtyGranule] = 1
+	}
+	if _, full := m.ResetTo(snapshot); !full {
+		t.Error("at-threshold reset did not take the full-wipe path")
+	}
+	for i := range m.Data {
+		if m.Data[i] != 0 {
+			t.Fatalf("byte %d not restored", i)
+		}
+	}
+}
+
+func TestWriteTrackingGrowForcesFullReset(t *testing.T) {
+	m := NewMemory(wasm.Limits{Min: 1, Max: 4, HasMax: true})
+	snapshot := make([]byte, len(m.Data))
+	m.EnableWriteTracking()
+	if m.Grow(2) != 1 {
+		t.Fatal("grow failed")
+	}
+	if !m.Grown() {
+		t.Error("grow did not invalidate granule accounting")
+	}
+	// Writes into the grown region must not panic and must be undone.
+	m.Mark(2*wasm.PageSize, 0, 8)
+	m.Data[2*wasm.PageSize] = 9
+	copied, full := m.ResetTo(snapshot)
+	if !full || copied != len(snapshot) {
+		t.Fatalf("reset after grow: copied=%d full=%v", copied, full)
+	}
+	if len(m.Data) != len(snapshot) || m.Pages() != 1 {
+		t.Fatalf("memory not restored to snapshot shape: %d bytes, %d pages",
+			len(m.Data), m.Pages())
+	}
+	if m.Grown() {
+		t.Error("grown flag survived reset")
+	}
+}
+
+func TestWriteTrackingMarkAll(t *testing.T) {
+	m := NewMemory(wasm.Limits{Min: 1, Max: 1, HasMax: true})
+	snapshot := make([]byte, len(m.Data))
+	m.EnableWriteTracking()
+	m.Data[77] = 1 // host write without Mark
+	m.MarkAll()
+	if _, full := m.ResetTo(snapshot); !full {
+		t.Error("MarkAll did not force a full reset")
+	}
+	if m.Data[77] != 0 {
+		t.Error("host write survived reset")
+	}
+}
+
+func TestResetToWithoutTracking(t *testing.T) {
+	m := NewMemory(wasm.Limits{Min: 1, Max: 1, HasMax: true})
+	snapshot := make([]byte, len(m.Data))
+	m.Data[5] = 42
+	if copied, full := m.ResetTo(snapshot); !full || copied != len(snapshot) {
+		t.Error("untracked memory must full-wipe")
+	}
+	if m.Data[5] != 0 {
+		t.Error("reset without tracking did not restore")
+	}
+}
