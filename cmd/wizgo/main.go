@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wizgo [-tier wizeng-spc] [-invoke name] [-instances N] [-compile-workers N] [-pool [-pool-size N]] module.wasm [args...]
+//	wizgo [-tier wizeng-spc] [-invoke name] [-instances N] [-compile-workers N] [-pool [-pool-size N]] [-timeout 2s] module.wasm [args...]
 //
 // The module is compiled once (per-function compilation fans out over
 // -compile-workers cores) and then instantiated -instances times from
@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,7 @@ func main() {
 	instances := flag.Int("instances", 1, "instantiate the compiled module N times and run each")
 	usePool := flag.Bool("pool", false, "serve the -instances runs from an instance pool (recycle + copy-on-write reset) instead of fresh links")
 	poolSize := flag.Int("pool-size", 0, "idle instances the pool retains (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-call deadline; a run exceeding it is interrupted cleanly (0 = no deadline)")
 	flag.Parse()
 
 	if *list {
@@ -144,7 +146,13 @@ func main() {
 			}
 		}
 
-		results, err := inst.CallFunc(f, args...)
+		callCtx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			callCtx, cancel = context.WithTimeout(callCtx, *timeout)
+		}
+		results, err := inst.CallFuncContext(callCtx, f, args...)
+		cancel() // release the deadline timer before the next instance
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,140 @@
+// Linking: a two-module pipeline over the namespaced Linker.
+//
+// Module "store" owns a linear memory and exports it together with an
+// accumulating function. Module "pipeline" imports both: it writes
+// samples directly into the shared memory and then calls store's
+// function — which runs in store's instance, on store's globals — to
+// fold them. The host reads the shared memory afterwards to show that
+// all three parties (store, pipeline, host) observe the same bytes.
+//
+// The second half demonstrates context-aware calls: a deliberately
+// runaway loop is cancelled by a deadline, unwinding with a clean
+// interrupt trap instead of hanging the goroutine.
+//
+//	go run ./examples/linking
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/wasm"
+)
+
+// buildStore builds the exporting module: one page of memory, a mutable
+// i64 total, and sum(base, n) -> i64 adding n little-endian u32 samples
+// at byte offset base into total.
+func buildStore() []byte {
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	total := b.AddGlobal(wasm.I64, true, wasm.ValI64(0))
+
+	f := b.NewFunc("sum", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32, wasm.I32},
+		Results: []wasm.ValueType{wasm.I64},
+	})
+	i := f.AddLocal(wasm.I32)
+	f.Block(wasm.BlockEmpty)
+	f.LocalGet(1).I32Const(0).Op(wasm.OpI32LeS).BrIf(0)
+	f.Loop(wasm.BlockEmpty)
+	// total += mem[base + 4*i]
+	f.GlobalGet(total)
+	f.LocalGet(0).LocalGet(i).I32Const(4).Op(wasm.OpI32Mul).Op(wasm.OpI32Add)
+	f.Load(wasm.OpI32Load, 0).Op(wasm.OpI64ExtendI32U)
+	f.Op(wasm.OpI64Add).GlobalSet(total)
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalTee(i)
+	f.LocalGet(1).Op(wasm.OpI32LtS).BrIf(0)
+	f.End()
+	f.End()
+	f.GlobalGet(total)
+	f.End()
+
+	b.Export("sum", f.Idx)
+	b.ExportMemory("mem")
+	b.ExportGlobal("total", total)
+	return b.Encode()
+}
+
+// buildPipeline builds the importing module: it borrows store.mem and
+// store.sum, writes n ramp samples into the shared memory itself, and
+// asks store to fold them.
+func buildPipeline() []byte {
+	b := wasm.NewBuilder()
+	sum := b.ImportFunc("store", "sum", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32, wasm.I32},
+		Results: []wasm.ValueType{wasm.I64},
+	})
+	b.ImportMemory("store", "mem", 1, 1)
+
+	f := b.NewFunc("produce", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32},
+		Results: []wasm.ValueType{wasm.I64},
+	})
+	i := f.AddLocal(wasm.I32)
+	f.Block(wasm.BlockEmpty)
+	f.LocalGet(0).I32Const(0).Op(wasm.OpI32LeS).BrIf(0)
+	f.Loop(wasm.BlockEmpty)
+	// mem[4*i] = i + 1  (written by THIS module into store's memory)
+	f.LocalGet(i).I32Const(4).Op(wasm.OpI32Mul)
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add)
+	f.Store(wasm.OpI32Store, 0)
+	f.LocalGet(i).I32Const(1).Op(wasm.OpI32Add).LocalTee(i)
+	f.LocalGet(0).Op(wasm.OpI32LtS).BrIf(0)
+	f.End()
+	f.End()
+	f.I32Const(0).LocalGet(0).Call(sum)
+	f.End()
+	b.Export("produce", f.Idx)
+
+	// An infinite loop for the cancellation demo.
+	spin := b.NewFunc("spin", wasm.FuncType{})
+	spin.Loop(wasm.BlockEmpty).Br(0).End().End()
+	b.Export("spin", spin.Idx)
+	return b.Encode()
+}
+
+func main() {
+	storeBytes, pipeBytes := buildStore(), buildPipeline()
+
+	for _, cfg := range []engine.Config{engines.WizardINT(), engines.WizardSPC()} {
+		// Instantiate the exporter, then hand its exports to a linker
+		// under the "store" namespace; every module instantiated through
+		// an engine built from that linker can import them.
+		store, err := engine.New(cfg, nil).Instantiate(storeBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		linker := engine.NewLinker()
+		if err := linker.DefineInstance("store", store); err != nil {
+			log.Fatal(err)
+		}
+		pipe, err := engine.New(cfg, linker).Instantiate(pipeBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		res, err := pipe.Call("produce", wasm.ValI32(10))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// All three views agree: pipe wrote, store summed, host reads.
+		fmt.Printf("%-12s produce(10) = %d (store saw mem[4..8) = %d %d)\n",
+			cfg.Name, res[0].I64(), store.RT.Memory.Data[4], store.RT.Memory.Data[8])
+
+		// Cancellation: spin() never returns on its own; the deadline
+		// arms the interrupt flag and the executor unwinds at the next
+		// loop back-edge.
+		callCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		t0 := time.Now()
+		_, err = pipe.CallContext(callCtx, "spin")
+		cancel()
+		fmt.Printf("%-12s spin() interrupted after %v: %v (deadline: %v)\n",
+			cfg.Name, time.Since(t0).Round(time.Millisecond), err,
+			errors.Is(err, context.DeadlineExceeded))
+	}
+}

@@ -313,14 +313,15 @@ func (t *tc) instr(op wasm.Opcode, pc int) error {
 		if err != nil {
 			return err
 		}
-		if _, err := t.r.U32(); err != nil {
+		tblIdx, err := t.r.U32()
+		if err != nil {
 			return err
 		}
 		ft := t.m.Types[typeIdx]
 		t.h--
 		t.emit(mach.Instr{Op: mach.OLoadSlot, A: r2, Imm: uint64(t.slot(t.h))})
 		argBase := t.nLocals + t.h - len(ft.Params)
-		t.emit(mach.Instr{Op: mach.OCallIndirect, A: int32(typeIdx), B: int32(argBase), C: r2})
+		t.emit(mach.Instr{Op: mach.OCallIndirect, A: int32(typeIdx), B: int32(argBase), C: r2, Imm: uint64(tblIdx)})
 		t.h += len(ft.Results) - len(ft.Params)
 	case wasm.OpDrop:
 		t.h--

@@ -17,6 +17,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -133,12 +135,14 @@ type Timings struct {
 func (t Timings) Setup() time.Duration { return t.Decode + t.Validate + t.Compile }
 
 // Engine creates instances under one configuration. An Engine is safe
-// for concurrent use once constructed, provided its Linker is not
-// mutated after construction: Compile and Instantiate only read the
-// configuration and linker.
+// for concurrent use once constructed: New snapshots the linker's
+// definitions, so even a linker that keeps being mutated on another
+// goroutine cannot race with Compile or Instantiate — the engine
+// resolves imports against the frozen snapshot.
 type Engine struct {
-	cfg    Config
-	linker *Linker
+	cfg Config
+	// externs is the frozen linker snapshot taken by New.
+	externs map[externKey]rt.Extern
 	// stacks recycles value stacks between instances. Allocating (and,
 	// on reuse, re-zeroing) the multi-megabyte slot and tag arrays is
 	// by far the largest per-instance cost, so a serving loop that
@@ -161,7 +165,7 @@ func New(cfg Config, linker *Linker) *Engine {
 	if linker == nil {
 		linker = NewLinker()
 	}
-	e := &Engine{cfg: cfg, linker: linker}
+	e := &Engine{cfg: cfg, externs: linker.snapshot()}
 	e.stacks.New = func() any {
 		return rt.NewValueStack(e.cfg.StackSlots, e.cfg.Tags)
 	}
@@ -197,69 +201,137 @@ func (e *Engine) Instantiate(bytes []byte) (*Instance, error) {
 	return cm.Instantiate()
 }
 
-// link builds the runtime instance: imports, memory, globals, tables.
+// resolveImport looks an import up in the engine's frozen linker
+// snapshot and checks the extern kind.
+func (e *Engine) resolveImport(imp wasm.Import) (rt.Extern, error) {
+	ext, ok := e.externs[externKey{imp.Module, imp.Name}]
+	if !ok {
+		return rt.Extern{}, fmt.Errorf("engine: unresolved import %s.%s (%s)",
+			imp.Module, imp.Name, imp.Kind)
+	}
+	if ext.Kind != imp.Kind {
+		return rt.Extern{}, fmt.Errorf("engine: import %s.%s extern kind mismatch: import requires a %s, definition provides a %s",
+			imp.Module, imp.Name, imp.Kind, ext.Kind)
+	}
+	return ext, nil
+}
+
+// link builds the runtime instance: resolve imports of all four extern
+// kinds against the engine's frozen linker snapshot, then allocate the
+// instance's own memory, globals and tables. Imported externals occupy
+// the low indices of their index spaces and are aliased, never copied —
+// an imported memory IS the exporter's memory.
 func (e *Engine) link(m *wasm.Module, infos []validate.FuncInfo) (*Instance, error) {
 	ri := &rt.Instance{Module: m}
 
-	// Function index space: imports first.
-	localIdx := 0
+	// Index spaces: imports first, in import-section order.
 	for _, imp := range m.Imports {
+		ext, err := e.resolveImport(imp)
+		if err != nil {
+			return nil, err
+		}
 		switch imp.Kind {
 		case wasm.ImportFunc:
 			ft := m.Types[imp.TypeIdx]
-			host, ok := e.linker.resolve(imp.Module, imp.Name)
-			if !ok {
-				return nil, fmt.Errorf("engine: unresolved import %s.%s", imp.Module, imp.Name)
-			}
-			if !host.Type.Equal(ft) {
+			if !ext.FuncType.Equal(ft) {
 				return nil, fmt.Errorf("engine: import %s.%s signature mismatch: have %v, want %v",
-					imp.Module, imp.Name, host.Type, ft)
+					imp.Module, imp.Name, ext.FuncType, ft)
 			}
-			ri.Funcs = append(ri.Funcs, &rt.FuncInst{
-				Idx: uint32(len(ri.Funcs)), Type: ft,
-				Name: imp.Module + "." + imp.Name, Host: host.Fn,
-			})
-		case wasm.ImportMemory, wasm.ImportTable, wasm.ImportGlobal:
-			return nil, fmt.Errorf("engine: %s.%s: only function imports are supported",
-				imp.Module, imp.Name)
+			if ext.Func != nil {
+				// Cross-instance import: share the exporter's resolved
+				// function. Its Owner differs from ri, which makes the
+				// invoke dispatcher bridge calls into the owner's context.
+				ri.Funcs = append(ri.Funcs, ext.Func)
+			} else {
+				ri.Funcs = append(ri.Funcs, &rt.FuncInst{
+					Idx: uint32(len(ri.Funcs)), Type: ft,
+					Name: imp.Module + "." + imp.Name, Host: ext.HostFunc,
+					Owner: ri,
+				})
+			}
+		case wasm.ImportMemory:
+			mem := ext.Memory
+			if mem.Pages() < imp.Lim.Min {
+				return nil, fmt.Errorf("engine: import %s.%s: memory has %d pages, import requires at least %d",
+					imp.Module, imp.Name, mem.Pages(), imp.Lim.Min)
+			}
+			if imp.Lim.HasMax && mem.MaxPages > imp.Lim.Max {
+				return nil, fmt.Errorf("engine: import %s.%s: memory may grow to %d pages, import caps it at %d",
+					imp.Module, imp.Name, mem.MaxPages, imp.Lim.Max)
+			}
+			ri.Memory = mem
+		case wasm.ImportTable:
+			tbl := ext.Table
+			if uint32(len(tbl.Elems)) < imp.Lim.Min {
+				return nil, fmt.Errorf("engine: import %s.%s: table has %d elements, import requires at least %d",
+					imp.Module, imp.Name, len(tbl.Elems), imp.Lim.Min)
+			}
+			ri.Tables = append(ri.Tables, tbl)
+			ri.ImportedTables++
+		case wasm.ImportGlobal:
+			g := ext.Global
+			if g.Type != imp.GlobalType || g.Mutable != imp.Mutable {
+				return nil, fmt.Errorf("engine: import %s.%s global type mismatch: have %s (mutable=%v), want %s (mutable=%v)",
+					imp.Module, imp.Name, g.Type, g.Mutable, imp.GlobalType, imp.Mutable)
+			}
+			ri.Globals = append(ri.Globals, g.Cell)
+			ri.ImportedGlobals++
 		}
 	}
+	localIdx := 0
 	for i := range m.Funcs {
 		f := &m.Funcs[i]
 		idx := uint32(len(ri.Funcs))
 		ri.Funcs = append(ri.Funcs, &rt.FuncInst{
 			Idx: idx, Type: m.Types[f.TypeIdx], Name: m.FuncName(idx),
-			Decl: f, Info: &infos[localIdx],
+			Decl: f, Info: &infos[localIdx], Owner: ri,
 		})
 		localIdx++
 	}
 
-	if len(m.Memories) > 0 {
-		ri.Memory = rt.NewMemory(m.Memories[0])
-	} else {
-		ri.Memory = &rt.Memory{} // zero-size memory simplifies executors
+	if ri.Memory == nil {
+		if len(m.Memories) > 0 {
+			ri.Memory = rt.NewMemory(m.Memories[0])
+		} else {
+			ri.Memory = &rt.Memory{} // zero-size memory simplifies executors
+		}
+		ri.OwnsMemory = true
 	}
 	for di, d := range m.Datas {
 		if end := int(d.Offset) + len(d.Bytes); end > len(ri.Memory.Data) {
 			return nil, fmt.Errorf("engine: data segment %d: [%#x, %#x) overflows %d-byte memory",
 				di, d.Offset, end, len(ri.Memory.Data))
 		}
+		// Mark keeps an imported (possibly write-tracked) memory's dirty
+		// accounting sound; it is a no-op on untracked memories.
+		ri.Memory.Mark(d.Offset, 0, len(d.Bytes))
 		copy(ri.Memory.Data[d.Offset:], d.Bytes)
 	}
 
 	for _, g := range m.Globals {
-		ri.Globals = append(ri.Globals, rt.GlobalSlot{
+		ri.Globals = append(ri.Globals, &rt.GlobalSlot{
 			Bits: g.Init.Bits, Tag: wasm.TagOf(g.Type),
 		})
 	}
 
 	for _, t := range m.Tables {
-		ri.Tables = append(ri.Tables, &rt.Table{Elems: make([]uint64, t.Lim.Min)})
+		// Owned tables resolve their handles in this instance's function
+		// index space; ri.Funcs is complete by now.
+		ri.Tables = append(ri.Tables, &rt.Table{
+			Elems: make([]uint64, t.Lim.Min), Funcs: ri.Funcs,
+		})
 	}
-	for _, el := range m.Elems {
+	for ei, el := range m.Elems {
+		if int(el.TableIdx) < ri.ImportedTables {
+			// Handles are owner-relative, so a local segment's function
+			// indices would dangle in the exporter's index space.
+			return nil, fmt.Errorf("engine: element segment %d: cannot initialize imported table %d",
+				ei, el.TableIdx)
+		}
 		tbl := ri.Tables[el.TableIdx]
-		if int(el.Offset)+len(el.Funcs) > len(tbl.Elems) {
-			return nil, fmt.Errorf("engine: element segment at %d overflows table", el.Offset)
+		if end := int(el.Offset) + len(el.Funcs); end > len(tbl.Elems) {
+			return nil, fmt.Errorf("engine: element segment %d: [%d, %d) overflows %d-element table %d",
+				ei, el.Offset, end, len(tbl.Elems), el.TableIdx)
 		}
 		for i, fidx := range el.Funcs {
 			tbl.Elems[int(el.Offset)+i] = uint64(fidx) + 1
@@ -271,9 +343,11 @@ func (e *Engine) link(m *wasm.Module, infos []validate.FuncInfo) (*Instance, err
 		Inst:         ri,
 		MaxDepth:     e.cfg.MaxDepth,
 		OSRThreshold: e.cfg.OSRThreshold,
+		Interrupt:    new(rt.InterruptFlag),
 	}
 	inst := &Instance{Engine: e, RT: ri, Ctx: ctx, Infos: infos}
 	ctx.Invoke = inst.invoke
+	ri.Ctx = ctx
 	return inst, nil
 }
 
@@ -292,6 +366,19 @@ func (inst *Instance) invoke(f *rt.FuncInst, argBase int) error {
 	e := inst.Engine
 	ctx := inst.Ctx
 
+	// Function entry is the second interruption point (back-edges are
+	// the first): a cancelled context unwinds before any new frame runs.
+	if ctx.Interrupted() {
+		return rt.NewTrap(rt.TrapInterrupted, f.Idx, 0)
+	}
+
+	// A function owned by another instance (a cross-instance import, or
+	// an entry of an imported table) runs in its owner's execution
+	// context, not ours.
+	if f.Owner != nil && f.Owner != inst.RT {
+		return crossInvoke(ctx, f, argBase)
+	}
+
 	if f.Host != nil {
 		if err := ctx.CheckStack(argBase, len(f.Type.Params)+len(f.Type.Results), f.Idx); err != nil {
 			return err
@@ -307,6 +394,13 @@ func (inst *Instance) invoke(f *rt.FuncInst, argBase int) error {
 		// host-written bytes across requests. Free when tracking is off.
 		ctx.Inst.Memory.MarkAll()
 		if err != nil {
+			// A host function that already produced a trap (e.g. by
+			// calling back into guest code) propagates it unchanged, so
+			// kinds like TrapInterrupted stay observable at the top.
+			var t *rt.Trap
+			if errors.As(err, &t) {
+				return err
+			}
 			return &rt.Trap{Kind: rt.TrapHostError, FuncIdx: f.Idx, Wrapped: err}
 		}
 		if ctx.Stack.Tags != nil {
@@ -365,6 +459,59 @@ func (inst *Instance) invoke(f *rt.FuncInst, argBase int) error {
 	return err
 }
 
+// crossInvoke bridges a call to a function owned by another instance:
+// arguments move from the caller's value stack to the owner's, the call
+// runs through the owner's own invoke dispatcher (its memory, globals,
+// tables, tier configuration and tiering state), and results move back.
+// The caller's interrupt flag is installed on the owner's context for
+// the duration, so cancellation follows the call across the instance
+// boundary — a deadline on A's CallContext interrupts a loop running in
+// B. Cross-instance calls are synchronous and single-threaded, like all
+// execution on an instance.
+func crossInvoke(src *rt.Context, f *rt.FuncInst, argBase int) error {
+	dst := f.Owner.Ctx
+	if dst == nil {
+		return fmt.Errorf("engine: function %s: owning instance has no execution context", f.Name)
+	}
+	if dst.Stack == nil {
+		// The exporting instance's value stack was Released; error out
+		// instead of letting CheckStack dereference a nil stack.
+		return fmt.Errorf("engine: function %s: owning instance's value stack was released", f.Name)
+	}
+	np, nr := len(f.Type.Params), len(f.Type.Results)
+	base := 0
+	if n := len(dst.Frames); n > 0 {
+		// Re-entrant cross call (the owner called out and the callee
+		// called back in): frame SPs are synced at call sites, so the
+		// top frame's SP is the first free slot on the owner's stack.
+		base = dst.Frames[n-1].SP
+	}
+	if err := dst.CheckStack(base, np+nr, f.Idx); err != nil {
+		return err
+	}
+	copy(dst.Stack.Slots[base:base+np], src.Stack.Slots[argBase:argBase+np])
+	if dst.Stack.Tags != nil {
+		for i, t := range f.Type.Params {
+			dst.Stack.Tags[base+i] = wasm.TagOf(t)
+		}
+	}
+	saved := dst.Interrupt
+	dst.Interrupt = src.Interrupt
+	// Deferred so a panicking host function deeper in the call cannot
+	// leave the callee instance permanently polling the caller's flag.
+	defer func() { dst.Interrupt = saved }()
+	if err := dst.Invoke(f, base); err != nil {
+		return err
+	}
+	copy(src.Stack.Slots[argBase:argBase+nr], dst.Stack.Slots[base:base+nr])
+	if src.Stack.Tags != nil {
+		for i, t := range f.Type.Results {
+			src.Stack.Tags[argBase+i] = wasm.TagOf(t)
+		}
+	}
+	return nil
+}
+
 // resumeInterp continues a canonical frame in the interpreter,
 // reconstructing IP and STP — the tier-down path.
 func (inst *Instance) resumeInterp(f *rt.FuncInst, vfp int) (rt.Status, error) {
@@ -400,34 +547,130 @@ func (inst *Instance) Release() {
 
 // Call invokes an exported function with typed arguments.
 func (inst *Instance) Call(name string, args ...wasm.Value) ([]wasm.Value, error) {
+	return inst.CallContext(context.Background(), name, args...)
+}
+
+// CallContext invokes an exported function with typed arguments under a
+// context: cancellation or deadline expiry arms the instance's atomic
+// interrupt flag, which every executor polls at function entry and loop
+// back-edges, so a runaway guest unwinds with a TrapInterrupted (whose
+// cause is goctx's error) within one loop iteration instead of hanging
+// the goroutine.
+func (inst *Instance) CallContext(goctx context.Context, name string, args ...wasm.Value) ([]wasm.Value, error) {
 	f, ok := inst.RT.FuncByName(name)
 	if !ok {
 		return nil, fmt.Errorf("engine: no exported function %q", name)
 	}
-	return inst.CallFunc(f, args...)
+	return inst.CallFuncContext(goctx, f, args...)
 }
 
 // CallFunc invokes a resolved function with typed arguments.
 func (inst *Instance) CallFunc(f *rt.FuncInst, args ...wasm.Value) ([]wasm.Value, error) {
+	return inst.CallFuncContext(context.Background(), f, args...)
+}
+
+// CallFuncContext invokes a resolved function with typed arguments
+// under a context; see CallContext for the cancellation contract.
+func (inst *Instance) CallFuncContext(goctx context.Context, f *rt.FuncInst, args ...wasm.Value) ([]wasm.Value, error) {
+	if err := goctx.Err(); err != nil {
+		return nil, err
+	}
+	stop := inst.armInterrupt(goctx)
+	// stop is idempotent; the defer covers a panic unwinding out of the
+	// guest (which would otherwise leak the watcher and its source).
+	defer stop()
+	results, err := inst.callFunc(f, args...)
+	fired := stop()
+	if err != nil && fired {
+		// Attach the context's error as the trap cause so callers can
+		// errors.Is(err, context.DeadlineExceeded / Canceled).
+		var trap *rt.Trap
+		if errors.As(err, &trap) && trap.Kind == rt.TrapInterrupted && trap.Wrapped == nil {
+			trap.Wrapped = goctx.Err()
+		}
+	}
+	return results, err
+}
+
+// armInterrupt starts a watcher that arms the context's interrupt flag
+// when goctx is cancelled, registering goctx as a cancellation source
+// on the flag itself (the flag may be temporarily shared across
+// instances by crossInvoke, so the bookkeeping must travel with it).
+// The returned stop function shuts the watcher down, removes the
+// source — which re-derives the flag, so a finishing inner call cannot
+// erase an enclosing call's cancellation and a cancellation that raced
+// completion cannot leak into the next call — and reports whether this
+// call's own watcher fired. When goctx can never be cancelled there is
+// no watcher and no overhead.
+//
+// Deliberately NOT context.AfterFunc: its stop() can return false while
+// the callback is still mid-flight, so a straggling Set could land
+// after the source removal's re-derivation and leak a stale interrupt
+// into the next call. The channel handshake joins the watcher first.
+func (inst *Instance) armInterrupt(goctx context.Context) (stop func() bool) {
+	done := goctx.Done()
+	if done == nil {
+		return func() bool { return false }
+	}
+	flag := inst.Ctx.Interrupt
+	removeSource := flag.AddSource(func() bool { return goctx.Err() != nil })
+	quit := make(chan struct{})
+	fired := make(chan bool, 1)
+	go func() {
+		select {
+		case <-done:
+			flag.Set()
+			fired <- true
+		case <-quit:
+			fired <- false
+		}
+	}()
+	var once sync.Once
+	var f bool
+	return func() bool {
+		once.Do(func() {
+			close(quit)
+			f = <-fired
+			removeSource()
+		})
+		return f
+	}
+}
+
+// callFunc is the uninstrumented call path: marshal arguments, invoke,
+// marshal results. The frame is based at the instance's current stack
+// top — 0 for an ordinary entry call, above the live frames for a
+// re-entrant call (guest → host → guest on the same instance), which
+// would otherwise overwrite the outer call's locals at slot 0.
+func (inst *Instance) callFunc(f *rt.FuncInst, args ...wasm.Value) ([]wasm.Value, error) {
 	if len(args) != len(f.Type.Params) {
 		return nil, fmt.Errorf("engine: %s expects %d args, got %d", f.Name, len(f.Type.Params), len(args))
 	}
 	ctx := inst.Ctx
+	base := 0
+	if n := len(ctx.Frames); n > 0 {
+		// Frame SPs are synced before every outgoing call, so the top
+		// frame's SP is the first free slot.
+		base = ctx.Frames[n-1].SP
+	}
+	if err := ctx.CheckStack(base, len(f.Type.Params)+len(f.Type.Results), f.Idx); err != nil {
+		return nil, err
+	}
 	for i, a := range args {
 		if a.Type != f.Type.Params[i] {
 			return nil, fmt.Errorf("engine: %s arg %d: have %v, want %v", f.Name, i, a.Type, f.Type.Params[i])
 		}
-		ctx.Stack.Slots[i] = a.Bits
+		ctx.Stack.Slots[base+i] = a.Bits
 		if ctx.Stack.Tags != nil {
-			ctx.Stack.Tags[i] = wasm.TagOf(a.Type)
+			ctx.Stack.Tags[base+i] = wasm.TagOf(a.Type)
 		}
 	}
-	if err := inst.invoke(f, 0); err != nil {
+	if err := inst.invoke(f, base); err != nil {
 		return nil, err
 	}
 	results := make([]wasm.Value, len(f.Type.Results))
 	for i, t := range f.Type.Results {
-		results[i] = wasm.Value{Type: t, Bits: ctx.Stack.Slots[i]}
+		results[i] = wasm.Value{Type: t, Bits: ctx.Stack.Slots[base+i]}
 	}
 	return results, nil
 }

@@ -1,0 +1,105 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+// ExampleLinker_DefineFunc registers a host function in a namespace and
+// calls it from a module.
+func ExampleLinker_DefineFunc() {
+	ft := wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}}
+	linker := engine.NewLinker()
+	_ = linker.DefineFunc("env", "double", ft,
+		func(ctx *rt.Context, args, results []uint64) error {
+			results[0] = wasm.BoxI32(2 * wasm.UnboxI32(args[0]))
+			return nil
+		})
+
+	b := wasm.NewBuilder()
+	double := b.ImportFunc("env", "double", ft)
+	f := b.NewFunc("quad", ft)
+	f.LocalGet(0).Call(double).Call(double).End()
+	b.Export("quad", f.Idx)
+
+	inst, err := engine.New(engines.WizardSPC(), linker).Instantiate(b.Encode())
+	if err != nil {
+		panic(err)
+	}
+	res, _ := inst.Call("quad", wasm.ValI32(10))
+	fmt.Println(res[0].I32())
+	// Output: 40
+}
+
+// ExampleLinker_DefineInstance links two instances: the second module
+// imports the first one's exported function and memory, writes into the
+// shared memory, and calls across the instance boundary.
+func ExampleLinker_DefineInstance() {
+	// Exporter: a memory and get(addr) -> i32.
+	be := wasm.NewBuilder()
+	be.AddMemory(1, 1)
+	get := be.NewFunc("get", wasm.FuncType{
+		Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32},
+	})
+	get.LocalGet(0).Load(wasm.OpI32Load, 0).End()
+	be.Export("get", get.Idx)
+	be.ExportMemory("mem")
+
+	exporter, err := engine.New(engines.WizardSPC(), nil).Instantiate(be.Encode())
+	if err != nil {
+		panic(err)
+	}
+	linker := engine.NewLinker()
+	_ = linker.DefineInstance("store", exporter)
+
+	// Importer: writes 41+1 into the shared memory, then asks the
+	// exporter to read it back.
+	bi := wasm.NewBuilder()
+	sget := bi.ImportFunc("store", "get", wasm.FuncType{
+		Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32},
+	})
+	bi.ImportMemory("store", "mem", 1, 1)
+	f := bi.NewFunc("roundtrip", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+	f.I32Const(8).I32Const(42).Store(wasm.OpI32Store, 0)
+	f.I32Const(8).Call(sget).End()
+	bi.Export("roundtrip", f.Idx)
+
+	importer, err := engine.New(engines.WizardSPC(), linker).Instantiate(bi.Encode())
+	if err != nil {
+		panic(err)
+	}
+	res, _ := importer.Call("roundtrip")
+	fmt.Println(res[0].I32())
+	// Output: 42
+}
+
+// ExampleInstance_CallContext interrupts a guest loop that would never
+// return by attaching a deadline to the call.
+func ExampleInstance_CallContext() {
+	b := wasm.NewBuilder()
+	spin := b.NewFunc("spin", wasm.FuncType{})
+	spin.Loop(wasm.BlockEmpty).Br(0).End().End()
+	b.Export("spin", spin.Idx)
+
+	inst, err := engine.New(engines.WizardSPC(), nil).Instantiate(b.Encode())
+	if err != nil {
+		panic(err)
+	}
+	callCtx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = inst.CallContext(callCtx, "spin")
+
+	var trap *rt.Trap
+	fmt.Println(errors.As(err, &trap) && trap.Kind == rt.TrapInterrupted)
+	fmt.Println(errors.Is(err, context.DeadlineExceeded))
+	// Output:
+	// true
+	// true
+}

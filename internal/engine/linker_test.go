@@ -1,0 +1,975 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+// buildExporter returns a module that exports one of every extern kind:
+// a one-page memory "mem", a mutable i64 global "g" (initially 5), a
+// 4-element table "tab" holding [add, mul] at slots 0 and 1, and the
+// functions:
+//
+//	add(a,b) -> a+b
+//	mul(a,b) -> a*b
+//	poke(addr,val)   stores val at mem[addr]
+//	getg() -> g
+//	spin()           loops forever
+func buildExporter() []byte {
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	g := b.AddGlobal(wasm.I64, true, wasm.ValI64(5))
+
+	i32x2 := sig([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	add := b.NewFunc("add", i32x2)
+	add.LocalGet(0).LocalGet(1).Op(wasm.OpI32Add).End()
+	mul := b.NewFunc("mul", i32x2)
+	mul.LocalGet(0).LocalGet(1).Op(wasm.OpI32Mul).End()
+
+	poke := b.NewFunc("poke", sig([]wasm.ValueType{wasm.I32, wasm.I32}, nil))
+	poke.LocalGet(0).LocalGet(1).Store(wasm.OpI32Store, 0).End()
+
+	getg := b.NewFunc("getg", sig(nil, []wasm.ValueType{wasm.I64}))
+	getg.GlobalGet(g).End()
+
+	spin := b.NewFunc("spin", sig(nil, nil))
+	spin.Loop(wasm.BlockEmpty).Br(0).End().End()
+
+	tab := b.AddTable(4)
+	b.AddElem(0, []uint32{add.Idx, mul.Idx})
+
+	b.Export("add", add.Idx)
+	b.Export("mul", mul.Idx)
+	b.Export("poke", poke.Idx)
+	b.Export("getg", getg.Idx)
+	b.Export("spin", spin.Idx)
+	b.ExportMemory("mem")
+	b.ExportGlobal("g", g)
+	b.ExportTable("tab", tab)
+	return b.Encode()
+}
+
+// buildImporter returns a module importing from namespace "store": the
+// memory, the global, the table, and the functions poke/add/spin.
+//
+//	probe(addr) -> i32   calls store.poke(addr, 42), then loads mem[addr]
+//	peek(addr)  -> i32   loads mem[addr]
+//	setg(v)              sets the imported global
+//	callvia(slot,a,b)    call_indirect through the imported table
+//	run()                calls store.spin (runaway loop in the exporter)
+func buildImporter() []byte {
+	b := wasm.NewBuilder()
+	i32x2 := sig([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	poke := b.ImportFunc("store", "poke", sig([]wasm.ValueType{wasm.I32, wasm.I32}, nil))
+	spin := b.ImportFunc("store", "spin", sig(nil, nil))
+	b.ImportMemory("store", "mem", 1, 1)
+	b.ImportTable("store", "tab", 4)
+	g := b.ImportGlobal("store", "g", wasm.I64, true)
+
+	probe := b.NewFunc("probe", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+	probe.LocalGet(0).I32Const(42).Call(poke)
+	probe.LocalGet(0).Load(wasm.OpI32Load, 0)
+	probe.End()
+
+	peek := b.NewFunc("peek", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+	peek.LocalGet(0).Load(wasm.OpI32Load, 0).End()
+
+	setg := b.NewFunc("setg", sig([]wasm.ValueType{wasm.I64}, nil))
+	setg.LocalGet(0).GlobalSet(g).End()
+
+	callvia := b.NewFunc("callvia", sig([]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32}))
+	callvia.LocalGet(1).LocalGet(2).LocalGet(0).CallIndirect(b.AddType(i32x2))
+
+	run := b.NewFunc("run", sig(nil, nil))
+	run.Call(spin).End()
+
+	b.Export("probe", probe.Idx)
+	b.Export("peek", peek.Idx)
+	b.Export("setg", setg.Idx)
+	b.Export("callvia", callvia.Idx)
+	b.Export("run", run.Idx)
+	return b.Encode()
+}
+
+// linkPair instantiates the exporter under cfgB, registers it as
+// namespace "store", and instantiates the importer under cfgA.
+func linkPair(t *testing.T, cfgA, cfgB engine.Config) (imp, exp *engine.Instance) {
+	t.Helper()
+	exp, err := engine.New(cfgB, nil).Instantiate(buildExporter())
+	if err != nil {
+		t.Fatalf("instantiate exporter: %v", err)
+	}
+	linker := engine.NewLinker()
+	if err := linker.DefineInstance("store", exp); err != nil {
+		t.Fatalf("DefineInstance: %v", err)
+	}
+	imp, err = engine.New(cfgA, linker).Instantiate(buildImporter())
+	if err != nil {
+		t.Fatalf("instantiate importer: %v", err)
+	}
+	return imp, exp
+}
+
+// TestCrossInstanceLinking is the end-to-end contract: instance A
+// imports a function, a memory, a table and a global from instance B
+// and each is genuinely shared — A observes B's writes and vice versa —
+// across every executor family, including mixed pairings.
+func TestCrossInstanceLinking(t *testing.T) {
+	for _, cfgA := range engines.Catalog() {
+		for _, cfgB := range engines.Catalog() {
+			t.Run(cfgA.Name+"->"+cfgB.Name, func(t *testing.T) {
+				imp, exp := linkPair(t, cfgA, cfgB)
+
+				// A calls B's poke (which writes B's memory in B's
+				// context), then loads the shared memory itself.
+				res, err := imp.Call("probe", wasm.ValI32(64))
+				if err != nil {
+					t.Fatalf("probe: %v", err)
+				}
+				if got := res[0].I32(); got != 42 {
+					t.Fatalf("probe: got %d, want 42 (A did not observe B's write)", got)
+				}
+
+				// The host writes B's memory directly; A reads it.
+				exp.RT.Memory.Data[100] = 7
+				res, err = imp.Call("peek", wasm.ValI32(100))
+				if err != nil {
+					t.Fatalf("peek: %v", err)
+				}
+				if got := res[0].I32(); got != 7 {
+					t.Fatalf("peek: got %d, want 7", got)
+				}
+
+				// A mutates the imported global; B reads its own global.
+				if _, err := imp.Call("setg", wasm.ValI64(99)); err != nil {
+					t.Fatalf("setg: %v", err)
+				}
+				res, err = exp.Call("getg")
+				if err != nil {
+					t.Fatalf("getg: %v", err)
+				}
+				if got := res[0].I64(); got != 99 {
+					t.Fatalf("getg: got %d, want 99 (B did not observe A's global write)", got)
+				}
+
+				// call_indirect through the imported table dispatches to
+				// B's functions (slot 0 = add, slot 1 = mul).
+				res, err = imp.Call("callvia", wasm.ValI32(0), wasm.ValI32(6), wasm.ValI32(7))
+				if err != nil {
+					t.Fatalf("callvia add: %v", err)
+				}
+				if got := res[0].I32(); got != 13 {
+					t.Fatalf("callvia add: got %d, want 13", got)
+				}
+				res, err = imp.Call("callvia", wasm.ValI32(1), wasm.ValI32(6), wasm.ValI32(7))
+				if err != nil {
+					t.Fatalf("callvia mul: %v", err)
+				}
+				if got := res[0].I32(); got != 42 {
+					t.Fatalf("callvia mul: got %d, want 42", got)
+				}
+			})
+		}
+	}
+}
+
+// TestCrossInstanceLinkingConcurrent exercises independent A↔B pairs on
+// concurrent goroutines (the -race configuration the acceptance
+// criteria name). Pairs do not share state with each other; sharing
+// within a pair is single-threaded, as the embedding contract requires.
+func TestCrossInstanceLinkingConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for _, cfg := range engines.Catalog() {
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(cfg engine.Config) {
+				defer wg.Done()
+				exp, err := engine.New(cfg, nil).Instantiate(buildExporter())
+				if err != nil {
+					t.Errorf("%s: instantiate exporter: %v", cfg.Name, err)
+					return
+				}
+				linker := engine.NewLinker()
+				if err := linker.DefineInstance("store", exp); err != nil {
+					t.Errorf("%s: DefineInstance: %v", cfg.Name, err)
+					return
+				}
+				imp, err := engine.New(cfg, linker).Instantiate(buildImporter())
+				if err != nil {
+					t.Errorf("%s: instantiate importer: %v", cfg.Name, err)
+					return
+				}
+				for i := 0; i < 20; i++ {
+					res, err := imp.Call("probe", wasm.ValI32(4))
+					if err != nil || res[0].I32() != 42 {
+						t.Errorf("%s: probe: %v %v", cfg.Name, res, err)
+						return
+					}
+				}
+			}(cfg)
+		}
+	}
+	wg.Wait()
+}
+
+// TestCallContextCancel verifies that a deadline interrupts a runaway
+// guest loop in every executor family, that the trap carries the
+// context's error, and that the instance stays usable afterwards.
+func TestCallContextCancel(t *testing.T) {
+	b := wasm.NewBuilder()
+	spin := b.NewFunc("spin", sig(nil, nil))
+	spin.Loop(wasm.BlockEmpty).Br(0).End().End()
+	k := b.NewFunc("fortytwo", sig(nil, []wasm.ValueType{wasm.I32}))
+	k.I32Const(42).End()
+	b.Export("spin", spin.Idx)
+	b.Export("fortytwo", k.Idx)
+	bytes := b.Encode()
+
+	for _, cfg := range engines.Catalog() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			inst, err := engine.New(cfg, nil).Instantiate(bytes)
+			if err != nil {
+				t.Fatalf("instantiate: %v", err)
+			}
+			callCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			_, err = inst.CallContext(callCtx, "spin")
+			var trap *rt.Trap
+			if !errors.As(err, &trap) || trap.Kind != rt.TrapInterrupted {
+				t.Fatalf("expected TrapInterrupted, got %v", err)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("trap does not carry the context error: %v", err)
+			}
+			// The instance unwound cleanly and remains usable.
+			res, err := inst.Call("fortytwo")
+			if err != nil || res[0].I32() != 42 {
+				t.Fatalf("after interrupt: %v %v", res, err)
+			}
+		})
+	}
+}
+
+// TestCallContextCancelCrossInstance verifies cancellation follows a
+// call across the instance boundary: the runaway loop runs in B, the
+// deadline is on A's call.
+func TestCallContextCancelCrossInstance(t *testing.T) {
+	for _, cfg := range engines.Catalog() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			imp, _ := linkPair(t, cfg, cfg)
+			callCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			_, err := imp.CallContext(callCtx, "run")
+			var trap *rt.Trap
+			if !errors.As(err, &trap) || trap.Kind != rt.TrapInterrupted {
+				t.Fatalf("expected TrapInterrupted from B's loop, got %v", err)
+			}
+			// A later call without a deadline must not be poisoned by
+			// the cleared flag.
+			if _, err := imp.Call("probe", wasm.ValI32(8)); err != nil {
+				t.Fatalf("after cross-instance interrupt: %v", err)
+			}
+		})
+	}
+}
+
+// TestCallIndirectTableIndex: call_indirect against a non-zero table
+// index dispatches through THAT table in every executor family (the
+// SPC and rewriter code paths used to hardcode table 0, which imported
+// tables made observable).
+func TestCallIndirectTableIndex(t *testing.T) {
+	i32x2 := sig([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	for _, cfg := range engines.Catalog() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			exp, err := engine.New(cfg, nil).Instantiate(buildExporter())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Table 0: the exporter's [add, mul]. Table 1: a host-built
+			// table resolving in the exporter's index space whose slot 0
+			// is mul — so slot 0 answers differently per table.
+			mulHandle := uint64(0)
+			for _, f := range exp.RT.Funcs {
+				if f.Name == "mul" {
+					mulHandle = uint64(f.Idx) + 1
+				}
+			}
+			linker := engine.NewLinker()
+			if err := linker.DefineInstance("store", exp); err != nil {
+				t.Fatal(err)
+			}
+			if err := linker.DefineTable("store", "tab2", &rt.Table{
+				Elems: []uint64{mulHandle}, Funcs: exp.RT.Funcs,
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			b := wasm.NewBuilder()
+			b.ImportTable("store", "tab", 4)  // table 0
+			b.ImportTable("store", "tab2", 1) // table 1
+			via := b.NewFunc("via", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+			via.I32Const(6).I32Const(7)
+			via.I32Const(0).CallIndirectTable(b.AddType(i32x2), 1) // slot 0 of table 1
+			via.End()
+			via0 := b.NewFunc("via0", sig(nil, []wasm.ValueType{wasm.I32}))
+			via0.I32Const(6).I32Const(7)
+			via0.I32Const(0).CallIndirectTable(b.AddType(i32x2), 0) // slot 0 of table 0
+			via0.End()
+			b.Export("via", via.Idx)
+			b.Export("via0", via0.Idx)
+
+			inst, err := engine.New(cfg, linker).Instantiate(b.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := inst.Call("via", wasm.ValI32(0))
+			if err != nil {
+				t.Fatalf("via: %v", err)
+			}
+			if got := res[0].I32(); got != 42 {
+				t.Fatalf("table 1 slot 0: got %d, want 42 (mul) — table index ignored", got)
+			}
+			res, err = inst.Call("via0")
+			if err != nil {
+				t.Fatalf("via0: %v", err)
+			}
+			if got := res[0].I32(); got != 13 {
+				t.Fatalf("table 0 slot 0: got %d, want 13 (add)", got)
+			}
+		})
+	}
+}
+
+// TestCallContextCancelBrTable: a loop whose only backward branch is a
+// br_table arm must still be interruptible in every executor family.
+func TestCallContextCancelBrTable(t *testing.T) {
+	b := wasm.NewBuilder()
+	spin := b.NewFunc("spin", sig(nil, nil))
+	// loop { br_table [0] 0 } — both arms are the back-edge.
+	spin.Loop(wasm.BlockEmpty)
+	spin.I32Const(0).BrTable([]uint32{0}, 0)
+	spin.End().End()
+	b.Export("spin", spin.Idx)
+	bytes := b.Encode()
+
+	for _, cfg := range engines.Catalog() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			inst, err := engine.New(cfg, nil).Instantiate(bytes)
+			if err != nil {
+				t.Fatalf("instantiate: %v", err)
+			}
+			callCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			_, err = inst.CallContext(callCtx, "spin")
+			var trap *rt.Trap
+			if !errors.As(err, &trap) || trap.Kind != rt.TrapInterrupted {
+				t.Fatalf("expected TrapInterrupted, got %v", err)
+			}
+		})
+	}
+}
+
+// TestHostTableDanglingHandle: call_indirect through a host-defined
+// table whose entries the table cannot resolve traps instead of
+// panicking the embedder.
+func TestHostTableDanglingHandle(t *testing.T) {
+	i32x2 := sig([]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	hostTable := &rt.Table{Elems: make([]uint64, 4)}
+	hostTable.Elems[0] = 1 // 1-based handle with no Funcs to resolve it
+
+	for _, cfg := range engines.Catalog() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			linker := engine.NewLinker()
+			if err := linker.DefineTable("env", "tab", hostTable); err != nil {
+				t.Fatal(err)
+			}
+			b := wasm.NewBuilder()
+			b.ImportTable("env", "tab", 4)
+			f := b.NewFunc("via", sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32}))
+			f.I32Const(1).I32Const(2).LocalGet(0).CallIndirect(b.AddType(i32x2))
+			b.Export("via", f.Idx)
+
+			inst, err := engine.New(cfg, linker).Instantiate(b.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = inst.Call("via", wasm.ValI32(0))
+			var trap *rt.Trap
+			if !errors.As(err, &trap) || trap.Kind != rt.TrapNullFunc {
+				t.Fatalf("expected TrapNullFunc for dangling handle, got %v", err)
+			}
+			// A null entry traps identically.
+			_, err = inst.Call("via", wasm.ValI32(1))
+			if !errors.As(err, &trap) || trap.Kind != rt.TrapNullFunc {
+				t.Fatalf("expected TrapNullFunc for null entry, got %v", err)
+			}
+		})
+	}
+}
+
+// TestDefineInstanceAtomic: a colliding DefineInstance registers
+// nothing, leaving the namespace exactly as it was.
+func TestDefineInstanceAtomic(t *testing.T) {
+	exp, err := engine.New(engines.WizardINT(), nil).Instantiate(buildExporter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	linker := engine.NewLinker()
+	// Pre-claim one of the exporter's export names in the namespace.
+	if err := linker.DefineGlobal("store", "g", wasm.I32, false, &rt.GlobalSlot{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := linker.DefineInstance("store", exp); err == nil {
+		t.Fatal("expected collision error")
+	}
+	// None of the other exports leaked into the namespace: a module
+	// importing store.mem must still fail to resolve.
+	b := wasm.NewBuilder()
+	b.ImportMemory("store", "mem", 1, 1)
+	f := b.NewFunc("main", sig(nil, nil))
+	f.End()
+	b.Export("main", f.Idx)
+	_, err = engine.New(engines.WizardINT(), linker).Instantiate(b.Encode())
+	if err == nil || !strings.Contains(err.Error(), "unresolved import store.mem") {
+		t.Fatalf("expected unresolved store.mem after failed DefineInstance, got %v", err)
+	}
+}
+
+// TestCallContextReentrant: a finishing inner CallContext (guest → host
+// → guest on the same instance) must not erase an enclosing call's
+// cancellation — the outer call still unwinds with TrapInterrupted
+// instead of spinning forever.
+func TestCallContextReentrant(t *testing.T) {
+	ft := sig(nil, []wasm.ValueType{wasm.I32})
+	b := wasm.NewBuilder()
+	reenter := b.ImportFunc("env", "reenter", sig(nil, nil))
+	k := b.NewFunc("fortytwo", ft)
+	k.I32Const(42).End()
+	outer := b.NewFunc("outer", sig(nil, nil))
+	outer.Call(reenter)
+	outer.Loop(wasm.BlockEmpty).Br(0).End() // runaway after the host call
+	outer.End()
+	b.Export("fortytwo", k.Idx)
+	b.Export("outer", outer.Idx)
+
+	outerCtx, outerCancel := context.WithCancel(context.Background())
+	defer outerCancel()
+	var inst *engine.Instance
+	linker := engine.NewLinker()
+	err := linker.DefineFunc("env", "reenter", sig(nil, nil),
+		func(ctx *rt.Context, args, results []uint64) error {
+			// Cancel the outer call, then make (and swallow) an inner
+			// re-entrant call under a different, never-cancelled but
+			// cancellable context — its stop() must not clear the
+			// outer cancellation.
+			outerCancel()
+			innerCtx, innerCancel := context.WithCancel(context.Background())
+			defer innerCancel()
+			_, _ = inst.CallContext(innerCtx, "fortytwo")
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err = engine.New(engines.WizardINT(), linker).Instantiate(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := inst.CallContext(outerCtx, "outer")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var trap *rt.Trap
+		if !errors.As(err, &trap) || trap.Kind != rt.TrapInterrupted {
+			t.Fatalf("expected TrapInterrupted, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("outer call hung: inner stop() erased the outer cancellation")
+	}
+}
+
+// TestReentrantCallPreservesOuterFrame: a re-entrant top-level call
+// (guest → host → guest on the same instance) must base its frame above
+// the live frames; basing at slot 0 would silently overwrite the outer
+// call's parameters.
+func TestReentrantCallPreservesOuterFrame(t *testing.T) {
+	i32 := sig([]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	var inst *engine.Instance
+	linker := engine.NewLinker()
+	err := linker.DefineFunc("env", "reenter", sig(nil, nil),
+		func(ctx *rt.Context, args, results []uint64) error {
+			_, err := inst.Call("fortytwo")
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cfg := range engines.Catalog() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			b := wasm.NewBuilder()
+			reenter := b.ImportFunc("env", "reenter", sig(nil, nil))
+			k := b.NewFunc("fortytwo", sig(nil, []wasm.ValueType{wasm.I32}))
+			k.I32Const(42).End()
+			// outer(x): call the host (which re-enters), then return x —
+			// x lives in slot vfp+0 across the re-entrant call.
+			outer := b.NewFunc("outer", i32)
+			outer.Call(reenter).LocalGet(0).End()
+			b.Export("fortytwo", k.Idx)
+			b.Export("outer", outer.Idx)
+
+			var err error
+			inst, err = engine.New(cfg, linker).Instantiate(b.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := inst.Call("outer", wasm.ValI32(7))
+			if err != nil {
+				t.Fatalf("outer: %v", err)
+			}
+			if got := res[0].I32(); got != 7 {
+				t.Fatalf("outer(7) = %d, want 7 — re-entrant call clobbered the outer frame", got)
+			}
+		})
+	}
+}
+
+// TestCallContextReentrantCrossInstance: the interrupt flag travels
+// with cross-instance calls, so the bookkeeping must too — an inner
+// re-entrant call on the CALLEE instance (which borrowed the caller's
+// flag) must not erase the caller's cancellation when it finishes.
+func TestCallContextReentrantCrossInstance(t *testing.T) {
+	outerCtx, outerCancel := context.WithCancel(context.Background())
+	defer outerCancel()
+
+	// B: imports a host function, exports outer() = call host; loop.
+	bb := wasm.NewBuilder()
+	reenter := bb.ImportFunc("env", "reenter", sig(nil, nil))
+	k := bb.NewFunc("fortytwo", sig(nil, []wasm.ValueType{wasm.I32}))
+	k.I32Const(42).End()
+	outer := bb.NewFunc("outer", sig(nil, nil))
+	outer.Call(reenter)
+	outer.Loop(wasm.BlockEmpty).Br(0).End()
+	outer.End()
+	bb.Export("fortytwo", k.Idx)
+	bb.Export("outer", outer.Idx)
+
+	var instB *engine.Instance
+	linkerB := engine.NewLinker()
+	err := linkerB.DefineFunc("env", "reenter", sig(nil, nil),
+		func(ctx *rt.Context, args, results []uint64) error {
+			outerCancel() // the caller's context is now cancelled
+			innerCtx, innerCancel := context.WithCancel(context.Background())
+			defer innerCancel()
+			_, _ = instB.CallContext(innerCtx, "fortytwo")
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instB, err = engine.New(engines.WizardINT(), linkerB).Instantiate(bb.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A: imports B's outer and calls it.
+	ba := wasm.NewBuilder()
+	bouter := ba.ImportFunc("bns", "outer", sig(nil, nil))
+	run := ba.NewFunc("run", sig(nil, nil))
+	run.Call(bouter).End()
+	ba.Export("run", run.Idx)
+	linkerA := engine.NewLinker()
+	if err := linkerA.DefineInstance("bns", instB); err != nil {
+		t.Fatal(err)
+	}
+	instA, err := engine.New(engines.WizardINT(), linkerA).Instantiate(ba.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := instA.CallContext(outerCtx, "run")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var trap *rt.Trap
+		if !errors.As(err, &trap) || trap.Kind != rt.TrapInterrupted {
+			t.Fatalf("expected TrapInterrupted, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hung: inner call on the callee instance erased the caller's cancellation")
+	}
+}
+
+// TestDefineExternValidation: extern payloads are checked at definition
+// time, so a nil memory/table/cell fails loudly instead of panicking at
+// instantiation or first call.
+func TestDefineExternValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ext  rt.Extern
+	}{
+		{"memory without memory", rt.Extern{Kind: wasm.ExternMemory}},
+		{"table without table", rt.Extern{Kind: wasm.ExternTable}},
+		{"global without cell", rt.Extern{Kind: wasm.ExternGlobal}},
+		{"function without impl", rt.Extern{Kind: wasm.ExternFunc}},
+		{"function with both impls", rt.Extern{
+			Kind:     wasm.ExternFunc,
+			HostFunc: func(ctx *rt.Context, args, results []uint64) error { return nil },
+			Func:     &rt.FuncInst{},
+		}},
+		{"unknown kind", rt.Extern{Kind: wasm.ExternKind(9)}},
+	}
+	for _, tc := range cases {
+		l := engine.NewLinker()
+		if err := l.DefineExtern("env", "x", tc.ext); err == nil {
+			t.Errorf("%s: expected a definition error", tc.name)
+		}
+	}
+}
+
+// TestCrossInvokeReleasedExporter: calling an imported function whose
+// owning instance released its value stack errors instead of panicking.
+func TestCrossInvokeReleasedExporter(t *testing.T) {
+	imp, exp := linkPair(t, engines.WizardINT(), engines.WizardINT())
+	exp.Release()
+	_, err := imp.Call("probe", wasm.ValI32(4))
+	if err == nil || !strings.Contains(err.Error(), "released") {
+		t.Fatalf("expected released-stack error, got %v", err)
+	}
+}
+
+// TestCallContextPreCancelled: an already-cancelled context fails fast
+// without running any guest code.
+func TestCallContextPreCancelled(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("f", sig(nil, []wasm.ValueType{wasm.I32}))
+	f.I32Const(1).End()
+	b.Export("f", f.Idx)
+
+	inst, err := engine.New(engines.WizardINT(), nil).Instantiate(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	callCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := inst.CallContext(callCtx, "f"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+// TestLinkerKeyCollision is the regression test for the namespaced key:
+// the legacy joined-string key conflated ("a.b","c") with ("a","b.c").
+func TestLinkerKeyCollision(t *testing.T) {
+	ft := sig(nil, []wasm.ValueType{wasm.I32})
+	linker := engine.NewLinker()
+	if err := linker.DefineFunc("a.b", "c", ft, func(ctx *rt.Context, args, results []uint64) error {
+		results[0] = 1
+		return nil
+	}); err != nil {
+		t.Fatalf("define a.b/c: %v", err)
+	}
+	if err := linker.DefineFunc("a", "b.c", ft, func(ctx *rt.Context, args, results []uint64) error {
+		results[0] = 2
+		return nil
+	}); err != nil {
+		t.Fatalf("define a/b.c collided with a.b/c: %v", err)
+	}
+
+	b := wasm.NewBuilder()
+	f1 := b.ImportFunc("a.b", "c", ft)
+	f2 := b.ImportFunc("a", "b.c", ft)
+	g := b.NewFunc("both", sig(nil, []wasm.ValueType{wasm.I32, wasm.I32}))
+	g.Call(f1).Call(f2).End()
+	b.Export("both", g.Idx)
+
+	inst, err := engine.New(engines.WizardINT(), linker).Instantiate(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("both")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I32() != 1 || res[1].I32() != 2 {
+		t.Fatalf("namespaces collided: got (%d, %d), want (1, 2)", res[0].I32(), res[1].I32())
+	}
+}
+
+// TestLinkerFreezeRace: engine.New snapshots the linker, so registering
+// definitions concurrently with instantiation is race-free (run under
+// -race) and an engine never observes definitions added after New.
+func TestLinkerFreezeRace(t *testing.T) {
+	ft := sig(nil, []wasm.ValueType{wasm.I32})
+	linker := engine.NewLinker()
+	if err := linker.DefineFunc("env", "f", ft, func(ctx *rt.Context, args, results []uint64) error {
+		results[0] = 7
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	b := wasm.NewBuilder()
+	imp := b.ImportFunc("env", "f", ft)
+	g := b.NewFunc("g", ft)
+	g.Call(imp).End()
+	b.Export("g", g.Idx)
+	bytes := b.Encode()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // mutator: keeps defining while engines instantiate
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = linker.DefineFunc("env", fmt.Sprintf("extra%d", i), ft,
+				func(ctx *rt.Context, args, results []uint64) error { return nil })
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		inst, err := engine.New(engines.WizardSPC(), linker).Instantiate(bytes)
+		if err != nil {
+			t.Fatalf("instantiate %d: %v", i, err)
+		}
+		if res, err := inst.Call("g"); err != nil || res[0].I32() != 7 {
+			t.Fatalf("call %d: %v %v", i, res, err)
+		}
+		inst.Release()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestImportResolutionErrors covers the link-time error paths across
+// every Catalog configuration: unresolved imports, signature
+// mismatches, and extern-kind mismatches in both directions (including
+// a function import resolved by another instance's memory export).
+func TestImportResolutionErrors(t *testing.T) {
+	i32void := sig([]wasm.ValueType{wasm.I32}, nil)
+	void := sig(nil, nil)
+	hostNop := func(ctx *rt.Context, args, results []uint64) error { return nil }
+
+	newLinker := func(t *testing.T) *engine.Linker {
+		l := engine.NewLinker()
+		if err := l.DefineFunc("env", "f", void, hostNop); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.DefineMemory("env", "mem", rt.NewMemory(wasm.Limits{Min: 1, Max: 1, HasMax: true})); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.DefineGlobal("env", "g", wasm.I32, true, &rt.GlobalSlot{Tag: wasm.TagI32}); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	cases := []struct {
+		name    string
+		build   func(b *wasm.Builder)
+		wantErr string
+	}{
+		{
+			name:    "unresolved function import",
+			build:   func(b *wasm.Builder) { b.ImportFunc("env", "missing", void) },
+			wantErr: "unresolved import env.missing",
+		},
+		{
+			name:    "unresolved memory import",
+			build:   func(b *wasm.Builder) { b.ImportMemory("env", "nomem", 1, 1) },
+			wantErr: "unresolved import env.nomem",
+		},
+		{
+			name:    "function signature mismatch",
+			build:   func(b *wasm.Builder) { b.ImportFunc("env", "f", i32void) },
+			wantErr: "signature mismatch",
+		},
+		{
+			name:    "function import resolved by memory definition",
+			build:   func(b *wasm.Builder) { b.ImportFunc("env", "mem", void) },
+			wantErr: "extern kind mismatch: import requires a function, definition provides a memory",
+		},
+		{
+			name:    "memory import resolved by function definition",
+			build:   func(b *wasm.Builder) { b.ImportMemory("env", "f", 1, 1) },
+			wantErr: "extern kind mismatch: import requires a memory, definition provides a function",
+		},
+		{
+			name:    "global import resolved by function definition",
+			build:   func(b *wasm.Builder) { b.ImportGlobal("env", "f", wasm.I32, true) },
+			wantErr: "extern kind mismatch",
+		},
+		{
+			name:    "global type mismatch",
+			build:   func(b *wasm.Builder) { b.ImportGlobal("env", "g", wasm.I64, true) },
+			wantErr: "global type mismatch",
+		},
+		{
+			name:    "global mutability mismatch",
+			build:   func(b *wasm.Builder) { b.ImportGlobal("env", "g", wasm.I32, false) },
+			wantErr: "global type mismatch",
+		},
+		{
+			name:    "memory smaller than import minimum",
+			build:   func(b *wasm.Builder) { b.ImportMemory("env", "mem", 2, 2) },
+			wantErr: "import requires at least 2",
+		},
+	}
+
+	for _, cfg := range engines.Catalog() {
+		for _, tc := range cases {
+			t.Run(cfg.Name+"/"+tc.name, func(t *testing.T) {
+				b := wasm.NewBuilder()
+				tc.build(b)
+				f := b.NewFunc("main", sig(nil, nil))
+				f.End()
+				b.Export("main", f.Idx)
+				_, err := engine.New(cfg, newLinker(t)).Instantiate(b.Encode())
+				if err == nil {
+					t.Fatalf("expected link error containing %q, got success", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+			})
+		}
+	}
+
+	// A function import resolved by another INSTANCE's memory export —
+	// the DefineInstance flavor of the kind mismatch.
+	t.Run("function import resolved by instance memory export", func(t *testing.T) {
+		exp, err := engine.New(engines.WizardINT(), nil).Instantiate(buildExporter())
+		if err != nil {
+			t.Fatal(err)
+		}
+		linker := engine.NewLinker()
+		if err := linker.DefineInstance("store", exp); err != nil {
+			t.Fatal(err)
+		}
+		b := wasm.NewBuilder()
+		b.ImportFunc("store", "mem", void)
+		f := b.NewFunc("main", void)
+		f.End()
+		b.Export("main", f.Idx)
+		_, err = engine.New(engines.WizardINT(), linker).Instantiate(b.Encode())
+		if err == nil || !strings.Contains(err.Error(), "extern kind mismatch") {
+			t.Fatalf("expected extern kind mismatch, got %v", err)
+		}
+	})
+}
+
+// TestElementSegmentErrorDetail: instantiation errors for overflowing
+// element segments carry the segment index, the table index, and the
+// offending bounds, matching the data-segment diagnostics.
+func TestElementSegmentErrorDetail(t *testing.T) {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("f", sig(nil, nil))
+	f.End()
+	b.Export("f", f.Idx)
+	b.AddTable(2)
+	b.AddElem(1, []uint32{f.Idx, f.Idx}) // [1, 3) overflows a 2-element table
+
+	_, err := engine.New(engines.WizardINT(), nil).Instantiate(b.Encode())
+	if err == nil {
+		t.Fatal("expected element segment overflow error")
+	}
+	for _, want := range []string{"element segment 0", "[1, 3)", "2-element table 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestLinkerRedefinition: defining the same (module, name) twice is an
+// error instead of a silent clobber.
+func TestLinkerRedefinition(t *testing.T) {
+	ft := sig(nil, nil)
+	hostNop := func(ctx *rt.Context, args, results []uint64) error { return nil }
+	l := engine.NewLinker()
+	if err := l.DefineFunc("env", "f", ft, hostNop); err != nil {
+		t.Fatal(err)
+	}
+	err := l.DefineFunc("env", "f", ft, hostNop)
+	if err == nil || !strings.Contains(err.Error(), "already defined") {
+		t.Fatalf("expected redefinition error, got %v", err)
+	}
+}
+
+// TestPoolResetOwnership: a pooled instance that imports another
+// instance's memory must NOT roll that memory back on reset — only its
+// own state (here, its own globals) returns to the baseline.
+func TestPoolResetOwnership(t *testing.T) {
+	exp, err := engine.New(engines.WizardSPC(), nil).Instantiate(buildExporter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	linker := engine.NewLinker()
+	if err := linker.DefineInstance("store", exp); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pooled module imports store.mem and owns one mutable global.
+	b := wasm.NewBuilder()
+	b.ImportMemory("store", "mem", 1, 1)
+	own := b.AddGlobal(wasm.I64, true, wasm.ValI64(11))
+	scribble := b.NewFunc("scribble", sig(nil, nil))
+	scribble.I32Const(0).I32Const(9).Store(wasm.OpI32Store, 0)
+	scribble.I64Const(77).GlobalSet(own)
+	scribble.End()
+	getown := b.NewFunc("getown", sig(nil, []wasm.ValueType{wasm.I64}))
+	getown.GlobalGet(own).End()
+	b.Export("scribble", scribble.Idx)
+	b.Export("getown", getown.Idx)
+
+	cm, err := engine.New(engines.WizardSPC(), linker).Compile(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cm.NewPool(2)
+	defer pool.Close()
+
+	inst, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Call("scribble"); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(inst)
+
+	inst, err = pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Put(inst)
+	// Owned global: reset to its baseline.
+	res, err := inst.Call("getown")
+	if err != nil || res[0].I64() != 11 {
+		t.Fatalf("owned global not reset: %v %v", res, err)
+	}
+	// Imported memory: B's byte survives the reset (the instance does
+	// not own it and must not roll it back).
+	if got := exp.RT.Memory.Data[0]; got != 9 {
+		t.Fatalf("imported memory was rolled back: mem[0] = %d, want 9", got)
+	}
+}

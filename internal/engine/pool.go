@@ -13,48 +13,74 @@ import (
 // memory after data segments and the start function, globals, and
 // tables — captured once and shared read-only by every reset against
 // it. It is the baseline the instance pool restores instances to.
+//
+// Only state the instance OWNS is captured: an imported memory, table
+// or global belongs to its exporting instance, and resetting it from
+// here would roll back state the exporter (and every other importer)
+// still depends on. For a module whose memory is imported, mem is nil
+// and reset leaves the shared memory untouched.
 type Snapshot struct {
-	mem     []byte
-	globals []rt.GlobalSlot
-	tables  [][]uint64
+	mem     []byte          // nil when the memory is imported
+	globals []rt.GlobalSlot // owned globals only (indices ≥ ImportedGlobals)
+	tables  [][]uint64      // owned tables only (indices ≥ ImportedTables)
 }
 
-// Snapshot captures the instance's current memory, globals and tables.
-// Call it on a quiescent instance, normally right after instantiation.
+// Snapshot captures the instance's current owned memory, globals and
+// tables. Call it on a quiescent instance, normally right after
+// instantiation.
 func (inst *Instance) Snapshot() *Snapshot {
-	s := &Snapshot{
-		mem:     append([]byte(nil), inst.RT.Memory.Data...),
-		globals: append([]rt.GlobalSlot(nil), inst.RT.Globals...),
+	ri := inst.RT
+	s := &Snapshot{}
+	if ri.OwnsMemory {
+		// make (not a nil literal) so a zero-size owned memory still
+		// yields a non-nil snapshot, which Reset uses to distinguish
+		// "owned but empty" from "imported".
+		s.mem = append(make([]byte, 0, len(ri.Memory.Data)), ri.Memory.Data...)
 	}
-	for _, t := range inst.RT.Tables {
+	for _, g := range ri.Globals[ri.ImportedGlobals:] {
+		s.globals = append(s.globals, *g)
+	}
+	for _, t := range ri.Tables[ri.ImportedTables:] {
 		s.tables = append(s.tables, append([]uint64(nil), t.Elems...))
 	}
 	return s
 }
 
-// Reset restores the instance to the snapshot state: linear memory via
-// the memory's dirty-granule tracking (only granules written since the
-// last reset are copied back; see rt.Memory.ResetTo), globals and
-// tables wholesale (they are small). The execution context is cleared
-// of any aborted-call residue, and a Released instance is re-armed with
-// a recycled value stack. The value stack itself is reused dirty for
-// the same reason Release can pool it: executors never read slots they
-// have not written.
+// Reset restores the instance to the snapshot state: owned linear
+// memory via the memory's dirty-granule tracking (only granules written
+// since the last reset are copied back; see rt.Memory.ResetTo), owned
+// globals and tables wholesale (they are small). Imported memory,
+// tables and globals are deliberately NOT restored — the instance does
+// not own them, and their exporter (or its own pool) is responsible for
+// their lifecycle. The execution context is cleared of any aborted-call
+// residue, and a Released instance is re-armed with a recycled value
+// stack. The value stack itself is reused dirty for the same reason
+// Release can pool it: executors never read slots they have not
+// written.
 //
 // Per-function tier state (lazily compiled code, call counts, attached
 // probes) is deliberately retained — a recycled instance stays warm,
 // and none of it is observable in execution results.
 func (inst *Instance) Reset(s *Snapshot) error {
+	ri := inst.RT
 	if inst.Ctx.Depth != 0 || len(inst.Ctx.Frames) != 0 {
 		return fmt.Errorf("engine: cannot reset an instance with a call in progress")
 	}
-	if len(inst.RT.Globals) != len(s.globals) || len(inst.RT.Tables) != len(s.tables) {
-		return fmt.Errorf("engine: snapshot shape mismatch: %d/%d globals, %d/%d tables",
-			len(inst.RT.Globals), len(s.globals), len(inst.RT.Tables), len(s.tables))
+	ownedGlobals := ri.Globals[ri.ImportedGlobals:]
+	ownedTables := ri.Tables[ri.ImportedTables:]
+	if len(ownedGlobals) != len(s.globals) || len(ownedTables) != len(s.tables) ||
+		ri.OwnsMemory != (s.mem != nil) {
+		return fmt.Errorf("engine: snapshot shape mismatch: %d/%d owned globals, %d/%d owned tables, owns-memory %v/%v",
+			len(ownedGlobals), len(s.globals), len(ownedTables), len(s.tables),
+			ri.OwnsMemory, s.mem != nil)
 	}
-	inst.RT.Memory.ResetTo(s.mem)
-	copy(inst.RT.Globals, s.globals)
-	for i, t := range inst.RT.Tables {
+	if ri.OwnsMemory {
+		ri.Memory.ResetTo(s.mem)
+	}
+	for i, g := range ownedGlobals {
+		*g = s.globals[i]
+	}
+	for i, t := range ownedTables {
 		if len(t.Elems) != len(s.tables[i]) {
 			t.Elems = append(t.Elems[:0], s.tables[i]...)
 		} else {
@@ -127,7 +153,12 @@ func (ip *InstancePool) newInstance() (*Instance, error) {
 	// concurrent cold misses from each copying a multi-megabyte memory
 	// only to discard all but one.
 	ip.snapOnce.Do(func() { ip.snap.Store(inst.Snapshot()) })
-	inst.RT.Memory.EnableWriteTracking()
+	// Only an owned memory is reset (and therefore worth tracking);
+	// tracking an imported memory would tax the exporter's writes for a
+	// reset that never happens here.
+	if inst.RT.OwnsMemory {
+		inst.RT.Memory.EnableWriteTracking()
+	}
 	return inst, nil
 }
 

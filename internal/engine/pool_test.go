@@ -69,9 +69,9 @@ func stateEqual(t *testing.T, label string, a, b *engine.Instance) {
 			label, len(a.RT.Memory.Data), len(b.RT.Memory.Data))
 	}
 	for i := range a.RT.Globals {
-		if a.RT.Globals[i] != b.RT.Globals[i] {
+		if *a.RT.Globals[i] != *b.RT.Globals[i] {
 			t.Fatalf("%s: global %d differs: %+v != %+v",
-				label, i, a.RT.Globals[i], b.RT.Globals[i])
+				label, i, *a.RT.Globals[i], *b.RT.Globals[i])
 		}
 	}
 	for ti := range a.RT.Tables {

@@ -26,6 +26,12 @@ func (inst *Instance) AttachProbe(funcIdx uint32, pc int, p rt.Probe) error {
 	if f.IsHost() {
 		return fmt.Errorf("engine: cannot probe host function %d", funcIdx)
 	}
+	if f.Owner != nil && f.Owner != inst.RT {
+		// A cross-instance import is the exporter's function; probing it
+		// here would mutate (and recompile under this engine's config)
+		// state owned by another instance.
+		return fmt.Errorf("engine: function %d is imported from another instance; attach the probe on its owner", funcIdx)
+	}
 	if pc < 0 || pc >= len(f.Decl.Body) {
 		return fmt.Errorf("engine: probe pc %d out of range for function %d", pc, funcIdx)
 	}

@@ -29,6 +29,22 @@ func (t SPCTier) Compile(m *wasm.Module, fidx uint32, decl *wasm.Func,
 	return spc.Compile(m, fidx, decl, info, probes, t.Cfg)
 }
 
+// Catalog returns one representative configuration per executor family
+// — the in-place interpreter, the single-pass compiler (machine-code
+// executor), the rewriting interpreter, and the tiered pipeline that
+// transitions between them. Cross-cutting engine behavior (linking,
+// import resolution, interruption) is tested across exactly this set,
+// because each family has its own execution loop and therefore its own
+// copy of every cross-cutting check.
+func Catalog() []engine.Config {
+	return []engine.Config{
+		WizardINT(),
+		WizardSPC(),
+		Wasm3Like(),
+		WizardTiered(50),
+	}
+}
+
 // ByName resolves a preset by its figure name: any of the 18 SQ-space
 // tiers plus "wizeng-tiered". Shared by cmd/wizgo, the serving example,
 // and tests.

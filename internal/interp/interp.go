@@ -80,6 +80,9 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 
 	probes := f.Probes
 	counting := ctx.CountStats
+	// Hoisted so the back-edge poll is a register test + one atomic
+	// load, not a ctx field reload.
+	interrupt := ctx.Interrupt
 
 	trap := func(kind rt.TrapKind) error {
 		return &rt.Trap{Kind: kind, FuncIdx: f.Idx, PC: ip}
@@ -147,7 +150,12 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			_, ip = readU32(body, ip)
 			e := st[stp]
 			if int(e.TargetIP) <= opPC {
-				// Backward branch: loop back-edge, the tier-up point.
+				// Backward branch: loop back-edge — the tier-up point and
+				// the interruption point (one extra predictable branch on
+				// the path that already tests for OSR).
+				if interrupt != nil && interrupt.Get() {
+					return rt.Done, trap(rt.TrapInterrupted)
+				}
 				if ctx.Invoke != nil && shouldOSR(ctx, f) {
 					ip, stp, sp = applyBranch(slots, tags, e, sp)
 					syncFrame()
@@ -162,6 +170,9 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			sp--
 			if uint32(slots[sp]) != 0 {
 				e := st[stp]
+				if int(e.TargetIP) <= opPC && interrupt != nil && interrupt.Get() {
+					return rt.Done, trap(rt.TrapInterrupted)
+				}
 				if int(e.TargetIP) <= opPC && ctx.Invoke != nil && shouldOSR(ctx, f) {
 					ip, stp, sp = applyBranch(slots, tags, e, sp)
 					syncFrame()
@@ -182,6 +193,11 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 				idx = n
 			}
 			e := st[stp+int(idx)]
+			// A br_table arm can be a loop back-edge too: poll the
+			// interrupt so cancellation cannot hang a br_table-only loop.
+			if int(e.TargetIP) <= opPC && interrupt != nil && interrupt.Get() {
+				return rt.Done, trap(rt.TrapInterrupted)
+			}
 			ip, stp, sp = applyBranch(slots, tags, e, sp)
 		case wasm.OpReturn:
 			copy(slots[vfp:vfp+nres], slots[sp-nres:sp])
@@ -213,7 +229,14 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			if handle == wasm.NullRef {
 				return rt.Done, trap(rt.TrapNullFunc)
 			}
-			callee := inst.Funcs[handle-1]
+			if handle > uint64(len(table.Funcs)) {
+				// Dangling handle (e.g. a host-built table without owner
+				// resolution): trap, never index out of range.
+				return rt.Done, trap(rt.TrapNullFunc)
+			}
+			// Handles resolve in the table OWNER's function index space,
+			// so an imported table dispatches to the exporter's functions.
+			callee := table.Funcs[handle-1]
 			if !callee.Type.Equal(inst.Module.Types[typeIdx]) {
 				return rt.Done, trap(rt.TrapIndirectSigMismatch)
 			}

@@ -34,6 +34,9 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 	mem := inst.Memory
 	code := c.Instrs
 	counting := ctx.CountStats
+	// Hoisted so the per-checkpoint poll is a register test + one atomic
+	// load, not a ctx field reload per loop iteration.
+	interrupt := ctx.Interrupt
 
 	frameIdx := ctx.PushFrame(rt.FrameInfo{
 		Kind: rt.FrameJIT, Func: f, VFP: vfp, SP: vfp + len(c.LocalTypes),
@@ -257,7 +260,7 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 			}
 		case OCallIndirect:
 			elem := uint32(regs[in.C])
-			table := inst.Tables[0]
+			table := inst.Tables[in.Imm]
 			if int(elem) >= len(table.Elems) {
 				return rt.Done, c.trapAt(rt.TrapOOBTable, f, pc)
 			}
@@ -265,7 +268,14 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 			if handle == wasm.NullRef {
 				return rt.Done, c.trapAt(rt.TrapNullFunc, f, pc)
 			}
-			callee := inst.Funcs[handle-1]
+			if handle > uint64(len(table.Funcs)) {
+				// Dangling handle (e.g. a host-built table without owner
+				// resolution): trap, never index out of range.
+				return rt.Done, c.trapAt(rt.TrapNullFunc, f, pc)
+			}
+			// Handles resolve in the table OWNER's function index space,
+			// so an imported table dispatches to the exporter's functions.
+			callee := table.Funcs[handle-1]
 			if !callee.Type.Equal(inst.Module.Types[in.A]) {
 				return rt.Done, c.trapAt(rt.TrapIndirectSigMismatch, f, pc)
 			}
@@ -734,8 +744,13 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 			return rt.Done, c.trapAt(rt.TrapUnreachable, f, pc)
 
 		case OCheckPoint:
-			// Loop header with a canonical frame: the deopt point and
-			// OSR entry. in.A is the frame-relative stack height.
+			// Loop header with a canonical frame: the deopt point, the
+			// OSR entry, and the interruption point — one more predictable
+			// branch on the check compiled code already executes per loop
+			// iteration.
+			if interrupt != nil && interrupt.Get() {
+				return rt.Done, c.trapAt(rt.TrapInterrupted, f, pc)
+			}
 			if c.Invalidated {
 				fr := &ctx.Frames[frameIdx]
 				fr.SP = vfp + int(in.A)

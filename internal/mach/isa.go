@@ -99,7 +99,7 @@ const (
 
 	// Calls. B is the frame-relative slot of the first argument.
 	OCall         // call function index A
-	OCallIndirect // call_indirect: type index A, element index in r[C]
+	OCallIndirect // call_indirect: type index A, element index in r[C], table index Imm
 	OReturn
 
 	// i32 arithmetic, r[A] = r[B] op r[C].

@@ -45,11 +45,14 @@ type BranchMonitor struct {
 
 // AttachBranchMonitor scans every function of the instance for
 // conditional branches (br_if and if) and attaches a counter probe at
-// each site.
+// each site. Functions imported from other instances are skipped: the
+// probe belongs to their owner. AttachProbe takes a POSITION in the
+// instance's function index space — a cross-instance import keeps its
+// owner's FuncInst.Idx, so positions and Idx values can differ.
 func AttachBranchMonitor(inst *engine.Instance) (*BranchMonitor, error) {
 	mon := &BranchMonitor{}
-	for _, f := range inst.RT.Funcs {
-		if f.IsHost() {
+	for i, f := range inst.RT.Funcs {
+		if f.IsHost() || (f.Owner != nil && f.Owner != inst.RT) {
 			continue
 		}
 		pcs, err := CondBranchPCs(f.Decl.Body)
@@ -59,7 +62,7 @@ func AttachBranchMonitor(inst *engine.Instance) (*BranchMonitor, error) {
 		for _, pc := range pcs {
 			c := &BranchCounter{FuncIdx: f.Idx, PC: pc}
 			mon.Counters = append(mon.Counters, c)
-			if err := inst.AttachProbe(f.Idx, pc, c); err != nil {
+			if err := inst.AttachProbe(uint32(i), pc, c); err != nil {
 				return nil, err
 			}
 		}

@@ -26,6 +26,9 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 	mem := inst.Memory
 	code := c.Instrs
 	counting := ctx.CountStats
+	// Hoisted so the back-edge poll is a register test + one atomic
+	// load, not a ctx field reload.
+	interrupt := ctx.Interrupt
 
 	sp := vfp + len(c.LocalTypes)
 	pc := 0
@@ -52,12 +55,21 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 			copy(slots[vfp:vfp+nres], slots[sp-nres:sp])
 			return rt.Done, nil
 		case opBr:
+			// Backward branches are loop back-edges: the interruption
+			// point (the rewriter has no OSR counter, so the target
+			// comparison is the equivalent branch).
+			if int(in.Target) <= pc && interrupt != nil && interrupt.Get() {
+				return rt.Done, trap(rt.TrapInterrupted)
+			}
 			sp = transfer(slots, sp, int(in.A), int(in.B))
 			pc = int(in.Target)
 			continue
 		case opBrIfNZ:
 			sp--
 			if uint32(slots[sp]) != 0 {
+				if int(in.Target) <= pc && interrupt != nil && interrupt.Get() {
+					return rt.Done, trap(rt.TrapInterrupted)
+				}
 				sp = transfer(slots, sp, int(in.A), int(in.B))
 				pc = int(in.Target)
 				continue
@@ -65,6 +77,9 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 		case opBrIfZ:
 			sp--
 			if uint32(slots[sp]) == 0 {
+				if int(in.Target) <= pc && interrupt != nil && interrupt.Get() {
+					return rt.Done, trap(rt.TrapInterrupted)
+				}
 				sp = transfer(slots, sp, int(in.A), int(in.B))
 				pc = int(in.Target)
 				continue
@@ -75,6 +90,10 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 			idx := uint32(slots[sp])
 			if int(idx) >= len(t) {
 				idx = uint32(len(t) - 1)
+			}
+			// A br_table arm can be a loop back-edge too.
+			if int(t[idx]) <= pc && interrupt != nil && interrupt.Get() {
+				return rt.Done, trap(rt.TrapInterrupted)
 			}
 			pc = int(t[idx])
 			continue
@@ -95,7 +114,7 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 		case wasm.OpCallIndirect:
 			sp--
 			elem := uint32(slots[sp])
-			table := inst.Tables[0]
+			table := inst.Tables[in.B]
 			if int(elem) >= len(table.Elems) {
 				return rt.Done, trap(rt.TrapOOBTable)
 			}
@@ -103,7 +122,13 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 			if handle == wasm.NullRef {
 				return rt.Done, trap(rt.TrapNullFunc)
 			}
-			callee := inst.Funcs[handle-1]
+			if handle > uint64(len(table.Funcs)) {
+				// Dangling handle (e.g. a host-built table without owner
+				// resolution): trap, never index out of range.
+				return rt.Done, trap(rt.TrapNullFunc)
+			}
+			// Resolve in the table owner's function index space.
+			callee := table.Funcs[handle-1]
 			if !callee.Type.Equal(inst.Module.Types[in.A]) {
 				return rt.Done, trap(rt.TrapIndirectSigMismatch)
 			}

@@ -353,11 +353,12 @@ func (x *xlat) instr(op wasm.Opcode, r *wasm.Reader) error {
 		if err != nil {
 			return err
 		}
-		if _, err := r.U32(); err != nil {
+		tblIdx, err := r.U32()
+		if err != nil {
 			return err
 		}
 		ft := x.m.Types[typeIdx]
-		x.emit(Instr{Op: wasm.OpCallIndirect, A: int32(typeIdx)})
+		x.emit(Instr{Op: wasm.OpCallIndirect, A: int32(typeIdx), B: int32(tblIdx)})
 		x.h += len(ft.Results) - len(ft.Params) - 1
 	case wasm.OpLocalGet, wasm.OpLocalSet, wasm.OpLocalTee:
 		idx, err := r.U32()

@@ -13,6 +13,8 @@ package rt
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"wizgo/internal/validate"
 	"wizgo/internal/wasm"
@@ -34,6 +36,12 @@ const (
 	TrapStackOverflow
 	TrapMemoryLimit
 	TrapHostError
+	// TrapInterrupted reports that execution was aborted by an armed
+	// interrupt flag (context cancellation or deadline; see
+	// Context.Interrupt). Executors poll the flag at function entry and
+	// on loop back-edges, so a runaway guest unwinds within one loop
+	// iteration instead of hanging its goroutine.
+	TrapInterrupted
 )
 
 func (k TrapKind) String() string {
@@ -60,6 +68,8 @@ func (k TrapKind) String() string {
 		return "memory limit exceeded"
 	case TrapHostError:
 		return "host function error"
+	case TrapInterrupted:
+		return "execution interrupted"
 	}
 	return "unknown trap"
 }
@@ -78,6 +88,10 @@ func (t *Trap) Error() string {
 	}
 	return fmt.Sprintf("trap: %s (func %d, pc +%d)", t.Kind, t.FuncIdx, t.PC)
 }
+
+// Unwrap exposes the wrapped cause so errors.Is/As see through traps
+// (e.g. a TrapInterrupted carrying context.DeadlineExceeded).
+func (t *Trap) Unwrap() error { return t.Wrapped }
 
 // NewTrap constructs a trap error.
 func NewTrap(kind TrapKind, funcIdx uint32, pc int) *Trap {
@@ -351,14 +365,57 @@ func (m *Memory) ResetTo(snapshot []byte) (copied int, full bool) {
 
 // Table is a funcref table. Entries are 1-based function handles
 // (funcIdx+1) so that zero means null, matching the value encoding.
+//
+// Handles resolve in the index space of the instance that OWNS the
+// table: Funcs is installed at link time by the owning instance, so an
+// instance that imports the table still calls the exporter's functions
+// through call_indirect — the cross-instance linking contract.
 type Table struct {
 	Elems []uint64
+	// Funcs resolves handles (Elems[i]-1 indexes Funcs). Set by the
+	// engine when the owning instance links.
+	Funcs []*FuncInst
 }
 
-// GlobalSlot is a runtime global: bits plus tag for stack-walking parity.
+// GlobalSlot is a runtime global cell: bits plus tag for stack-walking
+// parity. Instances hold globals by pointer so a global exported by one
+// instance and imported by another is a single shared cell.
 type GlobalSlot struct {
 	Bits uint64
 	Tag  wasm.Tag
+}
+
+// ExternGlobal pairs a global cell with its declared type and
+// mutability, the metadata linkers need to type-check global imports
+// (the cell's Tag alone cannot express mutability).
+type ExternGlobal struct {
+	Type    wasm.ValueType
+	Mutable bool
+	Cell    *GlobalSlot
+}
+
+// Extern is one external value of the embedding API: what a linker
+// definition provides and what a module import consumes. Exactly the
+// fields selected by Kind are meaningful.
+type Extern struct {
+	Kind wasm.ExternKind
+
+	// FuncType types an ExternFunc definition. Exactly one of HostFunc
+	// (a host-defined function, run in the importer's context) and Func
+	// (another instance's function, bridged into its owner's context)
+	// is set.
+	FuncType wasm.FuncType
+	HostFunc HostFunc
+	Func     *FuncInst
+
+	// Memory is the shared linear memory for ExternMemory.
+	Memory *Memory
+
+	// Table is the shared table for ExternTable.
+	Table *Table
+
+	// Global is the shared cell for ExternGlobal.
+	Global ExternGlobal
 }
 
 // HostFunc is a host (imported) function. Arguments arrive in args;
@@ -391,18 +448,44 @@ type FuncInst struct {
 
 	// Probes is non-nil when instrumentation is attached.
 	Probes *ProbeSet
+
+	// Owner is the instance this function belongs to. A cross-instance
+	// import places the exporter's *FuncInst directly in the importer's
+	// function index space; the engine's dispatcher compares Owner
+	// against the calling instance and bridges the call into the owner's
+	// execution context when they differ.
+	Owner *Instance
 }
 
 // IsHost reports whether f is a host function.
 func (f *FuncInst) IsHost() bool { return f.Host != nil }
 
 // Instance is an instantiated module.
+//
+// The ownership fields record which of the instance's externals were
+// allocated by this instance and which were imported (and therefore
+// belong to another instance or to the host). Imported externals occupy
+// the low indices of their index spaces. State-reset machinery
+// (engine.Instance.Reset, the instance pool) restores only owned state:
+// an instance must never roll back memory, tables or globals it merely
+// borrowed.
 type Instance struct {
 	Module  *wasm.Module
 	Funcs   []*FuncInst
-	Globals []GlobalSlot
+	Globals []*GlobalSlot
 	Memory  *Memory
 	Tables  []*Table
+
+	// OwnsMemory is false when Memory was imported.
+	OwnsMemory bool
+	// ImportedGlobals and ImportedTables count imported entries at the
+	// head of Globals and Tables.
+	ImportedGlobals int
+	ImportedTables  int
+
+	// Ctx is the execution context the embedder bound to this instance,
+	// the target context for calls bridged in from other instances.
+	Ctx *Context
 }
 
 // FuncByName resolves an exported function.
@@ -486,6 +569,16 @@ type Context struct {
 	// interpreter requests tier-up when compiled code exists (0 = off).
 	OSRThreshold int
 
+	// Interrupt, when non-nil, is the context's interruption flag.
+	// Another goroutine arms it (engine.Instance.CallContext does so on
+	// context cancellation or deadline); every executor polls it at
+	// function entry and on the same branch as the OSR back-edge check,
+	// and unwinds with TrapInterrupted when set. The flag is a pointer
+	// so a cross-instance call bridge can temporarily point the callee
+	// instance's context at the caller's flag, making cancellation
+	// follow the call across instance boundaries.
+	Interrupt *InterruptFlag
+
 	// Resume carries the canonical frame state across an OSRUp or
 	// Deopt return, so the engine can re-enter the other tier.
 	Resume FrameInfo
@@ -502,6 +595,90 @@ type Stats struct {
 	ProbeFires uint64
 	OSRUps     uint64
 	Deopts     uint64
+}
+
+// InterruptFlag is an atomic interruption request. It is safe to Set
+// from any goroutine while an executor polls it.
+//
+// Calls can nest (guest → host → guest, possibly across instances that
+// temporarily share one flag), and each nested call registers its own
+// cancellation source. A finishing inner call must not erase a
+// cancellation that belongs to a still-running outer call whose
+// one-shot watcher already fired, so the flag tracks its in-flight
+// sources and re-derives its state when one is removed — bookkeeping
+// that lives on the flag itself precisely because the flag may be
+// shared across instances.
+type InterruptFlag struct {
+	v atomic.Bool
+
+	mu      sync.Mutex
+	sources []*interruptSource
+}
+
+type interruptSource struct{ cancelled func() bool }
+
+// Set arms the flag. It takes the source mutex so that a Set racing a
+// source removal is ordered against the removal's re-derivation: either
+// the Set lands after the derivation (flag stays armed), or the
+// derivation runs after the Set — in which case the source's cancelled
+// predicate already reports true (context.Context stores its error
+// before closing Done) and the derivation re-arms. Without the lock a
+// Set could slip between the scan and the Clear and be lost.
+func (i *InterruptFlag) Set() {
+	i.mu.Lock()
+	i.v.Store(true)
+	i.mu.Unlock()
+}
+
+// Clear disarms the flag.
+func (i *InterruptFlag) Clear() {
+	i.mu.Lock()
+	i.v.Store(false)
+	i.mu.Unlock()
+}
+
+// Get reports whether the flag is armed. Lock-free: this is the poll
+// executors run on every loop back-edge.
+func (i *InterruptFlag) Get() bool { return i.v.Load() }
+
+// AddSource registers an in-flight cancellation source (a predicate
+// reporting whether that source is cancelled) and returns its removal
+// function. Removing a source re-derives the flag: it stays armed
+// exactly when some remaining source is cancelled — so an inner call
+// finishing cannot clear an enclosing call's cancellation, and a
+// cancellation that raced completion cannot leak once every source is
+// gone. The caller must stop its own Set-ter before calling remove.
+func (i *InterruptFlag) AddSource(cancelled func() bool) (remove func()) {
+	src := &interruptSource{cancelled: cancelled}
+	i.mu.Lock()
+	i.sources = append(i.sources, src)
+	i.mu.Unlock()
+	return func() {
+		i.mu.Lock()
+		defer i.mu.Unlock()
+		for idx := len(i.sources) - 1; idx >= 0; idx-- {
+			if i.sources[idx] == src {
+				i.sources = append(i.sources[:idx], i.sources[idx+1:]...)
+				break
+			}
+		}
+		// Stores go through i.v directly: the mutex is already held,
+		// which is what orders this derivation against concurrent Sets.
+		for _, s := range i.sources {
+			if s.cancelled() {
+				i.v.Store(true)
+				return
+			}
+		}
+		i.v.Store(false)
+	}
+}
+
+// Interrupted reports whether an interruption was requested. The nil
+// check plus one atomic load keep it under the inlining budget, so
+// executors pay a single predictable branch on the back-edge fast path.
+func (ctx *Context) Interrupted() bool {
+	return ctx.Interrupt != nil && ctx.Interrupt.Get()
 }
 
 // PushFrame records fi for stack walkers and returns its index.

@@ -131,10 +131,29 @@ func TestTrapError(t *testing.T) {
 	if msg == "" || trap.Kind != TrapDivByZero {
 		t.Errorf("trap: %q", msg)
 	}
-	for k := TrapNone; k <= TrapHostError; k++ {
+	for k := TrapNone; k <= TrapInterrupted; k++ {
 		if k.String() == "" {
 			t.Errorf("trap kind %d has no name", k)
 		}
+	}
+}
+
+func TestInterruptFlag(t *testing.T) {
+	ctx := &Context{}
+	if ctx.Interrupted() {
+		t.Fatal("nil interrupt flag must read as not interrupted")
+	}
+	ctx.Interrupt = new(InterruptFlag)
+	if ctx.Interrupted() {
+		t.Fatal("fresh flag must be clear")
+	}
+	ctx.Interrupt.Set()
+	if !ctx.Interrupted() {
+		t.Fatal("set flag not observed")
+	}
+	ctx.Interrupt.Clear()
+	if ctx.Interrupted() {
+		t.Fatal("cleared flag still observed")
 	}
 }
 

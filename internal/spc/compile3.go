@@ -168,7 +168,8 @@ func (c *compiler) instr(op wasm.Opcode) error {
 		if err != nil {
 			return err
 		}
-		if _, err := c.r.U32(); err != nil { // table index
+		tblIdx, err := c.r.U32()
+		if err != nil {
 			return err
 		}
 		idx := c.pop()
@@ -176,7 +177,7 @@ func (c *compiler) instr(op wasm.Opcode) error {
 		ft := c.m.Types[typeIdx]
 		c.observableCall(c.opPC, len(ft.Params))
 		argBase := c.nLocals + c.st.h - len(ft.Params)
-		c.asm.Emit(mach.Instr{Op: mach.OCallIndirect, A: int32(typeIdx), B: int32(argBase), C: int32(ridx)})
+		c.asm.Emit(mach.Instr{Op: mach.OCallIndirect, A: int32(typeIdx), B: int32(argBase), C: int32(ridx), Imm: uint64(tblIdx)})
 		c.release(&idx)
 		c.finishCall(ft)
 

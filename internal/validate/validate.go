@@ -97,6 +97,12 @@ type validator struct {
 	info   *FuncInfo
 	opPC   int // pc of the opcode being validated
 	locals []wasm.ValueType
+	// numMemories and numTables cache the imported+defined counts:
+	// memCheck and call_indirect consult them per instruction, and
+	// recounting the import section each time would make validation
+	// O(imports x instructions).
+	numMemories int
+	numTables   int
 }
 
 // Error wraps a validation failure with function context.
@@ -118,8 +124,12 @@ func Module(m *wasm.Module) ([]FuncInfo, error) {
 	}
 	infos := make([]FuncInfo, len(m.Funcs))
 	nImp := m.NumImportedFuncs()
+	// The counts are shared across all function validations; recounting
+	// the import section per function would make Module O(functions x
+	// imports).
+	numMemories, numTables := m.NumMemories(), m.NumTables()
 	for i := range m.Funcs {
-		fi, err := Function(m, &m.Funcs[i])
+		fi, err := function(m, &m.Funcs[i], numMemories, numTables)
 		if err != nil {
 			var verr *Error
 			if errors.As(err, &verr) {
@@ -139,6 +149,13 @@ func moduleLevel(m *wasm.Module) error {
 				imp.Module, imp.Name, imp.TypeIdx)
 		}
 	}
+	// Counted once: the Num* helpers walk the import section, and the
+	// export/elem/data loops below consult the counts per item.
+	numMemories, numTables := m.NumMemories(), m.NumTables()
+	if numMemories > 1 {
+		return fmt.Errorf("validate: %d memories (imported + defined); at most one is supported",
+			numMemories)
+	}
 	for i, f := range m.Funcs {
 		if int(f.TypeIdx) >= len(m.Types) {
 			return fmt.Errorf("validate: func %d: type index %d out of range", i, f.TypeIdx)
@@ -152,7 +169,7 @@ func moduleLevel(m *wasm.Module) error {
 				return fmt.Errorf("validate: export %q: function index %d out of range", e.Name, e.Idx)
 			}
 		case wasm.ImportMemory:
-			if int(e.Idx) >= len(m.Memories) {
+			if int(e.Idx) >= numMemories {
 				return fmt.Errorf("validate: export %q: memory index %d out of range", e.Name, e.Idx)
 			}
 		case wasm.ImportGlobal:
@@ -160,13 +177,13 @@ func moduleLevel(m *wasm.Module) error {
 				return fmt.Errorf("validate: export %q: global index %d out of range", e.Name, e.Idx)
 			}
 		case wasm.ImportTable:
-			if int(e.Idx) >= len(m.Tables) {
+			if int(e.Idx) >= numTables {
 				return fmt.Errorf("validate: export %q: table index %d out of range", e.Name, e.Idx)
 			}
 		}
 	}
 	for i, el := range m.Elems {
-		if int(el.TableIdx) >= len(m.Tables) {
+		if int(el.TableIdx) >= numTables {
 			return fmt.Errorf("validate: elem %d: table index out of range", i)
 		}
 		for _, fidx := range el.Funcs {
@@ -176,7 +193,7 @@ func moduleLevel(m *wasm.Module) error {
 		}
 	}
 	for i, d := range m.Datas {
-		if int(d.MemIdx) >= len(m.Memories) {
+		if int(d.MemIdx) >= numMemories {
 			return fmt.Errorf("validate: data %d: memory index out of range", i)
 		}
 	}
@@ -194,16 +211,24 @@ func moduleLevel(m *wasm.Module) error {
 
 // Function validates a single function body and returns its metadata.
 func Function(m *wasm.Module, f *wasm.Func) (*FuncInfo, error) {
+	return function(m, f, m.NumMemories(), m.NumTables())
+}
+
+// function is Function with the import-spanning counts precomputed, so
+// Module's per-function loop shares one count.
+func function(m *wasm.Module, f *wasm.Func, numMemories, numTables int) (*FuncInfo, error) {
 	ft := m.Types[f.TypeIdx]
 	locals := make([]wasm.ValueType, 0, len(ft.Params)+len(f.Locals))
 	locals = append(locals, ft.Params...)
 	locals = append(locals, f.Locals...)
 
 	v := &validator{
-		m:      m,
-		f:      f,
-		r:      wasm.NewReader(f.Body),
-		locals: locals,
+		m:           m,
+		f:           f,
+		r:           wasm.NewReader(f.Body),
+		locals:      locals,
+		numMemories: numMemories,
+		numTables:   numTables,
 		info: &FuncInfo{
 			LocalTypes: locals,
 			Results:    ft.Results,
@@ -588,7 +613,7 @@ func (v *validator) instr(op wasm.Opcode) error {
 		if err != nil {
 			return err
 		}
-		if int(tableIdx) >= len(v.m.Tables) {
+		if int(tableIdx) >= v.numTables {
 			return v.fail("call_indirect: table %d out of range", tableIdx)
 		}
 		if int(typeIdx) >= len(v.m.Types) {
@@ -758,7 +783,7 @@ func (v *validator) memCheck(op wasm.Opcode) error {
 		if _, err := v.r.U32(); err != nil { // offset
 			return err
 		}
-		if len(v.m.Memories) == 0 {
+		if v.numMemories == 0 {
 			return v.fail("%v without declared memory", op)
 		}
 		if align > naturalAlign(op) {
@@ -768,7 +793,7 @@ func (v *validator) memCheck(op wasm.Opcode) error {
 		if _, err := v.r.Byte(); err != nil {
 			return err
 		}
-		if len(v.m.Memories) == 0 {
+		if v.numMemories == 0 {
 			return v.fail("%v without declared memory", op)
 		}
 	case wasm.ImmTwoMem:
@@ -778,7 +803,7 @@ func (v *validator) memCheck(op wasm.Opcode) error {
 		if _, err := v.r.Byte(); err != nil {
 			return err
 		}
-		if len(v.m.Memories) == 0 {
+		if v.numMemories == 0 {
 			return v.fail("%v without declared memory", op)
 		}
 	case wasm.ImmI32:

@@ -12,8 +12,14 @@ import (
 type Builder struct {
 	m          Module
 	funcsFixed bool
-	names      map[uint32]string
-	fbs        []*FuncBuilder
+	// Like funcsFixed: once a table/global/memory is defined, importing
+	// one of the same kind would shift the already-returned indices, so
+	// the Import* helpers panic instead of handing out stale indices.
+	tablesFixed   bool
+	globalsFixed  bool
+	memoriesFixed bool
+	names         map[uint32]string
+	fbs           []*FuncBuilder
 }
 
 // NewBuilder returns an empty module builder.
@@ -45,25 +51,78 @@ func (b *Builder) ImportFunc(module, name string, ft FuncType) uint32 {
 	return idx
 }
 
-// AddMemory declares the module memory in pages.
+// ImportMemory declares a memory import with the given limits in pages.
+// At most one memory (imported or defined) is supported; it must
+// precede AddMemory.
+func (b *Builder) ImportMemory(module, name string, minPages, maxPages uint32) {
+	if b.memoriesFixed {
+		panic("wasm.Builder: memory imports must precede defined memories")
+	}
+	b.m.Imports = append(b.m.Imports, Import{
+		Module: module, Name: name, Kind: ImportMemory,
+		Lim: Limits{Min: minPages, Max: maxPages, HasMax: maxPages > 0},
+	})
+}
+
+// ImportTable declares a funcref table import and returns its table
+// index. It must precede any AddTable so that table indices stay stable.
+func (b *Builder) ImportTable(module, name string, min uint32) uint32 {
+	if b.tablesFixed {
+		panic("wasm.Builder: table imports must precede defined tables")
+	}
+	idx := uint32(b.m.NumImportedTables())
+	b.m.Imports = append(b.m.Imports, Import{
+		Module: module, Name: name, Kind: ImportTable,
+		Lim: Limits{Min: min},
+	})
+	return idx
+}
+
+// ImportGlobal declares a global import and returns its global index. It
+// must precede any AddGlobal so that global indices stay stable.
+func (b *Builder) ImportGlobal(module, name string, t ValueType, mutable bool) uint32 {
+	if b.globalsFixed {
+		panic("wasm.Builder: global imports must precede defined globals")
+	}
+	idx := uint32(b.m.NumImportedGlobals())
+	b.m.Imports = append(b.m.Imports, Import{
+		Module: module, Name: name, Kind: ImportGlobal,
+		GlobalType: t, Mutable: mutable,
+	})
+	return idx
+}
+
+// AddMemory declares the module memory in pages. At most one memory
+// (imported or defined) is supported.
 func (b *Builder) AddMemory(minPages, maxPages uint32) {
+	if b.m.NumImportedMemories() > 0 {
+		panic("wasm.Builder: module already imports a memory")
+	}
+	b.memoriesFixed = true
 	b.m.Memories = append(b.m.Memories, Limits{Min: minPages, Max: maxPages, HasMax: maxPages > 0})
 }
 
-// AddGlobal declares a global and returns its index.
+// AddGlobal declares a global and returns its index (imported globals
+// occupy the low indices).
 func (b *Builder) AddGlobal(t ValueType, mutable bool, init Value) uint32 {
+	b.globalsFixed = true
 	idx := uint32(b.m.NumGlobals())
 	b.m.Globals = append(b.m.Globals, Global{Type: t, Mutable: mutable, Init: init})
 	return idx
 }
 
-// AddTable declares a funcref table.
+// AddTable declares a funcref table and returns its index (imported
+// tables occupy the low indices).
 func (b *Builder) AddTable(min uint32) uint32 {
+	b.tablesFixed = true
 	b.m.Tables = append(b.m.Tables, Table{Lim: Limits{Min: min, Max: min, HasMax: true}})
-	return uint32(len(b.m.Tables) - 1)
+	return uint32(b.m.NumTables() - 1)
 }
 
-// AddElem adds an active element segment for table 0.
+// AddElem adds an active element segment for table 0. The binary subset
+// only encodes flag-0 (table 0) segments, and the engine rejects
+// segments targeting an imported table, so modules that import a table
+// cannot also carry active element segments.
 func (b *Builder) AddElem(offset uint32, funcs []uint32) {
 	b.m.Elems = append(b.m.Elems, Elem{Offset: offset, Funcs: funcs})
 }
@@ -81,6 +140,16 @@ func (b *Builder) Export(name string, funcIdx uint32) {
 // ExportMemory exports memory 0 under name.
 func (b *Builder) ExportMemory(name string) {
 	b.m.Exports = append(b.m.Exports, Export{Name: name, Kind: ImportMemory, Idx: 0})
+}
+
+// ExportGlobal exports global index idx under name.
+func (b *Builder) ExportGlobal(name string, idx uint32) {
+	b.m.Exports = append(b.m.Exports, Export{Name: name, Kind: ImportGlobal, Idx: idx})
+}
+
+// ExportTable exports table index idx under name.
+func (b *Builder) ExportTable(name string, idx uint32) {
+	b.m.Exports = append(b.m.Exports, Export{Name: name, Kind: ImportTable, Idx: idx})
 }
 
 // SetStart marks funcIdx as the module start function.
@@ -299,9 +368,14 @@ func (f *FuncBuilder) Call(funcIdx uint32) *FuncBuilder { return f.idxOp(OpCall,
 
 // CallIndirect emits call_indirect typeIdx (table 0).
 func (f *FuncBuilder) CallIndirect(typeIdx uint32) *FuncBuilder {
+	return f.CallIndirectTable(typeIdx, 0)
+}
+
+// CallIndirectTable emits call_indirect typeIdx against tableIdx.
+func (f *FuncBuilder) CallIndirectTable(typeIdx, tableIdx uint32) *FuncBuilder {
 	f.code = append(f.code, byte(OpCallIndirect))
 	f.code = AppendU32(f.code, typeIdx)
-	f.code = AppendU32(f.code, 0)
+	f.code = AppendU32(f.code, tableIdx)
 	return f
 }
 

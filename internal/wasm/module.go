@@ -51,7 +51,9 @@ type Limits struct {
 	HasMax bool
 }
 
-// ImportKind discriminates import/export descriptors.
+// ImportKind discriminates import/export descriptors. It doubles as the
+// extern kind of the embedding API: the four kinds of external values a
+// module can import or export (functions, tables, memories, globals).
 type ImportKind byte
 
 const (
@@ -60,6 +62,32 @@ const (
 	ImportMemory
 	ImportGlobal
 )
+
+// ExternKind is the embedding-API name for ImportKind: linkers resolve
+// imports to external values of these kinds.
+type ExternKind = ImportKind
+
+// Extern kind aliases for embedding-API readability.
+const (
+	ExternFunc   = ImportFunc
+	ExternTable  = ImportTable
+	ExternMemory = ImportMemory
+	ExternGlobal = ImportGlobal
+)
+
+func (k ImportKind) String() string {
+	switch k {
+	case ImportFunc:
+		return "function"
+	case ImportTable:
+		return "table"
+	case ImportMemory:
+		return "memory"
+	case ImportGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("externkind(%d)", byte(k))
+}
 
 // Import is a module import.
 type Import struct {
@@ -149,15 +177,7 @@ type Module struct {
 
 // NumImportedFuncs returns how many functions are imported; they occupy
 // the low function indices.
-func (m *Module) NumImportedFuncs() int {
-	n := 0
-	for _, imp := range m.Imports {
-		if imp.Kind == ImportFunc {
-			n++
-		}
-	}
-	return n
-}
+func (m *Module) NumImportedFuncs() int { return m.numImported(ImportFunc) }
 
 // FuncTypeAt returns the signature of function index idx spanning both
 // imported and module-defined functions.
@@ -209,18 +229,44 @@ func (m *Module) GlobalTypeAt(idx uint32) (ValueType, bool, error) {
 
 // NumGlobals returns the total number of globals (imported + defined).
 func (m *Module) NumGlobals() int {
-	n := len(m.Globals)
+	return m.NumImportedGlobals() + len(m.Globals)
+}
+
+// NumFuncs returns the total number of functions (imported + defined).
+func (m *Module) NumFuncs() int {
+	return m.NumImportedFuncs() + len(m.Funcs)
+}
+
+// numImported counts imports of one kind; they occupy the low indices of
+// the corresponding index space.
+func (m *Module) numImported(kind ImportKind) int {
+	n := 0
 	for _, imp := range m.Imports {
-		if imp.Kind == ImportGlobal {
+		if imp.Kind == kind {
 			n++
 		}
 	}
 	return n
 }
 
-// NumFuncs returns the total number of functions (imported + defined).
-func (m *Module) NumFuncs() int {
-	return m.NumImportedFuncs() + len(m.Funcs)
+// NumImportedGlobals returns how many globals are imported.
+func (m *Module) NumImportedGlobals() int { return m.numImported(ImportGlobal) }
+
+// NumImportedTables returns how many tables are imported.
+func (m *Module) NumImportedTables() int { return m.numImported(ImportTable) }
+
+// NumImportedMemories returns how many memories are imported.
+func (m *Module) NumImportedMemories() int { return m.numImported(ImportMemory) }
+
+// NumMemories returns the total number of memories (imported + defined).
+// The MVP subset allows at most one.
+func (m *Module) NumMemories() int {
+	return m.NumImportedMemories() + len(m.Memories)
+}
+
+// NumTables returns the total number of tables (imported + defined).
+func (m *Module) NumTables() int {
+	return m.NumImportedTables() + len(m.Tables)
 }
 
 // ExportedFunc looks up an exported function index by name.
