@@ -468,8 +468,8 @@ func BenchmarkInstantiatePooled(b *testing.B) {
 		}
 		b.StopTimer()
 		st := pool.Stats()
-		if st.Hits > 0 {
-			b.ReportMetric(float64(st.ResetTime.Nanoseconds())/float64(st.Hits), "reset-ns/op")
+		if n := st.ResetsOnPut + st.ResetsOnGet; n > 0 {
+			b.ReportMetric(float64(st.ResetTime.Nanoseconds())/float64(n), "reset-ns/op")
 		}
 	})
 }

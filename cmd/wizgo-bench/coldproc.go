@@ -1,0 +1,258 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"wizgo/internal/codecache"
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/harness"
+	"wizgo/internal/workloads"
+)
+
+// Cold starts are measured process-per-sample: wizgo-bench re-executes
+// itself (-coldchild) so every measurement runs in a genuinely cold
+// process — cold Go runtime, cold compiler code paths, cold caches.
+// In-process repetition converges to warm-compiler steady state, which
+// flatters neither side honestly: a real cold start pays the
+// compiler's own warm-up on the full path and the loader's warm-up on
+// the disk path. The parent only seeds the cache directory and
+// aggregates child samples.
+
+// coldChildResult is one child process's measurement, printed as JSON
+// on stdout.
+type coldChildResult struct {
+	Wall         time.Duration `json:"wall_ns"`
+	Decode       time.Duration `json:"decode_ns"`
+	Validate     time.Duration `json:"validate_ns"`
+	Compile      time.Duration `json:"compile_ns"`
+	Rehydrate    time.Duration `json:"rehydrate_ns"`
+	MemHit       time.Duration `json:"mem_hit_ns"`
+	Instantiate  time.Duration `json:"instantiate_ns"`
+	Main         time.Duration `json:"main_ns"`
+	CompileCalls uint64        `json:"compile_calls"`
+	DiskHits     uint64        `json:"disk_hits"`
+	DiskMisses   uint64        `json:"disk_misses"`
+	DiskWrites   uint64        `json:"disk_writes"`
+	Checksum     int64         `json:"checksum"`
+	HasChecksum  bool          `json:"has_checksum"`
+}
+
+// pipeline returns the per-module pipeline work the child performed:
+// decode+validate+compile on the full path, rehydration on the disk
+// path (where decode/validate/compile are zero).
+func (c coldChildResult) pipeline() time.Duration {
+	return c.Decode + c.Validate + c.Compile + c.Rehydrate
+}
+
+// runColdChild is the child entry point: compile (or disk-load) one
+// workload item under one tier, run its _start, and report every
+// timing as JSON. mode is "full" (no disk tier: pure
+// decode+validate+compile) or "disk" (persistent cache attached; on a
+// seeded directory this is the zero-compile load path).
+func runColdChild(mode, tier, item, cacheDir string) {
+	it, ok := findItem(item)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wizgo-bench: unknown item %q\n", item)
+		os.Exit(1)
+	}
+	cfg, ok := engines.ByName(tier)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wizgo-bench: unknown tier %q\n", tier)
+		os.Exit(1)
+	}
+	var disk *codecache.DiskStore
+	switch mode {
+	case "full":
+	case "disk":
+		cfg.Cache = codecache.New(codecache.Options{})
+		var err error
+		if disk, err = engine.OpenDiskCache(cacheDir); err != nil {
+			check(err)
+		}
+		cfg.DiskCache = disk
+	default:
+		fmt.Fprintf(os.Stderr, "wizgo-bench: unknown -coldchild mode %q\n", mode)
+		os.Exit(1)
+	}
+
+	eng := engine.New(cfg, nil)
+	var res coldChildResult
+	t0 := time.Now()
+	cm, err := eng.Compile(it.Bytes)
+	check(err)
+	res.Wall = time.Since(t0)
+	res.Decode = cm.Timings.Decode
+	res.Validate = cm.Timings.Validate
+	res.Compile = cm.Timings.Compile
+	res.Rehydrate = cm.Timings.Rehydrate
+	res.CompileCalls = eng.CompileCalls()
+
+	t1 := time.Now()
+	inst, err := cm.Instantiate()
+	check(err)
+	res.Instantiate = time.Since(t1)
+	startFn, ok := inst.RT.FuncByName("_start")
+	if !ok {
+		check(fmt.Errorf("module %s has no _start", item))
+	}
+	t2 := time.Now()
+	_, err = inst.CallFunc(startFn)
+	check(err)
+	res.Main = time.Since(t2)
+	if sumFn, ok := inst.RT.FuncByName("checksum"); ok {
+		sum, err := inst.CallFunc(sumFn)
+		check(err)
+		if len(sum) == 1 {
+			res.Checksum, res.HasChecksum = sum[0].I64(), true
+		}
+	}
+	inst.Release()
+
+	if disk != nil {
+		// A repeat Compile in the now-warm process: the in-memory hit,
+		// the floor of the cold-start ladder.
+		t3 := time.Now()
+		_, err = eng.Compile(it.Bytes)
+		check(err)
+		res.MemHit = time.Since(t3)
+		st := disk.Stats()
+		res.DiskHits, res.DiskMisses, res.DiskWrites = st.Hits, st.Misses, st.Writes
+	}
+
+	out, err := json.Marshal(res)
+	check(err)
+	fmt.Println(string(out))
+}
+
+// spawnColdChild runs one child measurement and parses its JSON.
+func spawnColdChild(self, mode, tier, item, cacheDir string) (coldChildResult, error) {
+	var res coldChildResult
+	cmd := exec.Command(self, "-coldchild", mode, "-coldtier", tier, "-colditem", item, "-cache-dir", cacheDir)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return res, fmt.Errorf("cold child (%s, %s, %s): %w", mode, tier, item, err)
+	}
+	if err := json.Unmarshal(out, &res); err != nil {
+		return res, fmt.Errorf("cold child (%s, %s, %s): bad output %q: %w", mode, tier, item, out, err)
+	}
+	return res, nil
+}
+
+// measureColdStartProc measures one engine/item pair across fresh
+// processes: one seed child writes the artifact, then `runs`
+// interleaved pairs of (full child, disk child) measure
+// decode+validate+compile against the zero-compile load. Every process
+// is genuinely cold, so no in-process warm-up bias; the speedup is the
+// median of per-pair ratios, so load drift across the run cancels.
+func measureColdStartProc(self, tier, item, cacheDir string, runs int) (harness.ColdStartSample, error) {
+	var s harness.ColdStartSample
+	if runs < 1 {
+		runs = 1
+	}
+
+	seed, err := spawnColdChild(self, "disk", tier, item, cacheDir)
+	if err != nil {
+		return s, err
+	}
+	if seed.DiskWrites == 0 && seed.DiskHits == 0 {
+		return s, fmt.Errorf("cold seed (%s, %s): artifact neither written nor loaded", tier, item)
+	}
+
+	// Full and disk children run as back-to-back pairs, not as two
+	// separate phases: machine load drifts over the seconds a
+	// measurement takes, and two medians sampled in different load
+	// epochs turn that drift into pure ratio noise. Within a pair both
+	// children see (nearly) the same epoch, so a box-wide slowdown
+	// inflates both sides and cancels in the per-pair ratio; the median
+	// of those ratios is then robust against the occasional descheduled
+	// child on either side.
+	fullWall := make([]time.Duration, runs)
+	fullPipe := make([]time.Duration, runs)
+	coldWall := make([]time.Duration, runs)
+	coldPipe := make([]time.Duration, runs)
+	memHit := make([]time.Duration, runs)
+	instantiate := make([]time.Duration, runs)
+	mainT := make([]time.Duration, runs)
+	ratios := make([]float64, runs)
+	for i := 0; i < runs; i++ {
+		f, err := spawnColdChild(self, "full", tier, item, cacheDir)
+		if err != nil {
+			return s, err
+		}
+		if f.HasChecksum && seed.HasChecksum && f.Checksum != seed.Checksum {
+			return s, fmt.Errorf("full child (%s, %s): checksum %#x != seed %#x",
+				tier, item, f.Checksum, seed.Checksum)
+		}
+		c, err := spawnColdChild(self, "disk", tier, item, cacheDir)
+		if err != nil {
+			return s, err
+		}
+		if c.DiskHits != 1 || c.DiskMisses != 0 {
+			return s, fmt.Errorf("cold child (%s, %s): disk hits=%d misses=%d, want 1/0",
+				tier, item, c.DiskHits, c.DiskMisses)
+		}
+		if c.HasChecksum && seed.HasChecksum && c.Checksum != seed.Checksum {
+			return s, fmt.Errorf("cold child (%s, %s): checksum %#x != seed %#x (artifact loaded wrong code)",
+				tier, item, c.Checksum, seed.Checksum)
+		}
+		fullWall[i], fullPipe[i] = f.Wall, f.pipeline()
+		coldWall[i], coldPipe[i] = c.Wall, c.pipeline()
+		memHit[i], instantiate[i], mainT[i] = c.MemHit, c.Instantiate, c.Main
+		if c.pipeline() > 0 {
+			ratios[i] = float64(f.pipeline()) / float64(c.pipeline())
+		}
+		s.ColdCompileCalls += c.CompileCalls
+		s.DiskHits += c.DiskHits
+		s.DiskMisses += c.DiskMisses
+		s.DiskWrites += c.DiskWrites
+		s.Checksum = c.Checksum
+	}
+
+	s.FullCompile = medianOf(fullWall)
+	s.FullPipeline = medianOf(fullPipe)
+	s.DiskLoad = medianOf(coldWall)
+	s.ColdPipeline = medianOf(coldPipe)
+	s.PairedSpeedup = medianFloat(ratios)
+	s.MemHit = medianOf(memHit)
+	s.Instantiate = medianOf(instantiate)
+	s.Main = medianOf(mainT)
+	s.FirstRequest = s.DiskLoad + s.Instantiate + s.Main
+	return s, nil
+}
+
+func findItem(key string) (workloads.Item, bool) {
+	for _, it := range workloads.All() {
+		if it.Suite+"/"+it.Name == key {
+			return it, true
+		}
+	}
+	return workloads.Item{}, false
+}
+
+func medianOf(ds []time.Duration) time.Duration {
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+
+func medianFloat(fs []float64) float64 {
+	sorted := make([]float64, len(fs))
+	copy(sorted, fs)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

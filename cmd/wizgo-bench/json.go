@@ -19,6 +19,9 @@ type Report struct {
 	Figures []FigureResult  `json:"figures"`
 	Service []ServiceResult `json:"service,omitempty"`
 	Pooled  []PooledResult  `json:"pooled,omitempty"`
+	// ColdStart holds the persistent-cache cold-start ladder: full
+	// compile vs zero-compile disk load vs in-memory hit.
+	ColdStart []ColdStartResult `json:"coldstart,omitempty"`
 }
 
 // FigureResult is one figure's output: tables carry rows, scatter
@@ -52,18 +55,49 @@ type ServiceResult struct {
 // an instance pool, setup cost split by the hit (reset) and miss
 // (instantiate) paths.
 type PooledResult struct {
+	Engine    string        `json:"engine"`
+	Item      string        `json:"item"`
+	Compile   time.Duration `json:"compile_ns"`
+	Get       time.Duration `json:"get_p50_ns"`
+	MeanReset time.Duration `json:"reset_mean_ns"`
+	MeanMiss  time.Duration `json:"miss_mean_ns"`
+	ResetMax  time.Duration `json:"reset_max_ns"`
+	// The on-put share of resets ran on the pool's background drainer
+	// (off the request path); the on-get share landed back on Get.
+	ResetsOnPut    uint64        `json:"resets_on_put"`
+	ResetsOnGet    uint64        `json:"resets_on_get"`
+	MeanResetOnPut time.Duration `json:"reset_on_put_mean_ns"`
+	MeanResetOnGet time.Duration `json:"reset_on_get_mean_ns"`
+	Hits           uint64        `json:"hits"`
+	Misses         uint64        `json:"misses"`
+	Workers        int           `json:"workers"`
+	Requests       int           `json:"requests"`
+	Amortization   float64       `json:"amortization"`
+}
+
+// ColdStartResult is one cold-start measurement: a seed process wrote
+// the artifact, a fresh process served its first request from disk.
+// ColdCompileCalls is the cold process's compiler-invocation count and
+// must be 0 — wizgo-bench exits non-zero otherwise.
+type ColdStartResult struct {
 	Engine       string        `json:"engine"`
 	Item         string        `json:"item"`
-	Compile      time.Duration `json:"compile_ns"`
-	Get          time.Duration `json:"get_p50_ns"`
-	MeanReset    time.Duration `json:"reset_mean_ns"`
-	MeanMiss     time.Duration `json:"miss_mean_ns"`
-	ResetMax     time.Duration `json:"reset_max_ns"`
-	Hits         uint64        `json:"hits"`
-	Misses       uint64        `json:"misses"`
-	Workers      int           `json:"workers"`
-	Requests     int           `json:"requests"`
-	Amortization float64       `json:"amortization"`
+	FullCompile  time.Duration `json:"full_compile_ns"`
+	DiskLoad     time.Duration `json:"disk_load_ns"`
+	MemHit       time.Duration `json:"mem_hit_ns"`
+	Instantiate  time.Duration `json:"instantiate_ns"`
+	Main         time.Duration `json:"main_ns"`
+	FirstRequest time.Duration `json:"first_request_ns"`
+	// FullPipeline / ColdPipeline are the engine-reported per-module
+	// pipeline work (decode+validate+compile vs decode+rehydrate);
+	// Speedup is their ratio — see ColdStartSample.Speedup.
+	FullPipeline     time.Duration `json:"full_pipeline_ns"`
+	ColdPipeline     time.Duration `json:"cold_pipeline_ns"`
+	Speedup          float64       `json:"speedup"`
+	ColdCompileCalls uint64        `json:"cold_compile_calls"`
+	DiskHits         uint64        `json:"disk_hits"`
+	DiskMisses       uint64        `json:"disk_misses"`
+	DiskWrites       uint64        `json:"disk_writes"`
 }
 
 func (r *Report) addTable(fig int, t *harness.Table) {

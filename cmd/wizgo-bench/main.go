@@ -14,8 +14,13 @@
 // baseline compilers. -pool measures the pooled serving mode on top of
 // it: requests drawn from an instance pool with copy-on-write reset,
 // reporting get/reset/miss latencies under -pool-workers contention.
-// -json writes everything the run produced as machine-readable JSON
-// for the perf trajectory.
+// -coldstart measures the persistent-cache rung below both: a seed
+// process writes the compiled artifact to -cache-dir and a simulated
+// cold process serves its first request from disk; the run exits
+// non-zero if any cold start invoked the compiler. -nofigs skips the
+// figure tables for such serving-mode-only runs. -json writes
+// everything the run produced as machine-readable JSON for the perf
+// trajectory.
 package main
 
 import (
@@ -40,7 +45,18 @@ func main() {
 	requests := flag.Int("requests", 32, "requests per module for -pool")
 	poolWorkers := flag.Int("pool-workers", 4, "concurrent workers driving the pool for -pool")
 	poolSize := flag.Int("pool-size", 4, "idle instances the pool retains for -pool")
+	coldstart := flag.Bool("coldstart", false, "measure zero-compile cold starts from a persistent code cache; exits non-zero if any cold start invoked the compiler")
+	cacheDir := flag.String("cache-dir", "", "persistent cache directory for -coldstart (default: a fresh temp dir, removed afterwards)")
+	nofigs := flag.Bool("nofigs", false, "skip the figure tables (use with -service/-pool/-coldstart; -fig 0 means all figures, so it cannot express this)")
+	coldChild := flag.String("coldchild", "", "internal: run one cold-start child measurement (full|disk) and print JSON")
+	coldTier := flag.String("coldtier", "", "internal: tier for -coldchild")
+	coldItem := flag.String("colditem", "", "internal: suite/name workload for -coldchild")
 	flag.Parse()
+
+	if *coldChild != "" {
+		runColdChild(*coldChild, *coldTier, *coldItem, *cacheDir)
+		return
+	}
 
 	all := workloads.All()
 	if *suite != "" {
@@ -108,9 +124,11 @@ func main() {
 		fmt.Println()
 	}
 
-	if *fig != 0 {
+	switch {
+	case *nofigs:
+	case *fig != 0:
 		run(*fig)
-	} else {
+	default:
 		for _, n := range []int{3, 4, 5, 6, 7, 8, 9, 10} {
 			run(n)
 		}
@@ -122,6 +140,10 @@ func main() {
 	if *pooled {
 		runPooled(report, all, *requests, *poolWorkers, *poolSize)
 	}
+	coldViolations := 0
+	if *coldstart {
+		coldViolations = runColdStart(report, all, *cacheDir, *runs)
+	}
 
 	if *jsonPath != "" {
 		if err := report.write(*jsonPath); err != nil {
@@ -129,6 +151,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	if coldViolations > 0 {
+		fmt.Fprintf(os.Stderr, "wizgo-bench: %d cold start(s) invoked the compiler (want zero-compile disk loads)\n",
+			coldViolations)
+		os.Exit(1)
 	}
 }
 
@@ -176,6 +203,8 @@ func runPooled(report *Report, items []workloads.Item, requests, workers, poolSi
 				Engine: cfg.Name, Item: key,
 				Compile: s.Compile, Get: s.Get,
 				MeanReset: s.MeanReset, MeanMiss: s.MeanMiss, ResetMax: s.ResetMax,
+				ResetsOnPut: s.ResetsOnPut, ResetsOnGet: s.ResetsOnGet,
+				MeanResetOnPut: s.MeanResetOnPut, MeanResetOnGet: s.MeanResetOnGet,
 				Hits: s.Hits, Misses: s.Misses,
 				Workers: s.Workers, Requests: s.Requests,
 				Amortization: s.Amortization(),
@@ -183,6 +212,61 @@ func runPooled(report *Report, items []workloads.Item, requests, workers, poolSi
 		}
 	}
 	fmt.Println()
+}
+
+// runColdStart seeds a persistent cache directory per engine/item pair
+// and measures the cold process's time-to-first-response: disk load +
+// link + first run, against the full compile it avoided. Every sample
+// runs in a fresh child process (see coldproc.go), so the compiler and
+// loader code paths are as cold as a real process restart leaves them.
+// Returns the number of cold starts that invoked the compiler (the
+// contract is exactly zero — the caller turns any violation into a
+// non-zero exit, which makes the CI smoke an assertion rather than a
+// printout).
+func runColdStart(report *Report, items []workloads.Item, cacheDir string, runs int) (violations int) {
+	dir := cacheDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "wizgo-coldstart-*")
+		if err != nil {
+			check(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	self, err := os.Executable()
+	check(err)
+	fmt.Println("== Cold start: persistent code cache, zero-compile loads ==")
+	fmt.Printf("%-14s %-22s %12s %12s %12s %12s %12s %8s %9s\n",
+		"engine", "item", "full", "diskload", "pipe-full", "pipe-cold", "first-req", "speedup", "compiles")
+	for _, cfg := range engines.BaselineShootout() {
+		for _, it := range items {
+			s, err := measureColdStartProc(self, cfg.Name, it.Suite+"/"+it.Name, dir, runs)
+			check(err)
+			key := it.Suite + "/" + it.Name
+			fmt.Printf("%-14s %-22s %12v %12v %12v %12v %12v %7.1fx %9d\n",
+				cfg.Name, key, s.FullCompile, s.DiskLoad,
+				s.FullPipeline, s.ColdPipeline,
+				s.FirstRequest, s.Speedup(), s.ColdCompileCalls)
+			if s.ColdCompileCalls != 0 {
+				violations++
+			}
+			report.ColdStart = append(report.ColdStart, ColdStartResult{
+				Engine: cfg.Name, Item: key,
+				FullCompile: s.FullCompile, DiskLoad: s.DiskLoad,
+				MemHit: s.MemHit, Instantiate: s.Instantiate,
+				Main: s.Main, FirstRequest: s.FirstRequest,
+				FullPipeline:     s.FullPipeline,
+				ColdPipeline:     s.ColdPipeline,
+				Speedup:          s.Speedup(),
+				ColdCompileCalls: s.ColdCompileCalls,
+				DiskHits:         s.DiskHits,
+				DiskMisses:       s.DiskMisses,
+				DiskWrites:       s.DiskWrites,
+			})
+		}
+	}
+	fmt.Println()
+	return violations
 }
 
 func emit(report *Report, fig int, t *harness.Table, err error) {

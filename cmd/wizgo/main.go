@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wizgo [-tier wizeng-spc] [-invoke name] [-instances N] [-compile-workers N] [-pool [-pool-size N]] [-timeout 2s] module.wasm [args...]
+//	wizgo [-tier wizeng-spc] [-invoke name] [-instances N] [-compile-workers N] [-pool [-pool-size N]] [-cache-dir dir] [-stats] [-timeout 2s] module.wasm [args...]
 //
 // The module is compiled once (per-function compilation fans out over
 // -compile-workers cores) and then instantiated -instances times from
@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"time"
 
+	"wizgo/internal/codecache"
 	"wizgo/internal/engine"
 	"wizgo/internal/engines"
 	"wizgo/internal/mach"
@@ -44,6 +45,8 @@ func main() {
 	usePool := flag.Bool("pool", false, "serve the -instances runs from an instance pool (recycle + copy-on-write reset) instead of fresh links")
 	poolSize := flag.Int("pool-size", 0, "idle instances the pool retains (0 = default)")
 	timeout := flag.Duration("timeout", 0, "per-call deadline; a run exceeding it is interrupted cleanly (0 = no deadline)")
+	cacheDir := flag.String("cache-dir", "", "persistent code cache directory; a warm cache serves Compile from disk with zero compiler invocations")
+	stats := flag.Bool("stats", false, "report code cache (memory + disk) counters and compiler invocations after the run")
 	flag.Parse()
 
 	if *list {
@@ -64,14 +67,30 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.CompileWorkers = *workers
+	var cache *codecache.Cache
+	if *cacheDir != "" || *stats {
+		// A cache handle of our own lets -stats report the memory and
+		// disk counters after the run (engine.New would otherwise
+		// create one privately).
+		cache = codecache.New(codecache.Options{})
+		cfg.Cache = cache
+	}
+	if *cacheDir != "" {
+		disk, err := engine.OpenDiskCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.DiskCache = disk
+	}
 	bytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
 
 	// Compile once; every instance below links against this artifact.
+	eng := engine.New(cfg, nil)
 	t0 := time.Now()
-	cm, err := engine.New(cfg, nil).Compile(bytes)
+	cm, err := eng.Compile(bytes)
 	if err != nil {
 		fatal(err)
 	}
@@ -168,17 +187,30 @@ func main() {
 			inst.Release() // recycle the value stack for the next instance
 		}
 	}
-	fmt.Fprintf(os.Stderr, "compile: %v (decode %v, validate %v, compile %v), code %d bytes\n",
-		compileWall, cm.Timings.Decode, cm.Timings.Validate,
-		cm.Timings.Compile, cm.Timings.CodeBytes)
+	if cm.Timings.Rehydrate > 0 {
+		fmt.Fprintf(os.Stderr, "compile: %v (decode %v, rehydrate %v — loaded from disk cache), code %d bytes\n",
+			compileWall, cm.Timings.Decode, cm.Timings.Rehydrate, cm.Timings.CodeBytes)
+	} else {
+		fmt.Fprintf(os.Stderr, "compile: %v (decode %v, validate %v, compile %v), code %d bytes\n",
+			compileWall, cm.Timings.Decode, cm.Timings.Validate,
+			cm.Timings.Compile, cm.Timings.CodeBytes)
+	}
 	if pool != nil {
 		st := pool.Stats()
-		fmt.Fprintf(os.Stderr, "pool: %v total across %d get(s): %d hits (reset mean %v, max %v), %d misses (mean %v)\n",
-			instantiateWall, *instances, st.Hits, st.MeanReset(), st.ResetMax,
-			st.Misses, st.MeanMiss())
+		fmt.Fprintf(os.Stderr, "pool: %v total across %d get(s): %d hits, %d misses (mean %v); resets %d on-put (mean %v) / %d on-get (mean %v), max %v\n",
+			instantiateWall, *instances, st.Hits, st.Misses, st.MeanMiss(),
+			st.ResetsOnPut, st.MeanResetOnPut(),
+			st.ResetsOnGet, st.MeanResetOnGet(), st.ResetMax)
 	} else {
 		fmt.Fprintf(os.Stderr, "instantiate: %v total across %d instance(s)\n",
 			instantiateWall, *instances)
+	}
+	if *stats {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions; disk: %d hits, %d misses, %d writes, %d corrupt-evictions; compiler invocations: %d\n",
+			st.Hits, st.Misses, st.Evictions,
+			st.DiskHits, st.DiskMisses, st.DiskWrites, st.CorruptEvictions,
+			eng.CompileCalls())
 	}
 }
 

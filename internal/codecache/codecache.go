@@ -13,6 +13,14 @@
 // per-shard. Concurrent misses on the same key are collapsed into one
 // compilation (single-flight): the losers block until the winner's
 // artifact is published and then share it.
+//
+// Below the shards sits an optional persistent tier (DiskStore): memory
+// misses load serialized artifacts from a cache directory — verified
+// against a versioned, checksummed envelope — instead of compiling, so
+// a freshly started process serves its first request with zero compiler
+// invocations. Writes are crash-safe (O_EXCL temp + atomic rename) and
+// single-flight across processes via lock files, so a fleet of
+// restarting replicas compiles each module at most once.
 package codecache
 
 import (
@@ -38,9 +46,16 @@ func KeyFor(moduleBytes []byte, config string) Key {
 }
 
 // Stats are the cache's monotonic counters. Evictions counts entries
-// dropped to capacity pressure, not explicit invalidation.
+// dropped to capacity pressure, not explicit invalidation. The Disk*
+// fields mirror the attached disk tier (zero when none is attached):
+// DiskHits are misses of the memory tier served by loading a persisted
+// artifact instead of compiling, and CorruptEvictions counts artifacts
+// thrown away because verification or decoding failed.
 type Stats struct {
 	Hits, Misses, Evictions uint64
+
+	DiskHits, DiskMisses, DiskWrites uint64
+	CorruptEvictions                 uint64
 }
 
 // Options configures a Cache.
@@ -64,6 +79,13 @@ type Cache struct {
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 	clock     atomic.Uint64 // logical LRU clock, stamped on every touch
+
+	// disk, when set, is the persistent tier below the shards: memory
+	// misses consult it before building, and freshly built artifacts
+	// spill to it (write-through). Demotion is implicit — an entry
+	// evicted from a shard remains on disk and is promoted back on its
+	// next miss.
+	disk atomic.Pointer[DiskStore]
 }
 
 type shard struct {
@@ -170,12 +192,44 @@ func (c *Cache) putLocked(s *shard, k Key, v any) {
 	s.entries[k] = &entry{value: v, used: c.clock.Add(1)}
 }
 
+// SetDisk attaches (or, with nil, detaches) a persistent tier. Engines
+// sharing one Cache share its disk tier; artifacts of different engine
+// configurations cannot collide because the configuration fingerprint
+// is part of every key.
+func (c *Cache) SetDisk(d *DiskStore) { c.disk.Store(d) }
+
+// Disk returns the attached persistent tier, or nil.
+func (c *Cache) Disk() *DiskStore { return c.disk.Load() }
+
+// TierOps supplies the build and (de)serialization callbacks for one
+// tiered lookup. Encode and Decode translate between the live artifact
+// and the disk payload; either may be nil, which confines the lookup to
+// the memory tier. Decode must copy anything it retains — the payload
+// may alias a memory-mapped file that is unmapped when Decode returns.
+type TierOps struct {
+	Build  func() (any, error)
+	Encode func(v any) ([]byte, error)
+	Decode func(payload []byte) (any, error)
+}
+
 // GetOrAdd returns the artifact for k, building it with build on a miss.
 // Concurrent callers missing on the same key run build exactly once and
 // share its result; a build error (or panic, converted to an error) is
 // returned to every waiter and nothing is cached, so a later call
 // retries.
-func (c *Cache) GetOrAdd(k Key, build func() (any, error)) (v any, err error) {
+func (c *Cache) GetOrAdd(k Key, build func() (any, error)) (any, error) {
+	return c.GetOrAddTiered(k, TierOps{Build: build})
+}
+
+// GetOrAddTiered is GetOrAdd through the full cache hierarchy: memory
+// shard, then (when a disk tier is attached and ops carries a codec)
+// the persistent store, then ops.Build. Disk hits are promoted into the
+// shard; fresh builds are written through to disk. Build remains
+// single-flight in-process via the shard's flight table, and
+// single-flight across processes via the store's lock files: of N
+// processes missing on one key, one compiles and writes, the rest wait
+// and load its artifact.
+func (c *Cache) GetOrAddTiered(k Key, ops TierOps) (v any, err error) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
@@ -213,8 +267,72 @@ func (c *Cache) GetOrAdd(k Key, build func() (any, error)) (v any, err error) {
 		fl.wg.Done()
 		v, err = fl.value, fl.err
 	}()
-	fl.value, fl.err = build()
+	fl.value, fl.err = c.buildTiered(k, ops)
 	return fl.value, fl.err
+}
+
+// buildTiered resolves a memory miss against the disk tier, falling
+// back to ops.Build. Every disk failure mode — absent, truncated,
+// checksum or stamp mismatch, undecodable payload, stale lock — lands
+// on the same recovery path: compile cleanly.
+func (c *Cache) buildTiered(k Key, ops TierOps) (any, error) {
+	d := c.disk.Load()
+	if d == nil || ops.Decode == nil {
+		return ops.Build()
+	}
+	if v, ok := c.loadFromDisk(d, k, ops); ok {
+		return v, nil
+	}
+	// Disk miss: race (via the lock file) to be the one process that
+	// compiles and publishes this artifact.
+	unlock, acquired := d.TryLock(k)
+	if !acquired {
+		// Another process is compiling this very module; waiting for
+		// its artifact costs less than a duplicate compile. If the wait
+		// fails (writer crashed, timed out, wrote garbage) we compile
+		// independently — without writing, preserving the exactly-one-
+		// write property.
+		if payload, done, ok := d.WaitForArtifact(k); ok {
+			v, derr := ops.Decode(payload)
+			done()
+			if derr == nil {
+				return v, nil
+			}
+			d.EvictCorrupt(k)
+		}
+		return ops.Build()
+	}
+	defer unlock()
+	v, err := ops.Build()
+	if err == nil && ops.Encode != nil {
+		// A module whose code the codec cannot serialize (or a disk
+		// that refuses the write) degrades to memory-only caching;
+		// spill failures must never fail the compile itself.
+		if payload, eerr := ops.Encode(v); eerr == nil {
+			_ = d.Store(k, payload)
+		}
+	}
+	return v, err
+}
+
+// loadFromDisk loads, verifies and decodes the artifact for k,
+// promoting nothing itself — the caller's flight cleanup publishes the
+// value into the memory shard.
+func (c *Cache) loadFromDisk(d *DiskStore, k Key, ops TierOps) (any, bool) {
+	payload, done, ok := d.Load(k)
+	if !ok {
+		return nil, false
+	}
+	v, err := ops.Decode(payload)
+	done()
+	if err != nil {
+		// The envelope verified but the payload did not decode: a
+		// format drift the stamp failed to capture. Evict so the next
+		// cold start goes straight to a clean compile.
+		d.EvictCorrupt(k)
+		return nil, false
+	}
+	return v, true
 }
 
 // Invalidate drops the artifact for k, reporting whether it was present.
@@ -239,11 +357,20 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, merging the attached disk
+// tier's (if any) into the Disk* fields.
 func (c *Cache) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 	}
+	if d := c.disk.Load(); d != nil {
+		ds := d.Stats()
+		st.DiskHits = ds.Hits
+		st.DiskMisses = ds.Misses
+		st.DiskWrites = ds.Writes
+		st.CorruptEvictions = ds.CorruptEvictions
+	}
+	return st
 }

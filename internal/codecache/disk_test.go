@@ -1,0 +1,488 @@
+package codecache_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wizgo/internal/codecache"
+	"wizgo/internal/wbin"
+)
+
+var testStamp = codecache.Stamp{ISA: "test/isa", CompilerRevision: "rev-1"}
+
+func newDisk(t *testing.T, dir string, opts codecache.DiskOptions) *codecache.DiskStore {
+	t.Helper()
+	d, err := codecache.OpenDisk(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// artifactPath returns the single .wzc file in dir; corruption tests
+// mutate it in place to simulate bit rot and partial writes.
+func artifactPath(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.wzc"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one artifact in %s, got %v (err %v)", dir, matches, err)
+	}
+	return matches[0]
+}
+
+func loadExpectMiss(t *testing.T, d *codecache.DiskStore, k codecache.Key, why string) {
+	t.Helper()
+	if _, done, ok := d.Load(k); ok {
+		done()
+		t.Fatalf("%s: Load succeeded on an unusable artifact", why)
+	}
+}
+
+func TestDiskStoreLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp})
+	k := codecache.KeyFor([]byte("module"), "cfg")
+	payload := []byte("serialized artifact payload")
+
+	if err := d.Store(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Re-storing an existing key is a no-op: content-addressed artifacts
+	// for one key are identical, so the second write is skipped.
+	if err := d.Store(k, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	got, done, ok := d.Load(k)
+	if !ok {
+		t.Fatal("Load missed a just-stored artifact")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+	done()
+
+	st := d.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 0 || st.CorruptEvictions != 0 {
+		t.Errorf("stats = %+v, want 1 write, 1 hit", st)
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDiskLoadEmptyDirIsMiss(t *testing.T) {
+	d := newDisk(t, t.TempDir(), codecache.DiskOptions{Stamp: testStamp})
+	k := codecache.KeyFor([]byte("never stored"), "cfg")
+	loadExpectMiss(t, d, k, "empty dir")
+	st := d.Stats()
+	if st.Misses != 1 || st.CorruptEvictions != 0 {
+		t.Errorf("stats = %+v, want a plain miss and no evictions", st)
+	}
+}
+
+// TestDiskCorruptionRecovery is the bit-rot matrix: every way an
+// artifact file can go bad must land on the same recovery path — the
+// load reports a miss, the bad file is evicted and counted, and the
+// next load is a clean (uncounted-as-corrupt) miss. Nothing panics.
+func TestDiskCorruptionRecovery(t *testing.T) {
+	corruptions := []struct {
+		name   string
+		mutate func(t *testing.T, path string, data []byte)
+	}{
+		{"truncated-to-3-bytes", func(t *testing.T, path string, data []byte) {
+			writeFile(t, path, data[:3])
+		}},
+		{"truncated-half", func(t *testing.T, path string, data []byte) {
+			writeFile(t, path, data[:len(data)/2])
+		}},
+		{"truncated-one-byte-short", func(t *testing.T, path string, data []byte) {
+			writeFile(t, path, data[:len(data)-1])
+		}},
+		{"empty-file", func(t *testing.T, path string, data []byte) {
+			writeFile(t, path, nil)
+		}},
+		{"flipped-payload-byte", func(t *testing.T, path string, data []byte) {
+			data[len(data)/2] ^= 0x40
+			writeFile(t, path, data)
+		}},
+		{"flipped-checksum-byte", func(t *testing.T, path string, data []byte) {
+			data[len(data)-1] ^= 0x01
+			writeFile(t, path, data)
+		}},
+		{"flipped-magic-byte", func(t *testing.T, path string, data []byte) {
+			// Envelope byte 0 with the trailing checksum recomputed, so
+			// only the magic check can catch it.
+			data[0] ^= 0x20
+			writeFile(t, path, reseal(data))
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d := newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp})
+			k := codecache.KeyFor([]byte("module"), "cfg")
+			if err := d.Store(k, []byte("payload bytes long enough to cut in half")); err != nil {
+				t.Fatal(err)
+			}
+			path := artifactPath(t, dir)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(t, path, data)
+
+			loadExpectMiss(t, d, k, tc.name)
+			st := d.Stats()
+			if st.CorruptEvictions != 1 {
+				t.Errorf("CorruptEvictions = %d, want 1", st.CorruptEvictions)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt artifact not removed (stat err %v)", err)
+			}
+			// The eviction makes room for a clean republish.
+			if err := d.Store(k, []byte("recompiled")); err != nil {
+				t.Fatal(err)
+			}
+			if got, done, ok := d.Load(k); !ok || string(got) != "recompiled" {
+				t.Errorf("reload after eviction: %q, %v", got, ok)
+			} else {
+				done()
+			}
+		})
+	}
+}
+
+// TestDiskStampMismatch covers artifacts left behind by a different
+// producer: a binary upgrade (compiler revision bump), a copied cache
+// dir from another architecture (ISA), or a future format version.
+// All are unusable and treated exactly like corruption.
+func TestDiskStampMismatch(t *testing.T) {
+	t.Run("compiler-revision", func(t *testing.T) {
+		testStampVariant(t, codecache.Stamp{ISA: testStamp.ISA, CompilerRevision: "rev-2"})
+	})
+	t.Run("isa", func(t *testing.T) {
+		testStampVariant(t, codecache.Stamp{ISA: "other/isa", CompilerRevision: testStamp.CompilerRevision})
+	})
+}
+
+func testStampVariant(t *testing.T, readerStamp codecache.Stamp) {
+	dir := t.TempDir()
+	writer := newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp})
+	k := codecache.KeyFor([]byte("module"), "cfg")
+	if err := writer.Store(k, []byte("old-producer payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := newDisk(t, dir, codecache.DiskOptions{Stamp: readerStamp})
+	loadExpectMiss(t, reader, k, "stamp mismatch")
+	if st := reader.Stats(); st.CorruptEvictions != 1 {
+		t.Errorf("CorruptEvictions = %d, want 1", st.CorruptEvictions)
+	}
+	if writer.Len() != 0 {
+		t.Error("mismatched artifact not evicted from disk")
+	}
+}
+
+func TestDiskFormatVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	d := newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp})
+	k := codecache.KeyFor([]byte("module"), "cfg")
+
+	// Hand-craft an envelope from a hypothetical future format version,
+	// resealed with a valid trailing checksum so only the version check
+	// can reject it.
+	w := wbin.NewWriter(128)
+	w.Raw([]byte("WZGC"))
+	w.U32(9999)
+	w.String(testStamp.ISA)
+	w.String(testStamp.CompilerRevision)
+	w.Raw(k.Hash[:])
+	w.String(k.Config)
+	payload := []byte("future payload")
+	w.Uvarint(uint64(len(payload)))
+	w.Raw(payload)
+	sum := sha256.Sum256(w.Bytes())
+	w.Raw(sum[:])
+
+	// Store a placeholder to learn the key's file name, then replace it.
+	if err := d.Store(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, artifactPath(t, dir), w.Bytes())
+
+	loadExpectMiss(t, d, k, "format version")
+	if st := d.Stats(); st.CorruptEvictions != 1 {
+		t.Errorf("CorruptEvictions = %d, want 1", st.CorruptEvictions)
+	}
+}
+
+func TestDiskStaleLockBroken(t *testing.T) {
+	dir := t.TempDir()
+	k := codecache.KeyFor([]byte("module"), "cfg")
+
+	// A writer acquires the lock and "crashes" (never unlocks).
+	crashed := newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp})
+	if _, acquired := crashed.TryLock(k); !acquired {
+		t.Fatal("first TryLock did not acquire")
+	}
+
+	// While the lock is fresh, a second store must not acquire it.
+	blocked := newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp})
+	if _, acquired := blocked.TryLock(k); acquired {
+		t.Fatal("TryLock acquired a fresh lock held by another store")
+	}
+
+	// Past StaleLockAfter the lock is presumed abandoned: broken,
+	// counted as a corrupt eviction, and re-acquired.
+	breaker := newDisk(t, dir, codecache.DiskOptions{
+		Stamp:          testStamp,
+		StaleLockAfter: time.Millisecond,
+	})
+	time.Sleep(20 * time.Millisecond)
+	unlock, acquired := breaker.TryLock(k)
+	if !acquired {
+		t.Fatal("TryLock did not break a stale lock")
+	}
+	unlock()
+	if st := breaker.Stats(); st.CorruptEvictions != 1 {
+		t.Errorf("CorruptEvictions = %d, want 1 (broken stale lock)", st.CorruptEvictions)
+	}
+}
+
+// TestCacheRecompilesThroughCorruption drives corruption through the
+// full tiered lookup: a cache whose disk tier holds a damaged artifact
+// must fall back to a clean build, count the eviction, and republish —
+// the caller never sees an error, let alone a panic.
+func TestCacheRecompilesThroughCorruption(t *testing.T) {
+	dir := t.TempDir()
+	k := codecache.KeyFor([]byte("module"), "cfg")
+	ops := func(builds *atomic.Int32, value string) codecache.TierOps {
+		return codecache.TierOps{
+			Build: func() (any, error) {
+				builds.Add(1)
+				return value, nil
+			},
+			Encode: func(v any) ([]byte, error) { return []byte(v.(string)), nil },
+			Decode: func(p []byte) (any, error) { return string(p), nil },
+		}
+	}
+
+	// Seed the dir through one cache.
+	seedCache := codecache.New(codecache.Options{})
+	seedCache.SetDisk(newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp}))
+	var seedBuilds atomic.Int32
+	if v, err := seedCache.GetOrAddTiered(k, ops(&seedBuilds, "seeded")); err != nil || v.(string) != "seeded" {
+		t.Fatalf("seed: %v, %v", v, err)
+	}
+
+	// Bit-rot the artifact, then look it up from a fresh process
+	// (new cache, new disk handle, same dir).
+	path := artifactPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0x80
+	writeFile(t, path, data)
+
+	coldCache := codecache.New(codecache.Options{})
+	coldCache.SetDisk(newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp}))
+	var coldBuilds atomic.Int32
+	v, err := coldCache.GetOrAddTiered(k, ops(&coldBuilds, "recompiled"))
+	if err != nil || v.(string) != "recompiled" {
+		t.Fatalf("corrupt fallback: %v, %v", v, err)
+	}
+	if coldBuilds.Load() != 1 {
+		t.Errorf("builds = %d, want 1 (recompile after corruption)", coldBuilds.Load())
+	}
+	st := coldCache.Stats()
+	if st.CorruptEvictions != 1 {
+		t.Errorf("CorruptEvictions = %d, want 1", st.CorruptEvictions)
+	}
+	if st.DiskWrites != 1 {
+		t.Errorf("DiskWrites = %d, want 1 (clean republish)", st.DiskWrites)
+	}
+}
+
+// TestCacheEvictsUndecodablePayload covers format drift the stamp
+// failed to capture: the envelope verifies but Decode rejects the
+// payload. The artifact must be evicted so the next cold start goes
+// straight to a clean compile instead of re-chewing the same bytes.
+func TestCacheEvictsUndecodablePayload(t *testing.T) {
+	dir := t.TempDir()
+	k := codecache.KeyFor([]byte("module"), "cfg")
+	d := newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp})
+	if err := d.Store(k, []byte("valid envelope, nonsense payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	c := codecache.New(codecache.Options{})
+	c.SetDisk(d)
+	var builds atomic.Int32
+	v, err := c.GetOrAddTiered(k, codecache.TierOps{
+		Build: func() (any, error) {
+			builds.Add(1)
+			return "rebuilt", nil
+		},
+		Encode: func(v any) ([]byte, error) { return []byte(v.(string)), nil },
+		Decode: func(p []byte) (any, error) {
+			return nil, os.ErrInvalid // payload does not decode
+		},
+	})
+	if err != nil || v.(string) != "rebuilt" {
+		t.Fatalf("undecodable fallback: %v, %v", v, err)
+	}
+	if builds.Load() != 1 {
+		t.Errorf("builds = %d, want 1", builds.Load())
+	}
+	if st := d.Stats(); st.CorruptEvictions != 1 {
+		t.Errorf("CorruptEvictions = %d, want 1", st.CorruptEvictions)
+	}
+}
+
+// TestCrossProcessSingleFlight models two processes (two caches, two
+// disk handles, zero shared memory) cold-starting on the same module
+// over one cache directory: the lock file must elect exactly one
+// writer, the loser must wait out the winner's write instead of
+// duplicating it, and both must end up with identical code.
+func TestCrossProcessSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	k := codecache.KeyFor([]byte("module"), "cfg")
+
+	const processes = 2
+	stores := make([]*codecache.DiskStore, processes)
+	caches := make([]*codecache.Cache, processes)
+	for i := range stores {
+		stores[i] = newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp})
+		caches[i] = codecache.New(codecache.Options{})
+		caches[i].SetDisk(stores[i])
+	}
+
+	var builds atomic.Int32
+	start := make(chan struct{})
+	results := make([]string, processes)
+	var wg sync.WaitGroup
+	for i := 0; i < processes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, err := caches[i].GetOrAddTiered(k, codecache.TierOps{
+				Build: func() (any, error) {
+					builds.Add(1)
+					// Long enough that the loser reaches its lock attempt
+					// while the winner is still compiling.
+					time.Sleep(30 * time.Millisecond)
+					return "compiled code", nil
+				},
+				Encode: func(v any) ([]byte, error) { return []byte(v.(string)), nil },
+				Decode: func(p []byte) (any, error) { return string(append([]byte(nil), p...)), nil },
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = v.(string)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, r := range results {
+		if r != "compiled code" {
+			t.Errorf("process %d got %q", i, r)
+		}
+	}
+	// Exactly one write: only the lock holder publishes; a loser that
+	// compiled independently (wait timeout) must still not write.
+	var totalWrites uint64
+	for _, d := range stores {
+		totalWrites += d.Stats().Writes
+	}
+	if totalWrites != 1 {
+		t.Errorf("total disk writes = %d, want exactly 1", totalWrites)
+	}
+	if n := stores[0].Len(); n != 1 {
+		t.Errorf("artifacts on disk = %d, want 1", n)
+	}
+	// The on-disk artifact is the winner's and serves future processes.
+	late := codecache.New(codecache.Options{})
+	late.SetDisk(newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp}))
+	v, err := late.GetOrAddTiered(k, codecache.TierOps{
+		Build:  func() (any, error) { t.Error("late process compiled"); return nil, os.ErrInvalid },
+		Encode: func(v any) ([]byte, error) { return []byte(v.(string)), nil },
+		Decode: func(p []byte) (any, error) { return string(append([]byte(nil), p...)), nil },
+	})
+	if err != nil || v.(string) != "compiled code" {
+		t.Errorf("late process: %v, %v", v, err)
+	}
+}
+
+// TestWaitForArtifact pins the loser-side protocol in isolation: a
+// process that lost the write race blocks until the winner's artifact
+// lands, then loads it and counts a wait-hit.
+func TestWaitForArtifact(t *testing.T) {
+	dir := t.TempDir()
+	k := codecache.KeyFor([]byte("module"), "cfg")
+	winner := newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp})
+	loser := newDisk(t, dir, codecache.DiskOptions{Stamp: testStamp})
+
+	unlock, acquired := winner.TryLock(k)
+	if !acquired {
+		t.Fatal("winner could not lock an empty dir")
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		if err := winner.Store(k, []byte("published")); err != nil {
+			t.Error(err)
+		}
+		unlock()
+	}()
+
+	payload, done, ok := loser.WaitForArtifact(k)
+	if !ok {
+		t.Fatal("WaitForArtifact gave up on a live writer")
+	}
+	if string(payload) != "published" {
+		t.Errorf("payload = %q", payload)
+	}
+	done()
+	if st := loser.Stats(); st.WaitHits != 1 {
+		t.Errorf("WaitHits = %d, want 1", st.WaitHits)
+	}
+
+	// With no artifact and no lock, the wait returns immediately: the
+	// writer gave up and the caller should compile.
+	k2 := codecache.KeyFor([]byte("other"), "cfg")
+	t0 := time.Now()
+	if _, _, ok := loser.WaitForArtifact(k2); ok {
+		t.Error("WaitForArtifact fabricated an artifact")
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Errorf("lock-free wait took %v, want immediate return", d)
+	}
+}
+
+// writeFile rewrites path with data (used to simulate corruption).
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reseal recomputes the trailing SHA-256 over a mutated envelope so
+// the corruption under test is caught by a field check, not the
+// checksum.
+func reseal(data []byte) []byte {
+	body := data[:len(data)-sha256.Size]
+	sum := sha256.Sum256(body)
+	return append(append([]byte(nil), body...), sum[:]...)
+}

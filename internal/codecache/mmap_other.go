@@ -1,0 +1,9 @@
+//go:build !unix
+
+package codecache
+
+// mapFile on platforms without a usable mmap syscall falls back to a
+// plain read; the loading contract (bytes + done) is identical.
+func mapFile(path string) ([]byte, func(), error) {
+	return readFile(path)
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package codecache
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file at path read-only, returning the mapped bytes
+// and an unmap function. Loading via mmap means a cold start pays page
+// faults only for the bytes it actually decodes, and N processes
+// loading the same artifact share one copy in the page cache. An empty
+// file (mmap of length 0 is an error on most unixes) and any mmap
+// failure fall back to a plain read.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(st.Size())
+	if size <= 0 {
+		return []byte{}, func() {}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Portable fallback: some filesystems refuse mmap.
+		return readFile(path)
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

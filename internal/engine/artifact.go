@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"wizgo/internal/codecache"
+	"wizgo/internal/mach"
+	"wizgo/internal/rewriter"
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+	"wizgo/internal/wbin"
+)
+
+// CompilerRevision stamps every persisted artifact. Bump it whenever
+// compiled output changes shape or meaning — new opcodes, changed frame
+// layout, changed sidetable semantics — and every stale artifact in
+// every cache directory is evicted on its next load instead of
+// executing under wrong assumptions.
+const CompilerRevision = "wizgo-codegen-3"
+
+// DiskStamp returns the producer identity for this build: the host ISA
+// (MachCode is portable, but a real JIT cache is ISA-keyed, and keeping
+// the discipline costs nothing) and the compiler revision.
+func DiskStamp() codecache.Stamp {
+	return codecache.Stamp{
+		ISA:              runtime.GOARCH + "/machcode",
+		CompilerRevision: CompilerRevision,
+	}
+}
+
+// OpenDiskCache opens (creating if needed) a persistent artifact store
+// at dir, stamped for this build. Plug the result into Config.DiskCache
+// and a cold process's first Compile of a previously seen module loads
+// the artifact instead of running the compiler.
+func OpenDiskCache(dir string) (*codecache.DiskStore, error) {
+	return codecache.OpenDisk(dir, codecache.DiskOptions{Stamp: DiskStamp()})
+}
+
+// Per-function code sections carry a kind tag so decode can rebuild the
+// right concrete executor type.
+const (
+	codeKindNil      = 0 // function not eagerly compiled (interp/lazy)
+	codeKindMach     = 1 // *mach.Code: SPC, copy-and-patch and opt tiers
+	codeKindRewriter = 2 // *rewriter.Code: rewriting-interpreter tiers
+)
+
+// errUncacheableCode reports a tier whose code objects the artifact
+// format cannot represent; the module then stays memory-cached only.
+var errUncacheableCode = errors.New("engine: code type has no artifact serialization")
+
+// encodeArtifact serializes a compiled module into the disk-cache
+// payload: the decoded module skeleton, the validation metadata of
+// every local function, and its compiled code section. The module
+// bytes themselves are NOT stored — the cache key is their content
+// hash, so whoever asks for this artifact already holds them — but the
+// decoded structure is, so a cold load never re-parses the binary:
+// function bodies rehydrate as offsets into the module bytes.
+func encodeArtifact(cm *CompiledModule) ([]byte, error) {
+	w := wbin.NewWriter(1024 + 64*len(cm.Infos))
+
+	wasm.AppendSkeleton(w, cm.Module)
+
+	// Section headers carry exact bulk totals so the decoder can
+	// allocate each kind of storage once, up front, and sub-slice per
+	// function (see mach.DecodeArena): a cold process's rehydration
+	// cost is mostly allocation, and scattered small makes fault in
+	// heap spans one by one.
+	var totST, totInfoTypes int
+	for i := range cm.Infos {
+		totST += len(cm.Infos[i].Sidetable)
+		totInfoTypes += len(cm.Infos[i].LocalTypes) + len(cm.Infos[i].Results)
+	}
+	w.Uvarint(uint64(len(cm.Infos)))
+	w.Uvarint(uint64(totST))
+	w.Uvarint(uint64(totInfoTypes))
+	for i := range cm.Infos {
+		encodeFuncInfo(w, &cm.Infos[i])
+	}
+
+	if cm.Codes == nil {
+		w.Bool(false)
+		return w.Bytes(), nil
+	}
+	w.Bool(true)
+	var nMach, machInstrs, machTypes int
+	var nRw, rwInstrs, rwTypes int
+	for _, code := range cm.Codes {
+		switch c := code.(type) {
+		case *mach.Code:
+			nMach++
+			machInstrs += len(c.Instrs)
+			machTypes += len(c.LocalTypes)
+		case *rewriter.Code:
+			nRw++
+			rwInstrs += len(c.Instrs)
+			rwTypes += len(c.LocalTypes)
+		}
+	}
+	for _, n := range []int{nMach, machInstrs, machTypes, nRw, rwInstrs, rwTypes} {
+		w.Uvarint(uint64(n))
+	}
+	w.Uvarint(uint64(len(cm.Codes)))
+	for _, code := range cm.Codes {
+		switch c := code.(type) {
+		case nil:
+			w.U8(codeKindNil)
+		case *mach.Code:
+			w.U8(codeKindMach)
+			if err := c.AppendTo(w); err != nil {
+				return nil, err
+			}
+		case *rewriter.Code:
+			w.U8(codeKindRewriter)
+			if err := c.AppendTo(w); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: %T", errUncacheableCode, code)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// decodeArtifact rebuilds a CompiledModule from module bytes plus a
+// verified artifact payload. Nothing is re-derived from the binary:
+// the module structure rehydrates from the persisted skeleton (bodies
+// resolve as offsets into bytes), the sidetables come from the payload,
+// and the code sections materialize directly as executor objects —
+// no parse, no validation, no compilation. This is the zero-compile
+// cold-start path.
+func (e *Engine) decodeArtifact(bytes []byte, payload []byte) (*CompiledModule, error) {
+	t1 := time.Now()
+	r := wbin.NewReader(payload)
+	m, err := wasm.DecodeSkeleton(r, bytes)
+	if err != nil {
+		return nil, err
+	}
+	nInfos := r.Count(1)
+	if r.Err() == nil && nInfos != len(m.Funcs) {
+		return nil, fmt.Errorf("engine: artifact has %d function infos, module has %d functions",
+			nInfos, len(m.Funcs))
+	}
+	// Bulk totals from the section header, validated against the
+	// remaining payload (Count) so corrupt totals cannot provoke a
+	// runaway allocation; a lying total merely exhausts the arena and
+	// the decoders fall back to plain makes.
+	totST := r.Count(sidetableRecordSize)
+	ia := infoArena{
+		st:     make([]validate.SidetableEntry, 0, totST),
+		owners: make([]uint32, 0, totST),
+		types:  make([]wasm.ValueType, 0, r.Count(1)),
+	}
+	infos := make([]validate.FuncInfo, nInfos)
+	for i := range infos {
+		if err := decodeFuncInfo(r, &infos[i], &ia); err != nil {
+			return nil, err
+		}
+	}
+
+	cm := &CompiledModule{
+		engine: e, Module: m, Infos: infos,
+		Timings: Timings{ModuleBytes: len(bytes)},
+	}
+
+	if hasCodes := r.Bool(); hasCodes {
+		// Count-validated totals size the per-kind arenas; each instr
+		// record is at least 8 bytes on disk, so Count(8) bounds the
+		// arena against the payload even for corrupt totals.
+		nMach, machInstrs, machTypes := r.Count(1), r.Count(8), r.Count(1)
+		nRw, rwInstrs, rwTypes := r.Count(1), r.Count(8), r.Count(1)
+		var machArena *mach.DecodeArena
+		var rwArena *rewriter.DecodeArena
+		if r.Err() == nil {
+			if nMach > 0 {
+				machArena = mach.NewDecodeArena(nMach, machInstrs, machTypes)
+			}
+			if nRw > 0 {
+				rwArena = rewriter.NewDecodeArena(nRw, rwInstrs, rwTypes)
+			}
+		}
+		nCodes := r.Count(1)
+		if r.Err() == nil && nCodes != len(m.Funcs) {
+			return nil, fmt.Errorf("engine: artifact has %d code sections, module has %d functions",
+				nCodes, len(m.Funcs))
+		}
+		codes := make([]Code, nCodes)
+		for i := range codes {
+			switch kind := r.U8(); kind {
+			case codeKindNil:
+			case codeKindMach:
+				c, err := mach.DecodeCode(r, machArena)
+				if err != nil {
+					return nil, err
+				}
+				codes[i] = c
+				cm.Timings.CodeBytes += c.Bytes()
+			case codeKindRewriter:
+				c, err := rewriter.DecodeCode(r, rwArena)
+				if err != nil {
+					return nil, err
+				}
+				codes[i] = c
+				cm.Timings.CodeBytes += c.Bytes()
+			default:
+				return nil, fmt.Errorf("engine: unknown artifact code kind %d", kind)
+			}
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+		}
+		cm.Codes = codes
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	cm.Timings.Rehydrate = time.Since(t1)
+	return cm, nil
+}
+
+// sidetableRecordSize is the fixed on-disk width of one sidetable
+// entry: two little-endian u64 words — (TargetIP | TargetSTP<<32),
+// (ValCount | PopCount<<32). Fixed-width word-packed records keep
+// rehydration a bulk loop of two loads per entry; for interpreter tiers
+// the sidetable IS the artifact, so this is their whole cold-start
+// decode cost.
+const sidetableRecordSize = 2 * 8
+
+// encodeFuncInfo serializes one function's validation output — the
+// sidetable and frame metadata every executor (and the deopt path)
+// needs — so a disk load skips the validation pass too.
+func encodeFuncInfo(w *wbin.Writer, fi *validate.FuncInfo) {
+	w.Uvarint(uint64(len(fi.Sidetable)))
+	b := w.Reserve(sidetableRecordSize * len(fi.Sidetable))
+	for i, st := range fi.Sidetable {
+		rec := b[i*sidetableRecordSize : (i+1)*sidetableRecordSize]
+		binary.LittleEndian.PutUint64(rec[0:], uint64(st.TargetIP)|uint64(st.TargetSTP)<<32)
+		binary.LittleEndian.PutUint64(rec[8:], uint64(st.ValCount)|uint64(st.PopCount)<<32)
+	}
+	w.Uvarint(uint64(len(fi.Owners)))
+	b = w.Reserve(4 * len(fi.Owners))
+	for i, o := range fi.Owners {
+		binary.LittleEndian.PutUint32(b[i*4:], o)
+	}
+	w.Uvarint(uint64(fi.MaxStack))
+	w.Uvarint(uint64(len(fi.LocalTypes)))
+	for _, t := range fi.LocalTypes {
+		w.U8(uint8(t))
+	}
+	w.Uvarint(uint64(len(fi.Results)))
+	for _, t := range fi.Results {
+		w.U8(uint8(t))
+	}
+	w.Uvarint(uint64(fi.NumParams))
+	w.Uvarint(uint64(fi.BodyLen))
+}
+
+// infoArena holds the artifact-wide bulk storage for FuncInfo decoding,
+// sized from the section header's totals; see mach.DecodeArena for the
+// rationale. Exhaustion (lying totals) falls back to plain allocation.
+type infoArena struct {
+	st     []validate.SidetableEntry
+	owners []uint32
+	types  []wasm.ValueType
+}
+
+func (a *infoArena) takeST(n int) []validate.SidetableEntry {
+	if len(a.st)+n > cap(a.st) {
+		return make([]validate.SidetableEntry, n)
+	}
+	s := a.st[len(a.st) : len(a.st)+n]
+	a.st = a.st[:len(a.st)+n]
+	return s
+}
+
+func (a *infoArena) takeOwners(n int) []uint32 {
+	if len(a.owners)+n > cap(a.owners) {
+		return make([]uint32, n)
+	}
+	s := a.owners[len(a.owners) : len(a.owners)+n]
+	a.owners = a.owners[:len(a.owners)+n]
+	return s
+}
+
+func (a *infoArena) takeTypes(n int) []wasm.ValueType {
+	if len(a.types)+n > cap(a.types) {
+		return make([]wasm.ValueType, n)
+	}
+	s := a.types[len(a.types) : len(a.types)+n]
+	a.types = a.types[:len(a.types)+n]
+	return s
+}
+
+func decodeFuncInfo(r *wbin.Reader, fi *validate.FuncInfo, arena *infoArena) error {
+	nST := r.Count(sidetableRecordSize)
+	if nST > 0 {
+		fi.Sidetable = arena.takeST(nST)
+		if b := r.Take(sidetableRecordSize * nST); b != nil {
+			for i := range fi.Sidetable {
+				w0 := binary.LittleEndian.Uint64(b[0:])
+				w1 := binary.LittleEndian.Uint64(b[8:])
+				b = b[sidetableRecordSize:]
+				fi.Sidetable[i] = validate.SidetableEntry{
+					TargetIP:  uint32(w0),
+					TargetSTP: uint32(w0 >> 32),
+					ValCount:  uint32(w1),
+					PopCount:  uint32(w1 >> 32),
+				}
+			}
+		}
+	}
+	nOwn := r.Count(4)
+	if nOwn > 0 {
+		fi.Owners = arena.takeOwners(nOwn)
+		if b := r.Take(4 * nOwn); b != nil {
+			for i := range fi.Owners {
+				fi.Owners[i] = binary.LittleEndian.Uint32(b[i*4:])
+			}
+		}
+	}
+	fi.MaxStack = int(r.Uvarint())
+	nLocals := r.Count(1)
+	fi.LocalTypes = arena.takeTypes(nLocals)
+	for i := range fi.LocalTypes {
+		fi.LocalTypes[i] = wasm.ValueType(r.U8())
+	}
+	nResults := r.Count(1)
+	if nResults > 0 {
+		fi.Results = arena.takeTypes(nResults)
+		for i := range fi.Results {
+			fi.Results[i] = wasm.ValueType(r.U8())
+		}
+	}
+	fi.NumParams = int(r.Uvarint())
+	fi.BodyLen = int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(fi.Owners) != len(fi.Sidetable) {
+		return fmt.Errorf("engine: artifact sidetable has %d owners for %d entries",
+			len(fi.Owners), len(fi.Sidetable))
+	}
+	if fi.NumParams > len(fi.LocalTypes) {
+		return fmt.Errorf("engine: artifact declares %d params over %d locals",
+			fi.NumParams, len(fi.LocalTypes))
+	}
+	return nil
+}

@@ -64,14 +64,23 @@ func (cfg Config) Fingerprint() string {
 // function of a module exactly once, returning a reusable artifact.
 // When the engine is configured with a code cache, the artifact is
 // memoized by content hash and configuration fingerprint, and concurrent
-// compiles of the same module collapse into one.
+// compiles of the same module collapse into one. With a disk cache
+// attached, a memory miss first tries to rehydrate a persisted artifact
+// (skipping decode-validation-compile down to just the decode), and a
+// fresh compile is written through for the next cold start.
 func (e *Engine) Compile(bytes []byte) (*CompiledModule, error) {
 	if e.cfg.Cache == nil {
 		return e.compile(bytes)
 	}
-	key := codecache.KeyFor(bytes, e.cfg.Fingerprint())
-	v, err := e.cfg.Cache.GetOrAdd(key, func() (any, error) {
-		return e.compile(bytes)
+	key := codecache.KeyFor(bytes, e.fingerprint)
+	v, err := e.cfg.Cache.GetOrAddTiered(key, codecache.TierOps{
+		Build: func() (any, error) { return e.compile(bytes) },
+		Encode: func(v any) ([]byte, error) {
+			return encodeArtifact(v.(*CompiledModule))
+		},
+		Decode: func(payload []byte) (any, error) {
+			return e.decodeArtifact(bytes, payload)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -136,6 +145,7 @@ func (e *Engine) compileAll(m *wasm.Module, infos []validate.FuncInfo) ([]Code, 
 	imported := m.NumImportedFuncs()
 
 	compileOne := func(i int) (Code, error) {
+		e.compileCalls.Add(1)
 		return e.cfg.Tier.Compile(m, uint32(imported+i), &m.Funcs[i], &infos[i], nil)
 	}
 

@@ -117,6 +117,12 @@ type Config struct {
 	// hash and configuration fingerprint, so repeated loads of the same
 	// module pay only the instantiation (link) cost.
 	Cache *codecache.Cache
+	// DiskCache, when non-nil, persists compiled artifacts below the
+	// in-memory cache (which New creates on demand if Cache is nil): a
+	// cold process whose cache directory is warm rehydrates compiled
+	// modules from disk — verified, via mmap where available — without
+	// running the compiler at all. Open one with OpenDiskCache.
+	DiskCache *codecache.DiskStore
 }
 
 // Timings records per-phase setup costs for the compile-speed and
@@ -125,6 +131,11 @@ type Timings struct {
 	Decode   time.Duration
 	Validate time.Duration
 	Compile  time.Duration
+	// Rehydrate is the time spent materializing a persisted artifact's
+	// sidetables and code sections on a disk-cache load — the pipeline
+	// work that replaces Validate+Compile on the zero-compile path.
+	// Zero on a freshly compiled module.
+	Rehydrate time.Duration
 	// CodeBytes is the total size of emitted machine code.
 	CodeBytes int
 	// ModuleBytes is the binary module size.
@@ -132,7 +143,9 @@ type Timings struct {
 }
 
 // Setup returns total per-module processing time before execution.
-func (t Timings) Setup() time.Duration { return t.Decode + t.Validate + t.Compile }
+func (t Timings) Setup() time.Duration {
+	return t.Decode + t.Validate + t.Compile + t.Rehydrate
+}
 
 // Engine creates instances under one configuration. An Engine is safe
 // for concurrent use once constructed: New snapshots the linker's
@@ -152,6 +165,15 @@ type Engine struct {
 	// read (a validation guarantee), and stack walkers only scan live
 	// frame ranges [VFP, SP).
 	stacks sync.Pool
+	// compileCalls counts tier compiler invocations (per function, eager
+	// and lazy alike). The cold-start acceptance check is built on it: a
+	// warm disk cache must serve a cold process's first request with
+	// this counter still at zero.
+	compileCalls atomic.Uint64
+	// fingerprint is cfg.Fingerprint(), precomputed at New when a cache
+	// is configured so the reflective rendering stays off the Compile
+	// fast path.
+	fingerprint string
 }
 
 // New creates an engine. A nil linker provides no host imports.
@@ -165,7 +187,24 @@ func New(cfg Config, linker *Linker) *Engine {
 	if linker == nil {
 		linker = NewLinker()
 	}
+	if cfg.DiskCache != nil {
+		// The disk tier hangs below an in-memory cache; compile results
+		// promote through it. A caller that supplied no memory tier
+		// gets a private default one.
+		if cfg.Cache == nil {
+			cfg.Cache = codecache.New(codecache.Options{})
+		}
+		cfg.Cache.SetDisk(cfg.DiskCache)
+	}
 	e := &Engine{cfg: cfg, externs: linker.snapshot()}
+	if cfg.Cache != nil {
+		// The configuration fingerprint is reflective (%#v over the tier)
+		// and costs tens of microseconds on its first rendering — real
+		// money on the cold-start path, where the first Compile IS the
+		// request. It is invariant for the engine's lifetime, so pay it
+		// here, at construction time, not per request.
+		e.fingerprint = cfg.Fingerprint()
+	}
 	e.stacks.New = func() any {
 		return rt.NewValueStack(e.cfg.StackSlots, e.cfg.Tags)
 	}
@@ -174,6 +213,12 @@ func New(cfg Config, linker *Linker) *Engine {
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// CompileCalls returns how many times this engine invoked its tier
+// compiler on a function — eager compiles, lazy compiles and probe
+// recompiles alike. A process serving entirely from warm caches keeps
+// it at zero.
+func (e *Engine) CompileCalls() uint64 { return e.compileCalls.Load() }
 
 // Instance is an instantiated module bound to an execution context.
 type Instance struct {
@@ -352,6 +397,7 @@ func (e *Engine) link(m *wasm.Module, infos []validate.FuncInfo) (*Instance, err
 }
 
 func (inst *Instance) compileFunc(f *rt.FuncInst) error {
+	inst.Engine.compileCalls.Add(1)
 	code, err := inst.Engine.cfg.Tier.Compile(inst.RT.Module, f.Idx, f.Decl, f.Info, f.Probes)
 	if err != nil {
 		return err

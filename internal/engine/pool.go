@@ -98,8 +98,11 @@ func (inst *Instance) Reset(s *Snapshot) error {
 // InstancePool recycles whole instances of one CompiledModule: Get
 // returns an instance reset to its post-instantiation state (memory,
 // globals, tables), instantiating fresh only when the pool is empty.
-// It is the engine-typed facade over instancepool.Pool and is safe for
-// concurrent use.
+// The reset itself runs in the background after Put, so a steady-state
+// Get pays neither instantiation nor reset — instancepool.Stats splits
+// the reset latency into the on-put (hidden) and on-get (request-path)
+// shares. It is the engine-typed facade over instancepool.Pool and is
+// safe for concurrent use.
 type InstancePool struct {
 	cm       *CompiledModule
 	pool     *instancepool.Pool[*Instance]
@@ -162,11 +165,13 @@ func (ip *InstancePool) newInstance() (*Instance, error) {
 	return inst, nil
 }
 
-// Get returns a ready instance: recycled and reset when possible,
-// freshly instantiated otherwise.
+// Get returns a ready instance: recycled (already reset in the
+// background when the pool kept pace) when possible, freshly
+// instantiated otherwise.
 func (ip *InstancePool) Get() (*Instance, error) { return ip.pool.Get() }
 
-// Put returns a quiescent instance obtained from Get for recycling.
+// Put returns a quiescent instance obtained from Get for recycling and
+// schedules its copy-on-write reset off the request path.
 func (ip *InstancePool) Put(inst *Instance) { ip.pool.Put(inst) }
 
 // Stats returns the pool's counters (get/reset/miss latencies, hit and

@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"wizgo/internal/codecache"
+	"wizgo/internal/engine"
+)
+
+// ColdStartSample measures the persistent-cache serving shape: a seed
+// process pays the full compile once and writes the artifact through to
+// disk; a cold process (fresh engine, empty memory cache, its own disk
+// handle on the same directory) then serves its first request by
+// rehydrating the artifact without invoking the compiler at all. The
+// sample records each rung of that ladder — full compile, disk load,
+// in-memory hit — plus the compiler-invocation count of the cold
+// process, which a healthy cache keeps at exactly zero.
+type ColdStartSample struct {
+	// FullCompile is the seed process's compile (decode + validate +
+	// compile + artifact write-through).
+	FullCompile time.Duration
+	// DiskLoad is the cold process's Compile: module decode plus
+	// artifact rehydration, no validation, no compilation.
+	DiskLoad time.Duration
+	// FullPipeline and ColdPipeline are the per-module pipeline work of
+	// the two paths, from the engine's own Timings: decode + validate +
+	// compile for the full path, artifact rehydration for the disk path.
+	// Unlike the wall-clock fields they exclude cache bookkeeping and
+	// file I/O, so their ratio (Speedup) is the module-size-scaling part
+	// of the win.
+	//
+	// PairedSpeedup, when nonzero, is the median of per-pair pipeline
+	// ratios from the process-per-sample protocol, where a full child
+	// and a disk child run back to back under the same machine-load
+	// epoch; Speedup prefers it because machine-load drift cancels
+	// within each pair instead of skewing two independent medians.
+	FullPipeline  time.Duration
+	ColdPipeline  time.Duration
+	PairedSpeedup float64
+	// MemHit is a repeat Compile in the warm process: a memory-cache
+	// hit, the floor of the ladder.
+	MemHit time.Duration
+	// Instantiate is the cold process's link cost and Main its first
+	// _start run; FirstRequest = DiskLoad + Instantiate + Main is the
+	// full time-to-first-response of the cold process.
+	Instantiate  time.Duration
+	Main         time.Duration
+	FirstRequest time.Duration
+	// ColdCompileCalls counts tier-compiler invocations in the cold
+	// process. Zero is the contract: any other value means the disk
+	// tier failed to serve and the cold start silently recompiled.
+	ColdCompileCalls uint64
+	// DiskHits / DiskMisses / DiskWrites are the cold process's disk
+	// counters. In-process measurement sees the last cold iteration's
+	// handle (expected 1/0/0 after a seeded run); the process-per-sample
+	// protocol sums across all cold children (expected runs/0/0).
+	DiskHits, DiskMisses, DiskWrites uint64
+	// Checksum verifies the rehydrated instance agrees with the seed
+	// instance (0 if the module exports no checksum).
+	Checksum int64
+}
+
+// Speedup returns how many times less pipeline work the disk path does
+// than the full path: (decode + validate + compile) over rehydration,
+// both from the engine's own per-module Timings. This deliberately
+// excludes per-process constants — cache-key hashing, open/mmap
+// syscalls — which dominate the wall-clock numbers for tiny modules and
+// shrink toward nothing for real ones; DiskLoad vs FullCompile carries
+// the wall-clock story.
+func (s ColdStartSample) Speedup() float64 {
+	if s.PairedSpeedup > 0 {
+		return s.PairedSpeedup
+	}
+	if s.ColdPipeline <= 0 {
+		return 0
+	}
+	return float64(s.FullPipeline) / float64(s.ColdPipeline)
+}
+
+// MeasureColdStart seeds dir with the module's artifact under cfg, then
+// simulates a process restart — fresh engine, empty in-memory cache, a
+// separate disk-store handle on the same directory — and measures its
+// time-to-first-response against the full compile. Each phase repeats
+// `runs` times (a fresh engine and cache every iteration, so nothing is
+// memoized away); wall times report the median and pipeline times the
+// minimum — in-process repeats converge to warm-process steady state,
+// where the minimum is the least-interference estimate. (For genuinely
+// cold numbers use wizgo-bench -coldstart, which runs every sample in a
+// fresh child process.) Both processes run _start and their checksums
+// must agree: a cold start that loads wrong code is worse than a slow
+// one.
+func MeasureColdStart(cfg engine.Config, bytes []byte, dir string, runs int) (ColdStartSample, error) {
+	var s ColdStartSample
+	if runs < 1 {
+		runs = 1
+	}
+
+	// Full compiles, measured without a disk tier so every iteration
+	// pays decode+validate+compile even once dir holds the artifact.
+	fullTimes := make([]time.Duration, runs)
+	fullPipes := make([]time.Duration, runs)
+	for i := range fullTimes {
+		fullCfg := cfg
+		fullCfg.Cache = codecache.New(codecache.Options{})
+		t0 := time.Now()
+		cm, err := engine.New(fullCfg, nil).Compile(bytes)
+		if err != nil {
+			return s, err
+		}
+		fullTimes[i] = time.Since(t0)
+		fullPipes[i] = cm.Timings.Setup()
+	}
+	s.FullCompile = median(fullTimes)
+	s.FullPipeline = minimum(fullPipes)
+
+	// Seed process: full compile, written through to dir.
+	seedCfg := cfg
+	seedCfg.Cache = codecache.New(codecache.Options{})
+	seedDisk, err := engine.OpenDiskCache(dir)
+	if err != nil {
+		return s, err
+	}
+	seedCfg.DiskCache = seedDisk
+	seedEng := engine.New(seedCfg, nil)
+	seedCM, err := seedEng.Compile(bytes)
+	if err != nil {
+		return s, err
+	}
+	seedSum, err := runOnce(seedCM)
+	if err != nil {
+		return s, fmt.Errorf("harness: seed run: %w", err)
+	}
+
+	// Cold processes: each shares nothing with the seed but the files
+	// in dir. Compiler invocations across ALL of them must stay zero.
+	loadTimes := make([]time.Duration, runs)
+	coldPipes := make([]time.Duration, runs)
+	var coldEng *engine.Engine
+	var coldCM *engine.CompiledModule
+	var coldDisk *codecache.DiskStore
+	for i := range loadTimes {
+		coldCfg := cfg
+		coldCfg.Cache = codecache.New(codecache.Options{})
+		coldDisk, err = engine.OpenDiskCache(dir)
+		if err != nil {
+			return s, err
+		}
+		coldCfg.DiskCache = coldDisk
+		coldEng = engine.New(coldCfg, nil)
+		t1 := time.Now()
+		coldCM, err = coldEng.Compile(bytes)
+		if err != nil {
+			return s, err
+		}
+		loadTimes[i] = time.Since(t1)
+		coldPipes[i] = coldCM.Timings.Setup()
+		s.ColdCompileCalls += coldEng.CompileCalls()
+	}
+	s.DiskLoad = median(loadTimes)
+	s.ColdPipeline = minimum(coldPipes)
+
+	t2 := time.Now()
+	inst, err := coldCM.Instantiate()
+	if err != nil {
+		return s, err
+	}
+	s.Instantiate = time.Since(t2)
+	startFn, ok := inst.RT.FuncByName("_start")
+	if !ok {
+		return s, fmt.Errorf("harness: module has no _start")
+	}
+	t3 := time.Now()
+	if _, err := inst.CallFunc(startFn); err != nil {
+		return s, fmt.Errorf("harness: cold run: %w", err)
+	}
+	s.Main = time.Since(t3)
+	s.FirstRequest = s.DiskLoad + s.Instantiate + s.Main
+
+	if sumFn, ok := inst.RT.FuncByName("checksum"); ok {
+		sum, err := inst.CallFunc(sumFn)
+		if err != nil {
+			return s, fmt.Errorf("harness: cold checksum: %w", err)
+		}
+		if len(sum) == 1 {
+			s.Checksum = sum[0].I64()
+			if s.Checksum != seedSum {
+				return s, fmt.Errorf(
+					"harness: cold checksum %#x != seed %#x (artifact loaded wrong code)",
+					s.Checksum, seedSum)
+			}
+		}
+	}
+	inst.Release()
+
+	// Warm repeats: the same process compiles again, now a memory hit.
+	hitTimes := make([]time.Duration, runs)
+	for i := range hitTimes {
+		t4 := time.Now()
+		if _, err := coldEng.Compile(bytes); err != nil {
+			return s, err
+		}
+		hitTimes[i] = time.Since(t4)
+	}
+	s.MemHit = median(hitTimes)
+
+	dst := coldDisk.Stats()
+	s.DiskHits, s.DiskMisses, s.DiskWrites = dst.Hits, dst.Misses, dst.Writes
+	return s, nil
+}
+
+// runOnce instantiates cm, runs _start, and returns the module's
+// checksum (0 if not exported).
+func runOnce(cm *engine.CompiledModule) (int64, error) {
+	inst, err := cm.Instantiate()
+	if err != nil {
+		return 0, err
+	}
+	defer inst.Release()
+	startFn, ok := inst.RT.FuncByName("_start")
+	if !ok {
+		return 0, fmt.Errorf("harness: module has no _start")
+	}
+	if _, err := inst.CallFunc(startFn); err != nil {
+		return 0, err
+	}
+	if sumFn, ok := inst.RT.FuncByName("checksum"); ok {
+		sum, err := inst.CallFunc(sumFn)
+		if err != nil {
+			return 0, err
+		}
+		if len(sum) == 1 {
+			return sum[0].I64(), nil
+		}
+	}
+	return 0, nil
+}

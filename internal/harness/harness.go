@@ -111,6 +111,18 @@ func SetupMedian(samples []Sample) time.Duration {
 	return median(ds)
 }
 
+// minimum returns the smallest duration: the least-interference
+// estimate for deterministic work repeated under scheduler noise.
+func minimum(ds []time.Duration) time.Duration {
+	m := ds[0]
+	for _, d := range ds[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
 func median(ds []time.Duration) time.Duration {
 	sorted := make([]time.Duration, len(ds))
 	copy(sorted, ds)

@@ -20,13 +20,19 @@ type PooledSample struct {
 	// Requests and Workers describe the load shape.
 	Requests, Workers int
 	// Get is the median request acquisition latency observed by the
-	// workers (reset on hits, instantiation on misses, contention
-	// included). MeanReset and MeanMiss split the pool-side cost by
-	// path; ResetMax is the worst single reset.
+	// workers (inline reset on late hits, instantiation on misses,
+	// contention included). MeanReset and MeanMiss split the pool-side
+	// cost by path; ResetMax is the worst single reset.
 	Get       time.Duration
 	MeanReset time.Duration
 	MeanMiss  time.Duration
 	ResetMax  time.Duration
+	// ResetsOnPut counts resets the pool's background drainer absorbed
+	// between requests; ResetsOnGet counts resets that landed back on
+	// the request path because Get outran the drainer.
+	ResetsOnPut, ResetsOnGet uint64
+	// MeanResetOnPut / MeanResetOnGet are the per-path reset means.
+	MeanResetOnPut, MeanResetOnGet time.Duration
 	// Hits and Misses count recycled vs freshly instantiated requests.
 	Hits, Misses uint64
 	// Main is the median per-request _start execution time.
@@ -137,6 +143,10 @@ func MeasurePooled(cfg engine.Config, bytes []byte, requests, workers, poolSize 
 	s.MeanReset = st.MeanReset()
 	s.MeanMiss = st.MeanMiss()
 	s.ResetMax = st.ResetMax
+	s.ResetsOnPut = st.ResetsOnPut
+	s.ResetsOnGet = st.ResetsOnGet
+	s.MeanResetOnPut = st.MeanResetOnPut()
+	s.MeanResetOnGet = st.MeanResetOnGet()
 	s.Hits = st.Hits
 	s.Misses = st.Misses
 	s.Main = median(mainTimes)

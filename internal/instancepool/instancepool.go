@@ -3,12 +3,19 @@
 // (decode, validate, compile) and Instance.Release amortizes the value
 // stack, this pool amortizes everything that is left: a released
 // instance keeps its memory, globals, tables and stack, and the next
-// Get hands it back after a reset to its post-instantiation state
-// instead of constructing a new one. With copy-on-write memory reset
+// Get hands it back restored to its post-instantiation state instead
+// of constructing a new one. With copy-on-write memory reset
 // (rt.Memory write tracking), the reset cost is proportional to what
 // the previous request actually wrote — the same amortize-everything
 // discipline the baseline-compiler paper applies to setup time, applied
 // to instance state.
+//
+// The reset runs off the request path: Put parks the instance dirty and
+// a background drainer (started lazily, exits when caught up) restores
+// it, so a steady-state Get pops an already-clean instance without
+// paying for the previous request's writes. Get only falls back to
+// resetting inline when it outruns the drainer, and both paths are
+// accounted separately in Stats (ResetsOnPut vs ResetsOnGet).
 //
 // The pool is generic over the instance type so it carries no engine
 // dependency; internal/engine wraps it with a typed facade
@@ -24,15 +31,15 @@ import (
 
 // Config wires a Pool to its instance type.
 type Config[T comparable] struct {
-	// Capacity bounds the number of idle instances retained; Put past
-	// capacity discards. 0 means 8.
+	// Capacity bounds the number of instances in pool custody (clean,
+	// dirty, or mid-reset); Put past capacity discards. 0 means 8.
 	Capacity int
 	// New instantiates a fresh instance — the miss path.
 	New func() (T, error)
 	// Reset restores a recycled instance to its post-instantiation
-	// state; it runs on Get, so idle instances hold their dirty state
-	// until demanded. An error discards the instance and Get falls back
-	// to another idle instance or to New.
+	// state. It normally runs on the background drainer right after
+	// Put; Get runs it inline only when it claims an instance the
+	// drainer has not reached yet. An error discards the instance.
 	Reset func(T) error
 	// Discard, if non-nil, releases an instance the pool will never
 	// hand out again (capacity overflow, failed reset, Close).
@@ -47,21 +54,46 @@ type Stats struct {
 	Gets, Hits, Misses uint64
 	// Puts counts instances returned; Drops of those were not retained:
 	// discarded on capacity overflow or a closed pool, or ignored as
-	// duplicate Puts of an already-idle instance. ResetFailures counts
-	// recycled instances a failing Reset forced the pool to throw away.
+	// duplicate Puts of an already-pooled instance. ResetFailures
+	// counts recycled instances a failing Reset forced the pool to
+	// throw away.
 	Puts, Drops, ResetFailures uint64
-	// GetTime is total wall time inside Get (reset or instantiate
-	// included); ResetTime and MissTime split it by path. ResetMax is
-	// the worst single reset.
-	GetTime, ResetTime, MissTime time.Duration
-	ResetMax                     time.Duration
+	// ResetsOnPut counts resets the background drainer absorbed after
+	// Put; ResetsOnGet counts resets Get had to run inline because it
+	// claimed an instance before the drainer reached it. A healthy
+	// steady state is dominated by ResetsOnPut — every ResetOnGet is
+	// reset latency back on the request path.
+	ResetsOnPut, ResetsOnGet uint64
+	// GetTime is total wall time inside Get (inline reset, waiting for
+	// an in-flight background reset, or instantiation included);
+	// MissTime is the instantiate share of it. ResetTime is the total
+	// across both reset paths, split as ResetOnPutTime (off the request
+	// path) and ResetOnGetTime (on it). ResetMax is the worst single
+	// reset on either path.
+	GetTime, MissTime time.Duration
+	ResetTime         time.Duration
+	ResetOnPutTime    time.Duration
+	ResetOnGetTime    time.Duration
+	ResetMax          time.Duration
 }
 
 // MeanGet returns the mean Get latency.
 func (s Stats) MeanGet() time.Duration { return meanDur(s.GetTime, s.Gets) }
 
-// MeanReset returns the mean reset latency on the hit path.
-func (s Stats) MeanReset() time.Duration { return meanDur(s.ResetTime, s.Hits) }
+// MeanReset returns the mean reset latency over both paths.
+func (s Stats) MeanReset() time.Duration {
+	return meanDur(s.ResetTime, s.ResetsOnPut+s.ResetsOnGet)
+}
+
+// MeanResetOnPut returns the mean background (off-request-path) reset.
+func (s Stats) MeanResetOnPut() time.Duration {
+	return meanDur(s.ResetOnPutTime, s.ResetsOnPut)
+}
+
+// MeanResetOnGet returns the mean inline (on-request-path) reset.
+func (s Stats) MeanResetOnGet() time.Duration {
+	return meanDur(s.ResetOnGetTime, s.ResetsOnGet)
+}
 
 // MeanMiss returns the mean instantiate latency on the miss path.
 func (s Stats) MeanMiss() time.Duration { return meanDur(s.MissTime, s.Misses) }
@@ -73,14 +105,27 @@ func meanDur(total time.Duration, n uint64) time.Duration {
 	return total / time.Duration(n)
 }
 
-// Pool recycles instances of one compiled module.
+// Pool recycles instances of one compiled module. Custody moves
+// dirty → (drainer) → clean; Get prefers clean, claims dirty inline
+// when the drainer is behind, and briefly waits for an in-flight reset
+// before falling back to a fresh instantiation.
 type Pool[T comparable] struct {
 	cfg Config[T]
 
-	mu   sync.Mutex
-	idle []T
-	// inPool mirrors idle as a set so Put detects a duplicate in O(1)
-	// instead of scanning under the mutex on the hot path.
+	mu    sync.Mutex
+	cond  *sync.Cond // signaled when a background reset completes or the pool closes
+	clean []T        // reset, ready to hand out
+	dirty []T        // parked by Put, awaiting reset
+	// resetting counts instances claimed by the drainer and currently
+	// inside the Reset callback; they are in custody but on neither
+	// list.
+	resetting int
+	// draining is true while a drainer goroutine is live; Put starts
+	// one lazily and it exits once the dirty list is empty.
+	draining bool
+	// inPool holds every instance in custody (clean, dirty, or
+	// mid-reset) so Put detects a duplicate in O(1) instead of
+	// scanning under the mutex on the hot path.
 	inPool map[T]struct{}
 	closed bool
 	stats  Stats
@@ -94,54 +139,76 @@ func New[T comparable](cfg Config[T]) (*Pool[T], error) {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 8
 	}
-	return &Pool[T]{cfg: cfg, inPool: make(map[T]struct{})}, nil
+	p := &Pool[T]{cfg: cfg, inPool: make(map[T]struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	return p, nil
 }
 
-// Get returns a ready instance: a recycled one reset to its
-// post-instantiation state when the pool has any, otherwise a fresh
-// instantiation. Get never blocks waiting for a Put — an empty pool is
-// a miss, not a queue.
+// size is the custody count; callers hold p.mu.
+func (p *Pool[T]) size() int { return len(p.clean) + len(p.dirty) + p.resetting }
+
+// Get returns a ready instance, by cheapest path first: a clean one
+// (already reset in the background — the common steady state, no reset
+// cost on this call), a dirty one the drainer has not reached (reset
+// inline), or — when the only candidate is mid-reset — the result of
+// that reset, waited for briefly (a near-complete reset is cheaper than
+// a fresh build). Only an empty pool instantiates. Get never blocks
+// waiting for a Put.
 func (p *Pool[T]) Get() (T, error) {
 	t0 := time.Now()
-	for {
-		p.mu.Lock()
-		n := len(p.idle)
-		if n == 0 {
+	p.mu.Lock()
+	for !p.closed {
+		if n := len(p.clean); n > 0 {
+			inst := p.clean[n-1]
+			var zero T
+			p.clean[n-1] = zero // do not retain the reference
+			p.clean = p.clean[:n-1]
+			delete(p.inPool, inst)
+			p.stats.Gets++
+			p.stats.Hits++
+			p.stats.GetTime += time.Since(t0)
 			p.mu.Unlock()
-			break
+			return inst, nil
 		}
-		inst := p.idle[n-1]
-		var zero T
-		p.idle[n-1] = zero // do not retain the reference
-		p.idle = p.idle[:n-1]
-		delete(p.inPool, inst)
-		p.mu.Unlock()
+		if n := len(p.dirty); n > 0 {
+			inst := p.dirty[n-1]
+			var zero T
+			p.dirty[n-1] = zero
+			p.dirty = p.dirty[:n-1]
+			delete(p.inPool, inst)
+			p.mu.Unlock()
 
-		r0 := time.Now()
-		err := p.cfg.Reset(inst)
-		resetDur := time.Since(r0)
-		if err != nil {
-			// A corrupt instance is cheaper to replace than to repair:
-			// drop it and try the next idle one (or fall through to New).
-			if p.cfg.Discard != nil {
-				p.cfg.Discard(inst)
+			r0 := time.Now()
+			err := p.cfg.Reset(inst)
+			resetDur := time.Since(r0)
+			if err != nil {
+				// A corrupt instance is cheaper to replace than to
+				// repair: drop it and try the next candidate (or fall
+				// through to New).
+				if p.cfg.Discard != nil {
+					p.cfg.Discard(inst)
+				}
+				p.mu.Lock()
+				p.stats.ResetFailures++
+				continue
 			}
 			p.mu.Lock()
-			p.stats.ResetFailures++
+			p.stats.Gets++
+			p.stats.Hits++
+			p.stats.ResetsOnGet++
+			p.stats.ResetOnGetTime += resetDur
+			p.noteReset(resetDur)
+			p.stats.GetTime += time.Since(t0)
 			p.mu.Unlock()
+			return inst, nil
+		}
+		if p.resetting > 0 && !p.closed {
+			p.cond.Wait()
 			continue
 		}
-		p.mu.Lock()
-		p.stats.Gets++
-		p.stats.Hits++
-		p.stats.ResetTime += resetDur
-		if resetDur > p.stats.ResetMax {
-			p.stats.ResetMax = resetDur
-		}
-		p.stats.GetTime += time.Since(t0)
-		p.mu.Unlock()
-		return inst, nil
+		break
 	}
+	p.mu.Unlock()
 
 	m0 := time.Now()
 	inst, err := p.cfg.New()
@@ -159,16 +226,25 @@ func (p *Pool[T]) Get() (T, error) {
 	return inst, nil
 }
 
-// Put returns an instance for recycling. The instance must be quiescent
-// (no call in progress) and must have come from this pool's Get — the
-// reset contract assumes the pool's own instantiation baseline. Past
+func (p *Pool[T]) noteReset(d time.Duration) {
+	p.stats.ResetTime += d
+	if d > p.stats.ResetMax {
+		p.stats.ResetMax = d
+	}
+}
+
+// Put returns an instance for recycling and schedules its reset on the
+// background drainer, so the reset cost lands between requests instead
+// of on the next Get. The instance must be quiescent (no call in
+// progress) and must have come from this pool's Get — the reset
+// contract assumes the pool's own instantiation baseline. Past
 // capacity, or after Close, the instance is discarded instead.
 func (p *Pool[T]) Put(inst T) {
 	p.mu.Lock()
 	p.stats.Puts++
 	// A double Put would store two references to one instance and let
 	// two Gets hand it out concurrently (the same hazard class the
-	// engine latches Release against); an already-idle instance is
+	// engine latches Release against); an already-pooled instance is
 	// simply ignored, counted as a drop — not discarded, since the
 	// pool's own reference to it stays live.
 	if _, dup := p.inPool[inst]; dup {
@@ -176,7 +252,7 @@ func (p *Pool[T]) Put(inst T) {
 		p.mu.Unlock()
 		return
 	}
-	if p.closed || len(p.idle) >= p.cfg.Capacity {
+	if p.closed || p.size() >= p.cfg.Capacity {
 		p.stats.Drops++
 		p.mu.Unlock()
 		if p.cfg.Discard != nil {
@@ -184,16 +260,84 @@ func (p *Pool[T]) Put(inst T) {
 		}
 		return
 	}
-	p.idle = append(p.idle, inst)
 	p.inPool[inst] = struct{}{}
+	p.dirty = append(p.dirty, inst)
+	start := !p.draining
+	if start {
+		p.draining = true
+	}
 	p.mu.Unlock()
+	if start {
+		go p.drain()
+	}
 }
 
-// Len returns the number of idle instances.
+// drain is the background resetter: it claims dirty instances one at a
+// time, resets them outside the lock, and promotes them to the clean
+// list, exiting once it has caught up (the next Put starts a new one).
+// There is at most one drainer per pool, which is what lets Get claim a
+// dirty instance deterministically instead of racing a per-Put
+// goroutine for it.
+func (p *Pool[T]) drain() {
+	for {
+		p.mu.Lock()
+		n := len(p.dirty)
+		if n == 0 || p.closed {
+			p.draining = false
+			p.mu.Unlock()
+			return
+		}
+		inst := p.dirty[n-1]
+		var zero T
+		p.dirty[n-1] = zero
+		p.dirty = p.dirty[:n-1]
+		p.resetting++
+		p.mu.Unlock()
+
+		r0 := time.Now()
+		err := p.cfg.Reset(inst)
+		resetDur := time.Since(r0)
+
+		p.mu.Lock()
+		p.resetting--
+		switch {
+		case p.closed:
+			// Close is waiting for resetting to reach zero and will
+			// drain and discard whatever is on the lists, so park the
+			// instance there (even after a failed reset — the Discard
+			// callback owns judging its state) instead of racing
+			// Close with a discard of our own.
+			if err != nil {
+				p.stats.ResetFailures++
+			}
+			p.clean = append(p.clean, inst)
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		case err != nil:
+			p.stats.ResetFailures++
+			delete(p.inPool, inst)
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			if p.cfg.Discard != nil {
+				p.cfg.Discard(inst)
+			}
+		default:
+			p.stats.ResetsOnPut++
+			p.stats.ResetOnPutTime += resetDur
+			p.noteReset(resetDur)
+			p.clean = append(p.clean, inst)
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// Len returns the number of instances in pool custody (clean, dirty,
+// and mid-reset).
 func (p *Pool[T]) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.idle)
+	return p.size()
 }
 
 // Stats returns a snapshot of the counters.
@@ -203,15 +347,21 @@ func (p *Pool[T]) Stats() Stats {
 	return p.stats
 }
 
-// Close discards every idle instance and makes future Puts discard
-// immediately. Get still works (every call becomes a miss), so a pool
-// can be drained without coordinating in-flight requests.
+// Close discards every pooled instance and makes future Puts discard
+// immediately. It waits for an in-flight background reset to finish, so
+// when Close returns every instance the pool ever retained has been
+// handed to Discard. Get still works (every call becomes a miss), so a
+// pool can be drained without coordinating in-flight requests.
 func (p *Pool[T]) Close() {
 	p.mu.Lock()
-	drained := p.idle
-	p.idle = nil
-	clear(p.inPool)
 	p.closed = true
+	p.cond.Broadcast() // release Get waiters into the miss path
+	for p.resetting > 0 {
+		p.cond.Wait()
+	}
+	drained := append(p.clean, p.dirty...)
+	p.clean, p.dirty = nil, nil
+	clear(p.inPool)
 	p.mu.Unlock()
 	if p.cfg.Discard != nil {
 		for _, inst := range drained {

@@ -5,9 +5,23 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"wizgo/internal/instancepool"
 )
+
+// waitFor polls for an asynchronous condition (the background resetter
+// runs on its own goroutine, so its effects are eventually visible).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
 
 // fake is a minimal poolable instance: a serial number plus a dirty
 // flag the Reset callback clears.
@@ -99,34 +113,37 @@ func TestCapacityOverflowDiscards(t *testing.T) {
 	}
 }
 
-func TestResetFailureFallsThrough(t *testing.T) {
+func TestResetFailureOnPutDiscards(t *testing.T) {
 	var cb callbacks
 	cb.resetErr = errors.New("corrupt")
 	p, _ := instancepool.New(cb.config(4))
 	a, _ := p.Get()
 	b, _ := p.Get()
-	p.Put(a)
-	p.Put(b)
 
-	// The first reset fails: that instance must be discarded and Get
-	// must fall through to the other idle instance.
+	// a's background reset fails: the pool throws it away off the
+	// request path, so the failure never reaches a Get caller.
 	cb.resetFail.Store(1)
+	p.Put(a)
+	waitFor(t, "failed reset", func() bool { return p.Stats().ResetFailures == 1 })
+	if cb.discards.Load() != 1 || p.Len() != 0 {
+		t.Errorf("discards = %d, len = %d, want 1/0", cb.discards.Load(), p.Len())
+	}
+
+	// b's reset succeeds: Get must hand back b, clean, and never a.
+	p.Put(b)
+	waitFor(t, "background reset", func() bool { return p.Stats().ResetsOnPut == 1 })
 	c, err := p.Get()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c != a && c != b {
-		t.Error("fall-through did not reuse the surviving idle instance")
-	}
-	st := p.Stats()
-	if st.ResetFailures != 1 || cb.discards.Load() != 1 {
-		t.Errorf("reset failures = %d, discards = %d, want 1/1",
-			st.ResetFailures, cb.discards.Load())
+	if c != b {
+		t.Error("Get did not reuse the surviving instance")
 	}
 
-	// Both idle instances failing drains the pool into a miss.
-	p.Put(c)
+	// With every reset failing the pool drains into a miss.
 	cb.resetFail.Store(5)
+	p.Put(c)
+	waitFor(t, "second failed reset", func() bool { return p.Stats().ResetFailures == 2 })
 	d, err := p.Get()
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +153,99 @@ func TestResetFailureFallsThrough(t *testing.T) {
 	}
 	if st := p.Stats(); st.Misses != 3 {
 		t.Errorf("misses = %d, want 3 (two initial + one drained)", st.Misses)
+	}
+}
+
+// gatedPool builds a pool whose FIRST reset parks inside the callback
+// until gate closes (signalling `entered` on the way in), which pins
+// the background drainer mid-reset so tests can observe the dirty and
+// in-flight custody states deterministically.
+func gatedPool(capacity int) (p *instancepool.Pool[*fake], gate chan struct{}, entered chan struct{}) {
+	gate = make(chan struct{})
+	entered = make(chan struct{})
+	var first atomic.Bool
+	var news atomic.Int64
+	p, _ = instancepool.New(instancepool.Config[*fake]{
+		Capacity: capacity,
+		New: func() (*fake, error) {
+			return &fake{id: int(news.Add(1))}, nil
+		},
+		Reset: func(f *fake) error {
+			if first.CompareAndSwap(false, true) {
+				close(entered)
+				<-gate
+			}
+			f.dirty = false
+			return nil
+		},
+	})
+	return p, gate, entered
+}
+
+// TestResetOnGetInline: when Get outruns the background drainer it
+// claims a still-dirty instance and resets it inline, counted on the
+// on-get side of the stats split.
+func TestResetOnGetInline(t *testing.T) {
+	p, gate, entered := gatedPool(4)
+	a, _ := p.Get()
+	b, _ := p.Get()
+	a.dirty, b.dirty = true, true
+
+	p.Put(a)
+	<-entered // drainer is parked inside a's reset
+	p.Put(b)  // drainer busy: b stays on the dirty list
+
+	c, err := p.Get() // must claim b and reset it inline
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != b || c.dirty {
+		t.Errorf("got %v (dirty=%v), want b reset inline", c, c.dirty)
+	}
+	if st := p.Stats(); st.ResetsOnGet != 1 || st.ResetsOnPut != 0 {
+		t.Errorf("resets on-get/on-put = %d/%d, want 1/0", st.ResetsOnGet, st.ResetsOnPut)
+	}
+
+	close(gate) // release a's background reset
+	waitFor(t, "background reset", func() bool { return p.Stats().ResetsOnPut == 1 })
+	d, err := p.Get() // a is clean now: a zero-reset hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != a || d.dirty {
+		t.Errorf("got %v, want the background-reset instance", d)
+	}
+	st := p.Stats()
+	if st.ResetsOnGet != 1 || st.ResetsOnPut != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 on-get + 1 on-put reset over 2 hits", st)
+	}
+	if st.ResetTime != st.ResetOnPutTime+st.ResetOnGetTime {
+		t.Errorf("reset time %v != on-put %v + on-get %v",
+			st.ResetTime, st.ResetOnPutTime, st.ResetOnGetTime)
+	}
+}
+
+// TestGetWaitsForInflightReset: when the only pooled instance is
+// mid-reset, Get waits for that reset instead of paying for a fresh
+// instantiation.
+func TestGetWaitsForInflightReset(t *testing.T) {
+	p, gate, entered := gatedPool(4)
+	a, _ := p.Get()
+	p.Put(a)
+	<-entered // a's background reset is in flight
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(gate)
+	}()
+	b, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Error("Get instantiated fresh instead of waiting for the in-flight reset")
+	}
+	if st := p.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (the initial instantiation only)", st.Misses)
 	}
 }
 

@@ -1,0 +1,267 @@
+package mach
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"wizgo/internal/wasm"
+	"wizgo/internal/wbin"
+)
+
+// instrRecordSize is the fixed on-disk width of one instruction: three
+// little-endian u64 words — (op | A<<32), (B | C<<32), Imm. Fixed-width
+// (rather than varint) records trade a few KB of artifact size for a
+// branch-free bulk decode loop, and packing into aligned words makes
+// that loop three loads and a few shifts per instruction — instruction
+// materialization is the hot path of a cold start, and the artifact is
+// mmap'd so size is nearly free.
+const instrRecordSize = 3 * 8
+
+// ErrNotSerializable reports a code object carrying per-instance state
+// (probe references, an invalidation in progress) that must never reach
+// a shared artifact. Engine.Compile always compiles probe-free, so
+// hitting this on the cache path is a bug, not an input condition.
+var ErrNotSerializable = errors.New("mach: code with instance state is not serializable")
+
+// AppendTo serializes the code object for the persistent artifact
+// cache. The encoding is position-independent by construction — branch
+// targets are machine pcs relative to the function's own instruction
+// stream — which is what makes baseline-compiled functions cheap to
+// persist and reload (the copy-and-patch observation).
+func (c *Code) AppendTo(w *wbin.Writer) error {
+	if len(c.Counters) != 0 || len(c.TosProbes) != 0 || c.Invalidated {
+		return ErrNotSerializable
+	}
+	w.Uvarint(uint64(c.FuncIdx))
+	w.String(c.Name)
+
+	w.Uvarint(uint64(len(c.Instrs)))
+	b := w.Reserve(instrRecordSize * len(c.Instrs))
+	for i, in := range c.Instrs {
+		rec := b[i*instrRecordSize : (i+1)*instrRecordSize]
+		binary.LittleEndian.PutUint64(rec[0:], uint64(uint16(in.Op))|uint64(uint32(in.A))<<32)
+		binary.LittleEndian.PutUint64(rec[8:], uint64(uint32(in.B))|uint64(uint32(in.C))<<32)
+		binary.LittleEndian.PutUint64(rec[16:], in.Imm)
+	}
+
+	w.Uvarint(uint64(len(c.WasmPC)))
+	b = w.Reserve(4 * len(c.WasmPC))
+	for i, pc := range c.WasmPC {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(pc))
+	}
+
+	// Maps are encoded in sorted key order so one compile always yields
+	// byte-identical artifacts (content-addressed stores dedupe on it).
+	w.Uvarint(uint64(len(c.OSREntries)))
+	for _, k := range sortedKeys(c.OSREntries) {
+		w.Varint(int64(k))
+		w.Varint(int64(c.OSREntries[k]))
+	}
+
+	w.Uvarint(uint64(len(c.Tables)))
+	for _, t := range c.Tables {
+		w.Uvarint(uint64(len(t)))
+		for _, target := range t {
+			w.Varint(int64(target))
+		}
+	}
+
+	w.Uvarint(uint64(len(c.Stackmaps)))
+	for _, k := range sortedKeys(c.Stackmaps) {
+		w.Varint(int64(k))
+		slots := c.Stackmaps[k]
+		w.Uvarint(uint64(len(slots)))
+		for _, s := range slots {
+			w.Varint(int64(s))
+		}
+	}
+
+	w.Uvarint(uint64(c.NumSlots))
+	w.Uvarint(uint64(c.NumResults))
+	w.Uvarint(uint64(c.NumParams))
+	w.Uvarint(uint64(len(c.LocalTypes)))
+	for _, t := range c.LocalTypes {
+		w.U8(uint8(t))
+	}
+	w.Uvarint(uint64(c.CodeBytes))
+	return nil
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// DecodeArena preallocates one artifact's worth of code-object bulk
+// storage in a handful of contiguous blocks. Cold-start rehydration is
+// dominated not by decoding but by allocation — dozens of small makes
+// that each risk growing a fresh process's heap by another faulted-in
+// span — so the artifact header records exact totals and DecodeCode
+// sub-slices from these blocks instead. An exhausted or nil arena
+// degrades to plain allocation, so corrupt totals cost speed, never
+// correctness.
+type DecodeArena struct {
+	codes  []Code
+	instrs []Instr
+	pcs    []int32
+	types  []wasm.ValueType
+}
+
+// NewDecodeArena sizes an arena for nCodes code objects holding
+// nInstrs instructions (each with its pc-map entry) and nTypes local
+// types in total. Callers must validate the totals against the input
+// length before trusting them with an allocation.
+func NewDecodeArena(nCodes, nInstrs, nTypes int) *DecodeArena {
+	return &DecodeArena{
+		codes:  make([]Code, 0, nCodes),
+		instrs: make([]Instr, 0, nInstrs),
+		pcs:    make([]int32, 0, nInstrs),
+		types:  make([]wasm.ValueType, 0, nTypes),
+	}
+}
+
+func (a *DecodeArena) nextCode() *Code {
+	if a == nil || len(a.codes) == cap(a.codes) {
+		return &Code{}
+	}
+	a.codes = a.codes[:len(a.codes)+1]
+	return &a.codes[len(a.codes)-1]
+}
+
+func (a *DecodeArena) takeInstrs(n int) []Instr {
+	if a == nil || len(a.instrs)+n > cap(a.instrs) {
+		return make([]Instr, n)
+	}
+	s := a.instrs[len(a.instrs) : len(a.instrs)+n]
+	a.instrs = a.instrs[:len(a.instrs)+n]
+	return s
+}
+
+func (a *DecodeArena) takePCs(n int) []int32 {
+	if a == nil || len(a.pcs)+n > cap(a.pcs) {
+		return make([]int32, n)
+	}
+	s := a.pcs[len(a.pcs) : len(a.pcs)+n]
+	a.pcs = a.pcs[:len(a.pcs)+n]
+	return s
+}
+
+func (a *DecodeArena) takeTypes(n int) []wasm.ValueType {
+	if a == nil || len(a.types)+n > cap(a.types) {
+		return make([]wasm.ValueType, n)
+	}
+	s := a.types[len(a.types) : len(a.types)+n]
+	a.types = a.types[:len(a.types)+n]
+	return s
+}
+
+// DecodeCode reconstructs a serialized code object, drawing bulk
+// storage from arena (which may be nil). Every length comes
+// from (possibly corrupt) disk bytes, so it is validated against the
+// remaining input before allocation; structural nonsense surfaces as an
+// error, never a panic. Decoded instruction streams are additionally
+// bounds-checked where cheap (opcodes, branch targets) so a bit-flipped
+// artifact that survives the envelope checksum still cannot send the
+// executor out of bounds.
+func DecodeCode(r *wbin.Reader, arena *DecodeArena) (*Code, error) {
+	c := arena.nextCode()
+	c.FuncIdx = uint32(r.Uvarint())
+	c.Name = r.String()
+
+	nInstr := r.Count(instrRecordSize)
+	c.Instrs = arena.takeInstrs(nInstr)
+	if b := r.Take(instrRecordSize * nInstr); b != nil {
+		for i := range c.Instrs {
+			w0 := binary.LittleEndian.Uint64(b[0:])
+			w1 := binary.LittleEndian.Uint64(b[8:])
+			w2 := binary.LittleEndian.Uint64(b[16:])
+			b = b[instrRecordSize:]
+			op := Op(uint16(w0))
+			if op >= opCount {
+				return nil, fmt.Errorf("mach: decoded opcode %d out of range", op)
+			}
+			c.Instrs[i] = Instr{
+				Op:  op,
+				A:   int32(uint32(w0 >> 32)),
+				B:   int32(uint32(w1)),
+				C:   int32(uint32(w1 >> 32)),
+				Imm: w2,
+			}
+		}
+	}
+
+	nPC := r.Count(4)
+	c.WasmPC = arena.takePCs(nPC)
+	if b := r.Take(4 * nPC); b != nil {
+		for i := range c.WasmPC {
+			c.WasmPC[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+		}
+	}
+
+	if n := r.Count(2); n > 0 {
+		c.OSREntries = make(map[int]int, n)
+		for i := 0; i < n; i++ {
+			k := int(r.Varint())
+			v := int(r.Varint())
+			if v < 0 || v >= len(c.Instrs) {
+				return nil, fmt.Errorf("mach: OSR entry pc %d out of range", v)
+			}
+			c.OSREntries[k] = v
+		}
+	}
+
+	if n := r.Count(1); n > 0 {
+		c.Tables = make([][]int32, n)
+		for i := range c.Tables {
+			m := r.Count(1)
+			c.Tables[i] = make([]int32, m)
+			for j := range c.Tables[i] {
+				t := r.Varint()
+				if t < 0 || t > int64(len(c.Instrs)) {
+					return nil, fmt.Errorf("mach: br_table target %d out of range", t)
+				}
+				c.Tables[i][j] = int32(t)
+			}
+		}
+	}
+
+	if n := r.Count(2); n > 0 {
+		c.Stackmaps = make(map[int][]int32, n)
+		for i := 0; i < n; i++ {
+			k := int(r.Varint())
+			m := r.Count(1)
+			slots := make([]int32, m)
+			for j := range slots {
+				slots[j] = int32(r.Varint())
+			}
+			c.Stackmaps[k] = slots
+		}
+	}
+
+	c.NumSlots = int(r.Uvarint())
+	c.NumResults = int(r.Uvarint())
+	c.NumParams = int(r.Uvarint())
+	nLocals := r.Count(1)
+	c.LocalTypes = arena.takeTypes(nLocals)
+	for i := range c.LocalTypes {
+		c.LocalTypes[i] = wasm.ValueType(r.U8())
+	}
+	c.CodeBytes = int(r.Uvarint())
+
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(c.WasmPC) != len(c.Instrs) {
+		return nil, fmt.Errorf("mach: pc map covers %d of %d instructions", len(c.WasmPC), len(c.Instrs))
+	}
+	if c.NumSlots < 0 || c.NumResults < 0 || c.NumParams < 0 {
+		return nil, errors.New("mach: negative frame dimension")
+	}
+	return c, nil
+}

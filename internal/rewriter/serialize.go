@@ -1,0 +1,162 @@
+package rewriter
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"wizgo/internal/wasm"
+	"wizgo/internal/wbin"
+)
+
+// instrRecordSize is the fixed on-disk width of one translated
+// instruction: three little-endian u64 words — (op | A<<32),
+// (B | Target<<32), Imm. Fixed-width word-packed records decode in a
+// branch-free bulk loop of three loads and a few shifts, which is what
+// cold-start rehydration spends its time on (see mach/serialize.go).
+const instrRecordSize = 3 * 8
+
+// AppendTo serializes the translated body for the persistent artifact
+// cache. Like mach code, the format is self-contained: branch targets
+// are absolute indices into the function's own instruction slice.
+func (c *Code) AppendTo(w *wbin.Writer) error {
+	w.Uvarint(uint64(len(c.Instrs)))
+	b := w.Reserve(instrRecordSize * len(c.Instrs))
+	for i, in := range c.Instrs {
+		rec := b[i*instrRecordSize : (i+1)*instrRecordSize]
+		binary.LittleEndian.PutUint64(rec[0:], uint64(uint16(in.Op))|uint64(uint32(in.A))<<32)
+		binary.LittleEndian.PutUint64(rec[8:], uint64(uint32(in.B))|uint64(uint32(in.Target))<<32)
+		binary.LittleEndian.PutUint64(rec[16:], in.Imm)
+	}
+	w.Uvarint(uint64(len(c.Tables)))
+	for _, t := range c.Tables {
+		w.Uvarint(uint64(len(t)))
+		for _, target := range t {
+			w.Varint(int64(target))
+		}
+	}
+	w.Uvarint(uint64(c.NumSlots))
+	w.Uvarint(uint64(c.NumResults))
+	w.Uvarint(uint64(c.NumParams))
+	w.Uvarint(uint64(len(c.LocalTypes)))
+	for _, t := range c.LocalTypes {
+		w.U8(uint8(t))
+	}
+	w.Uvarint(uint64(c.codeBytes))
+	return nil
+}
+
+// DecodeArena preallocates one artifact's worth of translated-body
+// bulk storage in contiguous blocks, mirroring mach.DecodeArena: the
+// artifact header records exact totals so rehydration makes one
+// allocation per kind instead of a few per function. A nil or
+// exhausted arena degrades to plain allocation.
+type DecodeArena struct {
+	codes  []Code
+	instrs []Instr
+	types  []wasm.ValueType
+}
+
+// NewDecodeArena sizes an arena for nCodes translated bodies holding
+// nInstrs instructions and nTypes local types in total. Callers must
+// validate the totals against the input length before trusting them
+// with an allocation.
+func NewDecodeArena(nCodes, nInstrs, nTypes int) *DecodeArena {
+	return &DecodeArena{
+		codes:  make([]Code, 0, nCodes),
+		instrs: make([]Instr, 0, nInstrs),
+		types:  make([]wasm.ValueType, 0, nTypes),
+	}
+}
+
+func (a *DecodeArena) nextCode() *Code {
+	if a == nil || len(a.codes) == cap(a.codes) {
+		return &Code{}
+	}
+	a.codes = a.codes[:len(a.codes)+1]
+	return &a.codes[len(a.codes)-1]
+}
+
+func (a *DecodeArena) takeInstrs(n int) []Instr {
+	if a == nil || len(a.instrs)+n > cap(a.instrs) {
+		return make([]Instr, n)
+	}
+	s := a.instrs[len(a.instrs) : len(a.instrs)+n]
+	a.instrs = a.instrs[:len(a.instrs)+n]
+	return s
+}
+
+func (a *DecodeArena) takeTypes(n int) []wasm.ValueType {
+	if a == nil || len(a.types)+n > cap(a.types) {
+		return make([]wasm.ValueType, n)
+	}
+	s := a.types[len(a.types) : len(a.types)+n]
+	a.types = a.types[:len(a.types)+n]
+	return s
+}
+
+// DecodeCode reconstructs a serialized translated body, drawing bulk
+// storage from arena (which may be nil). Lengths are validated before
+// allocation and branch targets are bounds-checked, so corrupt input
+// yields an error, never a panic or a wild jump.
+func DecodeCode(r *wbin.Reader, arena *DecodeArena) (*Code, error) {
+	c := arena.nextCode()
+	nInstr := r.Count(instrRecordSize)
+	c.Instrs = arena.takeInstrs(nInstr)
+	if b := r.Take(instrRecordSize * nInstr); b != nil {
+		for i := range c.Instrs {
+			w0 := binary.LittleEndian.Uint64(b[0:])
+			w1 := binary.LittleEndian.Uint64(b[8:])
+			w2 := binary.LittleEndian.Uint64(b[16:])
+			b = b[instrRecordSize:]
+			in := Instr{
+				Op:     wasm.Opcode(uint16(w0)),
+				A:      int32(uint32(w0 >> 32)),
+				B:      int32(uint32(w1)),
+				Target: int32(uint32(w1 >> 32)),
+				Imm:    w2,
+			}
+			// Branch targets are validated here, inside the bulk loop,
+			// rather than in a second pass — rehydration traverses the
+			// instruction stream exactly once.
+			switch in.Op {
+			case opBr, opBrIfNZ, opBrIfZ:
+				if in.Target < 0 || int(in.Target) > nInstr {
+					return nil, fmt.Errorf("rewriter: instr %d branch target %d out of range", i, in.Target)
+				}
+			}
+			c.Instrs[i] = in
+		}
+	}
+	if n := r.Count(1); n > 0 {
+		c.Tables = make([][]int32, n)
+		for i := range c.Tables {
+			m := r.Count(1)
+			c.Tables[i] = make([]int32, m)
+			for j := range c.Tables[i] {
+				t := r.Varint()
+				if t < 0 || t > int64(len(c.Instrs)) {
+					return nil, fmt.Errorf("rewriter: br_table target %d out of range", t)
+				}
+				c.Tables[i][j] = int32(t)
+			}
+		}
+	}
+	c.NumSlots = int(r.Uvarint())
+	c.NumResults = int(r.Uvarint())
+	c.NumParams = int(r.Uvarint())
+	nLocals := r.Count(1)
+	c.LocalTypes = arena.takeTypes(nLocals)
+	for i := range c.LocalTypes {
+		c.LocalTypes[i] = wasm.ValueType(r.U8())
+	}
+	c.codeBytes = int(r.Uvarint())
+
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if c.NumSlots < 0 || c.NumResults < 0 || c.NumParams < 0 {
+		return nil, errors.New("rewriter: negative frame dimension")
+	}
+	return c, nil
+}

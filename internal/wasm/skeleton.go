@@ -1,0 +1,336 @@
+package wasm
+
+import (
+	"fmt"
+	"sort"
+
+	"wizgo/internal/wbin"
+)
+
+// This file persists a decoded Module's structure — the "skeleton" — so
+// a disk-cache load never re-parses the wasm binary. LEB decoding and
+// per-section dispatch are a measurable slice of a cold start for small
+// modules, and all of it re-derives information the seed process
+// already computed. Function bodies are stored as offsets into the
+// original module bytes (the cache key is their content hash, so the
+// loader always holds them); data segments are stored inline because
+// the decoder hands out views into section bodies without recording
+// where they came from.
+//
+// The encoding must be deterministic — one decode always yields
+// byte-identical skeletons — because artifacts are content-addressed
+// and deduped on their bytes. The one iteration-ordered structure, the
+// name map, is sorted before encoding.
+
+// AppendSkeleton serializes m's structure into w.
+func AppendSkeleton(w *wbin.Writer, m *Module) {
+	// The header carries the total count of value types across all
+	// signatures and locals lists, so the decoder can allocate one
+	// contiguous block and sub-slice it (cold-start rehydration cost
+	// is dominated by allocation, not byte decoding).
+	totVT := 0
+	for _, t := range m.Types {
+		totVT += len(t.Params) + len(t.Results)
+	}
+	for i := range m.Funcs {
+		totVT += len(m.Funcs[i].Locals)
+	}
+	w.Uvarint(uint64(totVT))
+
+	w.Uvarint(uint64(len(m.Types)))
+	for _, t := range m.Types {
+		appendValTypes(w, t.Params)
+		appendValTypes(w, t.Results)
+	}
+
+	w.Uvarint(uint64(len(m.Imports)))
+	for _, imp := range m.Imports {
+		w.String(imp.Module)
+		w.String(imp.Name)
+		w.U8(uint8(imp.Kind))
+		switch imp.Kind {
+		case ImportFunc:
+			w.Uvarint(uint64(imp.TypeIdx))
+		case ImportTable, ImportMemory:
+			appendLimitsSkel(w, imp.Lim)
+		case ImportGlobal:
+			w.U8(uint8(imp.GlobalType))
+			w.Bool(imp.Mutable)
+		}
+	}
+
+	w.Uvarint(uint64(len(m.Funcs)))
+	for i := range m.Funcs {
+		f := &m.Funcs[i]
+		w.Uvarint(uint64(f.TypeIdx))
+		appendValTypes(w, f.Locals)
+		w.Uvarint(uint64(f.BodyOffset))
+		w.Uvarint(uint64(len(f.Body)))
+	}
+
+	w.Uvarint(uint64(len(m.Tables)))
+	for _, t := range m.Tables {
+		appendLimitsSkel(w, t.Lim)
+	}
+	w.Uvarint(uint64(len(m.Memories)))
+	for _, lim := range m.Memories {
+		appendLimitsSkel(w, lim)
+	}
+
+	w.Uvarint(uint64(len(m.Globals)))
+	for _, g := range m.Globals {
+		w.U8(uint8(g.Type))
+		w.Bool(g.Mutable)
+		w.U8(uint8(g.Init.Type))
+		w.U64(g.Init.Bits)
+	}
+
+	w.Uvarint(uint64(len(m.Exports)))
+	for _, e := range m.Exports {
+		w.String(e.Name)
+		w.U8(uint8(e.Kind))
+		w.Uvarint(uint64(e.Idx))
+	}
+
+	w.Uvarint(uint64(len(m.Elems)))
+	for _, e := range m.Elems {
+		w.Uvarint(uint64(e.TableIdx))
+		w.Uvarint(uint64(e.Offset))
+		w.Uvarint(uint64(len(e.Funcs)))
+		for _, f := range e.Funcs {
+			w.Uvarint(uint64(f))
+		}
+	}
+
+	w.Uvarint(uint64(len(m.Datas)))
+	for _, d := range m.Datas {
+		w.Uvarint(uint64(d.MemIdx))
+		w.Uvarint(uint64(d.Offset))
+		w.Bytes8(d.Bytes)
+	}
+
+	w.Bool(m.HasStart)
+	w.Uvarint(uint64(m.Start))
+
+	w.Uvarint(uint64(len(m.Names)))
+	idxs := make([]uint32, 0, len(m.Names))
+	for idx := range m.Names {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		w.Uvarint(uint64(idx))
+		w.String(m.Names[idx])
+	}
+}
+
+// DecodeSkeleton rebuilds a Module from a skeleton, resolving function
+// bodies as views into moduleBytes. Lengths and offsets come from
+// (possibly corrupt) disk bytes, so everything is validated before use;
+// structural nonsense surfaces as an error, never a panic.
+func DecodeSkeleton(r *wbin.Reader, moduleBytes []byte) (*Module, error) {
+	m := &Module{Size: len(moduleBytes)}
+
+	// One block for every value-type list in the skeleton; Count bounds
+	// the total against the payload, and a lying total merely exhausts
+	// the arena (take falls back to plain allocation).
+	vts := vtArena{buf: make([]ValueType, 0, r.Count(1))}
+
+	nTypes := r.Count(2)
+	m.Types = make([]FuncType, nTypes)
+	for i := range m.Types {
+		var err error
+		if m.Types[i].Params, err = decodeValTypes(r, &vts); err != nil {
+			return nil, err
+		}
+		if m.Types[i].Results, err = decodeValTypes(r, &vts); err != nil {
+			return nil, err
+		}
+	}
+
+	nImports := r.Count(3)
+	if nImports > 0 {
+		m.Imports = make([]Import, nImports)
+	}
+	for i := range m.Imports {
+		imp := &m.Imports[i]
+		imp.Module = r.String()
+		imp.Name = r.String()
+		imp.Kind = ImportKind(r.U8())
+		switch imp.Kind {
+		case ImportFunc:
+			imp.TypeIdx = uint32(r.Uvarint())
+		case ImportTable, ImportMemory:
+			imp.Lim = decodeLimitsSkel(r)
+		case ImportGlobal:
+			imp.GlobalType = ValueType(r.U8())
+			imp.Mutable = r.Bool()
+			if r.Err() == nil && !imp.GlobalType.Valid() {
+				return nil, fmt.Errorf("wasm: skeleton import %d: invalid global type", i)
+			}
+		default:
+			if r.Err() == nil {
+				return nil, fmt.Errorf("wasm: skeleton import %d: invalid kind %d", i, imp.Kind)
+			}
+		}
+	}
+
+	nFuncs := r.Count(3)
+	m.Funcs = make([]Func, nFuncs)
+	for i := range m.Funcs {
+		f := &m.Funcs[i]
+		f.TypeIdx = uint32(r.Uvarint())
+		var err error
+		if f.Locals, err = decodeValTypes(r, &vts); err != nil {
+			return nil, err
+		}
+		off := r.Uvarint()
+		n := r.Uvarint()
+		if r.Err() != nil {
+			break
+		}
+		if off > uint64(len(moduleBytes)) || n > uint64(len(moduleBytes))-off {
+			return nil, fmt.Errorf("wasm: skeleton func %d: body [%d:+%d] outside %d module bytes",
+				i, off, n, len(moduleBytes))
+		}
+		f.BodyOffset = int(off)
+		f.Body = moduleBytes[off : off+n]
+	}
+
+	nTables := r.Count(2)
+	if nTables > 0 {
+		m.Tables = make([]Table, nTables)
+		for i := range m.Tables {
+			m.Tables[i].Lim = decodeLimitsSkel(r)
+		}
+	}
+	nMems := r.Count(2)
+	if nMems > 0 {
+		m.Memories = make([]Limits, nMems)
+		for i := range m.Memories {
+			m.Memories[i] = decodeLimitsSkel(r)
+		}
+	}
+
+	nGlobals := r.Count(3)
+	if nGlobals > 0 {
+		m.Globals = make([]Global, nGlobals)
+	}
+	for i := range m.Globals {
+		g := &m.Globals[i]
+		g.Type = ValueType(r.U8())
+		g.Mutable = r.Bool()
+		g.Init = Value{Type: ValueType(r.U8()), Bits: r.U64()}
+		if r.Err() == nil && !g.Type.Valid() {
+			return nil, fmt.Errorf("wasm: skeleton global %d: invalid type", i)
+		}
+	}
+
+	nExports := r.Count(3)
+	if nExports > 0 {
+		m.Exports = make([]Export, nExports)
+	}
+	for i := range m.Exports {
+		e := &m.Exports[i]
+		e.Name = r.String()
+		e.Kind = ImportKind(r.U8())
+		e.Idx = uint32(r.Uvarint())
+		if r.Err() == nil && e.Kind > ImportGlobal {
+			return nil, fmt.Errorf("wasm: skeleton export %d: invalid kind %d", i, e.Kind)
+		}
+	}
+
+	nElems := r.Count(3)
+	if nElems > 0 {
+		m.Elems = make([]Elem, nElems)
+	}
+	for i := range m.Elems {
+		e := &m.Elems[i]
+		e.TableIdx = uint32(r.Uvarint())
+		e.Offset = uint32(r.Uvarint())
+		nf := r.Count(1)
+		e.Funcs = make([]uint32, nf)
+		for j := range e.Funcs {
+			e.Funcs[j] = uint32(r.Uvarint())
+		}
+	}
+
+	nDatas := r.Count(3)
+	if nDatas > 0 {
+		m.Datas = make([]Data, nDatas)
+	}
+	for i := range m.Datas {
+		d := &m.Datas[i]
+		d.MemIdx = uint32(r.Uvarint())
+		d.Offset = uint32(r.Uvarint())
+		d.Bytes = r.Bytes8()
+	}
+
+	m.HasStart = r.Bool()
+	m.Start = uint32(r.Uvarint())
+
+	nNames := r.Count(2)
+	if nNames > 0 {
+		m.Names = make(map[uint32]string, nNames)
+		for i := 0; i < nNames; i++ {
+			idx := uint32(r.Uvarint())
+			m.Names[idx] = r.String()
+		}
+	}
+
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func appendValTypes(w *wbin.Writer, types []ValueType) {
+	w.Uvarint(uint64(len(types)))
+	b := w.Reserve(len(types))
+	for i, t := range types {
+		b[i] = uint8(t)
+	}
+}
+
+// vtArena is the skeleton-wide backing block for value-type lists,
+// sized from the header total.
+type vtArena struct{ buf []ValueType }
+
+func (a *vtArena) take(n int) []ValueType {
+	if len(a.buf)+n > cap(a.buf) {
+		return make([]ValueType, n)
+	}
+	s := a.buf[len(a.buf) : len(a.buf)+n]
+	a.buf = a.buf[:len(a.buf)+n]
+	return s
+}
+
+func decodeValTypes(r *wbin.Reader, a *vtArena) ([]ValueType, error) {
+	n := r.Count(1)
+	b := r.Take(n)
+	if b == nil {
+		return nil, r.Err()
+	}
+	types := a.take(n)
+	for i := range types {
+		types[i] = ValueType(b[i])
+		if !types[i].Valid() {
+			return nil, fmt.Errorf("wasm: skeleton value type 0x%02x invalid", b[i])
+		}
+	}
+	return types, nil
+}
+
+func appendLimitsSkel(w *wbin.Writer, lim Limits) {
+	w.Bool(lim.HasMax)
+	w.Uvarint(uint64(lim.Min))
+	w.Uvarint(uint64(lim.Max))
+}
+
+func decodeLimitsSkel(r *wbin.Reader) Limits {
+	return Limits{
+		HasMax: r.Bool(),
+		Min:    uint32(r.Uvarint()),
+		Max:    uint32(r.Uvarint()),
+	}
+}
