@@ -22,6 +22,14 @@ type Report struct {
 	// ColdStart holds the persistent-cache cold-start ladder: full
 	// compile vs zero-compile disk load vs in-memory hit.
 	ColdStart []ColdStartResult `json:"coldstart,omitempty"`
+	// Serving holds the multi-instance serving sweep: throughput and
+	// histogram-derived latency percentiles per (workers, pool size)
+	// cell. This is the BENCH_serving.json payload.
+	Serving []ServingResult `json:"serving,omitempty"`
+	// Telemetry is the process-wide telemetry snapshot taken after all
+	// measurements — the same shape `wizgo -stats -json` and the expvar
+	// endpoint report.
+	Telemetry map[string]any `json:"telemetry,omitempty"`
 }
 
 // FigureResult is one figure's output: tables carry rows, scatter
@@ -98,6 +106,26 @@ type ColdStartResult struct {
 	DiskHits         uint64        `json:"disk_hits"`
 	DiskMisses       uint64        `json:"disk_misses"`
 	DiskWrites       uint64        `json:"disk_writes"`
+}
+
+// ServingResult is one cell of the serving sweep: `requests` complete
+// requests (pool get + _start + put) pushed through `workers` goroutines
+// against a pool of `pool_size` instances.
+type ServingResult struct {
+	Engine        string        `json:"engine"`
+	Item          string        `json:"item"`
+	Workers       int           `json:"workers"`
+	PoolSize      int           `json:"pool_size"`
+	Requests      int           `json:"requests"`
+	Compile       time.Duration `json:"compile_ns"`
+	Wall          time.Duration `json:"wall_ns"`
+	ThroughputRPS float64       `json:"throughput_rps"`
+	Mean          time.Duration `json:"latency_mean_ns"`
+	P50           time.Duration `json:"latency_p50_ns"`
+	P90           time.Duration `json:"latency_p90_ns"`
+	P99           time.Duration `json:"latency_p99_ns"`
+	Hits          uint64        `json:"hits"`
+	Misses        uint64        `json:"misses"`
 }
 
 func (r *Report) addTable(fig int, t *harness.Table) {

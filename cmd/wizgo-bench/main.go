@@ -14,7 +14,10 @@
 // baseline compilers. -pool measures the pooled serving mode on top of
 // it: requests drawn from an instance pool with copy-on-write reset,
 // reporting get/reset/miss latencies under -pool-workers contention.
-// -coldstart measures the persistent-cache rung below both: a seed
+// -serving sweeps the full serving shape: complete requests (pool get →
+// _start → put) pushed through worker-count × instance-count cells, each
+// cell reporting throughput and latency percentiles derived from the
+// telemetry histograms. -coldstart measures the persistent-cache rung below both: a seed
 // process writes the compiled artifact to -cache-dir and a simulated
 // cold process serves its first request from disk; the run exits
 // non-zero if any cold start invoked the compiler. -nofigs skips the
@@ -30,6 +33,7 @@ import (
 
 	"wizgo/internal/engines"
 	"wizgo/internal/harness"
+	"wizgo/internal/telemetry"
 	"wizgo/internal/workloads"
 )
 
@@ -45,6 +49,7 @@ func main() {
 	requests := flag.Int("requests", 32, "requests per module for -pool")
 	poolWorkers := flag.Int("pool-workers", 4, "concurrent workers driving the pool for -pool")
 	poolSize := flag.Int("pool-size", 4, "idle instances the pool retains for -pool")
+	serving := flag.Bool("serving", false, "measure multi-instance serving: throughput and latency percentiles swept over worker and pool-instance counts")
 	coldstart := flag.Bool("coldstart", false, "measure zero-compile cold starts from a persistent code cache; exits non-zero if any cold start invoked the compiler")
 	cacheDir := flag.String("cache-dir", "", "persistent cache directory for -coldstart (default: a fresh temp dir, removed afterwards)")
 	nofigs := flag.Bool("nofigs", false, "skip the figure tables (use with -service/-pool/-coldstart; -fig 0 means all figures, so it cannot express this)")
@@ -140,12 +145,19 @@ func main() {
 	if *pooled {
 		runPooled(report, all, *requests, *poolWorkers, *poolSize)
 	}
+	if *serving {
+		runServing(report, all, *requests)
+	}
 	coldViolations := 0
 	if *coldstart {
 		coldViolations = runColdStart(report, all, *cacheDir, *runs)
 	}
 
 	if *jsonPath != "" {
+		// The process-wide snapshot rides along: the same counters and
+		// histograms a scraped /metrics endpoint would report, populated
+		// by everything the run executed.
+		report.Telemetry = telemetry.Default().Snapshot().JSONValue()
 		if err := report.write(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "wizgo-bench: writing json:", err)
 			os.Exit(1)
@@ -209,6 +221,41 @@ func runPooled(report *Report, items []workloads.Item, requests, workers, poolSi
 				Workers: s.Workers, Requests: s.Requests,
 				Amortization: s.Amortization(),
 			})
+		}
+	}
+	fmt.Println()
+}
+
+// runServing sweeps the multi-instance serving shape: for each baseline
+// compiler and item, requests are pushed through (workers × pool size)
+// cells and each cell reports throughput plus latency percentiles read
+// from a telemetry histogram — the data behind BENCH_serving.json.
+func runServing(report *Report, items []workloads.Item, requests int) {
+	workerSweep := []int{1, 2, 4}
+	poolSweep := []int{1, 4}
+	fmt.Println("== Serving: throughput and latency vs workers × instances ==")
+	fmt.Printf("%-14s %-22s %3s %5s %10s %12s %12s %12s %8s\n",
+		"engine", "item", "wrk", "insts", "req/s", "p50", "p90", "p99", "hits")
+	for _, cfg := range engines.BaselineShootout() {
+		for _, it := range items {
+			key := it.Suite + "/" + it.Name
+			for _, workers := range workerSweep {
+				for _, poolSize := range poolSweep {
+					s, err := harness.MeasureServing(cfg, it.Bytes, requests, workers, poolSize)
+					check(err)
+					fmt.Printf("%-14s %-22s %3d %5d %10.1f %12v %12v %12v %3d/%-4d\n",
+						cfg.Name, key, workers, poolSize, s.Throughput,
+						s.P50, s.P90, s.P99, s.Hits, s.Hits+s.Misses)
+					report.Serving = append(report.Serving, ServingResult{
+						Engine: cfg.Name, Item: key,
+						Workers: s.Workers, PoolSize: s.PoolSize, Requests: s.Requests,
+						Compile: s.Compile, Wall: s.Wall,
+						ThroughputRPS: s.Throughput,
+						Mean:          s.Mean, P50: s.P50, P90: s.P90, P99: s.P99,
+						Hits: s.Hits, Misses: s.Misses,
+					})
+				}
+			}
 		}
 	}
 	fmt.Println()

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wizgo [-tier wizeng-spc] [-invoke name] [-instances N] [-compile-workers N] [-pool [-pool-size N]] [-cache-dir dir] [-stats] [-timeout 2s] module.wasm [args...]
+//	wizgo [-tier wizeng-spc] [-invoke name] [-instances N] [-compile-workers N] [-pool [-pool-size N]] [-cache-dir dir] [-stats [-json]] [-profile N] [-timeout 2s] module.wasm [args...]
 //
 // The module is compiled once (per-function compilation fans out over
 // -compile-workers cores) and then instantiated -instances times from
@@ -31,6 +31,7 @@ import (
 	"wizgo/internal/engines"
 	"wizgo/internal/mach"
 	"wizgo/internal/monitors"
+	"wizgo/internal/telemetry"
 	"wizgo/internal/wasm"
 )
 
@@ -46,7 +47,9 @@ func main() {
 	poolSize := flag.Int("pool-size", 0, "idle instances the pool retains (0 = default)")
 	timeout := flag.Duration("timeout", 0, "per-call deadline; a run exceeding it is interrupted cleanly (0 = no deadline)")
 	cacheDir := flag.String("cache-dir", "", "persistent code cache directory; a warm cache serves Compile from disk with zero compiler invocations")
-	stats := flag.Bool("stats", false, "report code cache (memory + disk) counters and compiler invocations after the run")
+	stats := flag.Bool("stats", false, "report the unified telemetry snapshot (cache, pool, compile/link/execute histograms, traps) after the run")
+	statsJSON := flag.Bool("json", false, "with -stats, write the snapshot as JSON to stdout instead of text to stderr")
+	profileTop := flag.Int("profile", 0, "attach the execution profiler and report the top-N hot functions after each run")
 	flag.Parse()
 
 	if *list {
@@ -124,10 +127,10 @@ func main() {
 
 	var pool *engine.InstancePool
 	if *usePool {
-		if *branches {
+		if *branches || *profileTop > 0 {
 			// Probes persist across pooled recycling, so re-attaching a
 			// monitor every request would stack duplicate probes.
-			fatal(fmt.Errorf("-pool and -monitor-branches are mutually exclusive"))
+			fatal(fmt.Errorf("-pool and -monitor-branches/-profile are mutually exclusive"))
 		}
 		pool = cm.NewPool(*poolSize)
 		defer pool.Close()
@@ -151,6 +154,12 @@ func main() {
 		var mon *monitors.BranchMonitor
 		if *branches {
 			if mon, err = monitors.AttachBranchMonitor(inst); err != nil {
+				fatal(err)
+			}
+		}
+		var prof *monitors.Profiler
+		if *profileTop > 0 {
+			if prof, err = monitors.AttachProfiler(inst); err != nil {
 				fatal(err)
 			}
 		}
@@ -181,6 +190,9 @@ func main() {
 		if mon != nil {
 			fmt.Print(mon.Report(10))
 		}
+		if prof != nil {
+			fmt.Print(prof.Report(*profileTop))
+		}
 		if pool != nil {
 			pool.Put(inst) // recycle the whole instance for the next run
 		} else {
@@ -206,11 +218,19 @@ func main() {
 			instantiateWall, *instances)
 	}
 	if *stats {
-		st := cache.Stats()
-		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions; disk: %d hits, %d misses, %d writes, %d corrupt-evictions; compiler invocations: %d\n",
-			st.Hits, st.Misses, st.Evictions,
-			st.DiskHits, st.DiskMisses, st.DiskWrites, st.CorruptEvictions,
-			eng.CompileCalls())
+		// One unified snapshot covers what used to be separate cache,
+		// pool, and compiler-invocation reports: every producer in the
+		// process (memory + disk cache, pool, compile/link/execute
+		// histograms, trap counters) feeds the same registry.
+		snap := telemetry.Default().Snapshot()
+		if *statsJSON {
+			if err := snap.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "telemetry:")
+			snap.WriteText(os.Stderr)
+		}
 	}
 }
 

@@ -1,5 +1,6 @@
 // Serving example: the deployment shape the compile-once /
-// instantiate-many pipeline exists for, in two phases.
+// instantiate-many pipeline exists for, in three phases, with the full
+// observability surface mounted over HTTP.
 //
 // Phase 1 (cache): a pool of worker goroutines serves "requests", each
 // of which names one of several modules; every worker compiles through
@@ -15,18 +16,44 @@
 // so the per-request setup cost drops from a full link to a reset
 // proportional to what the previous request wrote.
 //
-//	go run ./examples/serving
+// Phase 3 (faults): deliberately failing requests — a division by
+// zero, an unreachable, and a runaway loop cancelled by a context
+// deadline — so the trap and interrupt counters carry real traffic.
+//
+// Everything above feeds the process-wide telemetry registry, exposed
+// on three endpoints: /metrics (Prometheus text format), /debug/vars
+// (expvar JSON, the snapshot under the "wizgo" key), and /debug/trace
+// (the request-lifecycle span ring as JSON). -pprof additionally
+// mounts net/http/pprof under /debug/pprof/.
+//
+//	go run ./examples/serving                 # traffic + summary, then exit
+//	go run ./examples/serving -listen :8080   # keep serving the endpoints
+//	go run ./examples/serving -check          # self-scrape; non-zero exit if
+//	                                          # a required metric family is
+//	                                          # missing or unpopulated
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"wizgo/internal/codecache"
 	"wizgo/internal/engine"
 	"wizgo/internal/engines"
+	"wizgo/internal/telemetry"
+	"wizgo/internal/wasm"
 	"wizgo/internal/workloads"
 )
 
@@ -83,6 +110,14 @@ func verify(results []result) time.Duration {
 }
 
 func main() {
+	listen := flag.String("listen", "", "keep serving /metrics, /debug/vars and /debug/trace on this address after the traffic (e.g. :8080)")
+	check := flag.Bool("check", false, "self-scrape mode: bind an ephemeral port, run the traffic, verify the required metric families are present and populated, exit non-zero on failure")
+	withPprof := flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
+	traceCap := flag.Int("trace", 256, "request-lifecycle tracer ring capacity")
+	flag.Parse()
+
+	telemetry.DefaultTracer().Enable(*traceCap)
+
 	cache := codecache.New(codecache.Options{Shards: 16, Capacity: 128})
 	cfg := engines.WizardSPC()
 	cfg.Cache = cache
@@ -168,4 +203,218 @@ func main() {
 			item.Name, pst.Hits, pst.Misses, pst.MeanReset(), pst.ResetMax, pst.MeanMiss())
 		pools[item.Name].Close()
 	}
+
+	// Phase 3: failing requests, so the trap and interrupt telemetry
+	// carries real counts rather than zeros.
+	phase3Faults(e)
+
+	mux := observabilityMux(*withPprof)
+	if *check {
+		if err := selfCheck(mux); err != nil {
+			fmt.Fprintln(os.Stderr, "serving: check failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("check: all required metric families present and populated")
+		return
+	}
+	if *listen != "" {
+		fmt.Printf("serving /metrics, /debug/vars, /debug/trace on %s\n", *listen)
+		log.Fatal(http.ListenAndServe(*listen, mux))
+	}
+}
+
+// buildFaulty builds a module whose exports fail in three distinct
+// ways: integer division by zero, an unreachable, and a loop that never
+// terminates on its own (cancelled by a context deadline instead).
+func buildFaulty() []byte {
+	b := wasm.NewBuilder()
+	div := b.NewFunc("div", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32, wasm.I32},
+		Results: []wasm.ValueType{wasm.I32},
+	})
+	div.LocalGet(0).LocalGet(1).Op(wasm.OpI32DivS).End()
+	b.Export("div", div.Idx)
+
+	boom := b.NewFunc("boom", wasm.FuncType{})
+	boom.Op(wasm.OpUnreachable).End()
+	b.Export("boom", boom.Idx)
+
+	spin := b.NewFunc("spin", wasm.FuncType{})
+	spin.Loop(wasm.BlockEmpty).Br(0).End().End()
+	b.Export("spin", spin.Idx)
+	return b.Encode()
+}
+
+// phase3Faults drives one request into each failure path and reports
+// the trap kinds it collected.
+func phase3Faults(e *engine.Engine) {
+	cm, err := e.Compile(buildFaulty())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fault := func(call func(inst *engine.Instance) error) string {
+		inst, err := cm.Instantiate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer inst.Release()
+		if err := call(inst); err != nil {
+			return err.Error()
+		}
+		log.Fatal("serving: fault request unexpectedly succeeded")
+		return ""
+	}
+	kinds := []string{
+		fault(func(inst *engine.Instance) error {
+			_, err := inst.Call("div", wasm.ValI32(1), wasm.ValI32(0))
+			return err
+		}),
+		fault(func(inst *engine.Instance) error {
+			_, err := inst.Call("boom")
+			return err
+		}),
+		fault(func(inst *engine.Instance) error {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+			defer cancel()
+			_, err := inst.CallContext(ctx, "spin")
+			return err
+		}),
+	}
+	fmt.Printf("phase 3 (faults): %d failing requests\n", len(kinds))
+	for _, k := range kinds {
+		fmt.Printf("  %s\n", k)
+	}
+}
+
+var publishOnce sync.Once
+
+// observabilityMux mounts the full observability surface: Prometheus
+// text on /metrics, the expvar JSON (snapshot under the "wizgo" key)
+// on /debug/vars, the lifecycle span ring on /debug/trace, and
+// optionally net/http/pprof.
+func observabilityMux(withPprof bool) *http.ServeMux {
+	publishOnce.Do(func() { telemetry.PublishExpvar(telemetry.Default()) })
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		telemetry.DefaultTracer().WriteJSON(w)
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// requiredSeries are the series a scrape must report with a non-zero
+// value after the three phases — the contract the CI smoke asserts.
+var requiredSeries = []string{
+	"wizgo_cache_hits_total",
+	"wizgo_cache_misses_total",
+	"wizgo_pool_gets_total",
+	"wizgo_pool_hits_total",
+	"wizgo_pool_reset_seconds_count",
+	"wizgo_compile_seconds_count",
+	"wizgo_link_seconds_count",
+	"wizgo_execute_seconds_count",
+	`wizgo_traps_total{kind="div_by_zero"}`,
+	`wizgo_traps_total{kind="unreachable"}`,
+	`wizgo_traps_total{kind="interrupted"}`,
+}
+
+// selfCheck binds an ephemeral port, scrapes the three endpoints over
+// real HTTP, and verifies the required series are present and populated.
+func selfCheck(mux *http.ServeMux) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) ([]byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+
+	// /metrics: parse the exposition text into series → value and
+	// demand every required series is non-zero.
+	body, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	series := map[string]string{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i > 0 {
+			series[line[:i]] = line[i+1:]
+		}
+	}
+	for _, name := range requiredSeries {
+		v, ok := series[name]
+		if !ok {
+			return fmt.Errorf("/metrics: required series %s missing", name)
+		}
+		if v == "0" || v == "0.0" {
+			return fmt.Errorf("/metrics: required series %s is zero after traffic", name)
+		}
+	}
+
+	// /debug/vars: the snapshot must be published under "wizgo" with
+	// the three sections.
+	body, err = get("/debug/vars")
+	if err != nil {
+		return err
+	}
+	var vars struct {
+		Wizgo map[string]json.RawMessage `json:"wizgo"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		return fmt.Errorf("/debug/vars: %w", err)
+	}
+	for _, section := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := vars.Wizgo[section]; !ok {
+			return fmt.Errorf("/debug/vars: wizgo.%s missing", section)
+		}
+	}
+
+	// /debug/trace: the ring must hold spans from the traffic above.
+	body, err = get("/debug/trace")
+	if err != nil {
+		return err
+	}
+	var spans []telemetry.Span
+	if err := json.Unmarshal(body, &spans); err != nil {
+		return fmt.Errorf("/debug/trace: %w", err)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("/debug/trace: no spans recorded")
+	}
+	stages := map[string]bool{}
+	for _, s := range spans {
+		stages[s.Stage] = true
+	}
+	for _, stage := range []string{telemetry.StageExecute, telemetry.StageTrap} {
+		if !stages[stage] {
+			return fmt.Errorf("/debug/trace: no %q span recorded", stage)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,38 @@
+package wizgo
+
+import (
+	"testing"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/workloads"
+)
+
+// BenchmarkExecGemm isolates steady-state execution of polybench/gemm
+// under the three tiers the telemetry acceptance gate tracks: the
+// in-place interpreter, the single-pass compiler, and copy-and-patch.
+// Setup (compile + instantiate) is untimed; each iteration is one
+// _start run on a warm instance.
+func BenchmarkExecGemm(b *testing.B) {
+	item := workloads.PolyBench()[0] // gemm
+	for _, cfg := range []engine.Config{
+		engines.WizardINT(), engines.WizardSPC(), engines.WasmNowLike(),
+	} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			inst, err := engine.New(cfg, nil).Instantiate(item.Bytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			start, ok := inst.RT.FuncByName("_start")
+			if !ok {
+				b.Fatal("gemm has no _start")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.CallFunc(start); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -28,6 +28,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"wizgo/internal/telemetry"
 )
 
 // Key identifies one cached artifact: a content hash plus the
@@ -161,9 +164,11 @@ func (c *Cache) Get(k Key) (any, bool) {
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		mHits.Inc()
 		return e.value, true
 	}
 	c.misses.Add(1)
+	mMisses.Inc()
 	return nil, false
 }
 
@@ -188,6 +193,7 @@ func (c *Cache) putLocked(s *shard, k Key, v any) {
 		}
 		delete(s.entries, victim)
 		c.evictions.Add(1)
+		mEvictions.Inc()
 	}
 	s.entries[k] = &entry{value: v, used: c.clock.Add(1)}
 }
@@ -230,18 +236,35 @@ func (c *Cache) GetOrAdd(k Key, build func() (any, error)) (any, error) {
 // processes missing on one key, one compiles and writes, the rest wait
 // and load its artifact.
 func (c *Cache) GetOrAddTiered(k Key, ops TierOps) (v any, err error) {
+	// The lifecycle tracer sees every lookup as a cache_mem span whose
+	// outcome label distinguishes hit, collapsed wait, and miss. Timing
+	// is gated on the tracer being enabled so the fast path never calls
+	// time.Now.
+	tracer := telemetry.DefaultTracer()
+	var t0 time.Time
+	if tracer.Enabled() {
+		t0 = time.Now()
+	}
 	s := c.shardFor(k)
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
 		e.used = c.clock.Add(1)
 		s.mu.Unlock()
 		c.hits.Add(1)
+		mHits.Inc()
+		if tracer.Enabled() {
+			tracer.Record(telemetry.StageCacheMem, "hit", t0, time.Since(t0), "")
+		}
 		return e.value, nil
 	}
 	if fl, ok := s.inflight[k]; ok {
 		s.mu.Unlock()
 		c.hits.Add(1) // a collapsed miss costs one compile fleet-wide: count as hit
+		mHits.Inc()
 		fl.wg.Wait()
+		if tracer.Enabled() {
+			tracer.Record(telemetry.StageCacheMem, "collapsed", t0, time.Since(t0), errLabel(fl.err))
+		}
 		return fl.value, fl.err
 	}
 	fl := &flight{}
@@ -249,6 +272,7 @@ func (c *Cache) GetOrAddTiered(k Key, ops TierOps) (v any, err error) {
 	s.inflight[k] = fl
 	s.mu.Unlock()
 	c.misses.Add(1)
+	mMisses.Inc()
 
 	// The cleanup must run even if build panics (compiler bugs surface
 	// as panics): a leaked inflight entry would block every future
@@ -268,7 +292,18 @@ func (c *Cache) GetOrAddTiered(k Key, ops TierOps) (v any, err error) {
 		v, err = fl.value, fl.err
 	}()
 	fl.value, fl.err = c.buildTiered(k, ops)
+	if tracer.Enabled() {
+		tracer.Record(telemetry.StageCacheMem, "miss", t0, time.Since(t0), errLabel(fl.err))
+	}
 	return fl.value, fl.err
+}
+
+// errLabel renders an error as a span outcome label.
+func errLabel(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // buildTiered resolves a memory miss against the disk tier, falling
@@ -319,6 +354,12 @@ func (c *Cache) buildTiered(k Key, ops TierOps) (any, error) {
 // promoting nothing itself — the caller's flight cleanup publishes the
 // value into the memory shard.
 func (c *Cache) loadFromDisk(d *DiskStore, k Key, ops TierOps) (any, bool) {
+	tracer := telemetry.DefaultTracer()
+	var t0 time.Time
+	if tracer.Enabled() {
+		t0 = time.Now()
+		defer func() { tracer.Record(telemetry.StageCacheDisk, "load", t0, time.Since(t0), "") }()
+	}
 	payload, done, ok := d.Load(k)
 	if !ok {
 		return nil, false

@@ -139,6 +139,7 @@ func (d *DiskStore) Load(k Key) (payload []byte, done func(), ok bool) {
 		// ENOENT is the common cold-cache case; anything else (EACCES,
 		// EIO) equally means "no usable artifact".
 		d.misses.Add(1)
+		mDiskMisses.Inc()
 		return nil, nil, false
 	}
 	payload, err = d.verify(k, data)
@@ -146,9 +147,11 @@ func (d *DiskStore) Load(k Key) (payload []byte, done func(), ok bool) {
 		unmap()
 		d.evictCorrupt(k)
 		d.misses.Add(1)
+		mDiskMisses.Inc()
 		return nil, nil, false
 	}
 	d.hits.Add(1)
+	mDiskHits.Inc()
 	return payload, unmap, true
 }
 
@@ -237,6 +240,7 @@ func (d *DiskStore) Store(k Key, payload []byte) error {
 		return fmt.Errorf("codecache: publishing artifact: %w", err)
 	}
 	d.writes.Add(1)
+	mDiskWrites.Inc()
 	return nil
 }
 
@@ -245,6 +249,7 @@ func (d *DiskStore) Store(k Key, payload []byte) error {
 func (d *DiskStore) evictCorrupt(k Key) {
 	if err := os.Remove(d.path(k)); err == nil || errors.Is(err, fs.ErrNotExist) {
 		d.corrupt.Add(1)
+		mDiskCorrupt.Inc()
 	}
 }
 
@@ -277,6 +282,7 @@ func (d *DiskStore) TryLock(k Key) (unlock func(), acquired bool) {
 			// an eviction of corrupt state, counted as such.
 			os.Remove(lp)
 			d.corrupt.Add(1)
+			mDiskCorrupt.Inc()
 			continue
 		}
 		return nil, false

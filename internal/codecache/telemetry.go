@@ -1,0 +1,26 @@
+package codecache
+
+import "wizgo/internal/telemetry"
+
+// Process-wide mirrors of the cache counters. Every Cache in the
+// process folds into these series (registration is idempotent), which
+// is what makes the /metrics view deployment-level: per-cache detail
+// stays available through Cache.Stats. The increments ride the same
+// code paths as the local atomics, so the two views never drift.
+var (
+	mHits = telemetry.Default().Counter("wizgo_cache_hits_total",
+		"Memory-tier code cache hits (collapsed in-flight misses included).")
+	mMisses = telemetry.Default().Counter("wizgo_cache_misses_total",
+		"Memory-tier code cache misses that went to the disk tier or a build.")
+	mEvictions = telemetry.Default().Counter("wizgo_cache_evictions_total",
+		"Code cache entries evicted to capacity pressure.")
+
+	mDiskHits = telemetry.Default().Counter("wizgo_cache_disk_hits_total",
+		"Disk-tier hits: artifacts rehydrated instead of compiled.")
+	mDiskMisses = telemetry.Default().Counter("wizgo_cache_disk_misses_total",
+		"Disk-tier misses that fell through to a fresh compile.")
+	mDiskWrites = telemetry.Default().Counter("wizgo_cache_disk_writes_total",
+		"Artifacts written through to the disk tier.")
+	mDiskCorrupt = telemetry.Default().Counter("wizgo_cache_disk_corrupt_evictions_total",
+		"Disk artifacts evicted because verification or decoding failed.")
+)

@@ -10,6 +10,7 @@ import (
 	"wizgo/internal/codecache"
 	"wizgo/internal/mach"
 	"wizgo/internal/rewriter"
+	"wizgo/internal/telemetry"
 	"wizgo/internal/validate"
 	"wizgo/internal/wasm"
 	"wizgo/internal/wbin"
@@ -218,6 +219,10 @@ func (e *Engine) decodeArtifact(bytes []byte, payload []byte) (*CompiledModule, 
 		return nil, err
 	}
 	cm.Timings.Rehydrate = time.Since(t1)
+	hRehydrate.Observe(cm.Timings.Rehydrate)
+	if tr := telemetry.DefaultTracer(); tr.Enabled() {
+		tr.Record(telemetry.StageCacheDisk, "rehydrate", t1, cm.Timings.Rehydrate, "")
+	}
 	return cm, nil
 }
 

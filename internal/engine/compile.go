@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wizgo/internal/codecache"
+	"wizgo/internal/telemetry"
 	"wizgo/internal/validate"
 	"wizgo/internal/wasm"
 )
@@ -131,6 +132,10 @@ func (e *Engine) compile(bytes []byte) (*CompiledModule, error) {
 			cm.Timings.CodeBytes += c.Bytes()
 		}
 	}
+	hCompile.Observe(time.Since(t0))
+	if tr := telemetry.DefaultTracer(); tr.Enabled() {
+		tr.Record(telemetry.StageCompile, e.cfg.Name, t0, time.Since(t0), "")
+	}
 	return cm, nil
 }
 
@@ -146,6 +151,7 @@ func (e *Engine) compileAll(m *wasm.Module, infos []validate.FuncInfo) ([]Code, 
 
 	compileOne := func(i int) (Code, error) {
 		e.compileCalls.Add(1)
+		mCompileCalls.Inc()
 		return e.cfg.Tier.Compile(m, uint32(imported+i), &m.Funcs[i], &infos[i], nil)
 	}
 
@@ -214,9 +220,14 @@ func (e *Engine) compileAll(m *wasm.Module, infos []validate.FuncInfo) ([]Code, 
 // This is the only per-instance cost — the artifact itself is never
 // touched, so any number of goroutines may instantiate concurrently.
 func (cm *CompiledModule) Instantiate() (*Instance, error) {
+	t0 := time.Now()
 	inst, err := cm.engine.link(cm.Module, cm.Infos)
 	if err != nil {
 		return nil, err
+	}
+	hLink.Observe(time.Since(t0))
+	if tr := telemetry.DefaultTracer(); tr.Enabled() {
+		tr.Record(telemetry.StageLink, cm.engine.cfg.Name, t0, time.Since(t0), "")
 	}
 	inst.Timings = cm.Timings
 

@@ -447,7 +447,7 @@ func (inst *Instance) invoke(f *rt.FuncInst, argBase int) error {
 			if errors.As(err, &t) {
 				return err
 			}
-			return &rt.Trap{Kind: rt.TrapHostError, FuncIdx: f.Idx, Wrapped: err}
+			return rt.NewTrapWrapped(rt.TrapHostError, f.Idx, 0, err)
 		}
 		if ctx.Stack.Tags != nil {
 			for i, t := range f.Type.Results {
@@ -694,6 +694,10 @@ func (inst *Instance) callFunc(f *rt.FuncInst, args ...wasm.Value) ([]wasm.Value
 	}
 	ctx := inst.Ctx
 	base := 0
+	// Only top-level entries feed the execute histogram: a re-entrant
+	// call (guest → host → guest) is already inside a measured request,
+	// and counting it would double-book its time.
+	topLevel := len(ctx.Frames) == 0
 	if n := len(ctx.Frames); n > 0 {
 		// Frame SPs are synced before every outgoing call, so the top
 		// frame's SP is the first free slot.
@@ -711,8 +715,18 @@ func (inst *Instance) callFunc(f *rt.FuncInst, args ...wasm.Value) ([]wasm.Value
 			ctx.Stack.Tags[base+i] = wasm.TagOf(a.Type)
 		}
 	}
+	var t0 time.Time
+	if topLevel {
+		t0 = time.Now()
+	}
 	if err := inst.invoke(f, base); err != nil {
+		if topLevel {
+			noteExecute(f.Name, t0, err)
+		}
 		return nil, err
+	}
+	if topLevel {
+		noteExecute(f.Name, t0, nil)
 	}
 	results := make([]wasm.Value, len(f.Type.Results))
 	for i, t := range f.Type.Results {

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/telemetry"
+)
+
+// ServingSample measures the multi-instance serving shape end to end:
+// compile once, then drive `requests` complete requests (pool get →
+// _start → put) through `workers` concurrent goroutines against a pool
+// of `poolSize` instances. Unlike PooledSample, which splits the
+// pool-side costs, this sample characterizes the whole request path the
+// way a load balancer sees it — throughput and latency percentiles as
+// functions of the worker count and the instance count — with the
+// percentiles read from a telemetry histogram rather than a sorted
+// sample array, so the numbers have exactly the resolution a scraped
+// /metrics endpoint would report.
+type ServingSample struct {
+	// Compile is the one-time artifact cost.
+	Compile time.Duration
+	// Requests, Workers, PoolSize describe the load shape.
+	Requests, Workers, PoolSize int
+	// Wall is the end-to-end time serving all requests; Throughput is
+	// Requests / Wall in requests per second.
+	Wall       time.Duration
+	Throughput float64
+	// Mean and the percentiles summarize the per-request latency
+	// (get + execute + put), derived from the histogram buckets.
+	Mean, P50, P90, P99 time.Duration
+	// Hits and Misses count recycled vs freshly instantiated requests.
+	Hits, Misses uint64
+}
+
+// MeasureServing compiles bytes once under cfg and serves requests from
+// an instance pool, returning throughput and histogram-derived latency
+// percentiles for the (workers, poolSize) cell.
+func MeasureServing(cfg engine.Config, bytes []byte, requests, workers, poolSize int) (ServingSample, error) {
+	if requests < 1 {
+		requests = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e := engine.New(cfg, nil)
+	t0 := time.Now()
+	cm, err := e.Compile(bytes)
+	if err != nil {
+		return ServingSample{}, err
+	}
+	s := ServingSample{
+		Compile:  time.Since(t0),
+		Requests: requests,
+		Workers:  workers,
+		PoolSize: poolSize,
+	}
+	if _, ok := cm.Module.ExportedFunc("_start"); !ok {
+		return ServingSample{}, fmt.Errorf("harness: module has no _start")
+	}
+	pool := cm.NewPool(poolSize)
+	defer pool.Close()
+
+	// A private registry keeps this cell's latency distribution separate
+	// from the process-wide one (which also accumulates across cells).
+	reg := telemetry.NewRegistry()
+	hist := reg.Histogram("serving_request_seconds",
+		"End-to-end request latency: pool get + _start + put.")
+
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	tStart := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := w; r < requests; r += workers {
+				t1 := time.Now()
+				inst, err := pool.Get()
+				if err != nil {
+					errs <- err
+					return
+				}
+				startFn, _ := inst.RT.FuncByName("_start")
+				if _, err := inst.CallFunc(startFn); err != nil {
+					errs <- err
+					return
+				}
+				pool.Put(inst)
+				hist.Observe(time.Since(t1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Wall = time.Since(tStart)
+	close(errs)
+	if err := <-errs; err != nil {
+		return ServingSample{}, err
+	}
+
+	if s.Wall > 0 {
+		s.Throughput = float64(requests) / s.Wall.Seconds()
+	}
+	snap := reg.Snapshot()
+	for _, h := range snap.Histograms {
+		if h.Desc.Name == "serving_request_seconds" {
+			s.Mean = h.Mean()
+			s.P50 = h.Quantile(0.50)
+			s.P90 = h.Quantile(0.90)
+			s.P99 = h.Quantile(0.99)
+		}
+	}
+	st := pool.Stats()
+	s.Hits, s.Misses = st.Hits, st.Misses
+	return s, nil
+}

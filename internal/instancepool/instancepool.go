@@ -164,10 +164,13 @@ func (p *Pool[T]) Get() (T, error) {
 			p.clean[n-1] = zero // do not retain the reference
 			p.clean = p.clean[:n-1]
 			delete(p.inPool, inst)
+			gCustody.Add(-1)
 			p.stats.Gets++
 			p.stats.Hits++
-			p.stats.GetTime += time.Since(t0)
+			getDur := time.Since(t0)
+			p.stats.GetTime += getDur
 			p.mu.Unlock()
+			noteGet(t0, getDur, true)
 			return inst, nil
 		}
 		if n := len(p.dirty); n > 0 {
@@ -176,6 +179,7 @@ func (p *Pool[T]) Get() (T, error) {
 			p.dirty[n-1] = zero
 			p.dirty = p.dirty[:n-1]
 			delete(p.inPool, inst)
+			gCustody.Add(-1)
 			p.mu.Unlock()
 
 			r0 := time.Now()
@@ -190,6 +194,7 @@ func (p *Pool[T]) Get() (T, error) {
 				}
 				p.mu.Lock()
 				p.stats.ResetFailures++
+				mResetFailures.Inc()
 				continue
 			}
 			p.mu.Lock()
@@ -198,8 +203,13 @@ func (p *Pool[T]) Get() (T, error) {
 			p.stats.ResetsOnGet++
 			p.stats.ResetOnGetTime += resetDur
 			p.noteReset(resetDur)
-			p.stats.GetTime += time.Since(t0)
+			getDur := time.Since(t0)
+			p.stats.GetTime += getDur
 			p.mu.Unlock()
+			mResetsOnGet.Inc()
+			hReset.Observe(resetDur)
+			noteReset(r0, resetDur, "on_get")
+			noteGet(t0, getDur, true)
 			return inst, nil
 		}
 		if p.resetting > 0 && !p.closed {
@@ -221,8 +231,10 @@ func (p *Pool[T]) Get() (T, error) {
 	p.stats.Gets++
 	p.stats.Misses++
 	p.stats.MissTime += missDur
-	p.stats.GetTime += time.Since(t0)
+	getDur := time.Since(t0)
+	p.stats.GetTime += getDur
 	p.mu.Unlock()
+	noteGet(t0, getDur, false)
 	return inst, nil
 }
 
@@ -249,11 +261,15 @@ func (p *Pool[T]) Put(inst T) {
 	// pool's own reference to it stays live.
 	if _, dup := p.inPool[inst]; dup {
 		p.stats.Drops++
+		mPuts.Inc()
+		mDrops.Inc()
 		p.mu.Unlock()
 		return
 	}
 	if p.closed || p.size() >= p.cfg.Capacity {
 		p.stats.Drops++
+		mPuts.Inc()
+		mDrops.Inc()
 		p.mu.Unlock()
 		if p.cfg.Discard != nil {
 			p.cfg.Discard(inst)
@@ -262,6 +278,8 @@ func (p *Pool[T]) Put(inst T) {
 	}
 	p.inPool[inst] = struct{}{}
 	p.dirty = append(p.dirty, inst)
+	mPuts.Inc()
+	gCustody.Add(1)
 	start := !p.draining
 	if start {
 		p.draining = true
@@ -309,12 +327,15 @@ func (p *Pool[T]) drain() {
 			// Close with a discard of our own.
 			if err != nil {
 				p.stats.ResetFailures++
+				mResetFailures.Inc()
 			}
 			p.clean = append(p.clean, inst)
 			p.cond.Broadcast()
 			p.mu.Unlock()
 		case err != nil:
 			p.stats.ResetFailures++
+			mResetFailures.Inc()
+			gCustody.Add(-1)
 			delete(p.inPool, inst)
 			p.cond.Broadcast()
 			p.mu.Unlock()
@@ -328,6 +349,9 @@ func (p *Pool[T]) drain() {
 			p.clean = append(p.clean, inst)
 			p.cond.Broadcast()
 			p.mu.Unlock()
+			mResetsOnPut.Inc()
+			hReset.Observe(resetDur)
+			noteReset(r0, resetDur, "on_put")
 		}
 	}
 }
@@ -362,6 +386,7 @@ func (p *Pool[T]) Close() {
 	drained := append(p.clean, p.dirty...)
 	p.clean, p.dirty = nil, nil
 	clear(p.inPool)
+	gCustody.Add(-int64(len(drained)))
 	p.mu.Unlock()
 	if p.cfg.Discard != nil {
 		for _, inst := range drained {

@@ -1,0 +1,65 @@
+package instancepool
+
+import (
+	"time"
+
+	"wizgo/internal/telemetry"
+)
+
+// Process-wide mirrors of the pool counters, plus the latency
+// histograms the per-pool Stats totals cannot express. Every pool in
+// the process folds into these series; per-pool detail stays available
+// through Pool.Stats. The custody gauge moves by deltas (+1 on a
+// retained Put, -1 when an instance leaves custody), which keeps gauge
+// snapshots mergeable.
+var (
+	mGets = telemetry.Default().Counter("wizgo_pool_gets_total",
+		"Successful instance pool Gets (hits + misses).")
+	mPoolHits = telemetry.Default().Counter("wizgo_pool_hits_total",
+		"Pool Gets served by a recycled instance.")
+	mPoolMisses = telemetry.Default().Counter("wizgo_pool_misses_total",
+		"Pool Gets that fell back to a fresh instantiation.")
+	mPuts = telemetry.Default().Counter("wizgo_pool_puts_total",
+		"Instances returned to the pool.")
+	mDrops = telemetry.Default().Counter("wizgo_pool_drops_total",
+		"Returned instances not retained (capacity, duplicate, closed).")
+	mResetFailures = telemetry.Default().Counter("wizgo_pool_reset_failures_total",
+		"Recycled instances discarded because their reset failed.")
+	mResetsOnPut = telemetry.Default().Counter("wizgo_pool_resets_on_put_total",
+		"Resets absorbed by the background drainer (off the request path).")
+	mResetsOnGet = telemetry.Default().Counter("wizgo_pool_resets_on_get_total",
+		"Resets Get ran inline (reset latency on the request path).")
+
+	hGet = telemetry.Default().Histogram("wizgo_pool_get_seconds",
+		"Pool Get latency (inline resets, reset waits and instantiations included).")
+	hReset = telemetry.Default().Histogram("wizgo_pool_reset_seconds",
+		"Instance reset latency, both drainer and inline paths.")
+
+	gCustody = telemetry.Default().Gauge("wizgo_pool_instances",
+		"Instances currently in pool custody (clean, dirty, or mid-reset).")
+)
+
+// noteGet publishes one completed Get: the process-wide counters, the
+// latency histogram, and (when tracing) a pool_get span.
+func noteGet(start time.Time, dur time.Duration, hit bool) {
+	mGets.Inc()
+	detail := "miss"
+	if hit {
+		mPoolHits.Inc()
+		detail = "hit"
+	} else {
+		mPoolMisses.Inc()
+	}
+	hGet.Observe(dur)
+	if tr := telemetry.DefaultTracer(); tr.Enabled() {
+		tr.Record(telemetry.StagePoolGet, detail, start, dur, "")
+	}
+}
+
+// noteReset records a pool_reset span; the path detail distinguishes
+// drainer resets ("on_put") from inline ones ("on_get").
+func noteReset(start time.Time, dur time.Duration, path string) {
+	if tr := telemetry.DefaultTracer(); tr.Enabled() {
+		tr.Record(telemetry.StagePoolReset, path, start, dur, "")
+	}
+}

@@ -85,7 +85,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 	interrupt := ctx.Interrupt
 
 	trap := func(kind rt.TrapKind) error {
-		return &rt.Trap{Kind: kind, FuncIdx: f.Idx, PC: ip}
+		return rt.NewTrap(kind, f.Idx, ip)
 	}
 
 	// syncFrame publishes ip/sp for stack walkers before observation

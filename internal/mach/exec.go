@@ -739,7 +739,7 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 			inst.Globals[in.Imm].Tag = wasm.Tag(in.C)
 
 		case OTrap:
-			return rt.Done, &rt.Trap{Kind: rt.TrapKind(in.A), FuncIdx: f.Idx, PC: int(in.Imm)}
+			return rt.Done, rt.NewTrap(rt.TrapKind(in.A), f.Idx, int(in.Imm))
 		case OUnreachable:
 			return rt.Done, c.trapAt(rt.TrapUnreachable, f, pc)
 
@@ -796,7 +796,7 @@ func (c *Code) trapAt(kind rt.TrapKind, f *rt.FuncInst, machPC int) error {
 	if machPC < len(c.WasmPC) {
 		wasmPC = int(c.WasmPC[machPC])
 	}
-	return &rt.Trap{Kind: kind, FuncIdx: f.Idx, PC: wasmPC}
+	return rt.NewTrap(kind, f.Idx, wasmPC)
 }
 
 func mf32(b uint64) float32  { return math.Float32frombits(uint32(b)) }

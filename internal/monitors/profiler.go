@@ -1,0 +1,184 @@
+// Execution profiler: a sampling-free hotness monitor built from
+// counter probes, the signal a tiering JIT consumes. Each profiled
+// function gets an entry probe (pc 0 executes exactly once per call —
+// loop back-edges never target offset 0, their targets point past the
+// loop opcode) and one counter probe on every loop back-edge branch
+// instruction, discovered from the validator's sidetable: an owner pc
+// whose entry targets an earlier-or-equal offset is a backward branch,
+// the same test the interpreter's OSR detection uses. Probes fire
+// before the probed instruction in every tier, and compiled code
+// intrinsifies *rt.CounterProbe to a direct increment, so the counts —
+// and therefore the hot-function ranking — are identical whether the
+// instance runs under the interpreter or a compiler tier.
+package monitors
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/rt"
+)
+
+// FuncProfile is the execution profile of one function: how often it
+// was entered and how many loop back-edge executions it accumulated
+// ("ticks" — the classic hotness numerator).
+type FuncProfile struct {
+	FuncIdx uint32
+	Name    string
+
+	entry *rt.CounterProbe
+	// edgePCs are the bytecode offsets of the function's backward
+	// branches; edges holds the counter attached at each.
+	edgePCs []int
+	edges   []*rt.CounterProbe
+}
+
+// Calls returns the number of times the function was entered.
+func (fp *FuncProfile) Calls() uint64 { return fp.entry.Count }
+
+// Ticks returns the cumulative back-edge executions across the
+// function's loops.
+func (fp *FuncProfile) Ticks() uint64 {
+	var n uint64
+	for _, e := range fp.edges {
+		n += e.Count
+	}
+	return n
+}
+
+// Profiler profiles one instance's functions via counter probes. Like
+// all probe instrumentation it is per-instance state: attaching to one
+// instance never perturbs others sharing the same compiled module.
+type Profiler struct {
+	inst *engine.Instance
+	// positions[i] is the index-space position FuncProfile i was
+	// attached at (it can differ from FuncIdx for re-exported imports).
+	positions []uint32
+
+	Profiles []*FuncProfile
+}
+
+// backEdgePCs returns the deduplicated bytecode offsets of f's backward
+// branches. An owner pc whose sidetable entry targets an offset <= the
+// owner is a loop back-edge (TargetIP points into an enclosing loop);
+// a br_table owns several consecutive entries at one pc, hence the
+// dedup.
+func backEdgePCs(f *rt.FuncInst) []int {
+	info := f.Info
+	var pcs []int
+	last := -1
+	for i, owner := range info.Owners {
+		e := &info.Sidetable[i]
+		if int(e.TargetIP) <= int(owner) && int(owner) != last {
+			pcs = append(pcs, int(owner))
+			last = int(owner)
+		}
+	}
+	return pcs
+}
+
+// AttachProfiler attaches entry and back-edge counter probes to every
+// local function of the instance. Host functions and functions imported
+// from other instances are skipped — their profile belongs to their
+// owner. Attachment triggers per-function recompilation on compiler
+// tiers; the recompiled code intrinsifies the counters, so steady-state
+// profiling overhead is one increment per probe site.
+func AttachProfiler(inst *engine.Instance) (*Profiler, error) {
+	p := &Profiler{inst: inst}
+	for i, f := range inst.RT.Funcs {
+		if f.IsHost() || (f.Owner != nil && f.Owner != inst.RT) {
+			continue
+		}
+		fp := &FuncProfile{
+			FuncIdx: f.Idx,
+			Name:    f.Name,
+			entry:   &rt.CounterProbe{},
+			edgePCs: backEdgePCs(f),
+		}
+		if err := inst.AttachProbe(uint32(i), 0, fp.entry); err != nil {
+			return nil, fmt.Errorf("monitors: profiler entry probe func %d: %w", f.Idx, err)
+		}
+		for _, pc := range fp.edgePCs {
+			c := &rt.CounterProbe{}
+			fp.edges = append(fp.edges, c)
+			if err := inst.AttachProbe(uint32(i), pc, c); err != nil {
+				return nil, fmt.Errorf("monitors: profiler edge probe func %d pc %d: %w", f.Idx, pc, err)
+			}
+		}
+		p.Profiles = append(p.Profiles, fp)
+		p.positions = append(p.positions, uint32(i))
+	}
+	return p, nil
+}
+
+// Detach removes every probe the profiler attached, recompiling the
+// affected functions back to their uninstrumented form. The collected
+// counts remain readable.
+func (p *Profiler) Detach() error {
+	var firstErr error
+	for i, fp := range p.Profiles {
+		pos := p.positions[i]
+		if err := p.inst.DetachProbes(pos, 0); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for _, pc := range fp.edgePCs {
+			if err := p.inst.DetachProbes(pos, pc); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Tier returns the engine preset name the profiled instance runs under.
+func (p *Profiler) Tier() string { return p.inst.Engine.Config().Name }
+
+// HotFunc is one row of the hotness report.
+type HotFunc struct {
+	FuncIdx uint32 `json:"func"`
+	Name    string `json:"name,omitempty"`
+	Calls   uint64 `json:"calls"`
+	Ticks   uint64 `json:"ticks"`
+}
+
+// Hot returns the top-n functions ranked by back-edge ticks, then
+// calls, then function index — a deterministic order, so two tiers that
+// executed the same work report the same ranking.
+func (p *Profiler) Hot(n int) []HotFunc {
+	rows := make([]HotFunc, 0, len(p.Profiles))
+	for _, fp := range p.Profiles {
+		rows = append(rows, HotFunc{
+			FuncIdx: fp.FuncIdx, Name: fp.Name,
+			Calls: fp.Calls(), Ticks: fp.Ticks(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Ticks != rows[j].Ticks {
+			return rows[i].Ticks > rows[j].Ticks
+		}
+		if rows[i].Calls != rows[j].Calls {
+			return rows[i].Calls > rows[j].Calls
+		}
+		return rows[i].FuncIdx < rows[j].FuncIdx
+	})
+	if n > 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// Report renders the top-n hot functions as text.
+func (p *Profiler) Report(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profiler (%s): %d functions\n", p.Tier(), len(p.Profiles))
+	for _, h := range p.Hot(n) {
+		name := h.Name
+		if name == "" {
+			name = fmt.Sprintf("func[%d]", h.FuncIdx)
+		}
+		fmt.Fprintf(&b, "  %-28s calls=%-10d ticks=%d\n", name, h.Calls, h.Ticks)
+	}
+	return b.String()
+}

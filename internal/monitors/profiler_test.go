@@ -1,0 +1,158 @@
+package monitors_test
+
+import (
+	"reflect"
+	"testing"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/monitors"
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+	"wizgo/internal/workloads"
+)
+
+// TestProfilerCountsExact: on the counted-loop module, one call with n
+// iterations must report exactly 1 call and n back-edge ticks (the
+// br_if instruction executes once per iteration), under both the
+// interpreter and the intrinsifying compiler.
+func TestProfilerCountsExact(t *testing.T) {
+	const n = 57
+	for _, cfg := range []engine.Config{engines.WizardINT(), engines.WizardSPC()} {
+		inst, err := engine.New(cfg, nil).Instantiate(buildCounted())
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		prof, err := monitors.AttachProfiler(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if len(prof.Profiles) != 1 {
+			t.Fatalf("%s: %d profiles, want 1", cfg.Name, len(prof.Profiles))
+		}
+		if _, err := inst.Call("run", wasm.ValI32(n)); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		fp := prof.Profiles[0]
+		if fp.Calls() != 1 {
+			t.Errorf("%s: calls = %d, want 1", cfg.Name, fp.Calls())
+		}
+		if fp.Ticks() != n {
+			t.Errorf("%s: ticks = %d, want %d", cfg.Name, fp.Ticks(), n)
+		}
+	}
+}
+
+// gemmHot runs polybench/gemm once under cfg with the profiler attached
+// and returns the full ranking.
+func gemmHot(t *testing.T, cfg engine.Config) []monitors.HotFunc {
+	t.Helper()
+	item := workloads.PolyBench()[0] // gemm
+	inst, err := engine.New(cfg, nil).Instantiate(item.Bytes)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	prof, err := monitors.AttachProfiler(inst)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	if _, err := inst.Call("_start"); err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	return prof.Hot(0)
+}
+
+// TestProfilerTierIdentical: the acceptance property — the profiler's
+// hot-function ranking for polybench/gemm is identical (same functions,
+// same call counts, same tick counts, same order) under the interpreter
+// and the SPC tier. Probes fire before the probed instruction in every
+// tier, so the counts cannot diverge.
+func TestProfilerTierIdentical(t *testing.T) {
+	intHot := gemmHot(t, engines.WizardINT())
+	spcHot := gemmHot(t, engines.WizardSPC())
+	if len(intHot) == 0 {
+		t.Fatal("empty profile")
+	}
+	if !reflect.DeepEqual(intHot, spcHot) {
+		t.Fatalf("tier profiles differ:\nint: %+v\nspc: %+v", intHot, spcHot)
+	}
+	// gemm's kernel must actually have registered loop work.
+	if intHot[0].Ticks == 0 {
+		t.Fatalf("hottest function has no ticks: %+v", intHot[0])
+	}
+}
+
+// TestProfilerAttachDetachIsolation: profiling is per-instance state.
+// A second instance of the same compiled module must observe no probes
+// and no counts; after Detach, further execution must not move the
+// profiled counters.
+func TestProfilerAttachDetachIsolation(t *testing.T) {
+	e := engine.New(engines.WizardSPC(), nil)
+	cm, err := e.Compile(buildCounted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prof, err := monitors.AttachProfiler(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call("run", wasm.ValI32(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Call("run", wasm.ValI32(10)); err != nil {
+		t.Fatal(err)
+	}
+	fp := prof.Profiles[0]
+	if fp.Calls() != 1 || fp.Ticks() != 10 {
+		t.Fatalf("profiled instance: calls=%d ticks=%d, want 1, 10", fp.Calls(), fp.Ticks())
+	}
+	// The sibling instance must be untouched: no probe set installed.
+	for _, f := range b.RT.Funcs {
+		if !f.Probes.Empty() {
+			t.Fatalf("sibling instance func %d has probes", f.Idx)
+		}
+	}
+
+	if err := prof.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call("run", wasm.ValI32(10)); err != nil {
+		t.Fatal(err)
+	}
+	if fp.Calls() != 1 || fp.Ticks() != 10 {
+		t.Fatalf("counters moved after Detach: calls=%d ticks=%d", fp.Calls(), fp.Ticks())
+	}
+	for _, f := range a.RT.Funcs {
+		if !f.Probes.Empty() {
+			t.Fatalf("func %d still has probes after Detach", f.Idx)
+		}
+	}
+}
+
+// TestProfilerHookZeroAlloc: the profiler's per-call hook is a counter
+// probe; firing it through the interpreter's shared FireAll path must
+// not allocate (the direct-dispatch fast path added for exactly this).
+func TestProfilerHookZeroAlloc(t *testing.T) {
+	set := rt.NewProbeSet(8)
+	set.Insert(0, &rt.CounterProbe{})
+	ctx := &rt.Context{Stack: rt.NewValueStack(16, false)}
+	fi := rt.FrameInfo{SP: 1}
+	if n := testing.AllocsPerRun(1000, func() { set.FireAll(ctx, fi, 0) }); n != 0 {
+		t.Errorf("FireAll with counter probe allocates %v/op, want 0", n)
+	}
+	// A TosProbe fires allocation-free through the same path.
+	set2 := rt.NewProbeSet(8)
+	set2.Insert(0, &monitors.BranchCounter{})
+	if n := testing.AllocsPerRun(1000, func() { set2.FireAll(ctx, fi, 0) }); n != 0 {
+		t.Errorf("FireAll with tos probe allocates %v/op, want 0", n)
+	}
+}

@@ -41,7 +41,7 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 	}()
 
 	trap := func(kind rt.TrapKind) error {
-		return &rt.Trap{Kind: kind, FuncIdx: f.Idx, PC: pc}
+		return rt.NewTrap(kind, f.Idx, pc)
 	}
 
 	for {
@@ -333,7 +333,7 @@ func transfer(slots []uint64, sp, val, pop int) int {
 // numeric operations via the shared scalar semantics.
 func (c *Code) slowOp(in *Instr, slots []uint64, sp int, mem *rt.Memory, f *rt.FuncInst, pc int) (int, error) {
 	trap := func(kind rt.TrapKind) error {
-		return &rt.Trap{Kind: kind, FuncIdx: f.Idx, PC: pc}
+		return rt.NewTrap(kind, f.Idx, pc)
 	}
 	op := in.Op
 	if op.Imm() == wasm.ImmMem {

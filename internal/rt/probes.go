@@ -136,14 +136,32 @@ func (s *ProbeSet) PCs() []int {
 // Empty reports whether no probes remain.
 func (s *ProbeSet) Empty() bool { return s == nil || len(s.byPC) == 0 }
 
-// FireAll fires every probe at pc with a freshly allocated accessor —
-// the unoptimized runtime path shared by the interpreter and plain JIT
-// probe calls.
+// FireAll fires every probe at pc — the runtime path shared by the
+// interpreter and plain JIT probe calls. Counter and top-of-stack
+// probes dispatch directly, without materializing an accessor, so they
+// stay allocation-free here just as they do when compiled code
+// intrinsifies them; the accessor is allocated lazily, only when a
+// generic probe actually needs one (the engine-code overhead Figure 6
+// attributes to the unoptimized configurations).
 func (s *ProbeSet) FireAll(ctx *Context, fi FrameInfo, pc int) {
-	a := &Accessor{Ctx: ctx, Frame: fi}
-	a.Frame.PC = pc
+	var a *Accessor
 	for _, p := range s.byPC[pc] {
-		p.Fire(a)
+		switch q := p.(type) {
+		case *CounterProbe:
+			q.Count++
+		case TosProbe:
+			var tos uint64
+			if fi.SP > 0 {
+				tos = ctx.Stack.Slots[fi.SP-1]
+			}
+			q.FireTos(tos)
+		default:
+			if a == nil {
+				a = &Accessor{Ctx: ctx, Frame: fi}
+				a.Frame.PC = pc
+			}
+			p.Fire(a)
+		}
 	}
 	if ctx.CountStats {
 		ctx.Stats.ProbeFires++

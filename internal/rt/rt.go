@@ -93,9 +93,19 @@ func (t *Trap) Error() string {
 // (e.g. a TrapInterrupted carrying context.DeadlineExceeded).
 func (t *Trap) Unwrap() error { return t.Wrapped }
 
-// NewTrap constructs a trap error.
+// NewTrap constructs a trap error and counts it in the process-wide
+// telemetry registry (wizgo_traps_total by kind). All tiers' trap
+// paths construct through here so the counters see every trap.
 func NewTrap(kind TrapKind, funcIdx uint32, pc int) *Trap {
+	countTrap(kind)
 	return &Trap{Kind: kind, FuncIdx: funcIdx, PC: pc}
+}
+
+// NewTrapWrapped constructs a counted trap carrying a cause, visible to
+// errors.Is/As through Unwrap (e.g. a host error or a cancellation).
+func NewTrapWrapped(kind TrapKind, funcIdx uint32, pc int, wrapped error) *Trap {
+	countTrap(kind)
+	return &Trap{Kind: kind, FuncIdx: funcIdx, PC: pc, Wrapped: wrapped}
 }
 
 // TagMode selects the value-tagging strategy of compiled code — the

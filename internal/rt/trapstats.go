@@ -1,0 +1,57 @@
+package rt
+
+import "wizgo/internal/telemetry"
+
+// Label returns a short, stable, Prometheus-safe identifier for the
+// trap kind (the value of the `kind` label on wizgo_traps_total).
+func (k TrapKind) Label() string {
+	switch k {
+	case TrapUnreachable:
+		return "unreachable"
+	case TrapDivByZero:
+		return "div_by_zero"
+	case TrapIntOverflow:
+		return "int_overflow"
+	case TrapInvalidConversion:
+		return "invalid_conversion"
+	case TrapOOBMemory:
+		return "oob_memory"
+	case TrapOOBTable:
+		return "oob_table"
+	case TrapIndirectSigMismatch:
+		return "indirect_sig_mismatch"
+	case TrapNullFunc:
+		return "null_func"
+	case TrapStackOverflow:
+		return "stack_overflow"
+	case TrapMemoryLimit:
+		return "memory_limit"
+	case TrapHostError:
+		return "host_error"
+	case TrapInterrupted:
+		return "interrupted"
+	}
+	return "unknown"
+}
+
+// trapCounters is indexed by TrapKind so that counting a trap inside
+// NewTrap is one array load plus one atomic add — no map lookup, no
+// lock — cheap enough for the executors' trap paths. Registered once
+// at init into the process-wide registry; every tier's trap
+// construction funnels through NewTrap, making this the single
+// chokepoint for wizgo_traps_total.
+var trapCounters = func() [TrapInterrupted + 1]*telemetry.Counter {
+	var cs [TrapInterrupted + 1]*telemetry.Counter
+	reg := telemetry.Default()
+	for k := TrapNone; k <= TrapInterrupted; k++ {
+		cs[k] = reg.CounterL("wizgo_traps_total",
+			"Wasm traps raised, by trap kind.", "kind", k.Label())
+	}
+	return cs
+}()
+
+func countTrap(kind TrapKind) {
+	if kind <= TrapInterrupted {
+		trapCounters[kind].Inc()
+	}
+}

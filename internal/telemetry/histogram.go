@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: power-of-two nanosecond bounds starting at
+// 256ns. Bucket i covers durations whose upper bound is 256ns<<i; the
+// last slot is the overflow bucket (everything above the largest
+// bound, ~9.2s). The layout is fixed so snapshots from any two
+// histograms merge bucket-by-bucket.
+const (
+	// histShift is log2 of the first bucket's upper bound (256ns).
+	histShift = 8
+	// HistBuckets is the number of bounded buckets; durations above
+	// the last bound land in the overflow bucket at index HistBuckets.
+	HistBuckets = 26
+)
+
+// BucketBound returns the upper bound of bounded bucket i in
+// nanoseconds (256ns << i).
+func BucketBound(i int) uint64 { return 1 << (histShift + i) }
+
+// bucketIndex maps a duration in nanoseconds to its bucket index.
+// d <= 256ns → 0; each doubling of d advances one bucket; anything
+// above the last bound → HistBuckets (overflow).
+func bucketIndex(ns uint64) int {
+	if ns <= 1<<histShift {
+		return 0
+	}
+	// bits.Len64(ns-1) is the position of the highest set bit of the
+	// smallest power of two >= ns, i.e. ceil(log2(ns)).
+	i := bits.Len64(ns-1) - histShift
+	if i > HistBuckets {
+		return HistBuckets
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is a bounded
+// handful of uncontended atomic adds and never allocates, so it can sit
+// on the engine's per-call path. Buckets are non-cumulative internally;
+// the Prometheus exposition accumulates them.
+type Histogram struct {
+	buckets [HistBuckets + 1]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	desc    Desc
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }

@@ -1,0 +1,59 @@
+package telemetry
+
+import "sync/atomic"
+
+// Desc is a metric's identity: its family name, help text, and an
+// optional single label pair. Two metrics with the same Name but
+// different label values are members of one family (one HELP/TYPE block
+// in the Prometheus exposition, one series each).
+type Desc struct {
+	Name string
+	Help string
+	// LabelKey/LabelValue form the series label (e.g. kind="oob_memory").
+	// Empty LabelKey means an unlabeled series.
+	LabelKey   string
+	LabelValue string
+}
+
+// seriesKey identifies one time series within a registry.
+func (d Desc) seriesKey() string {
+	if d.LabelKey == "" {
+		return d.Name
+	}
+	return d.Name + "{" + d.LabelKey + "=" + d.LabelValue + "}"
+}
+
+// Counter is a monotonically increasing counter. Inc and Add are one
+// uncontended atomic add and never allocate; the zero value is usable
+// standalone, but registered counters must come from Registry.Counter
+// so they carry a Desc.
+type Counter struct {
+	v    atomic.Uint64
+	desc Desc
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. Pool custody counts and
+// other sizes publish as gauges via deltas (Add), which is what keeps
+// gauge snapshots mergeable across processes.
+type Gauge struct {
+	v    atomic.Int64
+	desc Desc
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

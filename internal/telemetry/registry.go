@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry holds the process's metric series. Registration is
+// idempotent: asking for a name+label pair that already exists returns
+// the existing metric, so package-level producers (many engines, many
+// caches in one process) all fold into the same series. Registration
+// takes a lock; the returned metrics are lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry. Most code uses Default.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterL(name, help, "", "")
+}
+
+// CounterL registers (or fetches) a counter with one label pair.
+func (r *Registry) CounterL(name, help, labelKey, labelValue string) *Counter {
+	d := Desc{Name: name, Help: help, LabelKey: labelKey, LabelValue: labelValue}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[d.seriesKey()]; ok {
+		return c
+	}
+	c := &Counter{desc: d}
+	r.counters[d.seriesKey()] = c
+	return c
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeL(name, help, "", "")
+}
+
+// GaugeL registers (or fetches) a gauge with one label pair.
+func (r *Registry) GaugeL(name, help, labelKey, labelValue string) *Gauge {
+	d := Desc{Name: name, Help: help, LabelKey: labelKey, LabelValue: labelValue}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[d.seriesKey()]; ok {
+		return g
+	}
+	g := &Gauge{desc: d}
+	r.gauges[d.seriesKey()] = g
+	return g
+}
+
+// Histogram registers (or fetches) an unlabeled latency histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.HistogramL(name, help, "", "")
+}
+
+// HistogramL registers (or fetches) a histogram with one label pair.
+func (r *Registry) HistogramL(name, help, labelKey, labelValue string) *Histogram {
+	d := Desc{Name: name, Help: help, LabelKey: labelKey, LabelValue: labelValue}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[d.seriesKey()]; ok {
+		return h
+	}
+	h := &Histogram{desc: d}
+	r.histograms[d.seriesKey()] = h
+	return h
+}
+
+// Snapshot captures every registered series at one instant. The result
+// is deterministic (sorted by series key) and safe to merge with other
+// snapshots.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{Desc: c.desc, Value: c.Value()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Desc: g.desc, Value: g.Value()})
+	}
+	for _, h := range hists {
+		hs := HistSnap{Desc: h.desc, Count: h.count.Load(), SumNS: h.sum.Load()}
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	s.sort()
+	return s
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return s.Counters[i].Desc.seriesKey() < s.Counters[j].Desc.seriesKey()
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return s.Gauges[i].Desc.seriesKey() < s.Gauges[j].Desc.seriesKey()
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return s.Histograms[i].Desc.seriesKey() < s.Histograms[j].Desc.seriesKey()
+	})
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import "time"
+
+// CounterSnap is one counter series at one instant.
+type CounterSnap struct {
+	Desc  Desc
+	Value uint64
+}
+
+// GaugeSnap is one gauge series at one instant.
+type GaugeSnap struct {
+	Desc  Desc
+	Value int64
+}
+
+// HistSnap is one histogram series at one instant. Buckets are
+// non-cumulative; index HistBuckets is the overflow bucket.
+type HistSnap struct {
+	Desc    Desc
+	Count   uint64
+	SumNS   uint64
+	Buckets [HistBuckets + 1]uint64
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h HistSnap) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return time.Duration(h.SumNS / h.Count)
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) by
+// linear interpolation within the containing bucket. Observations in
+// the overflow bucket report the largest bounded bound.
+func (h HistSnap) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next || i == HistBuckets {
+			if i == HistBuckets {
+				return time.Duration(BucketBound(HistBuckets - 1))
+			}
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(BucketBound(i - 1))
+			}
+			hi := float64(BucketBound(i))
+			frac := (rank - cum) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return time.Duration(lo + (hi-lo)*frac)
+		}
+		cum = next
+	}
+	return time.Duration(BucketBound(HistBuckets - 1))
+}
+
+// Snapshot is every registered series at one instant, sorted by series
+// key. Snapshots merge associatively: counters add, gauges add (they
+// are sized in deltas), histogram buckets/count/sum add.
+type Snapshot struct {
+	Counters   []CounterSnap
+	Gauges     []GaugeSnap
+	Histograms []HistSnap
+}
+
+// Merge returns a new snapshot combining s and o. Series present in
+// only one side pass through unchanged; series present in both sum.
+// Help text is taken from whichever side defines it first.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	var out Snapshot
+
+	cs := map[string]int{}
+	for _, c := range s.Counters {
+		cs[c.Desc.seriesKey()] = len(out.Counters)
+		out.Counters = append(out.Counters, c)
+	}
+	for _, c := range o.Counters {
+		if i, ok := cs[c.Desc.seriesKey()]; ok {
+			out.Counters[i].Value += c.Value
+		} else {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+
+	gs := map[string]int{}
+	for _, g := range s.Gauges {
+		gs[g.Desc.seriesKey()] = len(out.Gauges)
+		out.Gauges = append(out.Gauges, g)
+	}
+	for _, g := range o.Gauges {
+		if i, ok := gs[g.Desc.seriesKey()]; ok {
+			out.Gauges[i].Value += g.Value
+		} else {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+
+	hs := map[string]int{}
+	for _, h := range s.Histograms {
+		hs[h.Desc.seriesKey()] = len(out.Histograms)
+		out.Histograms = append(out.Histograms, h)
+	}
+	for _, h := range o.Histograms {
+		if i, ok := hs[h.Desc.seriesKey()]; ok {
+			out.Histograms[i].Count += h.Count
+			out.Histograms[i].SumNS += h.SumNS
+			for b := range h.Buckets {
+				out.Histograms[i].Buckets[b] += h.Buckets[b]
+			}
+		} else {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+
+	out.sort()
+	return out
+}

@@ -1,0 +1,376 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{255, 0},
+		{256, 0}, // exactly the first bound
+		{257, 1}, // one past it
+		{511, 1},
+		{512, 1}, // exactly bound of bucket 1
+		{513, 2},
+		{1024, 2},
+		{1025, 3},
+		{BucketBound(HistBuckets - 1), HistBuckets - 1}, // largest bounded value
+		{BucketBound(HistBuckets-1) + 1, HistBuckets},   // overflow
+		{1 << 62, HistBuckets},                          // deep overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	if h.Count() != 110 {
+		t.Fatalf("count = %d, want 110", h.Count())
+	}
+	wantSum := 100*time.Microsecond + 10*time.Millisecond
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	r := NewRegistry()
+	hr := r.Histogram("h", "")
+	hr.Observe(time.Microsecond)
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Fatalf("snapshot histogram missing: %+v", snap.Histograms)
+	}
+
+	var hs HistSnap
+	hs.Count = h.Count()
+	hs.SumNS = uint64(h.Sum())
+	for i := range h.buckets {
+		hs.Buckets[i] = h.buckets[i].Load()
+	}
+	// p50 of 110 observations where 100 are ~1µs must land in the 1µs
+	// bucket's range; p99 must land near 1ms.
+	if p50 := hs.Quantile(0.50); p50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want <= 2µs", p50)
+	}
+	if p99 := hs.Quantile(0.99); p99 < 500*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1ms", p99)
+	}
+	if q0 := hs.Quantile(0); q0 > time.Microsecond {
+		t.Errorf("q0 = %v, want small", q0)
+	}
+	var empty HistSnap
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Errorf("empty histogram quantile/mean must be 0")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Duration(BucketBound(HistBuckets-1)) + time.Hour)
+	if got := h.buckets[HistBuckets].Load(); got != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", got)
+	}
+	var hs HistSnap
+	hs.Count = 1
+	hs.Buckets[HistBuckets] = 1
+	// Overflow observations report the largest bounded bound, not 0.
+	if q := hs.Quantile(0.99); q != time.Duration(BucketBound(HistBuckets-1)) {
+		t.Fatalf("overflow quantile = %v, want %v", q, time.Duration(BucketBound(HistBuckets-1)))
+	}
+}
+
+func TestHistogramNegativeDuration(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("negative observation: count=%d sum=%v, want 1, 0", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("wizgo_x_total", "help")
+	b := r.Counter("wizgo_x_total", "ignored")
+	if a != b {
+		t.Fatal("same name must return same counter")
+	}
+	l1 := r.CounterL("wizgo_y_total", "", "kind", "a")
+	l2 := r.CounterL("wizgo_y_total", "", "kind", "b")
+	l3 := r.CounterL("wizgo_y_total", "", "kind", "a")
+	if l1 == l2 {
+		t.Fatal("different label values must be distinct series")
+	}
+	if l1 != l3 {
+		t.Fatal("same label value must return same counter")
+	}
+	if g1, g2 := r.Gauge("wizgo_g", ""), r.Gauge("wizgo_g", ""); g1 != g2 {
+		t.Fatal("same name must return same gauge")
+	}
+	if h1, h2 := r.Histogram("wizgo_h", ""), r.Histogram("wizgo_h", ""); h1 != h2 {
+		t.Fatal("same name must return same histogram")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wizgo_conc_total", "")
+	g := r.Gauge("wizgo_conc_gauge", "")
+	h := r.Histogram("wizgo_conc_hist", "")
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(time.Duration(j) * time.Nanosecond)
+				// Concurrent registration of the same series must be
+				// safe and return the shared instance.
+				r.Counter("wizgo_conc_total", "")
+			}
+		}()
+	}
+	// Snapshot concurrently with the writers: must not race.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if c.Value() != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), goroutines*iters)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), goroutines*iters)
+	}
+}
+
+// snapFrom builds a snapshot from a throwaway registry via a setup
+// function — convenient for merge tests.
+func snapFrom(setup func(r *Registry)) Snapshot {
+	r := NewRegistry()
+	setup(r)
+	return r.Snapshot()
+}
+
+func TestMergeAssociativity(t *testing.T) {
+	a := snapFrom(func(r *Registry) {
+		r.Counter("wizgo_a_total", "ha").Add(3)
+		r.Gauge("wizgo_g", "").Add(5)
+		r.Histogram("wizgo_h", "").Observe(time.Microsecond)
+		r.CounterL("wizgo_traps_total", "", "kind", "oob").Add(2)
+	})
+	b := snapFrom(func(r *Registry) {
+		r.Counter("wizgo_a_total", "").Add(4)
+		r.Histogram("wizgo_h", "").Observe(time.Millisecond)
+		r.CounterL("wizgo_traps_total", "", "kind", "div").Add(1)
+	})
+	c := snapFrom(func(r *Registry) {
+		r.Gauge("wizgo_g", "").Add(-2)
+		r.Histogram("wizgo_h", "").Observe(time.Second)
+		r.Counter("wizgo_only_c_total", "").Inc()
+	})
+
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+
+	lj, _ := json.Marshal(left.JSONValue())
+	rj, _ := json.Marshal(right.JSONValue())
+	if !bytes.Equal(lj, rj) {
+		t.Fatalf("merge not associative:\n(a+b)+c = %s\na+(b+c) = %s", lj, rj)
+	}
+
+	// Spot-check the sums.
+	found := false
+	for _, cs := range left.Counters {
+		if cs.Desc.Name == "wizgo_a_total" {
+			found = true
+			if cs.Value != 7 {
+				t.Fatalf("merged counter = %d, want 7", cs.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("merged counter missing")
+	}
+	for _, hs := range left.Histograms {
+		if hs.Desc.Name == "wizgo_h" && hs.Count != 3 {
+			t.Fatalf("merged histogram count = %d, want 3", hs.Count)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	s := snapFrom(func(r *Registry) {
+		r.Counter("wizgo_cache_hits_total", "Memory cache hits.").Add(5)
+		r.CounterL("wizgo_traps_total", "Traps by kind.", "kind", "oob_memory").Add(2)
+		r.CounterL("wizgo_traps_total", "Traps by kind.", "kind", "unreachable").Add(1)
+		h := r.Histogram("wizgo_execute_seconds", "Execute latency.")
+		h.Observe(300 * time.Nanosecond)
+		h.Observe(10 * time.Second) // overflow
+	})
+	var buf bytes.Buffer
+	s.WritePrometheus(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE wizgo_cache_hits_total counter",
+		"wizgo_cache_hits_total 5",
+		`wizgo_traps_total{kind="oob_memory"} 2`,
+		`wizgo_traps_total{kind="unreachable"} 1`,
+		"# TYPE wizgo_execute_seconds histogram",
+		`wizgo_execute_seconds_bucket{le="+Inf"} 2`,
+		"wizgo_execute_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE block per family, even with two trap series.
+	if n := strings.Count(out, "# TYPE wizgo_traps_total"); n != 1 {
+		t.Errorf("trap family TYPE lines = %d, want 1", n)
+	}
+	// Buckets must be cumulative: the 300ns observation (512ns bucket)
+	// appears in every bucket from 512ns up.
+	if !strings.Contains(out, `wizgo_execute_seconds_bucket{le="2.56e-07"} 0`) ||
+		!strings.Contains(out, `wizgo_execute_seconds_bucket{le="5.12e-07"} 1`) ||
+		!strings.Contains(out, `wizgo_execute_seconds_bucket{le="1.024e-06"} 1`) {
+		t.Errorf("buckets not cumulative from 300ns observation:\n%s", out)
+	}
+}
+
+func TestJSONValue(t *testing.T) {
+	s := snapFrom(func(r *Registry) {
+		r.Counter("wizgo_x_total", "").Add(9)
+		r.Histogram("wizgo_h", "").Observe(time.Microsecond)
+	})
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	counters := m["counters"].(map[string]any)
+	if counters["wizgo_x_total"].(float64) != 9 {
+		t.Fatalf("counter in JSON = %v, want 9", counters["wizgo_x_total"])
+	}
+	hists := m["histograms"].(map[string]any)
+	if _, ok := hists["wizgo_h"]; !ok {
+		t.Fatal("histogram missing from JSON")
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer()
+	start := time.Unix(0, 0)
+	// Disabled: records are dropped.
+	tr.Record(StageCompile, "x", start, time.Millisecond, "")
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("disabled tracer recorded %d spans", len(got))
+	}
+
+	tr.Enable(16)
+	for i := 0; i < 20; i++ {
+		tr.Record(StageExecute, "req", start, time.Duration(i), "")
+	}
+	spans := tr.Spans()
+	if len(spans) != 16 {
+		t.Fatalf("ring holds %d spans, want 16", len(spans))
+	}
+	// Oldest first: seq 4..19 survive after 20 records into a 16-ring.
+	if spans[0].Seq != 4 || spans[15].Seq != 19 {
+		t.Fatalf("ring order wrong: first seq %d, last seq %d", spans[0].Seq, spans[15].Seq)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Span
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(decoded) != 16 {
+		t.Fatalf("trace JSON has %d spans, want 16", len(decoded))
+	}
+
+	tr.Disable()
+	tr.Record(StageExecute, "late", start, 0, "")
+	if len(tr.Spans()) != 16 {
+		t.Fatal("disabled tracer must not record")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Record(StageExecute, "r", time.Unix(0, 0), time.Duration(j), "")
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tr.Spans()) != 64 {
+		t.Fatalf("ring = %d spans, want 64", len(tr.Spans()))
+	}
+}
+
+func TestZeroAllocHotPaths(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wizgo_alloc_total", "")
+	g := r.Gauge("wizgo_alloc_gauge", "")
+	h := r.Histogram("wizgo_alloc_hist", "")
+	tr := NewTracer() // disabled
+
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(time.Microsecond) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Record(StageExecute, "", time.Time{}, 0, "")
+	}); n != 0 {
+		t.Errorf("disabled Tracer.Record allocates %v/op, want 0", n)
+	}
+}

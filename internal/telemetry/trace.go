@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names for request-lifecycle spans. Producers use these
+// constants so traces are filterable by exact stage name.
+const (
+	StageCompile   = "compile"
+	StageCacheMem  = "cache_mem"
+	StageCacheDisk = "cache_disk"
+	StageLink      = "link"
+	StagePoolGet   = "pool_get"
+	StagePoolReset = "pool_reset"
+	StageExecute   = "execute"
+	StageTrap      = "trap"
+	StageInterrupt = "interrupt"
+)
+
+// Span is one recorded lifecycle event. Detail identifies the subject
+// (module hash, export name, trap kind); Err is the outcome label for
+// failed spans ("" on success).
+type Span struct {
+	Seq    uint64        `json:"seq"`
+	Stage  string        `json:"stage"`
+	Detail string        `json:"detail,omitempty"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Err    string        `json:"err,omitempty"`
+}
+
+// Tracer records lifecycle spans into a fixed ring buffer. It starts
+// disabled: Record is one atomic load when off, and producers are
+// expected to call Record unconditionally. Enable sizes the ring;
+// once full, new spans overwrite the oldest.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu   sync.Mutex
+	ring []Span
+	next uint64 // total spans recorded; ring index is next % len(ring)
+}
+
+// NewTracer returns a disabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Enable starts recording with a ring of the given capacity (minimum
+// 16). Re-enabling resizes and clears the ring.
+func (t *Tracer) Enable(capacity int) {
+	if capacity < 16 {
+		capacity = 16
+	}
+	t.mu.Lock()
+	t.ring = make([]Span, capacity)
+	t.next = 0
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Disable stops recording. Recorded spans remain readable.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether the tracer is recording.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Record adds one span. A disabled tracer returns after one atomic
+// load and does not allocate.
+func (t *Tracer) Record(stage, detail string, start time.Time, dur time.Duration, errLabel string) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) == 0 {
+		t.mu.Unlock()
+		return
+	}
+	t.ring[t.next%uint64(len(t.ring))] = Span{
+		Seq: t.next, Stage: stage, Detail: detail,
+		Start: start, Dur: dur, Err: errLabel,
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Spans returns the recorded spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next == 0 || len(t.ring) == 0 {
+		return nil
+	}
+	n := t.next
+	cap64 := uint64(len(t.ring))
+	if n > cap64 {
+		out := make([]Span, 0, cap64)
+		for i := uint64(0); i < cap64; i++ {
+			out = append(out, t.ring[(n+i)%cap64])
+		}
+		return out
+	}
+	out := make([]Span, n)
+	copy(out, t.ring[:n])
+	return out
+}
+
+// WriteJSON dumps the recorded spans as a JSON array, oldest first.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []Span{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spans)
+}
