@@ -26,10 +26,25 @@ type Report struct {
 	// histogram-derived latency percentiles per (workers, pool size)
 	// cell. This is the BENCH_serving.json payload.
 	Serving []ServingResult `json:"serving,omitempty"`
+	// Analysis holds per-engine static-analysis totals over the selected
+	// items: how many dynamic checks each configuration's compiled code
+	// elides. Engines with analysis disabled report zeros, pinning the
+	// check-elimination contribution in the perf trajectory.
+	Analysis []AnalysisResult `json:"analysis,omitempty"`
 	// Telemetry is the process-wide telemetry snapshot taken after all
 	// measurements — the same shape `wizgo -stats -json` and the expvar
 	// endpoint report.
 	Telemetry map[string]any `json:"telemetry,omitempty"`
+}
+
+// AnalysisResult is one engine's static-analysis totals across the
+// run's line items.
+type AnalysisResult struct {
+	Engine        string `json:"engine"`
+	Funcs         int    `json:"funcs"`
+	BoundsElided  int    `json:"bounds_checks_elided"`
+	PollsElided   int    `json:"loop_polls_elided"`
+	ReadOnlyFuncs int    `json:"read_only_funcs"`
 }
 
 // FigureResult is one figure's output: tables carry rows, scatter

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 
+	"wizgo/internal/engine"
 	"wizgo/internal/engines"
 	"wizgo/internal/harness"
 	"wizgo/internal/telemetry"
@@ -154,6 +155,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
+		report.Analysis = analysisTotals(all)
 		// The process-wide snapshot rides along: the same counters and
 		// histograms a scraped /metrics endpoint would report, populated
 		// by everything the run executed.
@@ -314,6 +316,28 @@ func runColdStart(report *Report, items []workloads.Item, cacheDir string, runs 
 	}
 	fmt.Println()
 	return violations
+}
+
+// analysisTotals compiles the selected items once per catalog engine
+// and totals the static-analysis stats: the elided-check counts the
+// perf trajectory pairs with the execution-time figures.
+func analysisTotals(items []workloads.Item) []AnalysisResult {
+	var results []AnalysisResult
+	for _, cfg := range engines.Catalog() {
+		r := AnalysisResult{Engine: cfg.Name}
+		eng := engine.New(cfg, nil)
+		for _, it := range items {
+			cm, err := eng.Compile(it.Bytes)
+			check(err)
+			st := cm.AnalysisStats()
+			r.Funcs += st.Funcs
+			r.BoundsElided += st.BoundsProven
+			r.PollsElided += st.PollsElided
+			r.ReadOnlyFuncs += st.ReadOnly
+		}
+		results = append(results, r)
+	}
+	return results
 }
 
 func emit(report *Report, fig int, t *harness.Table, err error) {

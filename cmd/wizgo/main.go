@@ -50,6 +50,7 @@ func main() {
 	stats := flag.Bool("stats", false, "report the unified telemetry snapshot (cache, pool, compile/link/execute histograms, traps) after the run")
 	statsJSON := flag.Bool("json", false, "with -stats, write the snapshot as JSON to stdout instead of text to stderr")
 	profileTop := flag.Int("profile", 0, "attach the execution profiler and report the top-N hot functions after each run")
+	noAnalysis := flag.Bool("noanalysis", false, "disable the static-analysis pass (keep every dynamic bounds check and interrupt poll)")
 	flag.Parse()
 
 	if *list {
@@ -70,6 +71,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.CompileWorkers = *workers
+	cfg.NoAnalysis = *noAnalysis
 	var cache *codecache.Cache
 	if *cacheDir != "" || *stats {
 		// A cache handle of our own lets -stats report the memory and
@@ -203,9 +205,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "compile: %v (decode %v, rehydrate %v — loaded from disk cache), code %d bytes\n",
 			compileWall, cm.Timings.Decode, cm.Timings.Rehydrate, cm.Timings.CodeBytes)
 	} else {
-		fmt.Fprintf(os.Stderr, "compile: %v (decode %v, validate %v, compile %v), code %d bytes\n",
-			compileWall, cm.Timings.Decode, cm.Timings.Validate,
+		fmt.Fprintf(os.Stderr, "compile: %v (decode %v, validate %v, analyze %v, compile %v), code %d bytes\n",
+			compileWall, cm.Timings.Decode, cm.Timings.Validate, cm.Timings.Analyze,
 			cm.Timings.Compile, cm.Timings.CodeBytes)
+	}
+	if st := cm.AnalysisStats(); st.Funcs > 0 {
+		fmt.Fprintf(os.Stderr, "analysis: %d bounds checks and %d loop polls elided, %d/%d functions read-only\n",
+			st.BoundsProven, st.PollsElided, st.ReadOnly, st.Funcs)
 	}
 	if pool != nil {
 		st := pool.Stats()

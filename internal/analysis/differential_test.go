@@ -1,0 +1,206 @@
+package analysis_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+	"wizgo/internal/workloads"
+)
+
+// The differential soundness suite: every fact the analysis derives
+// licenses removing a dynamic check somewhere, so the strongest
+// evidence of soundness is that execution with analysis on and off is
+// observably identical — same results, same traps, same final memory —
+// across every engine configuration. Built with `-tags checked` the
+// same tests additionally execute the elided checks as assertions (see
+// rt.Checked), turning any unsound fact into a panic instead of a
+// silent divergence.
+
+// outcome is everything a guest run can observe.
+type outcome struct {
+	checksum int64
+	trapKind rt.TrapKind
+	trapped  bool
+	err      string
+	memory   []byte
+}
+
+// runModule executes a module's _start under cfg and captures the
+// outcome. A non-trap error fails the test (it would indicate a broken
+// harness, not a divergence).
+func runModule(t *testing.T, cfg engine.Config, module []byte) outcome {
+	t.Helper()
+	var o outcome
+	inst, err := engine.New(cfg, nil).Instantiate(module)
+	if err != nil {
+		t.Fatalf("%s: instantiate: %v", cfg.Name, err)
+	}
+	defer inst.Release()
+	_, err = inst.Call("_start")
+	if err != nil {
+		var trap *rt.Trap
+		if !errors.As(err, &trap) {
+			t.Fatalf("%s: non-trap error: %v", cfg.Name, err)
+		}
+		o.trapped = true
+		o.trapKind = trap.Kind
+		o.err = err.Error()
+	} else if sum, err := inst.Call("checksum"); err == nil && len(sum) == 1 {
+		o.checksum = sum[0].I64()
+	}
+	o.memory = append([]byte(nil), inst.RT.Memory.Data...)
+	return o
+}
+
+// assertSame compares the analysis-on and analysis-off outcomes of one
+// module under one engine configuration.
+func assertSame(t *testing.T, name string, on, off outcome) {
+	t.Helper()
+	if on.trapped != off.trapped || on.trapKind != off.trapKind {
+		t.Errorf("%s: trap divergence: analysis on = (%v, %v), off = (%v, %v)",
+			name, on.trapped, on.trapKind, off.trapped, off.trapKind)
+	}
+	if on.checksum != off.checksum {
+		t.Errorf("%s: checksum divergence: analysis on = %d, off = %d",
+			name, on.checksum, off.checksum)
+	}
+	if !bytes.Equal(on.memory, off.memory) {
+		t.Errorf("%s: final linear memory diverges (%d vs %d bytes)",
+			name, len(on.memory), len(off.memory))
+	}
+}
+
+// differentialModules picks the workload modules to push through every
+// engine. -short keeps one fast item per suite; the full run covers a
+// broader slice of all three generated suites.
+func differentialModules(t *testing.T) []workloads.Item {
+	poly, libs, ostr := workloads.PolyBench(), workloads.Libsodium(), workloads.Ostrich()
+	if testing.Short() {
+		return []workloads.Item{poly[0], libs[0], ostr[3]}
+	}
+	var items []workloads.Item
+	for _, suite := range [][]workloads.Item{poly, libs, ostr} {
+		for i, it := range suite {
+			if i%4 == 0 { // every 4th item bounds runtime while sampling each suite
+				items = append(items, it)
+			}
+		}
+	}
+	return items
+}
+
+// TestDifferentialWorkloads runs generated benchmark modules through
+// every catalog configuration with the static analysis enabled and
+// disabled, asserting identical observable behavior.
+func TestDifferentialWorkloads(t *testing.T) {
+	items := differentialModules(t)
+	for _, base := range engines.Catalog() {
+		base := base
+		t.Run(base.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, item := range items {
+				on := base
+				on.NoAnalysis = false
+				off := base
+				off.NoAnalysis = true
+				name := base.Name + "/" + item.Suite + "/" + item.Name
+				assertSame(t, name,
+					runModule(t, on, item.Bytes),
+					runModule(t, off, item.Bytes))
+			}
+		})
+	}
+}
+
+// trapModules builds modules that definitely trap, exercising the
+// boundary the analysis must never move: elided checks may only be
+// those that provably cannot fire.
+func trapModules() map[string][]byte {
+	mods := map[string][]byte{}
+
+	// A counted loop whose stores start in bounds and walk off the end
+	// of memory: the analysis must keep the bounds check (the address
+	// interval exceeds minPages) and the trap must surface identically.
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	f := b.NewFunc("_start", wasm.FuncType{})
+	i := f.AddLocal(wasm.I32)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(i).LocalGet(i).Store(wasm.OpI32Store, 0)
+	f.LocalGet(i).I32Const(4096).Op(wasm.OpI32Add).LocalTee(i)
+	f.I32Const(1 << 20).Op(wasm.OpI32LtS).BrIf(0)
+	f.End()
+	f.End()
+	b.Export("_start", f.Idx)
+	mods["oob-walk"] = b.Encode()
+
+	// An in-bounds counted loop that ends in unreachable: poll elision
+	// must not change which trap fires.
+	b = wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	f = b.NewFunc("_start", wasm.FuncType{})
+	i = f.AddLocal(wasm.I32)
+	f.Loop(wasm.BlockEmpty)
+	f.LocalGet(i).I64Const(7).Store(wasm.OpI64Store, 8)
+	f.LocalGet(i).I32Const(8).Op(wasm.OpI32Add).LocalTee(i)
+	f.I32Const(4096).Op(wasm.OpI32LtS).BrIf(0)
+	f.End()
+	f.Op(wasm.OpUnreachable)
+	f.End()
+	b.Export("_start", f.Idx)
+	mods["loop-then-unreachable"] = b.Encode()
+
+	return mods
+}
+
+// TestDifferentialTraps asserts trapping modules trap identically (same
+// kind) with analysis on and off under every configuration.
+func TestDifferentialTraps(t *testing.T) {
+	mods := trapModules()
+	for _, base := range engines.Catalog() {
+		base := base
+		t.Run(base.Name, func(t *testing.T) {
+			t.Parallel()
+			for name, module := range mods {
+				on := base
+				on.NoAnalysis = false
+				off := base
+				off.NoAnalysis = true
+				onOut := runModule(t, on, module)
+				offOut := runModule(t, off, module)
+				assertSame(t, base.Name+"/"+name, onOut, offOut)
+				if name == "oob-walk" && (!onOut.trapped || onOut.trapKind != rt.TrapOOBMemory) {
+					t.Errorf("%s: oob-walk should trap OOB, got %+v", base.Name, onOut)
+				}
+				if name == "loop-then-unreachable" && (!onOut.trapped || onOut.trapKind != rt.TrapUnreachable) {
+					t.Errorf("%s: loop-then-unreachable should trap unreachable, got %+v", base.Name, onOut)
+				}
+			}
+		})
+	}
+}
+
+// TestAnalysisProducesFacts guards against the differential suite
+// passing vacuously: the workloads must actually exercise elided
+// checks, not compare two identical all-checks configurations.
+func TestAnalysisProducesFacts(t *testing.T) {
+	e := engine.New(engines.WizardSPC(), nil)
+	var elided int
+	for _, item := range differentialModules(t) {
+		cm, err := e.Compile(item.Bytes)
+		if err != nil {
+			t.Fatalf("%s: %v", item.Name, err)
+		}
+		st := cm.AnalysisStats()
+		elided += st.BoundsProven + st.PollsElided
+	}
+	if elided == 0 {
+		t.Fatal("no checks elided across the differential corpus; the suite is comparing identical configurations")
+	}
+	t.Logf("differential corpus elides %d checks", elided)
+}

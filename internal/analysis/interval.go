@@ -1,0 +1,147 @@
+package analysis
+
+import "math/bits"
+
+// iv is an unsigned interval over 32-bit values: every value the tracked
+// i32 slot can hold (interpreted as uint32) lies in [lo, hi]. The lattice
+// top is [0, 2^32-1]; there is no bottom — unreachable code is tracked
+// separately by the abstract interpreter and never emits facts.
+//
+// Signed quantities are representable as long as they are non-negative
+// (hi < 2^31); the analyzer refuses to reason about intervals that may
+// straddle the sign boundary wherever signedness matters (counted-loop
+// bounds, i32.div_s/rem_s).
+type iv struct {
+	lo, hi uint64
+}
+
+const maxU32 = 1<<32 - 1
+
+// top is the unknown interval.
+var top = iv{0, maxU32}
+
+func (v iv) isTop() bool { return v.lo == 0 && v.hi == maxU32 }
+
+// constIv is the singleton interval, defined only for in-range k.
+func constIv(k uint64) iv { return iv{k, k} }
+
+// isConst reports whether v is a singleton and returns its value.
+func (v iv) isConst() (uint64, bool) { return v.lo, v.lo == v.hi }
+
+// hull is the smallest interval containing both a and b.
+func hull(a, b iv) iv {
+	if b.lo < a.lo {
+		a.lo = b.lo
+	}
+	if b.hi > a.hi {
+		a.hi = b.hi
+	}
+	return a
+}
+
+// The transfer functions below return top whenever the concrete i32
+// operation could wrap modulo 2^32 on some pair of inputs; within the
+// guard they are the exact image of the interval pair.
+
+func addIv(a, b iv) iv {
+	if a.hi+b.hi > maxU32 {
+		return top
+	}
+	return iv{a.lo + b.lo, a.hi + b.hi}
+}
+
+func subIv(a, b iv) iv {
+	if a.lo < b.hi {
+		return top
+	}
+	return iv{a.lo - b.hi, a.hi - b.lo}
+}
+
+func mulIv(a, b iv) iv {
+	// a.hi, b.hi ≤ 2^32-1 so the product fits in uint64 exactly.
+	if a.hi*b.hi > maxU32 {
+		return top
+	}
+	return iv{a.lo * b.lo, a.hi * b.hi}
+}
+
+func andIv(a, b iv) iv {
+	hi := a.hi
+	if b.hi < hi {
+		hi = b.hi
+	}
+	return iv{0, hi}
+}
+
+// orHull bounds x|y by the next power-of-two envelope of both operands;
+// also a sound bound for xor.
+func orIv(a, b iv) iv {
+	n := bits.Len64(a.hi | b.hi)
+	lo := a.lo
+	if b.lo > lo {
+		lo = b.lo
+	}
+	return iv{lo, 1<<uint(n) - 1}
+}
+
+func xorIv(a, b iv) iv {
+	n := bits.Len64(a.hi | b.hi)
+	return iv{0, 1<<uint(n) - 1}
+}
+
+func shlIv(a, b iv) iv {
+	k, ok := b.isConst()
+	if !ok {
+		return top
+	}
+	k &= 31
+	if a.hi<<k > maxU32 {
+		return top
+	}
+	return iv{a.lo << k, a.hi << k}
+}
+
+func shrUIv(a, b iv) iv {
+	k, ok := b.isConst()
+	if !ok {
+		return top
+	}
+	k &= 31
+	return iv{a.lo >> k, a.hi >> k}
+}
+
+func divUIv(a, b iv) iv {
+	if b.lo == 0 {
+		// Divisor may be zero; that path traps at runtime, but the
+		// result interval must still be sound for nonzero divisors.
+		return top
+	}
+	return iv{a.lo / b.hi, a.hi / b.lo}
+}
+
+func remUIv(a, b iv) iv {
+	if b.lo == 0 {
+		return top
+	}
+	hi := b.hi - 1
+	if a.hi < hi {
+		hi = a.hi
+	}
+	return iv{0, hi}
+}
+
+// divSIv and remSIv handle only the all-non-negative case, where the
+// signed operations agree with their unsigned counterparts.
+func divSIv(a, b iv) iv {
+	if a.hi >= 1<<31 || b.hi >= 1<<31 {
+		return top
+	}
+	return divUIv(a, b)
+}
+
+func remSIv(a, b iv) iv {
+	if a.hi >= 1<<31 || b.hi >= 1<<31 {
+		return top
+	}
+	return remUIv(a, b)
+}

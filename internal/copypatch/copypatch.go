@@ -189,7 +189,11 @@ func (t *tc) instr(op wasm.Opcode, pc int) error {
 		t.asm.Bind(l)
 		bodyPC := t.r.Pos
 		t.osr[bodyPC] = t.asm.Pos()
-		t.emit(mach.Instr{Op: mach.OCheckPoint, A: int32(t.nLocals + t.h), Imm: uint64(bodyPC)})
+		cp := mach.OCheckPoint
+		if t.info.Facts.NoPollAt(bodyPC) {
+			cp = mach.OCheckPointNoPoll
+		}
+		t.emit(mach.Instr{Op: cp, A: int32(t.nLocals + t.h), Imm: uint64(bodyPC)})
 		t.ctrls = append(t.ctrls, ctrl{op: wasm.OpLoop, label: l,
 			elseLabel: -1, height: t.h - nIn, nIn: nIn, nOut: nOut})
 	case wasm.OpIf:
@@ -448,7 +452,7 @@ func (t *tc) instr(op wasm.Opcode, pc int) error {
 		}
 		t.pushConst(uint64(fidx) + 1)
 	default:
-		return t.numericTemplate(op)
+		return t.numericTemplate(op, pc)
 	}
 	return nil
 }
@@ -470,7 +474,8 @@ func (t *tc) selectTemplate() {
 }
 
 // numericTemplate stamps out loads/stores around the arithmetic body.
-func (t *tc) numericTemplate(op wasm.Opcode) error {
+// pc is the wasm offset of op, used to look up analysis facts.
+func (t *tc) numericTemplate(op wasm.Opcode, pc int) error {
 	switch op.Imm() {
 	case wasm.ImmMem:
 		if _, err := t.r.U32(); err != nil {
@@ -480,16 +485,24 @@ func (t *tc) numericTemplate(op wasm.Opcode) error {
 		if err != nil {
 			return err
 		}
+		nc := t.info.Facts.InBoundsAt(pc)
 		if mop, ok := loadTemplate(op); ok {
+			if nc {
+				mop = mach.Unchecked(mop)
+			}
 			t.emit(mach.Instr{Op: mach.OLoadSlot, A: r0, Imm: uint64(t.slot(t.h - 1))})
 			t.emit(mach.Instr{Op: mop, A: r0, B: r0, Imm: uint64(off)})
 			t.emit(mach.Instr{Op: mach.OStoreSlot, B: r0, Imm: uint64(t.slot(t.h - 1))})
 			return nil
 		}
+		mop := storeTemplate(op)
+		if nc {
+			mop = mach.Unchecked(mop)
+		}
 		t.h -= 2
 		t.emit(mach.Instr{Op: mach.OLoadSlot, A: r0, Imm: uint64(t.slot(t.h))})
 		t.emit(mach.Instr{Op: mach.OLoadSlot, A: r1, Imm: uint64(t.slot(t.h + 1))})
-		t.emit(mach.Instr{Op: storeTemplate(op), B: r0, C: r1, Imm: uint64(off)})
+		t.emit(mach.Instr{Op: mop, B: r0, C: r1, Imm: uint64(off)})
 		return nil
 	}
 	params, _, ok := op.Sig()

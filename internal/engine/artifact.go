@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"wizgo/internal/analysis"
 	"wizgo/internal/codecache"
 	"wizgo/internal/mach"
 	"wizgo/internal/rewriter"
@@ -20,8 +21,10 @@ import (
 // compiled output changes shape or meaning — new opcodes, changed frame
 // layout, changed sidetable semantics — and every stale artifact in
 // every cache directory is evicted on its next load instead of
-// executing under wrong assumptions.
-const CompilerRevision = "wizgo-codegen-3"
+// executing under wrong assumptions. The analysis version is folded in
+// because serialized facts license check elision: an artifact produced
+// under different analysis rules must self-invalidate.
+const CompilerRevision = "wizgo-codegen-4+analysis-" + analysis.Version
 
 // DiskStamp returns the producer identity for this build: the host ISA
 // (MachCode is portable, but a real JIT cache is ISA-keyed, and keeping
@@ -164,7 +167,8 @@ func (e *Engine) decodeArtifact(bytes []byte, payload []byte) (*CompiledModule, 
 
 	cm := &CompiledModule{
 		engine: e, Module: m, Infos: infos,
-		Timings: Timings{ModuleBytes: len(bytes)},
+		Timings:  Timings{ModuleBytes: len(bytes)},
+		Analysis: analysis.StatsFromInfos(infos),
 	}
 
 	if hasCodes := r.Bool(); hasCodes {
@@ -261,6 +265,28 @@ func encodeFuncInfo(w *wbin.Writer, fi *validate.FuncInfo) {
 	}
 	w.Uvarint(uint64(fi.NumParams))
 	w.Uvarint(uint64(fi.BodyLen))
+	// Facts tail: the static-analysis bitsets ride in the artifact so a
+	// disk-cache load keeps every elided check without rerunning the
+	// analysis (its absence — NoAnalysis engines, old artifacts — just
+	// means no elision).
+	if fi.Facts == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.Bool(fi.Facts.WritesMemory)
+	w.Uvarint(uint64(fi.Facts.BoundsProven))
+	w.Uvarint(uint64(fi.Facts.PollsElided))
+	writeWords(w, fi.Facts.InBounds)
+	writeWords(w, fi.Facts.NoPoll)
+}
+
+func writeWords(w *wbin.Writer, words []uint64) {
+	w.Uvarint(uint64(len(words)))
+	b := w.Reserve(8 * len(words))
+	for i, v := range words {
+		binary.LittleEndian.PutUint64(b[i*8:], v)
+	}
 }
 
 // infoArena holds the artifact-wide bulk storage for FuncInfo decoding,
@@ -270,6 +296,20 @@ type infoArena struct {
 	st     []validate.SidetableEntry
 	owners []uint32
 	types  []wasm.ValueType
+}
+
+func readWords(r *wbin.Reader) []uint64 {
+	n := r.Count(8)
+	if n == 0 {
+		return nil
+	}
+	words := make([]uint64, n)
+	if b := r.Take(8 * n); b != nil {
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(b[i*8:])
+		}
+	}
+	return words
 }
 
 func (a *infoArena) takeST(n int) []validate.SidetableEntry {
@@ -341,6 +381,18 @@ func decodeFuncInfo(r *wbin.Reader, fi *validate.FuncInfo, arena *infoArena) err
 	}
 	fi.NumParams = int(r.Uvarint())
 	fi.BodyLen = int(r.Uvarint())
+	if r.Bool() {
+		facts := &validate.Facts{
+			WritesMemory: r.Bool(),
+			BoundsProven: int(r.Uvarint()),
+			PollsElided:  int(r.Uvarint()),
+		}
+		facts.InBounds = readWords(r)
+		facts.NoPoll = readWords(r)
+		if r.Err() == nil {
+			fi.Facts = facts
+		}
+	}
 	if err := r.Err(); err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"wizgo/internal/analysis"
 	"wizgo/internal/codecache"
 	"wizgo/internal/engine"
 	"wizgo/internal/engines"
@@ -195,5 +196,75 @@ func TestArtifactCorruptFallsBackToCompile(t *testing.T) {
 	}
 	if got := runChecksum(t, cm); got != want {
 		t.Errorf("recompiled checksum %#x != seed %#x", got, want)
+	}
+}
+
+// TestArtifactCarriesFacts: the static-analysis facts must survive the
+// disk round-trip bit-for-bit, so a cold process elides exactly the
+// checks the seed proved — without rerunning the analysis.
+func TestArtifactCarriesFacts(t *testing.T) {
+	item := workloads.PolyBench()[0] // gemm: loop nests with provable accesses
+	cfg := engines.WizardSPC()
+	dir := t.TempDir()
+
+	wcfg := cfg
+	wcfg.Cache = codecache.New(codecache.Options{})
+	disk, err := engine.OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg.DiskCache = disk
+	warm, err := engine.New(wcfg, nil).Compile(item.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := warm.AnalysisStats()
+	if want.BoundsProven == 0 && want.PollsElided == 0 {
+		t.Fatalf("seed compile proved nothing on gemm: %+v", want)
+	}
+
+	_, cold, _ := coldCompile(t, cfg, item, dir)
+	if got := cold.AnalysisStats(); got != want {
+		t.Errorf("rehydrated analysis stats %+v != seed %+v", got, want)
+	}
+	if cold.Timings.Analyze != 0 {
+		t.Errorf("cold load ran the analysis (%v), facts should come from the artifact", cold.Timings.Analyze)
+	}
+	for i := range cold.Infos {
+		w, c := warm.Infos[i].Facts, cold.Infos[i].Facts
+		if (w == nil) != (c == nil) {
+			t.Fatalf("func %d: facts presence diverges after round-trip", i)
+		}
+		if w == nil {
+			continue
+		}
+		if w.WritesMemory != c.WritesMemory || w.BoundsProven != c.BoundsProven ||
+			w.PollsElided != c.PollsElided {
+			t.Errorf("func %d: facts scalar fields diverge: %+v vs %+v", i, w, c)
+		}
+		for j := range w.InBounds {
+			if w.InBounds[j] != c.InBounds[j] {
+				t.Fatalf("func %d: InBounds word %d diverges", i, j)
+			}
+		}
+		for j := range w.NoPoll {
+			if w.NoPoll[j] != c.NoPoll[j] {
+				t.Fatalf("func %d: NoPoll word %d diverges", i, j)
+			}
+		}
+	}
+}
+
+// TestArtifactNoAnalysisOmitsFacts: an engine with analysis disabled
+// persists fact-free artifacts and never elides.
+func TestArtifactNoAnalysisOmitsFacts(t *testing.T) {
+	item := workloads.Ostrich()[3]
+	cfg := engines.WizardSPC()
+	cfg.NoAnalysis = true
+	dir := t.TempDir()
+	seedDir(t, cfg, item, dir)
+	_, cold, _ := coldCompile(t, cfg, item, dir)
+	if st := cold.AnalysisStats(); st != (analysis.Stats{}) {
+		t.Errorf("NoAnalysis artifact carries facts: %+v", st)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wizgo/internal/analysis"
 	"wizgo/internal/codecache"
 	"wizgo/internal/telemetry"
 	"wizgo/internal/validate"
@@ -41,7 +42,17 @@ type CompiledModule struct {
 	// Timings records the one-time setup cost: decode, validate, and
 	// the wall-clock time of the (possibly parallel) compile phase.
 	Timings Timings
+	// Analysis summarizes the static-analysis facts baked into Infos:
+	// how many bounds checks and interrupt polls the executors will
+	// elide, and how many functions are proven read-only. Zero when the
+	// engine was configured with NoAnalysis. On a disk-cache load the
+	// stats are recomputed from the deserialized facts, so warm and
+	// cold processes report the same numbers.
+	Analysis analysis.Stats
 }
+
+// AnalysisStats returns the static-analysis summary for this module.
+func (cm *CompiledModule) AnalysisStats() analysis.Stats { return cm.Analysis }
 
 // Engine returns the engine this module was compiled under.
 func (cm *CompiledModule) Engine() *Engine { return cm.engine }
@@ -57,8 +68,8 @@ func (cfg Config) Fingerprint() string {
 	if cfg.Tier != nil {
 		tier = fmt.Sprintf("%s %#v", cfg.Tier.Name(), cfg.Tier)
 	}
-	return fmt.Sprintf("%s|%s|%s|lazy=%v|tags=%v|skipv=%v",
-		cfg.Name, cfg.Mode, tier, cfg.LazyCompile, cfg.Tags, cfg.SkipValidation)
+	return fmt.Sprintf("%s|%s|%s|lazy=%v|tags=%v|skipv=%v|noanalysis=%v",
+		cfg.Name, cfg.Mode, tier, cfg.LazyCompile, cfg.Tags, cfg.SkipValidation, cfg.NoAnalysis)
 }
 
 // Compile decodes, validates, and (in eager JIT modes) compiles every
@@ -118,6 +129,13 @@ func (e *Engine) compile(bytes []byte) (*CompiledModule, error) {
 		Timings: Timings{
 			Decode: tDecode, Validate: tValidate, ModuleBytes: len(bytes),
 		},
+	}
+
+	if !e.cfg.NoAnalysis {
+		ta := time.Now()
+		cm.Analysis = analysis.Module(m, infos)
+		cm.Timings.Analyze = time.Since(ta)
+		noteAnalysis(cm.Analysis, cm.Timings.Analyze)
 	}
 
 	if e.cfg.Mode != ModeInterp && !e.cfg.LazyCompile {

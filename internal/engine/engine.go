@@ -108,6 +108,13 @@ type Config struct {
 	// validation pass, but the sidetable must still be built, so this
 	// only skips module-level checks in our implementation.
 	SkipValidation bool
+	// NoAnalysis disables the static-analysis pass (internal/analysis):
+	// no facts are attached to FuncInfos, so every executor keeps its
+	// full dynamic bounds checks and interrupt polls. The default (zero
+	// value) runs the analysis. The differential soundness suite runs
+	// each engine in both states and compares results, traps, and final
+	// memory.
+	NoAnalysis bool
 	// CompileWorkers bounds the worker pool Compile fans per-function
 	// tier compilation out over (functions are independent compilation
 	// units). 0 means GOMAXPROCS; 1 forces serial compilation, the
@@ -130,7 +137,12 @@ type Config struct {
 type Timings struct {
 	Decode   time.Duration
 	Validate time.Duration
-	Compile  time.Duration
+	// Analyze is the static-analysis pass (internal/analysis) — fact
+	// derivation between validation and tier compilation. Zero when
+	// Config.NoAnalysis is set or the module rehydrated from disk
+	// (facts travel inside the artifact).
+	Analyze time.Duration
+	Compile time.Duration
 	// Rehydrate is the time spent materializing a persisted artifact's
 	// sidetables and code sections on a disk-cache load — the pipeline
 	// work that replaces Validate+Compile on the zero-compile path.
@@ -144,7 +156,7 @@ type Timings struct {
 
 // Setup returns total per-module processing time before execution.
 func (t Timings) Setup() time.Duration {
-	return t.Decode + t.Validate + t.Compile + t.Rehydrate
+	return t.Decode + t.Validate + t.Analyze + t.Compile + t.Rehydrate
 }
 
 // Engine creates instances under one configuration. An Engine is safe
@@ -505,6 +517,18 @@ func (inst *Instance) invoke(f *rt.FuncInst, argBase int) error {
 	return err
 }
 
+// mayWriteMemory reports whether a call to f could modify ri's linear
+// memory: true unless the static analysis proved f's entire call tree
+// read-only. Host functions, probed instances, and functions without
+// facts (NoAnalysis engines, unanalyzed imports) are conservatively
+// writers.
+func mayWriteMemory(ri *rt.Instance, f *rt.FuncInst) bool {
+	if ri.ProbedFuncs > 0 || f.Host != nil || f.Info == nil || f.Info.Facts == nil {
+		return true
+	}
+	return f.Info.Facts.WritesMemory
+}
+
 // crossInvoke bridges a call to a function owned by another instance:
 // arguments move from the caller's value stack to the owner's, the call
 // runs through the owner's own invoke dispatcher (its memory, globals,
@@ -540,6 +564,9 @@ func crossInvoke(src *rt.Context, f *rt.FuncInst, argBase int) error {
 		for i, t := range f.Type.Params {
 			dst.Stack.Tags[base+i] = wasm.TagOf(t)
 		}
+	}
+	if mayWriteMemory(f.Owner, f) {
+		f.Owner.MemTouched = true
 	}
 	saved := dst.Interrupt
 	dst.Interrupt = src.Interrupt
@@ -715,6 +742,9 @@ func (inst *Instance) callFunc(f *rt.FuncInst, args ...wasm.Value) ([]wasm.Value
 			ctx.Stack.Tags[base+i] = wasm.TagOf(a.Type)
 		}
 	}
+	if mayWriteMemory(inst.RT, f) {
+		inst.RT.MemTouched = true
+	}
 	var t0 time.Time
 	if topLevel {
 		t0 = time.Now()
@@ -740,6 +770,9 @@ func (inst *Instance) CallIdx(idx uint32) error {
 	f := inst.RT.Funcs[idx]
 	if len(f.Type.Params) != 0 {
 		return fmt.Errorf("engine: function %d takes parameters", idx)
+	}
+	if mayWriteMemory(inst.RT, f) {
+		inst.RT.MemTouched = true
 	}
 	return inst.invoke(f, 0)
 }

@@ -75,7 +75,15 @@ func (inst *Instance) Reset(s *Snapshot) error {
 			ri.OwnsMemory, s.mem != nil)
 	}
 	if ri.OwnsMemory {
-		ri.Memory.ResetTo(s.mem)
+		// Every top-level call since the last reset proven read-only by
+		// the static analysis (MemTouched never set) means the memory
+		// still equals the snapshot — skip the restore. Grown() catches
+		// the paths that bypass the proof (host writes via MarkAll,
+		// memory.grow), so the skip is belt-and-suspenders sound.
+		if ri.MemTouched || ri.Memory.Grown() {
+			ri.Memory.ResetTo(s.mem)
+		}
+		ri.MemTouched = false
 	}
 	for i, g := range ownedGlobals {
 		*g = s.globals[i]

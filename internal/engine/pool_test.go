@@ -468,3 +468,82 @@ func TestPoolDiscardDoesNotReleaseBusyInstance(t *testing.T) {
 		t.Fatal("mid-call instance (or its stack) was handed back out")
 	}
 }
+
+// readWriteModule builds a module with a provably read-only export
+// ("reader" only loads) and a writing export ("writer" stores).
+func readWriteModule() []byte {
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 1)
+	b.AddData(0, []byte{42})
+
+	reader := b.NewFunc("reader", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+	reader.I32Const(0).Load(wasm.OpI32Load8U, 0)
+	reader.End()
+	b.Export("reader", reader.Idx)
+
+	writer := b.NewFunc("writer", wasm.FuncType{})
+	writer.I32Const(0).I32Const(99).Store(wasm.OpI32Store8, 0)
+	writer.End()
+	b.Export("writer", writer.Idx)
+	return b.Encode()
+}
+
+// TestResetSkipsMemoryForReadOnlyCalls: calls the analysis proves
+// read-only never set MemTouched, so a pooled reset skips the memory
+// restore; a writing call forces the restore and the baseline comes
+// back intact.
+func TestResetSkipsMemoryForReadOnlyCalls(t *testing.T) {
+	inst, err := engine.New(engines.WizardSPC(), nil).Instantiate(readWriteModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Release()
+	snap := inst.Snapshot()
+	inst.RT.Memory.EnableWriteTracking()
+	inst.RT.MemTouched = false // discharge instantiate-time conservatism
+
+	if _, err := inst.Call("reader"); err != nil {
+		t.Fatal(err)
+	}
+	if inst.RT.MemTouched {
+		t.Error("read-only call set MemTouched; pool resets will never be skipped")
+	}
+	if err := inst.Reset(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := inst.Call("writer"); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.RT.MemTouched {
+		t.Error("writing call did not set MemTouched; reset would leak state")
+	}
+	if inst.RT.Memory.Data[0] != 99 {
+		t.Fatalf("writer did not write: %d", inst.RT.Memory.Data[0])
+	}
+	if err := inst.Reset(snap); err != nil {
+		t.Fatal(err)
+	}
+	if inst.RT.Memory.Data[0] != 42 {
+		t.Fatalf("reset did not restore the data segment: %d", inst.RT.Memory.Data[0])
+	}
+	if inst.RT.MemTouched {
+		t.Error("reset did not clear MemTouched")
+	}
+
+	// With analysis disabled the reader is conservatively a writer.
+	cfg := engines.WizardSPC()
+	cfg.NoAnalysis = true
+	inst2, err := engine.New(cfg, nil).Instantiate(readWriteModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst2.Release()
+	inst2.RT.MemTouched = false
+	if _, err := inst2.Call("reader"); err != nil {
+		t.Fatal(err)
+	}
+	if !inst2.RT.MemTouched {
+		t.Error("NoAnalysis engine skipped MemTouched; nothing proves the reader read-only there")
+	}
+}

@@ -37,6 +37,7 @@ func (inst *Instance) AttachProbe(funcIdx uint32, pc int, p rt.Probe) error {
 	}
 	if f.Probes == nil {
 		f.Probes = rt.NewProbeSet(len(f.Decl.Body))
+		inst.RT.ProbedFuncs++
 	}
 	f.Probes.Insert(pc, p)
 	return inst.reinstallCode(f)
@@ -51,6 +52,7 @@ func (inst *Instance) DetachProbes(funcIdx uint32, pc int) error {
 	f.Probes.Remove(pc)
 	if f.Probes.Empty() {
 		f.Probes = nil
+		inst.RT.ProbedFuncs--
 	}
 	return inst.reinstallCode(f)
 }

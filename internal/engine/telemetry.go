@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"wizgo/internal/analysis"
 	"wizgo/internal/rt"
 	"wizgo/internal/telemetry"
 )
@@ -25,7 +26,21 @@ var (
 
 	mCompileCalls = telemetry.Default().Counter("wizgo_compile_calls_total",
 		"Per-function compiler invocations across all engines.")
+
+	hAnalyze = telemetry.Default().Histogram("wizgo_analysis_seconds",
+		"Static-analysis pass latency per module (fact derivation).")
+	mAnalysisFacts = telemetry.Default().Counter("wizgo_analysis_facts_total",
+		"Static-analysis facts derived: proven-in-bounds accesses, elided loop polls, read-only functions.")
+	mChecksElided = telemetry.Default().Counter("wizgo_analysis_checks_elided_total",
+		"Dynamic checks the executors elide on analysis facts (bounds checks + interrupt polls), counted per compile site.")
 )
+
+// noteAnalysis publishes one finished static-analysis pass.
+func noteAnalysis(s analysis.Stats, dur time.Duration) {
+	hAnalyze.Observe(dur)
+	mAnalysisFacts.Add(uint64(s.BoundsProven + s.PollsElided + s.ReadOnly))
+	mChecksElided.Add(uint64(s.BoundsProven + s.PollsElided))
+}
 
 // noteExecute publishes one finished top-level call: the execute
 // histogram, an execute span, and — when the call trapped — a trap or

@@ -13,9 +13,21 @@
 package interp
 
 import (
+	"fmt"
+
 	"wizgo/internal/rt"
 	"wizgo/internal/wasm"
 )
+
+// assertInBounds re-checks an access the static analysis proved in
+// bounds. Only reachable under the `checked` build tag; a failure is an
+// analysis soundness bug, not a guest trap, so it panics.
+func assertInBounds(mem *rt.Memory, addr, off uint32, size int, f *rt.FuncInst, pc int) {
+	if !mem.InBounds(addr, off, size) {
+		panic(fmt.Sprintf("interp: checked build: analysis-elided bounds check failed: func %d pc %d addr %d+%d size %d",
+			f.Idx, pc, addr, off, size))
+	}
+}
 
 // Entry describes where to (re-)enter a function: a fresh call starts at
 // pc 0 with an empty operand stack; a tier-down (deopt) from compiled
@@ -83,6 +95,10 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 	// Hoisted so the back-edge poll is a register test + one atomic
 	// load, not a ctx field reload.
 	interrupt := ctx.Interrupt
+	// Static-analysis facts (nil-safe accessors): proven in-bounds
+	// accesses skip the bounds check, proven-terminating counted loops
+	// skip the back-edge interrupt poll.
+	facts := info.Facts
 
 	trap := func(kind rt.TrapKind) error {
 		return rt.NewTrap(kind, f.Idx, ip)
@@ -170,7 +186,7 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			sp--
 			if uint32(slots[sp]) != 0 {
 				e := st[stp]
-				if int(e.TargetIP) <= opPC && interrupt != nil && interrupt.Get() {
+				if int(e.TargetIP) <= opPC && interrupt != nil && !facts.NoPollAt(opPC) && interrupt.Get() {
 					return rt.Done, trap(rt.TrapInterrupted)
 				}
 				if int(e.TargetIP) <= opPC && ctx.Invoke != nil && shouldOSR(ctx, f) {
@@ -314,8 +330,11 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			var off uint32
 			off, ip = readMemArg(body, ip)
 			addr := uint32(slots[sp-1])
-			if !mem.InBounds(addr, off, 4) {
+			if !facts.InBoundsAt(opPC) && !mem.InBounds(addr, off, 4) {
 				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			if rt.Checked && facts.InBoundsAt(opPC) {
+				assertInBounds(mem, addr, off, 4, f, opPC)
 			}
 			slots[sp-1] = uint64(leU32(mem.Data, int(addr)+int(off)))
 			if tags != nil {
@@ -325,8 +344,11 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			var off uint32
 			off, ip = readMemArg(body, ip)
 			addr := uint32(slots[sp-1])
-			if !mem.InBounds(addr, off, 8) {
+			if !facts.InBoundsAt(opPC) && !mem.InBounds(addr, off, 8) {
 				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			if rt.Checked && facts.InBoundsAt(opPC) {
+				assertInBounds(mem, addr, off, 8, f, opPC)
 			}
 			slots[sp-1] = leU64(mem.Data, int(addr)+int(off))
 			if tags != nil {
@@ -336,8 +358,11 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			var off uint32
 			off, ip = readMemArg(body, ip)
 			addr := uint32(slots[sp-1])
-			if !mem.InBounds(addr, off, 4) {
+			if !facts.InBoundsAt(opPC) && !mem.InBounds(addr, off, 4) {
 				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			if rt.Checked && facts.InBoundsAt(opPC) {
+				assertInBounds(mem, addr, off, 4, f, opPC)
 			}
 			slots[sp-1] = uint64(leU32(mem.Data, int(addr)+int(off)))
 			if tags != nil {
@@ -347,8 +372,11 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			var off uint32
 			off, ip = readMemArg(body, ip)
 			addr := uint32(slots[sp-1])
-			if !mem.InBounds(addr, off, 8) {
+			if !facts.InBoundsAt(opPC) && !mem.InBounds(addr, off, 8) {
 				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			if rt.Checked && facts.InBoundsAt(opPC) {
+				assertInBounds(mem, addr, off, 8, f, opPC)
 			}
 			slots[sp-1] = leU64(mem.Data, int(addr)+int(off))
 			if tags != nil {
@@ -469,8 +497,11 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			off, ip = readMemArg(body, ip)
 			sp -= 2
 			addr := uint32(slots[sp])
-			if !mem.InBounds(addr, off, 4) {
+			if !facts.InBoundsAt(opPC) && !mem.InBounds(addr, off, 4) {
 				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			if rt.Checked && facts.InBoundsAt(opPC) {
+				assertInBounds(mem, addr, off, 4, f, opPC)
 			}
 			mem.Mark(addr, off, 4)
 			putU32(mem.Data, int(addr)+int(off), uint32(slots[sp+1]))
@@ -479,8 +510,11 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			off, ip = readMemArg(body, ip)
 			sp -= 2
 			addr := uint32(slots[sp])
-			if !mem.InBounds(addr, off, 8) {
+			if !facts.InBoundsAt(opPC) && !mem.InBounds(addr, off, 8) {
 				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			if rt.Checked && facts.InBoundsAt(opPC) {
+				assertInBounds(mem, addr, off, 8, f, opPC)
 			}
 			mem.Mark(addr, off, 8)
 			putU64(mem.Data, int(addr)+int(off), slots[sp+1])
@@ -489,8 +523,11 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			off, ip = readMemArg(body, ip)
 			sp -= 2
 			addr := uint32(slots[sp])
-			if !mem.InBounds(addr, off, 4) {
+			if !facts.InBoundsAt(opPC) && !mem.InBounds(addr, off, 4) {
 				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			if rt.Checked && facts.InBoundsAt(opPC) {
+				assertInBounds(mem, addr, off, 4, f, opPC)
 			}
 			mem.Mark(addr, off, 4)
 			putU32(mem.Data, int(addr)+int(off), uint32(slots[sp+1]))
@@ -499,8 +536,11 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			off, ip = readMemArg(body, ip)
 			sp -= 2
 			addr := uint32(slots[sp])
-			if !mem.InBounds(addr, off, 8) {
+			if !facts.InBoundsAt(opPC) && !mem.InBounds(addr, off, 8) {
 				return rt.Done, trap(rt.TrapOOBMemory)
+			}
+			if rt.Checked && facts.InBoundsAt(opPC) {
+				assertInBounds(mem, addr, off, 8, f, opPC)
 			}
 			mem.Mark(addr, off, 8)
 			putU64(mem.Data, int(addr)+int(off), slots[sp+1])

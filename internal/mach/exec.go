@@ -2,6 +2,7 @@ package mach
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 
 	"wizgo/internal/numx"
@@ -711,6 +712,100 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 			mem.Mark(addr, uint32(in.Imm), 8)
 			binary.LittleEndian.PutUint64(mem.Data[int(addr)+int(uint32(in.Imm)):], regs[in.C])
 
+		// Unchecked accesses: the static analysis proved
+		// addr.hi + offset + size ≤ minPages*PageSize, so the bounds
+		// check is gone. Under -tags checked it survives as an
+		// assertion whose failure is an analysis soundness bug, never
+		// a guest error.
+		case OLd8S32NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 1) {
+				checkedFail(in, f, pc)
+			}
+			regs[in.A] = uint64(uint32(int32(int8(mem.Data[int(addr)+int(uint32(in.Imm))]))))
+		case OLd8U32NC, OLd8U64NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 1) {
+				checkedFail(in, f, pc)
+			}
+			regs[in.A] = uint64(mem.Data[int(addr)+int(uint32(in.Imm))])
+		case OLd16S32NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 2) {
+				checkedFail(in, f, pc)
+			}
+			regs[in.A] = uint64(uint32(int32(int16(binary.LittleEndian.Uint16(mem.Data[int(addr)+int(uint32(in.Imm)):])))))
+		case OLd16U32NC, OLd16U64NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 2) {
+				checkedFail(in, f, pc)
+			}
+			regs[in.A] = uint64(binary.LittleEndian.Uint16(mem.Data[int(addr)+int(uint32(in.Imm)):]))
+		case OLd32NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 4) {
+				checkedFail(in, f, pc)
+			}
+			regs[in.A] = uint64(binary.LittleEndian.Uint32(mem.Data[int(addr)+int(uint32(in.Imm)):]))
+		case OLd8S64NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 1) {
+				checkedFail(in, f, pc)
+			}
+			regs[in.A] = uint64(int64(int8(mem.Data[int(addr)+int(uint32(in.Imm))])))
+		case OLd16S64NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 2) {
+				checkedFail(in, f, pc)
+			}
+			regs[in.A] = uint64(int64(int16(binary.LittleEndian.Uint16(mem.Data[int(addr)+int(uint32(in.Imm)):]))))
+		case OLd32S64NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 4) {
+				checkedFail(in, f, pc)
+			}
+			regs[in.A] = uint64(int64(int32(binary.LittleEndian.Uint32(mem.Data[int(addr)+int(uint32(in.Imm)):]))))
+		case OLd32U64NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 4) {
+				checkedFail(in, f, pc)
+			}
+			regs[in.A] = uint64(binary.LittleEndian.Uint32(mem.Data[int(addr)+int(uint32(in.Imm)):]))
+		case OLd64NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 8) {
+				checkedFail(in, f, pc)
+			}
+			regs[in.A] = binary.LittleEndian.Uint64(mem.Data[int(addr)+int(uint32(in.Imm)):])
+		case OSt8NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 1) {
+				checkedFail(in, f, pc)
+			}
+			mem.Mark(addr, uint32(in.Imm), 1)
+			mem.Data[int(addr)+int(uint32(in.Imm))] = byte(regs[in.C])
+		case OSt16NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 2) {
+				checkedFail(in, f, pc)
+			}
+			mem.Mark(addr, uint32(in.Imm), 2)
+			binary.LittleEndian.PutUint16(mem.Data[int(addr)+int(uint32(in.Imm)):], uint16(regs[in.C]))
+		case OSt32NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 4) {
+				checkedFail(in, f, pc)
+			}
+			mem.Mark(addr, uint32(in.Imm), 4)
+			binary.LittleEndian.PutUint32(mem.Data[int(addr)+int(uint32(in.Imm)):], uint32(regs[in.C]))
+		case OSt64NC:
+			addr := uint32(regs[in.B])
+			if rt.Checked && !mem.InBounds(addr, uint32(in.Imm), 8) {
+				checkedFail(in, f, pc)
+			}
+			mem.Mark(addr, uint32(in.Imm), 8)
+			binary.LittleEndian.PutUint64(mem.Data[int(addr)+int(uint32(in.Imm)):], regs[in.C])
+
 		case OMemSize:
 			regs[in.A] = uint64(mem.Pages())
 		case OMemGrow:
@@ -768,6 +863,28 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 				}
 			}
 
+		case OCheckPointNoPoll:
+			// Loop header of a proven-terminating counted loop: the
+			// interrupt poll is elided, but the checkpoint still
+			// serves as deopt point and fuel tick so invalidation and
+			// fuel semantics are identical to OCheckPoint.
+			if c.Invalidated {
+				fr := &ctx.Frames[frameIdx]
+				fr.SP = vfp + int(in.A)
+				fr.PC = int(in.Imm)
+				ctx.Resume = *fr
+				if counting {
+					ctx.Stats.Deopts++
+				}
+				return rt.Deopt, nil
+			}
+			if ctx.Fuel > 0 {
+				ctx.Fuel--
+				if ctx.Fuel == 0 {
+					return rt.Done, c.trapAt(rt.TrapStackOverflow, f, pc)
+				}
+			}
+
 		case OProbeFire:
 			fr := ctx.Frames[frameIdx]
 			fr.SP = vfp + int(in.A)
@@ -797,6 +914,14 @@ func (c *Code) trapAt(kind rt.TrapKind, f *rt.FuncInst, machPC int) error {
 		wasmPC = int(c.WasmPC[machPC])
 	}
 	return rt.NewTrap(kind, f.Idx, wasmPC)
+}
+
+// checkedFail fires when a `-tags checked` build catches an access the
+// static analysis wrongly proved in bounds. That is a soundness bug in
+// internal/analysis — never a guest-program error — so it panics
+// instead of trapping.
+func checkedFail(in *Instr, f *rt.FuncInst, machPC int) {
+	panic(fmt.Sprintf("mach: checked build: analysis-elided bounds check failed: %v in func %d at machine pc %d", in, f.Idx, machPC))
 }
 
 func mf32(b uint64) float32  { return math.Float32frombits(uint32(b)) }

@@ -148,6 +148,7 @@ func Translate(m *wasm.Module, fidx uint32, decl *wasm.Func, info *validate.Func
 
 	r := wasm.NewReader(decl.Body)
 	for r.Len() > 0 {
+		pc := r.Pos
 		op, err := r.ReadOpcode()
 		if err != nil {
 			return nil, err
@@ -155,7 +156,7 @@ func Translate(m *wasm.Module, fidx uint32, decl *wasm.Func, info *validate.Func
 		if len(x.ctrls) == 0 {
 			return nil, fmt.Errorf("rewriter: instructions after end")
 		}
-		if err := x.instr(op, r); err != nil {
+		if err := x.instr(op, r, pc); err != nil {
 			return nil, err
 		}
 	}
@@ -190,7 +191,9 @@ func (x *xlat) blockArity(r *wasm.Reader) (nIn, nOut int, err error) {
 	return 0, 1, nil
 }
 
-func (x *xlat) instr(op wasm.Opcode, r *wasm.Reader) error {
+// instr translates one instruction; pc is its bytecode offset, used to
+// look up analysis facts.
+func (x *xlat) instr(op wasm.Opcode, r *wasm.Reader, pc int) error {
 	// Skip unreachable code: it cannot execute, and its stack heights
 	// are polymorphic. Control nesting is still tracked.
 	if x.ctrls[len(x.ctrls)-1].unreach {
@@ -304,7 +307,13 @@ func (x *xlat) instr(op wasm.Opcode, r *wasm.Reader) error {
 		x.h--
 		fr := x.frameAt(d)
 		val, pop := x.branchArgs(fr)
-		x.emitBranch(Instr{Op: opBrIfNZ, A: val, B: pop}, x.target(fr))
+		in := Instr{Op: opBrIfNZ, A: val, B: pop}
+		if fr.op == wasm.OpLoop && x.info.Facts.NoPollAt(pc) {
+			// Back edge of a proven-terminating counted loop: Imm=1
+			// tells the executor to skip the interrupt poll.
+			in.Imm = 1
+		}
+		x.emitBranch(in, x.target(fr))
 	case wasm.OpBrTable:
 		n, err := r.U32()
 		if err != nil {
@@ -477,7 +486,13 @@ func (x *xlat) instr(op wasm.Opcode, r *wasm.Reader) error {
 			if err != nil {
 				return err
 			}
-			x.emit(Instr{Op: op, Imm: uint64(off)})
+			in := Instr{Op: op, Imm: uint64(off)}
+			if x.info.Facts.InBoundsAt(pc) {
+				// A=1 marks the access proven in bounds; the flag
+				// round-trips through the serialized artifact.
+				in.A = 1
+			}
+			x.emit(in)
 			if _, results, ok := op.Sig(); ok && len(results) > 0 {
 				// load: addr -> value, height unchanged
 			} else {

@@ -1,0 +1,7 @@
+//go:build !checked
+
+package rt
+
+// Checked is false in normal builds: elided checks cost nothing. See
+// checked_on.go.
+const Checked = false

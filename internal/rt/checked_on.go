@@ -1,0 +1,10 @@
+//go:build checked
+
+package rt
+
+// Checked enables soundness assertions on paths where the static
+// analysis eliminated a dynamic check: under `-tags checked` every
+// elided bounds check is re-executed and a violation panics, so the
+// differential CI job proves the analysis never licenses an access the
+// dynamic check would have trapped.
+const Checked = true

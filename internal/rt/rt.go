@@ -496,6 +496,18 @@ type Instance struct {
 	// Ctx is the execution context the embedder bound to this instance,
 	// the target context for calls bridged in from other instances.
 	Ctx *Context
+
+	// MemTouched records that some call since the last pool reset MAY
+	// have written this instance's memory. The engine's call entry
+	// points set it unless the callee's analysis facts prove the whole
+	// call tree read-only, letting a pooled reset skip the memory
+	// restore entirely. Host writes outside a call (embedder pokes) must
+	// go through Memory.MarkAll, which independently forces a restore.
+	MemTouched bool
+	// ProbedFuncs counts functions with probes attached. Probes run
+	// arbitrary embedder code outside the analysis' view, so a probed
+	// instance never skips its pooled memory restore.
+	ProbedFuncs int
 }
 
 // FuncByName resolves an exported function.

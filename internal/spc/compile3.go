@@ -60,7 +60,14 @@ func (c *compiler) instr(op wasm.Opcode) error {
 			// tiers in production engines behave the same way).
 			c.osrEntries[bodyPC] = c.asm.Pos()
 		}
-		c.asm.Emit(mach.Instr{Op: mach.OCheckPoint, A: int32(c.nLocals + c.st.h), Imm: uint64(bodyPC)})
+		cp := mach.OCheckPoint
+		if c.info.Facts.NoPollAt(bodyPC) {
+			// Proven-terminating counted loop: keep the checkpoint
+			// (deopt point, OSR entry, fuel tick) but skip the
+			// per-iteration interrupt poll.
+			cp = mach.OCheckPointNoPoll
+		}
+		c.asm.Emit(mach.Instr{Op: cp, A: int32(c.nLocals + c.st.h), Imm: uint64(bodyPC)})
 		c.ctrls = append(c.ctrls, ctrl{
 			op: wasm.OpLoop, startTypes: in, endTypes: out,
 			height:      c.st.h - len(in),

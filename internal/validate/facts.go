@@ -1,0 +1,81 @@
+package validate
+
+// Facts is the per-function output of the static-analysis pass
+// (internal/analysis): properties proven by forward abstract
+// interpretation over the validated body, consumed by every executor to
+// elide dynamic checks. It lives here — not in the analysis package —
+// so tiers can consume facts through the *FuncInfo they already
+// receive, and the analysis package (which imports validate) stays
+// acyclic with the engine (which imports both).
+//
+// A nil Facts means "nothing proven": every consumer must treat the
+// absence of a fact as "keep the dynamic check". Facts never make a
+// program trap less — they only license removing checks that provably
+// cannot fire.
+type Facts struct {
+	// InBounds is a bitset over body pcs: bit pc is set when the memory
+	// access decoded at pc is provably in bounds for any memory of at
+	// least the module's declared minimum page count. Sound because
+	// linking rejects imported memories below the declared minimum and
+	// memory.grow never shrinks.
+	InBounds []uint64
+	// NoPoll is a bitset over body pcs: bit pc is set at loop back-edge
+	// branches (and at the loop's first body pc, for tiers that plant a
+	// checkpoint at the header) whose loop provably terminates within a
+	// bounded trip count without calls, so the per-iteration interrupt
+	// poll may be skipped. OSR and fuel accounting are unaffected.
+	NoPoll []uint64
+	// WritesMemory is false only when the function — and everything it
+	// can transitively call — provably never writes, fills, copies into
+	// or grows linear memory. Imports and indirect calls are
+	// conservatively assumed to write.
+	WritesMemory bool
+	// BoundsProven counts InBounds bits set; PollsElided counts loops
+	// whose back-edge poll was proven skippable. Telemetry feed.
+	BoundsProven int
+	// PollsElided counts loops proven poll-free.
+	PollsElided int
+}
+
+// NewFacts returns a Facts with bitsets sized for a body of bodyLen
+// bytes, conservatively assuming the function writes memory.
+func NewFacts(bodyLen int) *Facts {
+	n := (bodyLen + 63) / 64
+	return &Facts{
+		InBounds:     make([]uint64, n),
+		NoPoll:       make([]uint64, n),
+		WritesMemory: true,
+	}
+}
+
+// SetInBounds marks the access at pc provably in bounds.
+func (f *Facts) SetInBounds(pc int) {
+	f.InBounds[pc>>6] |= 1 << (uint(pc) & 63)
+	f.BoundsProven++
+}
+
+// SetNoPoll marks the back-edge (or loop header body pc) at pc as not
+// requiring an interrupt poll.
+func (f *Facts) SetNoPoll(pc int) {
+	f.NoPoll[pc>>6] |= 1 << (uint(pc) & 63)
+}
+
+// InBoundsAt reports whether the access at pc is proven in bounds.
+// Safe on a nil receiver.
+func (f *Facts) InBoundsAt(pc int) bool {
+	if f == nil {
+		return false
+	}
+	w := pc >> 6
+	return w < len(f.InBounds) && f.InBounds[w]&(1<<(uint(pc)&63)) != 0
+}
+
+// NoPollAt reports whether the back-edge (or loop header) at pc is
+// proven poll-free. Safe on a nil receiver.
+func (f *Facts) NoPollAt(pc int) bool {
+	if f == nil {
+		return false
+	}
+	w := pc >> 6
+	return w < len(f.NoPoll) && f.NoPoll[w]&(1<<(uint(pc)&63)) != 0
+}

@@ -48,6 +48,10 @@ type FuncInfo struct {
 	NumParams int
 	// BodyLen is the length of the validated body in bytes.
 	BodyLen int
+	// Facts holds the static-analysis results for this function, or nil
+	// when analysis did not run (engine.Config.NoAnalysis, direct tier
+	// invocation). Executors must treat nil as "no fact proven".
+	Facts *Facts
 }
 
 // NumSlots returns the frame size in value slots (locals + max operand
@@ -95,7 +99,8 @@ type validator struct {
 	vals   []wasm.ValueType
 	ctrls  []ctrlFrame
 	info   *FuncInfo
-	opPC   int // pc of the opcode being validated
+	opPC   int         // pc of the opcode being validated
+	op     wasm.Opcode // opcode being validated (noOpcode before the first)
 	locals []wasm.ValueType
 	// numMemories and numTables cache the imported+defined counts:
 	// memCheck and call_indirect consult them per instruction, and
@@ -105,14 +110,25 @@ type validator struct {
 	numTables   int
 }
 
-// Error wraps a validation failure with function context.
+// Error wraps a validation failure with function context. Op is the
+// opcode being validated when the failure was raised (noOpcode before
+// the first opcode of a body is read), so diagnostics name the
+// offending instruction, not just its raw pc.
 type Error struct {
 	FuncIdx uint32
 	PC      int
+	Op      wasm.Opcode
 	Msg     string
 }
 
+// noOpcode marks an Error raised before any opcode was decoded; it is
+// outside the opcode space, so it never renders as an instruction name.
+const noOpcode wasm.Opcode = 0xFFFF
+
 func (e *Error) Error() string {
+	if e.Op != noOpcode && e.Op.Known() {
+		return fmt.Sprintf("validate: func %d at +%d (%v): %s", e.FuncIdx, e.PC, e.Op, e.Msg)
+	}
 	return fmt.Sprintf("validate: func %d at +%d: %s", e.FuncIdx, e.PC, e.Msg)
 }
 
@@ -226,6 +242,7 @@ func function(m *wasm.Module, f *wasm.Func, numMemories, numTables int) (*FuncIn
 		m:           m,
 		f:           f,
 		r:           wasm.NewReader(f.Body),
+		op:          noOpcode,
 		locals:      locals,
 		numMemories: numMemories,
 		numTables:   numTables,
@@ -244,7 +261,7 @@ func function(m *wasm.Module, f *wasm.Func, numMemories, numTables int) (*FuncIn
 }
 
 func (v *validator) fail(format string, args ...any) error {
-	return &Error{PC: v.opPC, Msg: fmt.Sprintf(format, args...)}
+	return &Error{PC: v.opPC, Op: v.op, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (v *validator) pushVal(t wasm.ValueType) {
@@ -395,6 +412,7 @@ func (v *validator) run() error {
 		if err != nil {
 			return err
 		}
+		v.op = op
 		if err := v.instr(op); err != nil {
 			return err
 		}

@@ -258,6 +258,24 @@ func (m *Module) NumImportedTables() int { return m.numImported(ImportTable) }
 // NumImportedMemories returns how many memories are imported.
 func (m *Module) NumImportedMemories() int { return m.numImported(ImportMemory) }
 
+// MemoryMinPages returns the declared minimum page count of the
+// module's memory (imported or defined), or 0 when the module has no
+// memory. Linking enforces the minimum on imported memories and
+// memory.grow never shrinks, so any address below MemoryMinPages()*
+// PageSize is in bounds for the module's whole lifetime — the
+// invariant the static analysis's in-bounds facts rest on.
+func (m *Module) MemoryMinPages() uint32 {
+	for _, imp := range m.Imports {
+		if imp.Kind == ImportMemory {
+			return imp.Lim.Min
+		}
+	}
+	if len(m.Memories) > 0 {
+		return m.Memories[0].Min
+	}
+	return 0
+}
+
 // NumMemories returns the total number of memories (imported + defined).
 // The MVP subset allows at most one.
 func (m *Module) NumMemories() int {
