@@ -1,0 +1,135 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wizgo/internal/wasm"
+)
+
+// Corpus persistence. A reproducer is a pair of files in a corpus
+// directory: `<name>.wasm` holding the (minimized) module bytes, and
+// `<name>.json` holding the seed, the calls to replay, a human-readable
+// note naming the divergence, and the per-engine outcome table captured
+// when the divergence was found. The pair is self-contained: replaying
+// it needs nothing but the oracle, so checked-in reproducers double as
+// regression tests (TestCorpusReplay).
+
+// Reproducer is the on-disk record of one divergence.
+type Reproducer struct {
+	Seed     int64       `json:"seed"`
+	Note     string      `json:"note,omitempty"`
+	Calls    []reproCall `json:"calls"`
+	Outcomes string      `json:"outcomes,omitempty"`
+
+	// Name and Bytes are carried alongside, not serialized in the JSON
+	// (the bytes live in the sibling .wasm file).
+	Name  string `json:"-"`
+	Bytes []byte `json:"-"`
+}
+
+type reproCall struct {
+	Export string     `json:"export"`
+	Args   []reproArg `json:"args,omitempty"`
+}
+
+type reproArg struct {
+	Type string `json:"type"`
+	Bits uint64 `json:"bits"`
+}
+
+func parseValueType(s string) (wasm.ValueType, error) {
+	for _, t := range []wasm.ValueType{wasm.I32, wasm.I64, wasm.F32, wasm.F64, wasm.FuncRef, wasm.ExternRef} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("difftest: unknown value type %q", s)
+}
+
+// Generated reconstructs the oracle input from a loaded reproducer.
+func (r Reproducer) Generated() (Generated, error) {
+	g := Generated{Seed: r.Seed, Bytes: r.Bytes}
+	for _, c := range r.Calls {
+		call := Call{Export: c.Export}
+		for _, a := range c.Args {
+			t, err := parseValueType(a.Type)
+			if err != nil {
+				return Generated{}, fmt.Errorf("%s: %w", r.Name, err)
+			}
+			call.Args = append(call.Args, wasm.Value{Type: t, Bits: a.Bits})
+		}
+		g.Calls = append(g.Calls, call)
+	}
+	return g, nil
+}
+
+// WriteReproducer stores g into dir, naming the pair by seed and a
+// short content hash so distinct divergences never collide. Returns the
+// path of the .wasm file.
+func WriteReproducer(dir string, g Generated, note, outcomes string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(g.Bytes)
+	name := fmt.Sprintf("repro-%d-%08x", g.Seed, h.Sum64()&0xFFFFFFFF)
+	r := Reproducer{Seed: g.Seed, Note: note, Outcomes: outcomes}
+	for _, c := range g.Calls {
+		rc := reproCall{Export: c.Export}
+		for _, a := range c.Args {
+			rc.Args = append(rc.Args, reproArg{Type: a.Type.String(), Bits: a.Bits})
+		}
+		r.Calls = append(r.Calls, rc)
+	}
+	meta, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	wasmPath := filepath.Join(dir, name+".wasm")
+	if err := os.WriteFile(wasmPath, g.Bytes, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), append(meta, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return wasmPath, nil
+}
+
+// LoadCorpus reads every reproducer pair in dir, sorted by name. A
+// missing directory is an error (so a typo'd corpus path cannot
+// silently pass as an empty corpus); an existing-but-empty directory
+// returns an empty slice.
+func LoadCorpus(dir string) ([]Reproducer, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Reproducer
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wasm") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".wasm")
+		bytes, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		r := Reproducer{Name: name, Bytes: bytes}
+		meta, err := os.ReadFile(filepath.Join(dir, name+".json"))
+		if err != nil {
+			return nil, fmt.Errorf("difftest: reproducer %s has no metadata: %w", name, err)
+		}
+		if err := json.Unmarshal(meta, &r); err != nil {
+			return nil, fmt.Errorf("difftest: reproducer %s: %w", name, err)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package difftest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wizgo/internal/wasm"
+)
+
+// fuzzOracle is shared across fuzz iterations (engines are expensive to
+// build) with a short deadline: fuzz-provided modules have no
+// termination guarantee, so runaway executions must be cut off fast.
+// The mutex serializes access — the Oracle reuses per-engine state, and
+// fuzz workers may run the target concurrently within a process.
+var (
+	fuzzOracle     *Oracle
+	fuzzOracleOnce sync.Once
+	fuzzOracleMu   sync.Mutex
+)
+
+// FuzzDifferential feeds arbitrary bytes through the decoder into the
+// full cross-execution oracle: every configuration must agree on
+// rejection, and any module that executes must produce identical
+// canonical outcomes. This is the open-ended counterpart of the
+// structure-aware generator — no validity or termination guarantees,
+// the oracle's rejection comparison and deadline carry all the weight.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(Generate(seed, GenConfig{}).Bytes)
+	}
+	f.Fuzz(func(t *testing.T, bytes []byte) {
+		// Bound resource usage before execution: huge memories or
+		// function counts make iterations uselessly slow without adding
+		// differential coverage.
+		if m, err := wasm.Decode(bytes); err == nil {
+			if m.MemoryMinPages() > 4 || len(m.Funcs) > 64 {
+				t.Skip("oversized module")
+			}
+		}
+		fuzzOracleOnce.Do(func() {
+			fuzzOracle = NewOracle()
+			fuzzOracle.Deadline = 150 * time.Millisecond
+		})
+		fuzzOracleMu.Lock()
+		defer fuzzOracleMu.Unlock()
+		g := Generated{Bytes: bytes, Calls: DeriveCalls(bytes)}
+		if outs, d := fuzzOracle.Run(g); d != nil {
+			t.Fatalf("%v\n%s", d, OutcomeTable(outs))
+		}
+	})
+}

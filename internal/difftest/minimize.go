@@ -1,0 +1,601 @@
+package difftest
+
+import (
+	"wizgo/internal/validate"
+	"wizgo/internal/wasm"
+)
+
+// The divergence minimizer. Given a module+calls that some predicate
+// flags (normally Oracle.Diverges), Minimize shrinks it by structured
+// passes — drop calls, stub bodies, drop exports and whole functions,
+// delta-debug instruction sequences, zero constants, drop data/element
+// segments — re-validating and re-checking the predicate after every
+// candidate mutation. Candidates that fail validation are discarded for
+// free; only validated candidates spend the check budget. The passes
+// run to a fixpoint, so the reproducers written into the corpus are
+// usually a handful of instructions naming the exact disagreement.
+
+// CheckFunc reports whether a candidate still exhibits the property
+// being preserved (normally: the oracle still observes a divergence).
+type CheckFunc func(Generated) bool
+
+// maxChecks bounds the total number of predicate evaluations one
+// Minimize call may spend; each evaluation runs the full engine matrix,
+// so this is the minimizer's real cost control.
+const maxChecks = 2000
+
+// Minimize shrinks g while check keeps holding. If check(g) is false to
+// begin with, g is returned unchanged.
+func Minimize(g Generated, check CheckFunc) Generated {
+	mz := &minimizer{best: g, check: check, budget: maxChecks}
+	if !mz.try(g) {
+		return g
+	}
+	for mz.budget > 0 {
+		changed := mz.dropCalls()
+		changed = mz.stubBodies() || changed
+		changed = mz.dropExports() || changed
+		changed = mz.dropFuncs() || changed
+		changed = mz.ddminInstrs() || changed
+		changed = mz.unwrapBlocks() || changed
+		changed = mz.shrinkConsts() || changed
+		changed = mz.dropSegments() || changed
+		changed = mz.zeroGlobals() || changed
+		if !changed {
+			break
+		}
+	}
+	return mz.best
+}
+
+type minimizer struct {
+	best   Generated
+	check  CheckFunc
+	budget int
+}
+
+// try accepts cand as the new best iff the predicate still holds.
+func (mz *minimizer) try(cand Generated) bool {
+	if mz.budget <= 0 {
+		return false
+	}
+	mz.budget--
+	if !mz.check(cand) {
+		return false
+	}
+	mz.best = cand
+	return true
+}
+
+// tryModule encodes a mutated module, filters out invalid candidates
+// (for free — validation doesn't spend the check budget), and tries the
+// rest.
+func (mz *minimizer) tryModule(m *wasm.Module, calls []Call) bool {
+	bytes := wasm.Encode(m)
+	dec, err := wasm.Decode(bytes)
+	if err != nil {
+		return false
+	}
+	if _, err := validate.Module(dec); err != nil {
+		return false
+	}
+	return mz.try(Generated{Seed: mz.best.Seed, Bytes: bytes, Calls: calls})
+}
+
+// decode re-decodes the current best; mutation passes always start from
+// a fresh copy so a rejected candidate leaves no residue.
+func (mz *minimizer) decode() *wasm.Module {
+	m, err := wasm.Decode(mz.best.Bytes)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// dropCalls removes calls one at a time.
+func (mz *minimizer) dropCalls() bool {
+	changed := false
+	for i := 0; i < len(mz.best.Calls) && len(mz.best.Calls) > 1; {
+		cand := mz.best
+		cand.Calls = append(append([]Call{}, mz.best.Calls[:i]...), mz.best.Calls[i+1:]...)
+		if mz.try(cand) {
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+// stubBody is the smallest valid body for a signature: one zero
+// constant per result, then end.
+func stubBody(results []wasm.ValueType) []byte {
+	var b []byte
+	for _, t := range results {
+		b = append(b, zeroConst(constOpFor(t))...)
+	}
+	return append(b, byte(wasm.OpEnd))
+}
+
+func constOpFor(t wasm.ValueType) wasm.Opcode {
+	switch t {
+	case wasm.I32:
+		return wasm.OpI32Const
+	case wasm.I64:
+		return wasm.OpI64Const
+	case wasm.F32:
+		return wasm.OpF32Const
+	default:
+		return wasm.OpF64Const
+	}
+}
+
+// stubBodies replaces whole function bodies with their stub. This is
+// the big hammer: every function not implicated in the divergence
+// collapses to at most a few constants.
+func (mz *minimizer) stubBodies() bool {
+	changed := false
+	for i := 0; ; i++ {
+		m := mz.decode()
+		if m == nil || i >= len(m.Funcs) {
+			break
+		}
+		f := &m.Funcs[i]
+		stub := stubBody(m.Types[f.TypeIdx].Results)
+		if len(f.Locals) == 0 && string(f.Body) == string(stub) {
+			continue
+		}
+		f.Locals = nil
+		f.Body = stub
+		if mz.tryModule(m, mz.best.Calls) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// dropExports removes exports no remaining call references.
+func (mz *minimizer) dropExports() bool {
+	used := map[string]bool{}
+	for _, c := range mz.best.Calls {
+		used[c.Export] = true
+	}
+	changed := false
+	for i := 0; ; {
+		m := mz.decode()
+		if m == nil || i >= len(m.Exports) {
+			break
+		}
+		if used[m.Exports[i].Name] {
+			i++
+			continue
+		}
+		m.Exports = append(m.Exports[:i], m.Exports[i+1:]...)
+		if mz.tryModule(m, mz.best.Calls) {
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+// rewriteFuncRefs renumbers direct function references (call, ref.func)
+// in body after function index `removed` was deleted. Returns ok=false
+// if the body references the removed function.
+func rewriteFuncRefs(body []byte, removed uint32) (out []byte, ok bool) {
+	r := wasm.NewReader(body)
+	for r.Len() > 0 {
+		start := r.Pos
+		op, err := r.ReadOpcode()
+		if err != nil {
+			return nil, false
+		}
+		if op == wasm.OpCall || op == wasm.OpRefFunc {
+			idx, err := r.U32()
+			if err != nil {
+				return nil, false
+			}
+			if idx == removed {
+				return nil, false
+			}
+			out = wasm.AppendOpcode(out, op)
+			if idx > removed {
+				idx--
+			}
+			out = wasm.AppendU32(out, idx)
+			continue
+		}
+		if err := r.SkipImm(op); err != nil {
+			return nil, false
+		}
+		out = append(out, body[start:r.Pos]...)
+	}
+	return out, true
+}
+
+// dropFuncs deletes whole functions, renumbering every remaining
+// reference (calls, ref.func, exports, element segments, start). A
+// function still referenced by an element segment or a remaining call
+// is left alone.
+func (mz *minimizer) dropFuncs() bool {
+	changed := false
+	for i := 0; ; {
+		m := mz.decode()
+		if m == nil || i >= len(m.Funcs) || len(m.Funcs) <= 1 {
+			break
+		}
+		if !mz.tryDropFunc(m, uint32(i)) {
+			i++
+		} else {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (mz *minimizer) tryDropFunc(m *wasm.Module, idx uint32) bool {
+	// The generator never emports function imports, but fuzz inputs
+	// might; index arithmetic with imported funcs is not worth the
+	// complexity here.
+	if m.NumImportedFuncs() > 0 {
+		return false
+	}
+	for _, e := range m.Elems {
+		for _, f := range e.Funcs {
+			if f == idx {
+				return false
+			}
+		}
+	}
+	if m.HasStart && m.Start == idx {
+		return false
+	}
+	exported := map[uint32]string{}
+	for _, e := range m.Exports {
+		if e.Kind == wasm.ExternFunc {
+			exported[e.Idx] = e.Name
+		}
+	}
+	for _, c := range mz.best.Calls {
+		if exported[idx] == c.Export {
+			return false
+		}
+	}
+	// Renumber bodies; bail if anything still calls the victim.
+	for i := range m.Funcs {
+		if uint32(i) == idx {
+			continue
+		}
+		body, ok := rewriteFuncRefs(m.Funcs[i].Body, idx)
+		if !ok {
+			return false
+		}
+		m.Funcs[i].Body = body
+	}
+	m.Funcs = append(m.Funcs[:idx], m.Funcs[idx+1:]...)
+	var exps []wasm.Export
+	for _, e := range m.Exports {
+		if e.Kind == wasm.ExternFunc {
+			if e.Idx == idx {
+				continue
+			}
+			if e.Idx > idx {
+				e.Idx--
+			}
+		}
+		exps = append(exps, e)
+	}
+	m.Exports = exps
+	for ei := range m.Elems {
+		for fi, f := range m.Elems[ei].Funcs {
+			if f > idx {
+				m.Elems[ei].Funcs[fi] = f - 1
+			}
+		}
+	}
+	if m.HasStart && m.Start > idx {
+		m.Start--
+	}
+	return mz.tryModule(m, mz.best.Calls)
+}
+
+// ddminInstrs delta-debugs each function body at instruction
+// granularity: remove chunks of decreasing size, keeping any removal
+// that validates and still diverges.
+func (mz *minimizer) ddminInstrs() bool {
+	changed := false
+	for fi := 0; ; fi++ {
+		m := mz.decode()
+		if m == nil || fi >= len(m.Funcs) {
+			break
+		}
+		if mz.ddminBody(fi) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (mz *minimizer) ddminBody(fi int) bool {
+	changed := false
+	// Every chunk size, not just powers of two: the smallest
+	// stack-neutral removable unit is often odd-sized (const, const,
+	// store is three instructions). Invalid candidates cost nothing, so
+	// the wide size sweep is cheap.
+	for size := 16; size >= 1; size-- {
+		for i := 0; ; {
+			m := mz.decode()
+			if m == nil || fi >= len(m.Funcs) {
+				return changed
+			}
+			body := m.Funcs[fi].Body
+			starts, err := wasm.InstrStarts(body)
+			if err != nil || i+size >= len(starts) { // keep the final end
+				break
+			}
+			end := len(body)
+			if i+size < len(starts) {
+				end = starts[i+size]
+			}
+			cand := append([]byte{}, body[:starts[i]]...)
+			cand = append(cand, body[end:]...)
+			m.Funcs[fi].Body = cand
+			if mz.tryModule(m, mz.best.Calls) {
+				changed = true
+			} else {
+				i++
+			}
+		}
+	}
+	return changed
+}
+
+// unwrapBlocks removes structured wrappers that contiguous deletion can
+// never touch: a block/loop and its matching (non-adjacent) end are
+// deleted as a pair, and an if becomes drop (discarding the condition,
+// making the then-arm unconditional) with its end deleted.
+func (mz *minimizer) unwrapBlocks() bool {
+	changed := false
+	for fi := 0; ; fi++ {
+		m := mz.decode()
+		if m == nil || fi >= len(m.Funcs) {
+			break
+		}
+		if mz.unwrapBodyBlocks(fi) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (mz *minimizer) unwrapBodyBlocks(fi int) bool {
+	changed := false
+	for nth := 0; ; {
+		m := mz.decode()
+		if m == nil || fi >= len(m.Funcs) {
+			return changed
+		}
+		cand, more := unwrapNth(m.Funcs[fi].Body, nth)
+		if !more {
+			return changed
+		}
+		if cand == nil {
+			nth++
+			continue
+		}
+		m.Funcs[fi].Body = cand
+		if mz.tryModule(m, mz.best.Calls) {
+			changed = true
+		} else {
+			nth++
+		}
+	}
+}
+
+// unwrapNth unwraps the nth structured instruction of body. Returns
+// (nil, true) when that instruction exists but is not unwrappable (an
+// if with an else arm), and (nil, false) when fewer than nth+1
+// structured instructions exist.
+func unwrapNth(body []byte, nth int) (cand []byte, more bool) {
+	r := wasm.NewReader(body)
+	seen := 0
+	for r.Len() > 0 {
+		start := r.Pos
+		op, err := r.ReadOpcode()
+		if err != nil {
+			return nil, false
+		}
+		if err := r.SkipImm(op); err != nil {
+			return nil, false
+		}
+		if op != wasm.OpBlock && op != wasm.OpLoop && op != wasm.OpIf {
+			continue
+		}
+		if seen < nth {
+			seen++
+			continue
+		}
+		hdrEnd := r.Pos
+		end, hasElse, ok := matchingEnd(body, r)
+		if !ok {
+			return nil, false
+		}
+		if op == wasm.OpIf && hasElse {
+			return nil, true
+		}
+		cand = append([]byte{}, body[:start]...)
+		if op == wasm.OpIf {
+			cand = append(cand, byte(wasm.OpDrop))
+		}
+		cand = append(cand, body[hdrEnd:end]...)
+		cand = append(cand, body[end+1:]...)
+		return cand, true
+	}
+	return nil, false
+}
+
+// matchingEnd scans from r (positioned just past a structured
+// instruction) to the offset of its matching end, reporting whether a
+// same-depth else was seen.
+func matchingEnd(body []byte, r *wasm.Reader) (end int, hasElse bool, ok bool) {
+	depth := 1
+	for r.Len() > 0 {
+		start := r.Pos
+		op, err := r.ReadOpcode()
+		if err != nil {
+			return 0, false, false
+		}
+		if err := r.SkipImm(op); err != nil {
+			return 0, false, false
+		}
+		switch op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			depth++
+		case wasm.OpElse:
+			if depth == 1 {
+				hasElse = true
+			}
+		case wasm.OpEnd:
+			depth--
+			if depth == 0 {
+				return start, hasElse, true
+			}
+		}
+	}
+	return 0, false, false
+}
+
+// shrinkConsts zeroes non-zero constants one at a time.
+func (mz *minimizer) shrinkConsts() bool {
+	changed := false
+	for fi := 0; ; fi++ {
+		m := mz.decode()
+		if m == nil || fi >= len(m.Funcs) {
+			break
+		}
+		if mz.shrinkBodyConsts(fi) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func isConstOp(op wasm.Opcode) bool {
+	return op == wasm.OpI32Const || op == wasm.OpI64Const ||
+		op == wasm.OpF32Const || op == wasm.OpF64Const
+}
+
+func zeroConst(op wasm.Opcode) []byte {
+	switch op {
+	case wasm.OpI32Const, wasm.OpI64Const:
+		return []byte{byte(op), 0}
+	case wasm.OpF32Const:
+		return []byte{byte(op), 0, 0, 0, 0}
+	default:
+		return []byte{byte(op), 0, 0, 0, 0, 0, 0, 0, 0}
+	}
+}
+
+func (mz *minimizer) shrinkBodyConsts(fi int) bool {
+	changed := false
+	// nth tracks which const instruction to attempt next, by ordinal,
+	// so an accepted zeroing (which changes byte offsets) resumes at
+	// the following constant.
+	for nth := 0; ; {
+		m := mz.decode()
+		if m == nil || fi >= len(m.Funcs) {
+			return changed
+		}
+		body := m.Funcs[fi].Body
+		r := wasm.NewReader(body)
+		seen, done := 0, true
+		for r.Len() > 0 {
+			start := r.Pos
+			op, err := r.ReadOpcode()
+			if err != nil {
+				return changed
+			}
+			if err := r.SkipImm(op); err != nil {
+				return changed
+			}
+			if !isConstOp(op) {
+				continue
+			}
+			if seen < nth {
+				seen++
+				continue
+			}
+			seen++
+			z := zeroConst(op)
+			if string(body[start:r.Pos]) == string(z) {
+				nth++
+				done = false
+				break
+			}
+			cand := append([]byte{}, body[:start]...)
+			cand = append(cand, z...)
+			cand = append(cand, body[r.Pos:]...)
+			m.Funcs[fi].Body = cand
+			if mz.tryModule(m, mz.best.Calls) {
+				changed = true
+			}
+			nth++
+			done = false
+			break
+		}
+		if done {
+			return changed
+		}
+	}
+}
+
+// dropSegments removes data and element segments one at a time.
+func (mz *minimizer) dropSegments() bool {
+	changed := false
+	for i := 0; ; {
+		m := mz.decode()
+		if m == nil || i >= len(m.Datas) {
+			break
+		}
+		m.Datas = append(m.Datas[:i], m.Datas[i+1:]...)
+		if mz.tryModule(m, mz.best.Calls) {
+			changed = true
+		} else {
+			i++
+		}
+	}
+	for i := 0; ; {
+		m := mz.decode()
+		if m == nil || i >= len(m.Elems) {
+			break
+		}
+		m.Elems = append(m.Elems[:i], m.Elems[i+1:]...)
+		if mz.tryModule(m, mz.best.Calls) {
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+// zeroGlobals replaces non-zero global initializers with zero values.
+func (mz *minimizer) zeroGlobals() bool {
+	changed := false
+	for i := 0; ; i++ {
+		m := mz.decode()
+		if m == nil || i >= len(m.Globals) {
+			break
+		}
+		g := &m.Globals[i]
+		if g.Init.Bits == 0 {
+			continue
+		}
+		g.Init = wasm.Value{Type: g.Init.Type}
+		if mz.tryModule(m, mz.best.Calls) {
+			changed = true
+		}
+	}
+	return changed
+}

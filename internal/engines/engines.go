@@ -45,6 +45,25 @@ func Catalog() []engine.Config {
 	}
 }
 
+// DifferentialMatrix returns the full cross-execution test matrix: every
+// Catalog configuration crossed with the static analysis enabled and
+// disabled. The analysis-off variants carry a "/noanalysis" name suffix
+// so oracle reports name the exact axis that diverged. This is the
+// engine set the differential-testing oracle (internal/difftest) runs
+// every generated module through.
+func DifferentialMatrix() []engine.Config {
+	var out []engine.Config
+	for _, base := range Catalog() {
+		on := base
+		on.NoAnalysis = false
+		off := base
+		off.NoAnalysis = true
+		off.Name = base.Name + "/noanalysis"
+		out = append(out, on, off)
+	}
+	return out
+}
+
 // ByName resolves a preset by its figure name: any of the 18 SQ-space
 // tiers plus "wizeng-tiered". Shared by cmd/wizgo, the serving example,
 // and tests.

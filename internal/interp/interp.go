@@ -29,6 +29,15 @@ func assertInBounds(mem *rt.Memory, addr, off uint32, size int, f *rt.FuncInst, 
 	}
 }
 
+// TestHookOOBReadsZero, when true, makes an out-of-bounds i32.load
+// return 0 instead of trapping — a deliberately planted soundness bug.
+// The differential-testing suite (internal/difftest) sets it to prove
+// the cross-tier oracle detects a single skipped bounds check and that
+// the minimizer shrinks the diverging module to a handful of
+// instructions. Never set outside tests; reads cost nothing on the
+// trap path (the hook is only consulted after a bounds check failed).
+var TestHookOOBReadsZero bool
+
 // Entry describes where to (re-)enter a function: a fresh call starts at
 // pc 0 with an empty operand stack; a tier-down (deopt) from compiled
 // code resumes at an arbitrary bytecode boundary with the frame already
@@ -331,6 +340,14 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			off, ip = readMemArg(body, ip)
 			addr := uint32(slots[sp-1])
 			if !facts.InBoundsAt(opPC) && !mem.InBounds(addr, off, 4) {
+				if TestHookOOBReadsZero {
+					// Planted bug (tests only): silently yield 0.
+					slots[sp-1] = 0
+					if tags != nil {
+						tags[sp-1] = wasm.TagI32
+					}
+					break
+				}
 				return rt.Done, trap(rt.TrapOOBMemory)
 			}
 			if rt.Checked && facts.InBoundsAt(opPC) {

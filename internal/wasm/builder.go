@@ -452,6 +452,12 @@ func (f *FuncBuilder) RefFunc(funcIdx uint32) *FuncBuilder { return f.idxOp(OpRe
 // Body returns the bytes emitted so far (without the locals prefix).
 func (f *FuncBuilder) Body() []byte { return f.code }
 
+// Depth returns the current block nesting depth, counting the implicit
+// function block: 1 at function start, incremented by Block/Loop/If and
+// decremented by End. Code generators (the differential-test module
+// generator) use it to bound nesting and to balance blocks explicitly.
+func (f *FuncBuilder) Depth() int { return f.depth }
+
 // Finish seals the function body, appending the final end if the caller
 // has not already balanced the implicit function block.
 func (f *FuncBuilder) Finish() {

@@ -29,6 +29,17 @@ var (
 // ErrBadMagic reports a module that does not start with "\0asm".
 var ErrBadMagic = errors.New("wasm: bad magic or version")
 
+// checkCount guards count-prefixed vectors before allocation: every
+// element occupies at least one byte, so a count exceeding the
+// remaining input is malformed — and would otherwise let a few
+// attacker-controlled bytes size a multi-gigabyte allocation.
+func checkCount(r *Reader, n uint32, what string) error {
+	if int64(n) > int64(r.Len()) {
+		return fmt.Errorf("wasm: %s count %d exceeds remaining input", what, n)
+	}
+	return nil
+}
+
 // Decode parses a binary module. It performs structural decoding only;
 // type checking of function bodies is the validator's job
 // (internal/validate), mirroring the engine pipeline of the paper where
@@ -87,6 +98,9 @@ func Decode(b []byte) (*Module, error) {
 		case secFunction:
 			n, err := sr.U32()
 			if err != nil {
+				return nil, err
+			}
+			if err := checkCount(sr, n, "function"); err != nil {
 				return nil, err
 			}
 			funcTypeIdxs = make([]uint32, n)
@@ -160,6 +174,9 @@ func decodeResultTypes(r *Reader) ([]ValueType, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := checkCount(r, n, "result type"); err != nil {
+		return nil, err
+	}
 	types := make([]ValueType, n)
 	for i := range types {
 		if types[i], err = decodeValType(r); err != nil {
@@ -172,6 +189,9 @@ func decodeResultTypes(r *Reader) ([]ValueType, error) {
 func decodeTypes(r *Reader, m *Module) error {
 	n, err := r.U32()
 	if err != nil {
+		return err
+	}
+	if err := checkCount(r, n, "type"); err != nil {
 		return err
 	}
 	m.Types = make([]FuncType, n)
@@ -221,6 +241,9 @@ func decodeLimits(r *Reader) (Limits, error) {
 func decodeImports(r *Reader, m *Module) error {
 	n, err := r.U32()
 	if err != nil {
+		return err
+	}
+	if err := checkCount(r, n, "import"); err != nil {
 		return err
 	}
 	m.Imports = make([]Import, 0, n)
@@ -276,6 +299,9 @@ func decodeImports(r *Reader, m *Module) error {
 func decodeTables(r *Reader, m *Module) error {
 	n, err := r.U32()
 	if err != nil {
+		return err
+	}
+	if err := checkCount(r, n, "table"); err != nil {
 		return err
 	}
 	m.Tables = make([]Table, n)
@@ -378,6 +404,9 @@ func decodeGlobals(r *Reader, m *Module) error {
 	if err != nil {
 		return err
 	}
+	if err := checkCount(r, n, "global"); err != nil {
+		return err
+	}
 	m.Globals = make([]Global, n)
 	for i := range m.Globals {
 		t, err := decodeValType(r)
@@ -400,6 +429,9 @@ func decodeGlobals(r *Reader, m *Module) error {
 func decodeExports(r *Reader, m *Module) error {
 	n, err := r.U32()
 	if err != nil {
+		return err
+	}
+	if err := checkCount(r, n, "export"); err != nil {
 		return err
 	}
 	m.Exports = make([]Export, n)
@@ -434,6 +466,9 @@ func decodeElems(r *Reader, m *Module) error {
 	if err != nil {
 		return err
 	}
+	if err := checkCount(r, n, "element segment"); err != nil {
+		return err
+	}
 	m.Elems = make([]Elem, n)
 	for i := range m.Elems {
 		flag, err := r.U32()
@@ -449,6 +484,9 @@ func decodeElems(r *Reader, m *Module) error {
 		}
 		cnt, err := r.U32()
 		if err != nil {
+			return err
+		}
+		if err := checkCount(r, cnt, "element function"); err != nil {
 			return err
 		}
 		funcs := make([]uint32, cnt)
@@ -518,6 +556,9 @@ func decodeDatas(r *Reader, m *Module) error {
 	if err != nil {
 		return err
 	}
+	if err := checkCount(r, n, "data segment"); err != nil {
+		return err
+	}
 	m.Datas = make([]Data, n)
 	for i := range m.Datas {
 		flag, err := r.U32()
@@ -572,6 +613,9 @@ func decodeCustom(r *Reader, m *Module) error {
 		sr := NewReader(body)
 		cnt, err := sr.U32()
 		if err != nil {
+			return err
+		}
+		if err := checkCount(sr, cnt, "name"); err != nil {
 			return err
 		}
 		if m.Names == nil {

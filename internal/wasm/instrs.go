@@ -1,0 +1,35 @@
+package wasm
+
+// Instruction-level body scanning helpers. The differential-testing
+// minimizer edits function bodies by splicing whole instructions, and
+// the fuzzer's reproducer reports size divergences in instructions, so
+// both need the byte offsets of instruction boundaries. The opcode
+// table's ImmKind metadata (via Reader.SkipImm) keeps this in sync with
+// the decoder, validator and compilers.
+
+// InstrStarts returns the byte offset of every instruction in body,
+// in order. The final offset addresses the function's trailing end
+// opcode. An error means the body is structurally malformed (truncated
+// immediates or an unknown opcode).
+func InstrStarts(body []byte) ([]int, error) {
+	var starts []int
+	r := NewReader(body)
+	for r.Len() > 0 {
+		starts = append(starts, r.Pos)
+		op, err := r.ReadOpcode()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.SkipImm(op); err != nil {
+			return nil, err
+		}
+	}
+	return starts, nil
+}
+
+// CountInstrs returns the number of instructions in body, including the
+// trailing end opcode.
+func CountInstrs(body []byte) (int, error) {
+	starts, err := InstrStarts(body)
+	return len(starts), err
+}
