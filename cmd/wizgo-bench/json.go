@@ -31,10 +31,28 @@ type Report struct {
 	// elides. Engines with analysis disabled report zeros, pinning the
 	// check-elimination contribution in the perf trajectory.
 	Analysis []AnalysisResult `json:"analysis,omitempty"`
+	// Metering holds the fuel-metering overhead measurement: the same
+	// workload with metering disabled vs an unexhaustable budget, per
+	// cataloged engine. With fuel disabled the checkpoint gate is one
+	// predictable branch, so fuel_off must track the unmetered baselines
+	// in the figures within noise.
+	Metering []MeteringResult `json:"metering,omitempty"`
 	// Telemetry is the process-wide telemetry snapshot taken after all
 	// measurements — the same shape `wizgo -stats -json` and the expvar
 	// endpoint report.
 	Telemetry map[string]any `json:"telemetry,omitempty"`
+}
+
+// MeteringResult is one engine's fuel-metering overhead sample: median
+// execution time with fuel off (0, metering disabled) and on (a budget
+// the run cannot exhaust, so every checkpoint pays the decrement).
+type MeteringResult struct {
+	Engine      string        `json:"engine"`
+	Item        string        `json:"item"`
+	Runs        int           `json:"runs"`
+	FuelOff     time.Duration `json:"fuel_off_p50_ns"`
+	FuelOn      time.Duration `json:"fuel_on_p50_ns"`
+	OverheadPct float64       `json:"overhead_pct"`
 }
 
 // AnalysisResult is one engine's static-analysis totals across the

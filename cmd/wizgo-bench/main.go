@@ -20,16 +20,22 @@
 // telemetry histograms. -coldstart measures the persistent-cache rung below both: a seed
 // process writes the compiled artifact to -cache-dir and a simulated
 // cold process serves its first request from disk; the run exits
-// non-zero if any cold start invoked the compiler. -nofigs skips the
+// non-zero if any cold start invoked the compiler. -metering measures
+// what per-call fuel metering costs: gemm under every cataloged engine
+// with the budget off (metering disabled — must be within noise of the
+// unmetered baselines) and on but never exhausted. -nofigs skips the
 // figure tables for such serving-mode-only runs. -json writes
 // everything the run produced as machine-readable JSON for the perf
 // trajectory.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"wizgo/internal/engine"
 	"wizgo/internal/engines"
@@ -52,6 +58,7 @@ func main() {
 	poolSize := flag.Int("pool-size", 4, "idle instances the pool retains for -pool")
 	serving := flag.Bool("serving", false, "measure multi-instance serving: throughput and latency percentiles swept over worker and pool-instance counts")
 	coldstart := flag.Bool("coldstart", false, "measure zero-compile cold starts from a persistent code cache; exits non-zero if any cold start invoked the compiler")
+	metering := flag.Bool("metering", false, "measure fuel-metering overhead on gemm: execution time with the per-call fuel budget off vs on (never exhausted), per cataloged engine")
 	cacheDir := flag.String("cache-dir", "", "persistent cache directory for -coldstart (default: a fresh temp dir, removed afterwards)")
 	nofigs := flag.Bool("nofigs", false, "skip the figure tables (use with -service/-pool/-coldstart; -fig 0 means all figures, so it cannot express this)")
 	coldChild := flag.String("coldchild", "", "internal: run one cold-start child measurement (full|disk) and print JSON")
@@ -152,6 +159,9 @@ func main() {
 	coldViolations := 0
 	if *coldstart {
 		coldViolations = runColdStart(report, all, *cacheDir, *runs)
+	}
+	if *metering {
+		runMetering(report, *runs)
 	}
 
 	if *jsonPath != "" {
@@ -316,6 +326,61 @@ func runColdStart(report *Report, items []workloads.Item, cacheDir string, runs 
 	}
 	fmt.Println()
 	return violations
+}
+
+// runMetering measures what fuel metering costs: gemm run under every
+// cataloged engine with metering disabled (fuel 0 — the checkpoint gate
+// is a single predictable branch) and with a budget the run cannot
+// exhaust (every checkpoint pays the decrement), medians compared. The
+// off column is the regression guard: it must track the unmetered
+// baselines in the figures within noise.
+func runMetering(report *Report, runs int) {
+	var gemm workloads.Item
+	for _, it := range workloads.All() {
+		if it.Name == "gemm" {
+			gemm = it
+			break
+		}
+	}
+	if gemm.Bytes == nil {
+		check(fmt.Errorf("gemm workload not found"))
+	}
+	if runs < 3 {
+		runs = 3
+	}
+	fmt.Println("== Metering: gemm execution, fuel off vs on ==")
+	fmt.Printf("%-14s %-22s %12s %12s %10s\n",
+		"engine", "item", "off(p50)", "on(p50)", "overhead")
+	for _, cfg := range engines.Catalog() {
+		eng := engine.New(cfg, nil)
+		cm, err := eng.Compile(gemm.Bytes)
+		check(err)
+		measure := func(fuel int64) time.Duration {
+			times := make([]time.Duration, runs)
+			for r := range times {
+				inst, err := cm.Instantiate()
+				check(err)
+				t0 := time.Now()
+				_, err = inst.CallWith(context.Background(), engine.CallOpts{Fuel: fuel}, "_start")
+				check(err)
+				times[r] = time.Since(t0)
+				inst.Release()
+			}
+			sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+			return times[len(times)/2]
+		}
+		measure(0) // warm the tier (lazy compiles, caches) outside the samples
+		off := measure(0)
+		on := measure(1 << 40)
+		overhead := 100 * (float64(on) - float64(off)) / float64(off)
+		fmt.Printf("%-14s %-22s %12v %12v %9.1f%%\n",
+			cfg.Name, "polybench/gemm", off, on, overhead)
+		report.Metering = append(report.Metering, MeteringResult{
+			Engine: cfg.Name, Item: "polybench/gemm", Runs: runs,
+			FuelOff: off, FuelOn: on, OverheadPct: overhead,
+		})
+	}
+	fmt.Println()
 }
 
 // analysisTotals compiles the selected items once per catalog engine

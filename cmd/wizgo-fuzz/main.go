@@ -49,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base generator seed (runs are deterministic per seed)")
 	invalid := flag.Float64("invalid", 0.2, "fraction of iterations that additionally test a mutated (usually invalid) module")
 	deadline := flag.Duration("deadline", 2*time.Second, "per-call execution deadline (safety net)")
+	fuel := flag.Int64("fuel", 0, "per-call fuel budget (0 = unlimited); exhaustion must agree across all configs")
 	minimize := flag.Bool("minimize", false, "minimize diverging modules and write reproducers into -corpus")
 	corpus := flag.String("corpus", "internal/difftest/corpus", "reproducer directory for -minimize")
 	jsonOut := flag.Bool("json", false, "print the run summary as JSON")
@@ -65,6 +66,7 @@ func main() {
 
 	o := difftest.NewOracle()
 	o.Deadline = *deadline
+	o.Fuel = *fuel
 	sum := summary{Configs: o.Configs()}
 	mutRand := rand.New(rand.NewSource(*seed))
 

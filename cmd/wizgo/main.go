@@ -46,6 +46,7 @@ func main() {
 	usePool := flag.Bool("pool", false, "serve the -instances runs from an instance pool (recycle + copy-on-write reset) instead of fresh links")
 	poolSize := flag.Int("pool-size", 0, "idle instances the pool retains (0 = default)")
 	timeout := flag.Duration("timeout", 0, "per-call deadline; a run exceeding it is interrupted cleanly (0 = no deadline)")
+	fuel := flag.Int64("fuel", 0, "per-call fuel budget: one unit per function entry and loop iteration; exhaustion traps deterministically (0 = unlimited)")
 	cacheDir := flag.String("cache-dir", "", "persistent code cache directory; a warm cache serves Compile from disk with zero compiler invocations")
 	stats := flag.Bool("stats", false, "report the unified telemetry snapshot (cache, pool, compile/link/execute histograms, traps) after the run")
 	statsJSON := flag.Bool("json", false, "with -stats, write the snapshot as JSON to stdout instead of text to stderr")
@@ -181,7 +182,7 @@ func main() {
 		if *timeout > 0 {
 			callCtx, cancel = context.WithTimeout(callCtx, *timeout)
 		}
-		results, err := inst.CallFuncContext(callCtx, f, args...)
+		results, err := inst.CallFuncWith(callCtx, engine.CallOpts{Fuel: *fuel}, f, args...)
 		cancel() // release the deadline timer before the next instance
 		if err != nil {
 			fatal(err)

@@ -20,6 +20,17 @@
 // zero, an unreachable, and a runaway loop cancelled by a context
 // deadline — so the trap and interrupt counters carry real traffic.
 //
+// Phase 4 (governance): the fault-containment and resource-governance
+// surface. Admission is bounded: a burst of clients contends for a
+// fixed number of slots, and a client that finds them all busy is shed
+// — counted, told to back off, and retried after a delay — instead of
+// queueing without bound. Every admitted request runs under per-request
+// defaults: a fuel budget (engine.CallOpts) and a context deadline. A
+// runaway request is stopped by fuel, deterministically at the same
+// iteration in every tier; a host function that panics is contained as
+// a host_panic trap, the instance is poisoned, and the pool drops it
+// on Put instead of recycling it.
+//
 // Everything above feeds the process-wide telemetry registry, exposed
 // on three endpoints: /metrics (Prometheus text format), /debug/vars
 // (expvar JSON, the snapshot under the "wizgo" key), and /debug/trace
@@ -36,6 +47,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -52,6 +64,7 @@ import (
 	"wizgo/internal/codecache"
 	"wizgo/internal/engine"
 	"wizgo/internal/engines"
+	"wizgo/internal/rt"
 	"wizgo/internal/telemetry"
 	"wizgo/internal/wasm"
 	"wizgo/internal/workloads"
@@ -60,7 +73,19 @@ import (
 const (
 	workers  = 8
 	requests = 96
+
+	// Phase 4 resource-governance defaults, applied to every request.
+	maxInflight     = 2                      // admission slots
+	shedRetryAfter  = 500 * time.Microsecond // backoff a shed client waits before retrying
+	requestFuel     = 100_000                // per-call fuel budget (function entries + loop iterations)
+	requestDeadline = time.Second            // per-call wall-clock deadline (safety net behind fuel)
 )
+
+// mShed counts requests refused at admission. It feeds the same
+// registry as the engine-side counters, so load shedding shows up on
+// /metrics next to the traps it prevents.
+var mShed = telemetry.Default().Counter("wizgo_serving_shed_total",
+	"Requests refused at admission (all slots busy) and retried after backoff.")
 
 type result struct {
 	item     string
@@ -208,6 +233,10 @@ func main() {
 	// carries real counts rather than zeros.
 	phase3Faults(e)
 
+	// Phase 4: bounded admission, per-request fuel/deadline defaults,
+	// and fault containment (host panic → poisoned instance → pool drop).
+	phase4Governance()
+
 	mux := observabilityMux(*withPprof)
 	if *check {
 		if err := selfCheck(mux); err != nil {
@@ -286,6 +315,174 @@ func phase3Faults(e *engine.Engine) {
 	}
 }
 
+// admission is a bounded admission gate: tryAcquire either claims one
+// of the fixed slots immediately or reports the request should be shed.
+// There is deliberately no blocking acquire — a full server says
+// "retry after" instead of growing an unbounded queue.
+type admission struct{ slots chan struct{} }
+
+func newAdmission(n int) *admission { return &admission{slots: make(chan struct{}, n)} }
+
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// buildGoverned builds the phase 4 module: a finite counted loop
+// ("work", the well-behaved request), an infinite loop ("spin", stopped
+// by the fuel budget rather than the deadline), and a call into a host
+// import that panics ("hostcall", contained as a trap).
+func buildGoverned() []byte {
+	b := wasm.NewBuilder()
+	kaboom := b.ImportFunc("env", "kaboom", wasm.FuncType{})
+
+	// work(n) = sum(1..n), one loop iteration (= one fuel unit) per step.
+	work := b.NewFunc("work", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32},
+		Results: []wasm.ValueType{wasm.I32},
+	})
+	acc := work.AddLocal(wasm.I32)
+	work.Block(wasm.BlockEmpty).Loop(wasm.BlockEmpty).
+		LocalGet(0).Op(wasm.OpI32Eqz).BrIf(1).
+		LocalGet(acc).LocalGet(0).Op(wasm.OpI32Add).LocalSet(acc).
+		LocalGet(0).I32Const(1).Op(wasm.OpI32Sub).LocalSet(0).
+		Br(0).End().End().
+		LocalGet(acc).End()
+	b.Export("work", work.Idx)
+
+	spin := b.NewFunc("spin", wasm.FuncType{})
+	spin.Loop(wasm.BlockEmpty).Br(0).End().End()
+	b.Export("spin", spin.Idx)
+
+	hostcall := b.NewFunc("hostcall", wasm.FuncType{})
+	hostcall.Call(kaboom).End()
+	b.Export("hostcall", hostcall.Idx)
+	return b.Encode()
+}
+
+// phase4Governance drives the resource-governance traffic: a burst of
+// clients through bounded admission (every client is shed at least once
+// — the slots are held until the whole burst has arrived), then a
+// fuel-exhausted request and a host-panic request whose poisoned
+// instance the pool must drop.
+func phase4Governance() {
+	// A separate engine: the governed module imports a host function,
+	// which needs a linker; phases 1–3 run without one.
+	linker := engine.NewLinker().Func("env", "kaboom", wasm.FuncType{},
+		func(_ *rt.Context, _, _ []uint64) error {
+			panic("kaboom: simulated host-function bug")
+		})
+	le := engine.New(engines.WizardSPC(), linker)
+	cm, err := le.Compile(buildGoverned())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := cm.NewPool(maxInflight)
+	defer pool.Close()
+
+	// Per-request defaults: every call below runs under the same fuel
+	// budget and deadline, whatever its handler does.
+	call := func(inst *engine.Instance, name string, args ...wasm.Value) ([]wasm.Value, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), requestDeadline)
+		defer cancel()
+		return inst.CallWith(ctx, engine.CallOpts{Fuel: requestFuel}, name, args...)
+	}
+
+	// Bounded admission under a synthetic overload: main holds every
+	// slot until all clients have arrived and been shed once, which
+	// makes the shed counter deterministic rather than scheduling-
+	// dependent. Shed clients back off and retry; none is dropped.
+	admit := newAdmission(maxInflight)
+	for i := 0; i < maxInflight; i++ {
+		admit.tryAcquire()
+	}
+	const burst = 8
+	var shedOnce, done sync.WaitGroup
+	shedOnce.Add(burst)
+	done.Add(burst)
+	for c := 0; c < burst; c++ {
+		go func(c int) {
+			defer done.Done()
+			first := true
+			for !admit.tryAcquire() {
+				mShed.Inc()
+				if first {
+					shedOnce.Done()
+					first = false
+				}
+				time.Sleep(shedRetryAfter)
+			}
+			if first {
+				shedOnce.Done() // keep the WaitGroup sound even if never shed
+			}
+			defer admit.release()
+			inst, err := pool.Get()
+			if err != nil {
+				log.Fatal(err)
+			}
+			n := int32(1000 + c)
+			res, err := call(inst, "work", wasm.ValI32(n))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if got, want := res[0].I32(), n*(n+1)/2; got != want {
+				log.Fatalf("work(%d) = %d, want %d", n, got, want)
+			}
+			pool.Put(inst)
+		}(c)
+	}
+	shedOnce.Wait()
+	for i := 0; i < maxInflight; i++ {
+		admit.release()
+	}
+	done.Wait()
+
+	expectTrap := func(kind rt.TrapKind, name string, args ...wasm.Value) (*engine.Instance, string) {
+		inst, err := pool.Get()
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, err = call(inst, name, args...)
+		var trap *rt.Trap
+		if !errors.As(err, &trap) || trap.Kind != kind {
+			log.Fatalf("serving: %s: got %v, want %v trap", name, err, kind)
+		}
+		return inst, trap.Kind.String()
+	}
+
+	// A runaway request: fuel, not the deadline, stops it — at the same
+	// iteration count in every tier. The instance is NOT poisoned (the
+	// trap unwound cleanly), so recycling it is fine.
+	inst, fuelKind := expectTrap(rt.TrapFuelExhausted, "spin")
+	pool.Put(inst)
+
+	// A host panic: contained as a trap, the instance poisoned. The
+	// pool's background reset refuses it and drops it; wait for that
+	// drop so the counter is populated before the self-check scrapes.
+	inst, panicKind := expectTrap(rt.TrapHostPanic, "hostcall")
+	pool.Put(inst)
+	for i := 0; pool.Stats().PoisonDrops == 0; i++ {
+		if i > 5000 {
+			log.Fatal("serving: poisoned instance was never dropped by the pool")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	st := pool.Stats()
+	fmt.Printf("phase 4 (governance): %d clients over %d admission slots\n", burst, maxInflight)
+	fmt.Printf("  shed %d time(s) with %v retry backoff, all clients eventually served\n",
+		mShed.Value(), shedRetryAfter)
+	fmt.Printf("  per-request defaults: fuel %d, deadline %v\n", requestFuel, requestDeadline)
+	fmt.Printf("  runaway request: %s; host panic: %s, %d poisoned instance(s) dropped\n",
+		fuelKind, panicKind, st.PoisonDrops)
+}
+
 var publishOnce sync.Once
 
 // observabilityMux mounts the full observability surface: Prometheus
@@ -325,6 +522,10 @@ var requiredSeries = []string{
 	`wizgo_traps_total{kind="div_by_zero"}`,
 	`wizgo_traps_total{kind="unreachable"}`,
 	`wizgo_traps_total{kind="interrupted"}`,
+	`wizgo_traps_total{kind="fuel_exhausted"}`,
+	`wizgo_traps_total{kind="host_panic"}`,
+	"wizgo_serving_shed_total",
+	"wizgo_pool_poison_drops_total",
 }
 
 // selfCheck binds an ephemeral port, scrapes the three endpoints over

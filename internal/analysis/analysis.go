@@ -41,7 +41,7 @@ import (
 // the disk-cache fingerprint and compiler revision: bump it whenever
 // the meaning or encoding of facts changes so stale artifacts are
 // discarded rather than misread.
-const Version = "a1"
+const Version = "a2"
 
 // maxNoPollTrips caps the trip count of loops whose back-edge interrupt
 // poll may be elided. 2^16 short iterations is far below any plausible
@@ -189,6 +189,14 @@ func analyzeFunc(m *wasm.Module, f *wasm.Func, info *validate.FuncInfo, pre *pre
 		return nil
 	}
 	facts := validate.NewFacts(len(f.Body))
+	// Fuel-prepay candidates are collected during the walk and resolved
+	// after it: the loop-entry decision needs the in-bounds facts of the
+	// loop body, which the forward pass has not visited yet.
+	type prepayCand struct {
+		li    *loopInfo
+		trips int64
+	}
+	var prepays []prepayCand
 	nLocals := len(info.LocalTypes)
 	locals := make([]iv, nLocals)
 	for i := range locals {
@@ -389,6 +397,21 @@ func analyzeFunc(m *wasm.Module, f *wasm.Func, info *validate.FuncInfo, pre *pre
 							facts.SetNoPoll(li.backEdgePC)
 							facts.SetNoPoll(li.bodyPC)
 							facts.PollsElided++
+						}
+						// Fuel prepayment needs the EXACT header-execution
+						// count, not an upper bound: a point entry value,
+						// no early exits, and no instruction that could
+						// trap mid-loop. The loop is do-while shaped
+						// (body, increment, guard), so it runs once even
+						// when the entry value already meets the bound.
+						if entry.lo == entry.hi && !li.escape && !li.hasTrapOp {
+							exact := uint64(1)
+							if entry.lo < uint64(li.bound) {
+								exact = (uint64(li.bound) - entry.lo + uint64(li.step) - 1) / uint64(li.step)
+							}
+							if exact <= maxNoPollTrips {
+								prepays = append(prepays, prepayCand{li: li, trips: int64(exact)})
+							}
 						}
 					}
 				}
@@ -620,6 +643,23 @@ func analyzeFunc(m *wasm.Module, f *wasm.Func, info *validate.FuncInfo, pre *pre
 	}
 	if bad {
 		return nil
+	}
+	// Resolve prepay candidates now that the body's in-bounds facts are
+	// complete: every plain memory access in the extent must be proven,
+	// or the loop could trap early and the prepaid charge would
+	// overcount relative to the per-iteration execution.
+	for _, cand := range prepays {
+		ok := true
+		for _, mpc := range cand.li.memPCs {
+			if !facts.InBoundsAt(mpc) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			facts.SetPrepaid(cand.li.backEdgePC, len(f.Body))
+			facts.SetTrips(cand.li.bodyPC, cand.trips)
+		}
 	}
 	return facts
 }

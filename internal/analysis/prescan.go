@@ -33,6 +33,18 @@ type loopInfo struct {
 	step       int64
 	bound      int64
 	backEdgePC int // pc of the recognized br_if
+
+	// Fuel-prepayment screening. escape is set when the extent contains
+	// a way out of the loop other than the recognized guard failing: a
+	// branch past the loop frame, a return, or unreachable. hasTrapOp is
+	// set for instructions that can trap regardless of proven bounds
+	// (div/rem, non-saturating float→int truncation, unreachable,
+	// memory.copy/fill). memPCs lists plain load/store pcs in the
+	// extent; prepayment additionally requires each proven in bounds,
+	// so the proven trip count is exact — the loop cannot end early.
+	escape    bool
+	hasTrapOp bool
+	memPCs    []int
 }
 
 // eligible reports whether the counted-loop facts may be used: the
@@ -79,9 +91,33 @@ func prescan(f *wasm.Func) *preInfo {
 			}
 		}
 	}
+	markTrapOp := func() {
+		for _, fr := range open {
+			if fr.li != nil {
+				fr.li.hasTrapOp = true
+			}
+		}
+	}
+	markEscape := func() {
+		for _, fr := range open {
+			if fr.li != nil {
+				fr.li.escape = true
+			}
+		}
+	}
 	branchTo := func(d uint32, brOp wasm.Opcode, pc int) {
 		t := len(open) - 1 - int(d)
-		if t < 1 { // function frame or out of range: not a loop header
+		// A branch to frame t exits every loop strictly deeper than t
+		// (branching to a loop frame itself is its back edge, not an
+		// exit).
+		for j := t + 1; j >= 1 && j < len(open); j++ {
+			if li := open[j].li; li != nil {
+				li.escape = true
+			}
+		}
+		if t < 1 {
+			// Function frame or out of range: every open loop escapes.
+			markEscape()
 			return
 		}
 		li := open[t].li
@@ -198,17 +234,40 @@ func prescan(f *wasm.Func) *preInfo {
 				return nil
 			}
 			arg = int64(v)
-		case wasm.OpMemoryGrow, wasm.OpMemoryFill, wasm.OpMemoryCopy:
+		case wasm.OpMemoryGrow:
 			if err := r.SkipImm(op); err != nil {
 				return nil
 			}
 			pre.writes = true
+		case wasm.OpMemoryFill, wasm.OpMemoryCopy:
+			if err := r.SkipImm(op); err != nil {
+				return nil
+			}
+			pre.writes = true
+			markTrapOp() // can trap out of bounds mid-loop
+		case wasm.OpReturn:
+			markEscape()
+		case wasm.OpUnreachable:
+			markEscape()
+			markTrapOp()
+		case wasm.OpI32DivS, wasm.OpI32DivU, wasm.OpI32RemS, wasm.OpI32RemU,
+			wasm.OpI64DivS, wasm.OpI64DivU, wasm.OpI64RemS, wasm.OpI64RemU,
+			wasm.OpI32TruncF32S, wasm.OpI32TruncF32U, wasm.OpI32TruncF64S, wasm.OpI32TruncF64U,
+			wasm.OpI64TruncF32S, wasm.OpI64TruncF32U, wasm.OpI64TruncF64S, wasm.OpI64TruncF64U:
+			markTrapOp()
 		default:
 			if err := r.SkipImm(op); err != nil {
 				return nil
 			}
-			if _, isStore, ok := memAccess(op); ok && isStore {
-				pre.writes = true
+			if _, isStore, ok := memAccess(op); ok {
+				if isStore {
+					pre.writes = true
+				}
+				for _, fr := range open {
+					if fr.li != nil {
+						fr.li.memPCs = append(fr.li.memPCs, pc)
+					}
+				}
 			}
 		}
 		copy(win[:], win[1:])

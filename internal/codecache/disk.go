@@ -11,7 +11,28 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wizgo/internal/faultinject"
 	"wizgo/internal/wbin"
+)
+
+// Fault-injection points of the disk tier. Each simulates a failure the
+// envelope design must degrade through without an error reaching the
+// caller: Load's contract is "a bad artifact is a miss", so every one of
+// these must end in a recompile, never a crash or a poisoned cache.
+var (
+	// PointDiskMap simulates an mmap/read failure of an existing
+	// artifact file (EIO, EACCES): Load must report a plain miss.
+	PointDiskMap = faultinject.Register("codecache.disk.mmap")
+	// PointDiskShortRead simulates a truncated artifact (crashed writer,
+	// torn copy): verification must fail and evict it.
+	PointDiskShortRead = faultinject.Register("codecache.disk.shortread")
+	// PointDiskChecksum simulates bit rot in the artifact body: the
+	// checksum must catch it and evict.
+	PointDiskChecksum = faultinject.Register("codecache.disk.checksum")
+	// PointDiskStaleLock forces TryLock's stale-lock judgment: a held
+	// lock is treated as abandoned and broken, the crashed-writer
+	// recovery path.
+	PointDiskStaleLock = faultinject.Register("codecache.disk.stalelock")
 )
 
 // The on-disk artifact envelope. Everything the in-memory tier trusts
@@ -135,12 +156,27 @@ func (d *DiskStore) lockPath(k Key) string { return d.path(k) + lockExt }
 // because the caller's fallback (recompile) is always available.
 func (d *DiskStore) Load(k Key) (payload []byte, done func(), ok bool) {
 	data, unmap, err := mapFile(d.path(k))
+	if err == nil {
+		if ferr := faultinject.Fire(PointDiskMap); ferr != nil {
+			unmap()
+			data, unmap, err = nil, nil, ferr
+		}
+	}
 	if err != nil {
 		// ENOENT is the common cold-cache case; anything else (EACCES,
 		// EIO) equally means "no usable artifact".
 		d.misses.Add(1)
 		mDiskMisses.Inc()
 		return nil, nil, false
+	}
+	if faultinject.Fire(PointDiskShortRead) != nil {
+		data = data[:len(data)/2]
+	}
+	if faultinject.Fire(PointDiskChecksum) != nil && len(data) > 0 {
+		// The mapping may be read-only; corrupt a copy.
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)-1] ^= 0x01
+		data = flipped
 	}
 	payload, err = d.verify(k, data)
 	if err != nil {
@@ -277,7 +313,11 @@ func (d *DiskStore) TryLock(k Key) (unlock func(), acquired bool) {
 			// Lock vanished between OpenFile and Stat: retry once.
 			continue
 		}
-		if time.Since(st.ModTime()) > d.opts.StaleLockAfter {
+		stale := time.Since(st.ModTime()) > d.opts.StaleLockAfter
+		if faultinject.Fire(PointDiskStaleLock) != nil {
+			stale = true
+		}
+		if stale {
 			// Abandoned lock: its owner died mid-compile. Breaking it is
 			// an eviction of corrupt state, counted as such.
 			os.Remove(lp)

@@ -185,15 +185,25 @@ func (t *tc) instr(op wasm.Opcode, pc int) error {
 		if err != nil {
 			return err
 		}
+		bodyPC := t.r.Pos
+		trips := t.info.Facts.TripsAt(bodyPC)
+		if trips > 0 {
+			t.emit(mach.Instr{Op: mach.OFuelPrepay, A: int32(trips), Imm: uint64(bodyPC)})
+		}
 		l := t.asm.NewLabel()
 		t.asm.Bind(l)
-		bodyPC := t.r.Pos
-		t.osr[bodyPC] = t.asm.Pos()
 		cp := mach.OCheckPoint
 		if t.info.Facts.NoPollAt(bodyPC) {
 			cp = mach.OCheckPointNoPoll
 		}
-		t.emit(mach.Instr{Op: cp, A: int32(t.nLocals + t.h), Imm: uint64(bodyPC)})
+		prepaid := int32(0)
+		if trips > 0 {
+			prepaid = 1
+		}
+		t.emit(mach.Instr{Op: cp, A: int32(t.nLocals + t.h), B: prepaid, Imm: uint64(bodyPC)})
+		// OSR entry after the checkpoint: the interpreter charged this
+		// header arrival at the back-edge it tiered up from.
+		t.osr[bodyPC] = t.asm.Pos()
 		t.ctrls = append(t.ctrls, ctrl{op: wasm.OpLoop, label: l,
 			elseLabel: -1, height: t.h - nIn, nIn: nIn, nOut: nOut})
 	case wasm.OpIf:

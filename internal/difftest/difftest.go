@@ -148,6 +148,13 @@ type Oracle struct {
 	// construction, so this is a safety net, and runs that hit it are
 	// excluded from comparison as timing-dependent.
 	Deadline time.Duration
+	// Fuel, when positive, runs every export call under that per-call
+	// fuel budget. Fuel charging is deterministic (one unit per function
+	// entry and loop-header arrival, identically in every tier), so a
+	// budget small enough to trip mid-run must produce TrapFuelExhausted
+	// in ALL configurations or none — a disagreement is a real
+	// divergence, exactly like a bounds-check disagreement.
+	Fuel int64
 }
 
 // NewOracle builds the oracle over engines.DifferentialMatrix(). The
@@ -219,7 +226,7 @@ func (o *Oracle) execute(e *engine.Engine, g Generated) Outcome {
 	for _, call := range g.Calls {
 		co := CallOutcome{Export: call.Export}
 		goctx, cancel := context.WithTimeout(context.Background(), o.Deadline)
-		results, err := inst.CallContext(goctx, call.Export, call.Args...)
+		results, err := inst.CallWith(goctx, engine.CallOpts{Fuel: o.Fuel}, call.Export, call.Args...)
 		cancel()
 		if err != nil {
 			var trap *rt.Trap

@@ -191,7 +191,13 @@ type fgen struct {
 	budget   int
 }
 
-type gframe struct{ loop bool }
+type gframe struct {
+	loop bool
+	// noBr excludes the label from brTargets: a multi-value block's
+	// label carries result arity, so a statement-level branch (which
+	// assumes arity 0) would be type-incorrect.
+	noBr bool
+}
 
 func (g *gen) buildFunc(idx int) {
 	sig := g.sigs[idx]
@@ -230,7 +236,7 @@ func (fg *fgen) stmts(blockDepth int) {
 func (fg *fgen) stmt(blockDepth int) {
 	r := fg.g.r
 	for {
-		switch r.Intn(14) {
+		switch r.Intn(15) {
 		case 0, 1:
 			fg.localSetStmt()
 		case 2:
@@ -274,6 +280,11 @@ func (fg *fgen) stmt(blockDepth int) {
 			}
 		case 13:
 			fg.memoryStmt()
+		case 14:
+			if blockDepth >= 3 {
+				continue
+			}
+			fg.multiValueBlockStmt(blockDepth)
 		}
 		return
 	}
@@ -412,11 +423,40 @@ func (fg *fgen) countedLoop(blockDepth int) {
 	fg.f.End()
 }
 
+// multiValueBlockStmt emits a block typed by a multi-result function
+// type. Inner statements never branch to its label (noBr), but half the
+// time the block branches to itself with its results already on the
+// stack — the multi-value br_if transfer every tier's branch arity
+// handling must get right. The results are dropped after the end to
+// keep the statement stack-neutral.
+func (fg *fgen) multiValueBlockStmt(blockDepth int) {
+	g := fg.g
+	var ft wasm.FuncType
+	for i, n := 0, 1+g.r.Intn(2); i < n; i++ {
+		ft.Results = append(ft.Results, numTypes[g.r.Intn(len(numTypes))])
+	}
+	fg.f.Block(wasm.BlockFunc(g.b.AddType(ft)))
+	fg.frames = append(fg.frames, gframe{noBr: true})
+	fg.stmts(blockDepth + 1)
+	for _, t := range ft.Results {
+		fg.expr(t, 2)
+	}
+	if g.r.Intn(2) == 0 {
+		fg.expr(wasm.I32, 1)
+		fg.f.BrIf(0)
+	}
+	fg.frames = fg.frames[:len(fg.frames)-1]
+	fg.f.End()
+	for range ft.Results {
+		fg.f.Op(wasm.OpDrop)
+	}
+}
+
 // brTargets returns the relative depths of branchable (non-loop) labels.
 func (fg *fgen) brTargets() []uint32 {
 	var ds []uint32
 	for i, fr := range fg.frames {
-		if !fr.loop {
+		if !fr.loop && !fr.noBr {
 			ds = append(ds, uint32(len(fg.frames)-1-i))
 		}
 	}
@@ -596,7 +636,11 @@ func (fg *fgen) expr(t wasm.ValueType, depth int) {
 		fg.expr(t, depth-1)
 		fg.expr(t, depth-1)
 		fg.expr(wasm.I32, depth-1)
-		fg.f.Op(wasm.OpSelect)
+		if r.Intn(2) == 0 {
+			fg.f.SelectT(t)
+		} else {
+			fg.f.Op(wasm.OpSelect)
+		}
 	default:
 		if !fg.exprCall(t, depth) {
 			fg.binop(t, depth)

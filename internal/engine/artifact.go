@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
 	"wizgo/internal/analysis"
@@ -279,6 +280,23 @@ func encodeFuncInfo(w *wbin.Writer, fi *validate.FuncInfo) {
 	w.Uvarint(uint64(fi.Facts.PollsElided))
 	writeWords(w, fi.Facts.InBounds)
 	writeWords(w, fi.Facts.NoPoll)
+	writeWords(w, fi.Facts.Prepaid)
+	w.Uvarint(uint64(len(fi.Facts.Trips)))
+	for _, pc := range sortedKeys(fi.Facts.Trips) {
+		w.Uvarint(uint64(pc))
+		w.Uvarint(uint64(fi.Facts.Trips[pc]))
+	}
+}
+
+// sortedKeys orders the trip-count map so artifact bytes are
+// deterministic for identical facts (the cache keys on content).
+func sortedKeys(m map[int]int64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 func writeWords(w *wbin.Writer, words []uint64) {
@@ -389,6 +407,14 @@ func decodeFuncInfo(r *wbin.Reader, fi *validate.FuncInfo, arena *infoArena) err
 		}
 		facts.InBounds = readWords(r)
 		facts.NoPoll = readWords(r)
+		facts.Prepaid = readWords(r)
+		if n := int(r.Count(2)); n > 0 {
+			facts.Trips = make(map[int]int64, n)
+			for i := 0; i < n; i++ {
+				pc := int(r.Uvarint())
+				facts.Trips[pc] = int64(r.Uvarint())
+			}
+		}
 		if r.Err() == nil {
 			fi.Facts = facts
 		}

@@ -25,11 +25,18 @@ import (
 	"time"
 
 	"wizgo/internal/codecache"
+	"wizgo/internal/faultinject"
 	"wizgo/internal/interp"
 	"wizgo/internal/rt"
 	"wizgo/internal/validate"
 	"wizgo/internal/wasm"
 )
+
+// PointHostCall fires just before a host function runs, inside the
+// panic-containment region, so an armed Fault{Err}, Fault{Panic} or
+// Fault{Delay} exercises the host-error, host-panic-poisoning and
+// slow-host paths respectively.
+var PointHostCall = faultinject.Register("engine.host.call")
 
 // Mode selects the execution strategy.
 type Mode int
@@ -323,6 +330,10 @@ func (e *Engine) link(m *wasm.Module, infos []validate.FuncInfo) (*Instance, err
 				return nil, fmt.Errorf("engine: import %s.%s: table has %d elements, import requires at least %d",
 					imp.Module, imp.Name, len(tbl.Elems), imp.Lim.Min)
 			}
+			if imp.Lim.HasMax && tbl.MaxElems > imp.Lim.Max {
+				return nil, fmt.Errorf("engine: import %s.%s: table may grow to %d elements, import caps it at %d",
+					imp.Module, imp.Name, tbl.MaxElems, imp.Lim.Max)
+			}
 			ri.Tables = append(ri.Tables, tbl)
 			ri.ImportedTables++
 		case wasm.ImportGlobal:
@@ -374,9 +385,9 @@ func (e *Engine) link(m *wasm.Module, infos []validate.FuncInfo) (*Instance, err
 	for _, t := range m.Tables {
 		// Owned tables resolve their handles in this instance's function
 		// index space; ri.Funcs is complete by now.
-		ri.Tables = append(ri.Tables, &rt.Table{
-			Elems: make([]uint64, t.Lim.Min), Funcs: ri.Funcs,
-		})
+		tbl := rt.NewTable(t.Lim)
+		tbl.Funcs = ri.Funcs
+		ri.Tables = append(ri.Tables, tbl)
 	}
 	for ei, el := range m.Elems {
 		if int(el.TableIdx) < ri.ImportedTables {
@@ -432,20 +443,26 @@ func (inst *Instance) invoke(f *rt.FuncInst, argBase int) error {
 
 	// A function owned by another instance (a cross-instance import, or
 	// an entry of an imported table) runs in its owner's execution
-	// context, not ours.
+	// context, not ours. The bridged call charges its entry fuel in the
+	// owner's dispatcher, so it is accounted exactly once.
 	if f.Owner != nil && f.Owner != inst.RT {
 		return crossInvoke(ctx, f, argBase)
+	}
+
+	// Function entry is also a fuel checkpoint: every call — guest or
+	// host — costs one unit, so recursion without loops still exhausts
+	// a budget deterministically in every tier.
+	if ctx.Fuel > 0 && !ctx.FuelCheckpoint() {
+		return rt.NewTrap(rt.TrapFuelExhausted, f.Idx, 0)
 	}
 
 	if f.Host != nil {
 		if err := ctx.CheckStack(argBase, len(f.Type.Params)+len(f.Type.Results), f.Idx); err != nil {
 			return err
 		}
-		ctx.Depth++
 		args := ctx.Stack.Slots[argBase : argBase+len(f.Type.Params)]
 		results := ctx.Stack.Slots[argBase : argBase+len(f.Type.Results)]
-		err := f.Host(ctx, args, results)
-		ctx.Depth--
+		err := callHost(ctx, f, args, results)
 		// Host functions can write linear memory through ctx without the
 		// executors' Mark hooks seeing it; declare the memory dirty so a
 		// pooled reset falls back to a full restore rather than leaking
@@ -517,6 +534,30 @@ func (inst *Instance) invoke(f *rt.FuncInst, argBase int) error {
 	return err
 }
 
+// callHost runs a host function inside a panic-containment region: a
+// panic anywhere below it — the host function itself, or an injected
+// fault — is converted into a counted TrapHostPanic instead of
+// unwinding through the embedder, and the instance is marked poisoned.
+// A poisoned instance may hold arbitrary partial state (the panic
+// interrupted the host mid-write), so Reset refuses it and pools drop
+// it rather than recycle it; the current call still unwinds cleanly
+// because every executor releases its frame bookkeeping via defer.
+func callHost(ctx *rt.Context, f *rt.FuncInst, args, results []uint64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ctx.Inst.Poisoned = true
+			err = rt.NewTrapWrapped(rt.TrapHostPanic, f.Idx, 0,
+				fmt.Errorf("host function %s panicked: %v", f.Name, r))
+		}
+	}()
+	ctx.Depth++
+	defer func() { ctx.Depth-- }()
+	if ferr := faultinject.Fire(PointHostCall); ferr != nil {
+		return ferr
+	}
+	return f.Host(ctx, args, results)
+}
+
 // mayWriteMemory reports whether a call to f could modify ri's linear
 // memory: true unless the static analysis proved f's entire call tree
 // read-only. Host functions, probed instances, and functions without
@@ -570,9 +611,18 @@ func crossInvoke(src *rt.Context, f *rt.FuncInst, argBase int) error {
 	}
 	saved := dst.Interrupt
 	dst.Interrupt = src.Interrupt
+	// The fuel budget and Go context travel with the call the same way
+	// the interrupt flag does: the callee burns the caller's budget, and
+	// whatever remains flows back so the caller's accounting stays exact.
+	savedFuel, savedPer, savedGo := dst.Fuel, dst.FuelPerIter, dst.GoCtx
+	dst.Fuel, dst.FuelPerIter, dst.GoCtx = src.Fuel, src.FuelPerIter, src.GoCtx
 	// Deferred so a panicking host function deeper in the call cannot
 	// leave the callee instance permanently polling the caller's flag.
-	defer func() { dst.Interrupt = saved }()
+	defer func() {
+		src.Fuel, src.FuelPerIter = dst.Fuel, dst.FuelPerIter
+		dst.Fuel, dst.FuelPerIter, dst.GoCtx = savedFuel, savedPer, savedGo
+		dst.Interrupt = saved
+	}()
 	if err := dst.Invoke(f, base); err != nil {
 		return err
 	}
@@ -630,11 +680,29 @@ func (inst *Instance) Call(name string, args ...wasm.Value) ([]wasm.Value, error
 // cause is goctx's error) within one loop iteration instead of hanging
 // the goroutine.
 func (inst *Instance) CallContext(goctx context.Context, name string, args ...wasm.Value) ([]wasm.Value, error) {
+	return inst.CallWith(goctx, CallOpts{}, name, args...)
+}
+
+// CallOpts are per-call resource limits.
+type CallOpts struct {
+	// Fuel bounds the call's checkpoint executions: one unit per
+	// function entry (guest and host alike) and one per loop-header
+	// arrival, identically in every tier and regardless of whether the
+	// static analysis prepaid a loop's proven trip count. 0 means
+	// unlimited. Exhaustion unwinds with a deterministic
+	// rt.TrapFuelExhausted at the same checkpoint in every
+	// configuration; any residual budget is discarded when the call
+	// returns.
+	Fuel int64
+}
+
+// CallWith is CallContext with per-call resource limits.
+func (inst *Instance) CallWith(goctx context.Context, opts CallOpts, name string, args ...wasm.Value) ([]wasm.Value, error) {
 	f, ok := inst.RT.FuncByName(name)
 	if !ok {
 		return nil, fmt.Errorf("engine: no exported function %q", name)
 	}
-	return inst.CallFuncContext(goctx, f, args...)
+	return inst.CallFuncWith(goctx, opts, f, args...)
 }
 
 // CallFunc invokes a resolved function with typed arguments.
@@ -645,8 +713,29 @@ func (inst *Instance) CallFunc(f *rt.FuncInst, args ...wasm.Value) ([]wasm.Value
 // CallFuncContext invokes a resolved function with typed arguments
 // under a context; see CallContext for the cancellation contract.
 func (inst *Instance) CallFuncContext(goctx context.Context, f *rt.FuncInst, args ...wasm.Value) ([]wasm.Value, error) {
+	return inst.CallFuncWith(goctx, CallOpts{}, f, args...)
+}
+
+// CallFuncWith invokes a resolved function under a context and per-call
+// resource limits; see CallContext and CallOpts. The context is also
+// made visible to host functions for the duration of the call via
+// rt.Context.GoContext, so hosts can respect deadlines on their own
+// blocking work.
+func (inst *Instance) CallFuncWith(goctx context.Context, opts CallOpts, f *rt.FuncInst, args ...wasm.Value) ([]wasm.Value, error) {
 	if err := goctx.Err(); err != nil {
 		return nil, err
+	}
+	ctx := inst.Ctx
+	// Save/restore rather than set/clear: a re-entrant call (guest →
+	// host → guest on the same instance) must not erase the outer
+	// call's context or budget when it finishes.
+	savedGo := ctx.GoCtx
+	ctx.GoCtx = goctx
+	defer func() { ctx.GoCtx = savedGo }()
+	if opts.Fuel > 0 {
+		savedFuel, savedPer := ctx.Fuel, ctx.FuelPerIter
+		ctx.Fuel, ctx.FuelPerIter = opts.Fuel, false
+		defer func() { ctx.Fuel, ctx.FuelPerIter = savedFuel, savedPer }()
 	}
 	stop := inst.armInterrupt(goctx)
 	// stop is idempotent; the defer covers a panic unwinding out of the

@@ -1,0 +1,349 @@
+package engine_test
+
+// The fault-injection schedule driver: every injection point registered
+// anywhere in the engine (host calls, pool resets, memory growth, the
+// four disk-cache failure modes) has a driver here that arms it, runs a
+// workload that reaches it, and asserts the graceful-degradation
+// contract — recompile on cache corruption, a defined guest result on
+// grow failure, trap-and-poison on host panic — rather than trusting
+// failure branches that never run under normal tests. The schedule test
+// runs the drivers in a seeded random order and then asserts that every
+// registered point actually fired, so adding an injection point without
+// a driver fails the suite.
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wizgo/internal/codecache"
+	"wizgo/internal/engine"
+	"wizgo/internal/engines"
+	"wizgo/internal/faultinject"
+	"wizgo/internal/instancepool"
+	"wizgo/internal/rt"
+	"wizgo/internal/wasm"
+)
+
+// hostAddModule imports env.add and exports call5() = add(2, 3).
+func hostAddModule() []byte {
+	b := wasm.NewBuilder()
+	ft := wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32, wasm.I32},
+		Results: []wasm.ValueType{wasm.I32},
+	}
+	add := b.ImportFunc("env", "add", ft)
+	f := b.NewFunc("call5", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+	f.I32Const(2).I32Const(3).Call(add).End()
+	b.Export("call5", f.Idx)
+	return b.Encode()
+}
+
+func hostAddLinker() *engine.Linker {
+	return engine.NewLinker().Func("env", "add", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32, wasm.I32},
+		Results: []wasm.ValueType{wasm.I32},
+	}, func(_ *rt.Context, args, results []uint64) error {
+		results[0] = uint64(uint32(int32(args[0]) + int32(args[1])))
+		return nil
+	})
+}
+
+// growModule exports grow() = memory.grow(1), normally the old page
+// count (1), and -1 when growth fails.
+func growModule() []byte {
+	b := wasm.NewBuilder()
+	b.AddMemory(1, 4)
+	f := b.NewFunc("grow", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+	f.I32Const(1).MemoryGrow().End()
+	b.Export("grow", f.Idx)
+	return b.Encode()
+}
+
+// mulModule is the disk-cache workload: a pure function whose artifact
+// round-trips through the store.
+func mulModule() []byte {
+	b := wasm.NewBuilder()
+	f := b.NewFunc("mul", wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32, wasm.I32},
+		Results: []wasm.ValueType{wasm.I32},
+	})
+	f.LocalGet(0).LocalGet(1).Op(wasm.OpI32Mul).End()
+	b.Export("mul", f.Idx)
+	return b.Encode()
+}
+
+func callI32(t *testing.T, inst *engine.Instance, name string, want int32, args ...wasm.Value) {
+	t.Helper()
+	res, err := inst.Call(name, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", name, err)
+	}
+	if res[0].I32() != want {
+		t.Fatalf("call %s = %d, want %d", name, res[0].I32(), want)
+	}
+}
+
+// mustFire asserts the driver's workload actually reached its point.
+func mustFire(t *testing.T, point string, before int) {
+	t.Helper()
+	if faultinject.Fired(point) <= before {
+		t.Fatalf("injection point %s never fired", point)
+	}
+}
+
+// faultDrivers maps every registered injection point to the test that
+// arms it and asserts graceful degradation. The schedule test fails if
+// a registered point has no driver.
+var faultDrivers = map[string]func(t *testing.T){
+	"engine.host.call":         driveHostCall,
+	"instancepool.reset":       drivePoolReset,
+	"rt.memory.grow":           driveMemGrow,
+	"codecache.disk.mmap":      func(t *testing.T) { driveDiskFault(t, "codecache.disk.mmap") },
+	"codecache.disk.shortread": func(t *testing.T) { driveDiskFault(t, "codecache.disk.shortread") },
+	"codecache.disk.checksum":  func(t *testing.T) { driveDiskFault(t, "codecache.disk.checksum") },
+	"codecache.disk.stalelock": driveDiskStaleLock,
+}
+
+// driveHostCall exercises the three host-call fault modes: an injected
+// error surfaces as TrapHostError, a delay completes normally, and a
+// panic is contained as TrapHostPanic with the instance poisoned and
+// refused by Reset.
+func driveHostCall(t *testing.T) {
+	const point = "engine.host.call"
+	for _, cfg := range engines.Catalog() {
+		eng := engine.New(cfg, hostAddLinker())
+		inst, err := eng.Instantiate(hostAddModule())
+		if err != nil {
+			t.Fatalf("%s: instantiate: %v", cfg.Name, err)
+		}
+
+		// Error mode: the injected error is wrapped as a host-error trap.
+		before := faultinject.Fired(point)
+		disarm := faultinject.Arm(point, faultinject.Fault{Count: 1})
+		_, err = inst.Call("call5")
+		disarm()
+		var trap *rt.Trap
+		if !errors.As(err, &trap) || trap.Kind != rt.TrapHostError {
+			t.Fatalf("%s: injected host error: got %v, want TrapHostError", cfg.Name, err)
+		}
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("%s: trap does not wrap the injected error: %v", cfg.Name, err)
+		}
+		mustFire(t, point, before)
+
+		// Delay mode: a slow host is not an error.
+		disarm = faultinject.Arm(point, faultinject.Fault{Delay: time.Millisecond, Count: 1})
+		callI32(t, inst, "call5", 5)
+		disarm()
+
+		// Panic mode: contained as a trap, and the instance is poisoned.
+		disarm = faultinject.Arm(point, faultinject.Fault{Panic: "injected host panic", Count: 1})
+		_, err = inst.Call("call5")
+		disarm()
+		if !errors.As(err, &trap) || trap.Kind != rt.TrapHostPanic {
+			t.Fatalf("%s: injected host panic: got %v, want TrapHostPanic", cfg.Name, err)
+		}
+		if !inst.RT.Poisoned {
+			t.Fatalf("%s: host panic did not poison the instance", cfg.Name)
+		}
+		if err := inst.Reset(inst.Snapshot()); !errors.Is(err, instancepool.ErrPoisoned) {
+			t.Fatalf("%s: Reset of a poisoned instance: got %v, want ErrPoisoned", cfg.Name, err)
+		}
+	}
+}
+
+// drivePoolReset injects a reset failure and asserts the pool discards
+// the instance and serves the next request from a fresh one.
+func drivePoolReset(t *testing.T) {
+	const point = "instancepool.reset"
+	eng := engine.New(engines.WizardSPC(), nil)
+	cm, err := eng.Compile(mulModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cm.NewPool(2)
+	defer pool.Close()
+
+	inst, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	callI32(t, inst, "mul", 42, wasm.ValI32(6), wasm.ValI32(7))
+
+	before := faultinject.Fired(point)
+	disarm := faultinject.Arm(point, faultinject.Fault{Count: 1})
+	defer disarm()
+	pool.Put(inst) // background reset fails; the instance is discarded
+
+	// The pool must keep serving: whichever path the next Get takes
+	// (fresh instantiation after the discard), the request succeeds.
+	inst, err = pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	callI32(t, inst, "mul", 42, wasm.ValI32(6), wasm.ValI32(7))
+	pool.Put(inst)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Stats().ResetFailures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("injected reset failure was never recorded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mustFire(t, point, before)
+}
+
+// driveMemGrow injects a growth failure and asserts the guest observes
+// the defined failure result (-1), not an error.
+func driveMemGrow(t *testing.T) {
+	const point = "rt.memory.grow"
+	for _, cfg := range engines.Catalog() {
+		eng := engine.New(cfg, nil)
+		inst, err := eng.Instantiate(growModule())
+		if err != nil {
+			t.Fatalf("%s: instantiate: %v", cfg.Name, err)
+		}
+		before := faultinject.Fired(point)
+		disarm := faultinject.Arm(point, faultinject.Fault{Count: 1})
+		callI32(t, inst, "grow", -1) // injected failure: defined result
+		disarm()
+		mustFire(t, point, before)
+		callI32(t, inst, "grow", 1) // recovered: the same grow now works
+	}
+}
+
+// diskEngine builds an engine with a cold memory cache over the given
+// artifact directory, so every Compile consults the disk tier.
+func diskEngine(t *testing.T, dir string) (*engine.Engine, *codecache.DiskStore) {
+	t.Helper()
+	disk, err := engine.OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engines.WizardSPC()
+	cfg.Cache = codecache.New(codecache.Options{})
+	cfg.DiskCache = disk
+	return engine.New(cfg, nil), disk
+}
+
+// driveDiskFault injects one of the artifact-read failure modes (mmap
+// failure, truncation, checksum corruption) into a warm disk cache and
+// asserts the cold process recompiles and still serves correct code —
+// corruption must never be an error, only a miss.
+func driveDiskFault(t *testing.T, point string) {
+	dir := t.TempDir()
+
+	warm, _ := diskEngine(t, dir)
+	if _, err := warm.Compile(mulModule()); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, disk := diskEngine(t, dir)
+	before := faultinject.Fired(point)
+	disarm := faultinject.Arm(point, faultinject.Fault{Count: 1})
+	defer disarm()
+	cm, err := cold.Compile(mulModule())
+	if err != nil {
+		t.Fatalf("%s: compile with injected fault: %v", point, err)
+	}
+	mustFire(t, point, before)
+	if cold.CompileCalls() == 0 {
+		t.Fatalf("%s: injected fault did not force a recompile", point)
+	}
+	if st := disk.Stats(); st.Misses == 0 {
+		t.Fatalf("%s: injected fault was not a disk miss: %+v", point, st)
+	}
+	inst, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	callI32(t, inst, "mul", 42, wasm.ValI32(6), wasm.ValI32(7))
+}
+
+// driveDiskStaleLock abandons a writer lock (as a crashed process
+// would) and asserts a cold process — with the stale judgment forced by
+// injection — breaks the lock, compiles, and republishes the artifact
+// instead of waiting forever or failing.
+func driveDiskStaleLock(t *testing.T) {
+	const point = "codecache.disk.stalelock"
+	dir := t.TempDir()
+
+	warm, _ := diskEngine(t, dir)
+	if _, err := warm.Compile(mulModule()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace the artifact with an abandoned lock: the cold Load below
+	// misses, and TryLock finds another "writer" that will never finish.
+	arts, err := filepath.Glob(filepath.Join(dir, "*.wzc"))
+	if err != nil || len(arts) != 1 {
+		t.Fatalf("artifact glob: %v (%d matches)", err, len(arts))
+	}
+	if err := os.WriteFile(arts[0]+".lock", []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(arts[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, disk := diskEngine(t, dir)
+	before := faultinject.Fired(point)
+	disarm := faultinject.Arm(point, faultinject.Fault{Count: 1})
+	defer disarm()
+	cm, err := cold.Compile(mulModule())
+	if err != nil {
+		t.Fatalf("compile past an abandoned lock: %v", err)
+	}
+	mustFire(t, point, before)
+	st := disk.Stats()
+	if st.CorruptEvictions == 0 {
+		t.Fatalf("breaking the stale lock was not counted: %+v", st)
+	}
+	if st.Writes == 0 {
+		t.Fatalf("the lock-breaking compile did not republish the artifact: %+v", st)
+	}
+	inst, err := cm.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	callI32(t, inst, "mul", 42, wasm.ValI32(6), wasm.ValI32(7))
+}
+
+// TestFaultSchedule is the seeded schedule driver: it runs every
+// point's driver in a deterministic random order (several rounds, so
+// points fire in different global orders), then asserts the catalog is
+// fully covered — every registered point has a driver and every point
+// actually fired.
+func TestFaultSchedule(t *testing.T) {
+	points := faultinject.Points()
+	for _, p := range points {
+		if faultDrivers[p] == nil {
+			t.Errorf("registered injection point %s has no schedule driver", p)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	faultinject.ResetCounts()
+	r := rand.New(rand.NewSource(1))
+	for round := 0; round < 2; round++ {
+		order := append([]string(nil), points...)
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, p := range order {
+			p := p
+			t.Run(p, func(t *testing.T) { faultDrivers[p](t) })
+		}
+	}
+
+	for _, p := range points {
+		if faultinject.Fired(p) == 0 {
+			t.Errorf("injection point %s registered but never fired under the schedule", p)
+		}
+	}
+}

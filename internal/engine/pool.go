@@ -63,6 +63,14 @@ func (inst *Instance) Snapshot() *Snapshot {
 // and none of it is observable in execution results.
 func (inst *Instance) Reset(s *Snapshot) error {
 	ri := inst.RT
+	if ri.Poisoned {
+		// A host panic interrupted arbitrary host-side work: the snapshot
+		// can restore guest-visible state, but nothing can vouch for what
+		// the host half-finished (external handles, partially written
+		// side state). Refuse, so pools drop the instance instead of
+		// recycling it.
+		return fmt.Errorf("engine: %w: host panic left the instance in an unknown state", instancepool.ErrPoisoned)
+	}
 	if inst.Ctx.Depth != 0 || len(inst.Ctx.Frames) != 0 {
 		return fmt.Errorf("engine: cannot reset an instance with a call in progress")
 	}
@@ -138,8 +146,10 @@ func (cm *CompiledModule) NewPool(capacity int) *InstancePool {
 			// when the instance was Put with a call still in progress —
 			// releasing then would pool a stack that call is executing
 			// on. Leaking the misused instance is always safe; pooling
-			// its stack is not.
-			if inst.Ctx.Depth == 0 && len(inst.Ctx.Frames) == 0 {
+			// its stack is not. A poisoned instance's stack is equally
+			// suspect (the panic may have unwound past frame cleanup),
+			// so it is leaked with the instance.
+			if !inst.RT.Poisoned && inst.Ctx.Depth == 0 && len(inst.Ctx.Frames) == 0 {
 				inst.Release()
 			}
 		},

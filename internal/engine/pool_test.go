@@ -2,8 +2,11 @@ package engine_test
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"wizgo/internal/engine"
 	"wizgo/internal/engines"
@@ -545,5 +548,171 @@ func TestResetSkipsMemoryForReadOnlyCalls(t *testing.T) {
 	}
 	if !inst2.RT.MemTouched {
 		t.Error("NoAnalysis engine skipped MemTouched; nothing proves the reader read-only there")
+	}
+}
+
+// poisonModule imports env.maybe (panics when its argument is nonzero)
+// and exports poke(x) = call maybe(x), plus a healthy seven() = 7.
+func poisonModule() []byte {
+	b := wasm.NewBuilder()
+	maybe := b.ImportFunc("env", "maybe", wasm.FuncType{Params: []wasm.ValueType{wasm.I32}})
+	poke := b.NewFunc("poke", wasm.FuncType{Params: []wasm.ValueType{wasm.I32}})
+	poke.LocalGet(0).Call(maybe).End()
+	b.Export("poke", poke.Idx)
+	seven := b.NewFunc("seven", wasm.FuncType{Results: []wasm.ValueType{wasm.I32}})
+	seven.I32Const(7).End()
+	b.Export("seven", seven.Idx)
+	return b.Encode()
+}
+
+func poisonLinker() *engine.Linker {
+	return engine.NewLinker().Func("env", "maybe",
+		wasm.FuncType{Params: []wasm.ValueType{wasm.I32}},
+		func(_ *rt.Context, args, _ []uint64) error {
+			if args[0] != 0 {
+				panic("maybe: poisoned request")
+			}
+			return nil
+		})
+}
+
+// TestPoolPoisonedInstanceDropped asserts the host-panic containment
+// chain end to end in every cataloged executor: the panic surfaces as
+// TrapHostPanic, the instance is poisoned, and the pool drops it on Put
+// (counting the drop) instead of ever handing it out again.
+func TestPoolPoisonedInstanceDropped(t *testing.T) {
+	for _, cfg := range engines.Catalog() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			eng := engine.New(cfg, poisonLinker())
+			cm, err := eng.Compile(poisonModule())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := cm.NewPool(4)
+			defer pool.Close()
+
+			inst, err := pool.Get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = inst.Call("poke", wasm.ValI32(1))
+			var trap *rt.Trap
+			if !errors.As(err, &trap) || trap.Kind != rt.TrapHostPanic {
+				t.Fatalf("host panic: got %v, want TrapHostPanic", err)
+			}
+			if !inst.RT.Poisoned {
+				t.Fatal("host panic did not poison the instance")
+			}
+			pool.Put(inst)
+
+			// The drop happens on the background reset; wait for it.
+			deadline := time.Now().Add(5 * time.Second)
+			for pool.Stats().PoisonDrops == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("poisoned instance was never dropped")
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			// The pool never hands the poisoned instance out again, and
+			// keeps serving healthy requests.
+			for i := 0; i < 4; i++ {
+				got, err := pool.Get()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got == inst {
+					t.Fatal("pool handed out a poisoned instance")
+				}
+				res, err := got.Call("seven")
+				if err != nil || res[0].I32() != 7 {
+					t.Fatalf("healthy request after poison drop: %v %v", res, err)
+				}
+				pool.Put(got)
+			}
+		})
+	}
+}
+
+// TestPoolPoisonConcurrentServing hammers one pool from many workers
+// while a fraction of requests panic their host call, and asserts every
+// healthy request still succeeds and every poisoned instance is
+// dropped, not recycled. Run under -race this doubles as the data-race
+// check on the poison flag's write (trap path) vs reads (reset path,
+// discard path).
+func TestPoolPoisonConcurrentServing(t *testing.T) {
+	eng := engine.New(engines.WizardSPC(), poisonLinker())
+	cm, err := eng.Compile(poisonModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cm.NewPool(4)
+	defer pool.Close()
+
+	const (
+		nWorkers  = 8
+		perWorker = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, nWorkers*perWorker)
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				inst, err := pool.Get()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%5 == w%5 {
+					// A poisoning request: the panic must surface as a
+					// trap, never as a crashed worker.
+					_, err := inst.Call("poke", wasm.ValI32(1))
+					var trap *rt.Trap
+					if !errors.As(err, &trap) || trap.Kind != rt.TrapHostPanic {
+						errs <- fmt.Errorf("worker %d: got %v, want TrapHostPanic", w, err)
+						return
+					}
+				} else {
+					res, err := inst.Call("seven")
+					if err != nil || res[0].I32() != 7 {
+						errs <- fmt.Errorf("worker %d: healthy request: %v %v", w, res, err)
+						return
+					}
+					if inst.RT.Poisoned {
+						errs <- fmt.Errorf("worker %d: pool handed out a poisoned instance", w)
+						return
+					}
+				}
+				pool.Put(inst)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Prove the poison-drop path was taken, with a deterministic final
+	// cycle: the concurrent phase may race some poisoned Puts into
+	// capacity overflow, which discards without a reset, but with the
+	// workers quiet this Put lands in the pool and must be reset-refused.
+	inst, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Call("poke", wasm.ValI32(1)); err == nil {
+		t.Fatal("poisoning request unexpectedly succeeded")
+	}
+	base := pool.Stats().PoisonDrops
+	pool.Put(inst)
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Stats().PoisonDrops <= base {
+		if time.Now().After(deadline) {
+			t.Fatalf("poison drops stuck at %d after a poisoned Put", base)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

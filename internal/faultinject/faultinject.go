@@ -1,0 +1,190 @@
+// Package faultinject is the deterministic fault-injection framework:
+// named injection points compiled into failure-handling code paths
+// (disk-cache reads, memory growth, host calls, pool resets) that tests
+// arm to force the rare failure branch and assert graceful degradation
+// — recompile on cache corruption, a defined result on grow failure,
+// poison-and-drop on host panic — instead of hoping those branches are
+// correct because they never run.
+//
+// The framework is deliberately dumb and deterministic: a fault fires
+// on the next N Fire calls at its point, in program order, with no
+// randomness and no timers. The seeded schedule driver (the package's
+// test suite plus internal/faultinject tests in dependent packages)
+// gets its variety from which points it arms and which workloads it
+// runs, not from nondeterministic triggering — a failing schedule
+// replays exactly.
+//
+// Cost when disabled: every Fire is one atomic load and a predictable
+// branch. No fault-injection state is consulted until a test arms a
+// fault, so production binaries pay essentially nothing for carrying
+// the hooks.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by a fired fault that does
+// not specify its own.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault describes what happens when an armed point fires. Zero-value
+// actions default to returning ErrInjected.
+type Fault struct {
+	// Err is returned by Fire. Nil (with no Panic) means ErrInjected.
+	Err error
+	// Panic, when non-nil, makes Fire panic with this value — the host
+	// panic injection mode.
+	Panic any
+	// Delay, when non-zero, makes Fire sleep before acting — the slow
+	// host / slow disk injection mode. A Delay with no Err and no Panic
+	// returns nil after sleeping (delay-only fault).
+	Delay time.Duration
+	// DelayOnly marks a fault whose Err should be ignored: fire means
+	// "be slow, then succeed". Set implicitly when only Delay is given.
+	DelayOnly bool
+	// Count is how many Fire calls the fault survives; 0 means it stays
+	// armed until disarmed.
+	Count int
+	// Skip delays the first firing: the fault lets Skip Fire calls pass
+	// before it starts firing, so a schedule can target e.g. "the third
+	// cache load" deterministically.
+	Skip int
+}
+
+// enabled is the global fast-path gate: false means no point anywhere
+// is armed and Fire returns immediately.
+var enabled atomic.Bool
+
+var (
+	mu         sync.Mutex
+	registered = map[string]bool{}
+	armed      = map[string]*armedFault{}
+	fired      = map[string]int{}
+)
+
+type armedFault struct {
+	f    Fault
+	skip int
+	left int // remaining firings when f.Count > 0
+}
+
+// Register declares an injection point so the catalog (Points) lists it
+// and test suites can assert every point was exercised. Packages
+// register their points in init; registering twice is harmless.
+func Register(point string) string {
+	mu.Lock()
+	registered[point] = true
+	mu.Unlock()
+	return point
+}
+
+// Points returns the sorted catalog of registered injection points.
+func Points() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	pts := make([]string, 0, len(registered))
+	for p := range registered {
+		pts = append(pts, p)
+	}
+	sort.Strings(pts)
+	return pts
+}
+
+// Arm installs a fault at a point and returns its disarm function.
+// Arming registers the point if needed (so tests can invent scratch
+// points), flips the global gate on, and the disarm function flips it
+// back off once nothing is armed.
+func Arm(point string, f Fault) (disarm func()) {
+	if f.Err == nil && f.Panic == nil && f.Delay > 0 {
+		f.DelayOnly = true
+	}
+	mu.Lock()
+	registered[point] = true
+	armed[point] = &armedFault{f: f, skip: f.Skip, left: f.Count}
+	enabled.Store(true)
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		delete(armed, point)
+		if len(armed) == 0 {
+			enabled.Store(false)
+		}
+		mu.Unlock()
+	}
+}
+
+// Fired returns how many times the point has fired since the last
+// ResetCounts.
+func Fired(point string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return fired[point]
+}
+
+// ResetCounts zeroes the per-point fired counters (armed faults stay
+// armed).
+func ResetCounts() {
+	mu.Lock()
+	clear(fired)
+	mu.Unlock()
+}
+
+// Fire is the hook call sites compile in: it reports the fault to
+// inject at this point right now. A nil return means "no fault —
+// proceed normally"; a non-nil return is the injected error the call
+// site should act on exactly as it would on the real failure. A fault
+// armed with Panic panics from inside Fire, modeling a host function
+// (or any callee) blowing up at that point.
+func Fire(point string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	return fire(point)
+}
+
+//go:noinline
+func fire(point string) error {
+	mu.Lock()
+	af := armed[point]
+	if af == nil {
+		mu.Unlock()
+		return nil
+	}
+	if af.skip > 0 {
+		af.skip--
+		mu.Unlock()
+		return nil
+	}
+	if af.f.Count > 0 {
+		af.left--
+		if af.left <= 0 {
+			delete(armed, point)
+			if len(armed) == 0 {
+				enabled.Store(false)
+			}
+		}
+	}
+	fired[point]++
+	f := af.f
+	mu.Unlock()
+
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	if f.DelayOnly {
+		return nil
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, point)
+}

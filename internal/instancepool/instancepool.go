@@ -27,7 +27,21 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"wizgo/internal/faultinject"
 )
+
+// ErrPoisoned marks a reset refusal whose cause is instance poisoning
+// (a contained host panic left the instance in an unknown state). Reset
+// callbacks wrap it so the pool can split these drops out of ordinary
+// reset failures: a poisoned drop is the containment machinery working,
+// not a pool malfunction.
+var ErrPoisoned = errors.New("instance poisoned")
+
+// PointReset fires at the top of every pool reset (inline and
+// background), so an armed fault exercises the discard-and-replace
+// path without needing a corrupt instance.
+var PointReset = faultinject.Register("instancepool.reset")
 
 // Config wires a Pool to its instance type.
 type Config[T comparable] struct {
@@ -56,8 +70,9 @@ type Stats struct {
 	// discarded on capacity overflow or a closed pool, or ignored as
 	// duplicate Puts of an already-pooled instance. ResetFailures
 	// counts recycled instances a failing Reset forced the pool to
-	// throw away.
-	Puts, Drops, ResetFailures uint64
+	// throw away; PoisonDrops is the subset whose reset refused with
+	// ErrPoisoned (host-panic containment dropping the instance).
+	Puts, Drops, ResetFailures, PoisonDrops uint64
 	// ResetsOnPut counts resets the background drainer absorbed after
 	// Put; ResetsOnGet counts resets Get had to run inline because it
 	// claimed an instance before the drainer reached it. A healthy
@@ -147,6 +162,24 @@ func New[T comparable](cfg Config[T]) (*Pool[T], error) {
 // size is the custody count; callers hold p.mu.
 func (p *Pool[T]) size() int { return len(p.clean) + len(p.dirty) + p.resetting }
 
+// reset runs the Reset callback behind the fault-injection point.
+func (p *Pool[T]) reset(inst T) error {
+	if err := faultinject.Fire(PointReset); err != nil {
+		return err
+	}
+	return p.cfg.Reset(inst)
+}
+
+// noteResetFailure classifies a failed reset; callers hold p.mu.
+func (p *Pool[T]) noteResetFailure(err error) {
+	p.stats.ResetFailures++
+	mResetFailures.Inc()
+	if errors.Is(err, ErrPoisoned) {
+		p.stats.PoisonDrops++
+		mPoisonDrops.Inc()
+	}
+}
+
 // Get returns a ready instance, by cheapest path first: a clean one
 // (already reset in the background — the common steady state, no reset
 // cost on this call), a dirty one the drainer has not reached (reset
@@ -183,7 +216,7 @@ func (p *Pool[T]) Get() (T, error) {
 			p.mu.Unlock()
 
 			r0 := time.Now()
-			err := p.cfg.Reset(inst)
+			err := p.reset(inst)
 			resetDur := time.Since(r0)
 			if err != nil {
 				// A corrupt instance is cheaper to replace than to
@@ -193,8 +226,7 @@ func (p *Pool[T]) Get() (T, error) {
 					p.cfg.Discard(inst)
 				}
 				p.mu.Lock()
-				p.stats.ResetFailures++
-				mResetFailures.Inc()
+				p.noteResetFailure(err)
 				continue
 			}
 			p.mu.Lock()
@@ -313,7 +345,7 @@ func (p *Pool[T]) drain() {
 		p.mu.Unlock()
 
 		r0 := time.Now()
-		err := p.cfg.Reset(inst)
+		err := p.reset(inst)
 		resetDur := time.Since(r0)
 
 		p.mu.Lock()
@@ -326,15 +358,13 @@ func (p *Pool[T]) drain() {
 			// callback owns judging its state) instead of racing
 			// Close with a discard of our own.
 			if err != nil {
-				p.stats.ResetFailures++
-				mResetFailures.Inc()
+				p.noteResetFailure(err)
 			}
 			p.clean = append(p.clean, inst)
 			p.cond.Broadcast()
 			p.mu.Unlock()
 		case err != nil:
-			p.stats.ResetFailures++
-			mResetFailures.Inc()
+			p.noteResetFailure(err)
 			gCustody.Add(-1)
 			delete(p.inPool, inst)
 			p.cond.Broadcast()

@@ -25,6 +25,8 @@ var (
 		"Returned instances not retained (capacity, duplicate, closed).")
 	mResetFailures = telemetry.Default().Counter("wizgo_pool_reset_failures_total",
 		"Recycled instances discarded because their reset failed.")
+	mPoisonDrops = telemetry.Default().Counter("wizgo_pool_poison_drops_total",
+		"Poisoned instances (host panic) the pool dropped instead of recycling.")
 	mResetsOnPut = telemetry.Default().Counter("wizgo_pool_resets_on_put_total",
 		"Resets absorbed by the background drainer (off the request path).")
 	mResetsOnGet = telemetry.Default().Counter("wizgo_pool_resets_on_get_total",

@@ -134,12 +134,6 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 		if counting {
 			ctx.Stats.InterpOps++
 		}
-		if ctx.Fuel > 0 {
-			ctx.Fuel--
-			if ctx.Fuel == 0 {
-				return rt.Done, trap(rt.TrapStackOverflow)
-			}
-		}
 
 		switch wasm.Opcode(op) {
 		case wasm.OpUnreachable:
@@ -149,6 +143,21 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			_, ip = readBlockType(body, ip)
 		case wasm.OpLoop:
 			_, ip = readBlockType(body, ip)
+			// Loop entry is a fuel checkpoint (ip is now the first body
+			// pc — the same pc compiled tiers stamp on their header
+			// checkpoint). Proven-exact-trip loops prepay their whole
+			// charge; everything is behind the Fuel > 0 branch so
+			// metering off costs one predictable test.
+			if ctx.Fuel > 0 {
+				if trips := facts.TripsAt(ip); trips > 0 {
+					ctx.FuelPrepay(trips)
+					if !ctx.FuelIter() {
+						return rt.Done, trap(rt.TrapFuelExhausted)
+					}
+				} else if !ctx.FuelCheckpoint() {
+					return rt.Done, trap(rt.TrapFuelExhausted)
+				}
+			}
 		case wasm.OpIf:
 			_, ip = readBlockType(body, ip)
 			sp--
@@ -175,9 +184,16 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			_, ip = readU32(body, ip)
 			e := st[stp]
 			if int(e.TargetIP) <= opPC {
-				// Backward branch: loop back-edge — the tier-up point and
-				// the interruption point (one extra predictable branch on
-				// the path that already tests for OSR).
+				// Backward branch: loop back-edge — a fuel checkpoint,
+				// the tier-up point and the interruption point (extra
+				// predictable branches on the path that already tests
+				// for OSR). Fuel is charged first: a back-edge that
+				// deopts or interrupts must still account its header
+				// arrival. An unconditional br is never the recognized
+				// counted back-edge, so no prepaid variant here.
+				if ctx.Fuel > 0 && !ctx.FuelCheckpoint() {
+					return rt.Done, trap(rt.TrapFuelExhausted)
+				}
 				if interrupt != nil && interrupt.Get() {
 					return rt.Done, trap(rt.TrapInterrupted)
 				}
@@ -195,6 +211,17 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 			sp--
 			if uint32(slots[sp]) != 0 {
 				e := st[stp]
+				if int(e.TargetIP) <= opPC && ctx.Fuel > 0 {
+					// Taken back-edge: charge the header arrival, FuelIter
+					// when the loop's charge was prepaid at entry.
+					if facts.PrepaidAt(opPC) {
+						if !ctx.FuelIter() {
+							return rt.Done, trap(rt.TrapFuelExhausted)
+						}
+					} else if !ctx.FuelCheckpoint() {
+						return rt.Done, trap(rt.TrapFuelExhausted)
+					}
+				}
 				if int(e.TargetIP) <= opPC && interrupt != nil && !facts.NoPollAt(opPC) && interrupt.Get() {
 					return rt.Done, trap(rt.TrapInterrupted)
 				}
@@ -218,8 +245,13 @@ func Run(ctx *rt.Context, f *rt.FuncInst, vfp int, entry Entry) (rt.Status, erro
 				idx = n
 			}
 			e := st[stp+int(idx)]
-			// A br_table arm can be a loop back-edge too: poll the
-			// interrupt so cancellation cannot hang a br_table-only loop.
+			// A br_table arm can be a loop back-edge too: charge fuel
+			// and poll the interrupt so cancellation cannot hang a
+			// br_table-only loop. A br_table arm is never the counted
+			// back-edge, so no prepaid variant.
+			if int(e.TargetIP) <= opPC && ctx.Fuel > 0 && !ctx.FuelCheckpoint() {
+				return rt.Done, trap(rt.TrapFuelExhausted)
+			}
 			if int(e.TargetIP) <= opPC && interrupt != nil && interrupt.Get() {
 				return rt.Done, trap(rt.TrapInterrupted)
 			}

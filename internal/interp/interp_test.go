@@ -1,6 +1,7 @@
 package interp_test
 
 import (
+	"errors"
 	"testing"
 
 	"wizgo/internal/interp"
@@ -159,6 +160,10 @@ func TestFuelBound(t *testing.T) {
 	_, err := interp.Call(ctx, f, 0)
 	if err == nil {
 		t.Fatal("infinite loop terminated without fuel trap")
+	}
+	var trap *rt.Trap
+	if !errors.As(err, &trap) || trap.Kind != rt.TrapFuelExhausted {
+		t.Fatalf("fuel exhaustion trapped with %v, want TrapFuelExhausted", err)
 	}
 }
 

@@ -839,10 +839,24 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 			return rt.Done, c.trapAt(rt.TrapUnreachable, f, pc)
 
 		case OCheckPoint:
-			// Loop header with a canonical frame: the deopt point, the
-			// OSR entry, and the interruption point — one more predictable
-			// branch on the check compiled code already executes per loop
-			// iteration.
+			// Loop header with a canonical frame: the fuel charge, the
+			// interruption point, the deopt point and the OSR entry —
+			// predictable branches on checks compiled code already
+			// executes per loop iteration. Fuel is charged FIRST: a
+			// checkpoint that deopts or interrupts has still executed
+			// this header arrival, and the interpreter resumes past the
+			// loop opcode, so no tier charges it twice. B==1 marks a
+			// prepaid loop (OFuelPrepay ran before the header label):
+			// the per-arrival charge applies only in degraded mode.
+			if ctx.Fuel > 0 {
+				if in.B != 0 {
+					if !ctx.FuelIter() {
+						return rt.Done, c.trapAt(rt.TrapFuelExhausted, f, pc)
+					}
+				} else if !ctx.FuelCheckpoint() {
+					return rt.Done, c.trapAt(rt.TrapFuelExhausted, f, pc)
+				}
+			}
 			if interrupt != nil && interrupt.Get() {
 				return rt.Done, c.trapAt(rt.TrapInterrupted, f, pc)
 			}
@@ -856,18 +870,21 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 				}
 				return rt.Deopt, nil
 			}
-			if ctx.Fuel > 0 {
-				ctx.Fuel--
-				if ctx.Fuel == 0 {
-					return rt.Done, c.trapAt(rt.TrapStackOverflow, f, pc)
-				}
-			}
 
 		case OCheckPointNoPoll:
 			// Loop header of a proven-terminating counted loop: the
 			// interrupt poll is elided, but the checkpoint still
-			// serves as deopt point and fuel tick so invalidation and
-			// fuel semantics are identical to OCheckPoint.
+			// charges fuel and serves as deopt point, so fuel and
+			// invalidation semantics are identical to OCheckPoint.
+			if ctx.Fuel > 0 {
+				if in.B != 0 {
+					if !ctx.FuelIter() {
+						return rt.Done, c.trapAt(rt.TrapFuelExhausted, f, pc)
+					}
+				} else if !ctx.FuelCheckpoint() {
+					return rt.Done, c.trapAt(rt.TrapFuelExhausted, f, pc)
+				}
+			}
 			if c.Invalidated {
 				fr := &ctx.Frames[frameIdx]
 				fr.SP = vfp + int(in.A)
@@ -878,11 +895,13 @@ func (c *Code) run(ctx *rt.Context, f *rt.FuncInst, vfp, entry int) (rt.Status, 
 				}
 				return rt.Deopt, nil
 			}
+
+		case OFuelPrepay:
+			// Fall-in-only (sits before the header label): deduct the
+			// loop's proven trip count, or switch to per-iteration
+			// charging when the budget cannot cover it.
 			if ctx.Fuel > 0 {
-				ctx.Fuel--
-				if ctx.Fuel == 0 {
-					return rt.Done, c.trapAt(rt.TrapStackOverflow, f, pc)
-				}
+				ctx.FuelPrepay(int64(in.A))
 			}
 
 		case OProbeFire:

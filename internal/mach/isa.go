@@ -301,6 +301,14 @@ const (
 	// deopt and fuel accounting are unchanged — only the poll goes.
 	OCheckPointNoPoll
 
+	// OFuelPrepay charges a proven-exact-trip loop's whole fuel cost at
+	// entry (rt.Context.FuelPrepay): A is the trip count, Imm the wasm
+	// pc of the loop's first body instruction. Emitted before the
+	// header label, so back-edges (and OSR entries) skip it; the header
+	// checkpoint carries B=1 and charges per arrival only when prepay
+	// degraded to per-iteration mode.
+	OFuelPrepay
+
 	opCount
 )
 
@@ -476,6 +484,7 @@ var opNames = [opCount]string{
 	OLd32S64NC: "ld32_s64!", OLd32U64NC: "ld32_u64!", OLd64NC: "ld64!",
 	OSt8NC: "st8!", OSt16NC: "st16!", OSt32NC: "st32!", OSt64NC: "st64!",
 	OCheckPointNoPoll: "checkpoint!",
+	OFuelPrepay:       "fuel.prepay",
 }
 
 // String renders an instruction in the disassembly style used by the
@@ -512,6 +521,8 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%-16s %v", in.Op, rt.TrapKind(in.A))
 	case OCheckPoint, OCheckPointNoPoll:
 		return fmt.Sprintf("%-16s wasm@%d", in.Op, in.Imm)
+	case OFuelPrepay:
+		return fmt.Sprintf("%-16s #%d, wasm@%d", in.Op, in.A, in.Imm)
 	case OLd8S32, OLd8U32, OLd16S32, OLd16U32, OLd32, OLd8S64, OLd8U64,
 		OLd16S64, OLd16U64, OLd32S64, OLd32U64, OLd64,
 		OLd8S32NC, OLd8U32NC, OLd16S32NC, OLd16U32NC, OLd32NC, OLd8S64NC,

@@ -55,12 +55,34 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 			nres := c.NumResults
 			copy(slots[vfp:vfp+nres], slots[sp-nres:sp])
 			return rt.Done, nil
+		case opFuel:
+			// Loop-entry fuel checkpoint (sits before the header label,
+			// so it runs on fall-in only). A>0: proven exact trip count —
+			// prepay, then charge this arrival via FuelIter so degraded
+			// mode stays in lockstep with per-arrival charging.
+			if ctx.Fuel > 0 {
+				if in.A > 0 {
+					ctx.FuelPrepay(int64(in.A))
+					if !ctx.FuelIter() {
+						return rt.Done, trap(rt.TrapFuelExhausted)
+					}
+				} else if !ctx.FuelCheckpoint() {
+					return rt.Done, trap(rt.TrapFuelExhausted)
+				}
+			}
 		case opBr:
 			// Backward branches are loop back-edges: the interruption
 			// point (the rewriter has no OSR counter, so the target
 			// comparison is the equivalent branch).
-			if int(in.Target) <= pc && interrupt != nil && interrupt.Get() {
-				return rt.Done, trap(rt.TrapInterrupted)
+			if int(in.Target) <= pc {
+				// An unconditional br is never the recognized counted
+				// back-edge, so the charge is always unconditional.
+				if ctx.Fuel > 0 && !ctx.FuelCheckpoint() {
+					return rt.Done, trap(rt.TrapFuelExhausted)
+				}
+				if interrupt != nil && interrupt.Get() {
+					return rt.Done, trap(rt.TrapInterrupted)
+				}
 			}
 			sp = transfer(slots, sp, int(in.A), int(in.B))
 			pc = int(in.Target)
@@ -68,9 +90,20 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 		case opBrIfNZ:
 			sp--
 			if uint32(slots[sp]) != 0 {
-				// Imm==1 marks the back edge of a proven-terminating
+				if int(in.Target) <= pc && ctx.Fuel > 0 {
+					// Imm bit 1 marks a prepaid loop back-edge: the
+					// charge is conditional (only in degraded mode).
+					if in.Imm&2 != 0 {
+						if !ctx.FuelIter() {
+							return rt.Done, trap(rt.TrapFuelExhausted)
+						}
+					} else if !ctx.FuelCheckpoint() {
+						return rt.Done, trap(rt.TrapFuelExhausted)
+					}
+				}
+				// Imm bit 0 marks the back edge of a proven-terminating
 				// counted loop: the interrupt poll is elided.
-				if in.Imm == 0 && int(in.Target) <= pc && interrupt != nil && interrupt.Get() {
+				if in.Imm&1 == 0 && int(in.Target) <= pc && interrupt != nil && interrupt.Get() {
 					return rt.Done, trap(rt.TrapInterrupted)
 				}
 				sp = transfer(slots, sp, int(in.A), int(in.B))
@@ -80,8 +113,13 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 		case opBrIfZ:
 			sp--
 			if uint32(slots[sp]) == 0 {
-				if int(in.Target) <= pc && interrupt != nil && interrupt.Get() {
-					return rt.Done, trap(rt.TrapInterrupted)
+				if int(in.Target) <= pc {
+					if ctx.Fuel > 0 && !ctx.FuelCheckpoint() {
+						return rt.Done, trap(rt.TrapFuelExhausted)
+					}
+					if interrupt != nil && interrupt.Get() {
+						return rt.Done, trap(rt.TrapInterrupted)
+					}
 				}
 				sp = transfer(slots, sp, int(in.A), int(in.B))
 				pc = int(in.Target)
@@ -95,8 +133,13 @@ func (c *Code) Run(ctx *rt.Context, f *rt.FuncInst, vfp int) (rt.Status, error) 
 				idx = uint32(len(t) - 1)
 			}
 			// A br_table arm can be a loop back-edge too.
-			if int(t[idx]) <= pc && interrupt != nil && interrupt.Get() {
-				return rt.Done, trap(rt.TrapInterrupted)
+			if int(t[idx]) <= pc {
+				if ctx.Fuel > 0 && !ctx.FuelCheckpoint() {
+					return rt.Done, trap(rt.TrapFuelExhausted)
+				}
+				if interrupt != nil && interrupt.Get() {
+					return rt.Done, trap(rt.TrapInterrupted)
+				}
 			}
 			pc = int(t[idx])
 			continue

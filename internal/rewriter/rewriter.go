@@ -24,6 +24,11 @@ const (
 	opBrIfNZ             // branch if top != 0
 	opBrIfZ              // branch if top == 0 (compiled from `if`)
 	opBrTableX
+	// opFuel is the loop-entry fuel checkpoint, emitted before the
+	// header label so back-edges never re-execute it. A holds the
+	// proven exact trip count for prepaid loops, 0 for a plain
+	// per-entry charge.
+	opFuel
 )
 
 // Instr is one pre-decoded instruction.
@@ -251,6 +256,9 @@ func (x *xlat) instr(op wasm.Opcode, r *wasm.Reader, pc int) error {
 		if err != nil {
 			return err
 		}
+		// Loop-entry fuel checkpoint before the header label: executes
+		// on fall-in only; back-edges charge at their branch sites.
+		x.emit(Instr{Op: opFuel, A: int32(x.info.Facts.TripsAt(r.Pos))})
 		l := x.newLabel()
 		x.bind(l)
 		x.ctrls = append(x.ctrls, xctrl{
@@ -308,10 +316,17 @@ func (x *xlat) instr(op wasm.Opcode, r *wasm.Reader, pc int) error {
 		fr := x.frameAt(d)
 		val, pop := x.branchArgs(fr)
 		in := Instr{Op: opBrIfNZ, A: val, B: pop}
-		if fr.op == wasm.OpLoop && x.info.Facts.NoPollAt(pc) {
-			// Back edge of a proven-terminating counted loop: Imm=1
-			// tells the executor to skip the interrupt poll.
-			in.Imm = 1
+		if fr.op == wasm.OpLoop {
+			// Imm bit 0: proven-terminating counted loop — the executor
+			// skips the interrupt poll on this back edge. Imm bit 1:
+			// the loop's fuel was prepaid at entry — the back-edge
+			// charge becomes conditional (FuelIter).
+			if x.info.Facts.NoPollAt(pc) {
+				in.Imm |= 1
+			}
+			if x.info.Facts.PrepaidAt(pc) {
+				in.Imm |= 2
+			}
 		}
 		x.emitBranch(in, x.target(fr))
 	case wasm.OpBrTable:

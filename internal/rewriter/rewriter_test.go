@@ -42,10 +42,10 @@ func TestPreDecoding(t *testing.T) {
 		f.End()
 		f.End()
 	}, wasm.FuncType{})
-	// 7 body instructions + the return; blocks/loops/ends translate
-	// to nothing (labels only).
-	if len(code.Instrs) != 8 {
-		t.Errorf("translated to %d instructions, want 8", len(code.Instrs))
+	// 7 body instructions + the return + the loop-entry fuel
+	// checkpoint; blocks/loops/ends translate to nothing (labels only).
+	if len(code.Instrs) != 9 {
+		t.Errorf("translated to %d instructions, want 9", len(code.Instrs))
 	}
 	if code.Bytes() == 0 {
 		t.Error("code size not reported")

@@ -11,11 +11,13 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
 	"sync/atomic"
 
+	"wizgo/internal/faultinject"
 	"wizgo/internal/validate"
 	"wizgo/internal/wasm"
 )
@@ -42,6 +44,19 @@ const (
 	// on loop back-edges, so a runaway guest unwinds within one loop
 	// iteration instead of hanging its goroutine.
 	TrapInterrupted
+	// TrapHostPanic reports that an imported host function panicked.
+	// The engine's host-call bridge recovers the panic, converts it to
+	// this trap, and poisons the instance (Instance.Poisoned) so pooled
+	// reuse refuses possibly-corrupt state instead of recycling it.
+	TrapHostPanic
+	// TrapFuelExhausted reports that the per-call fuel budget
+	// (Context.Fuel) ran out. Fuel is charged deterministically — one
+	// unit per function entry and one per loop-header execution, in
+	// every tier — so the same budget traps at the same checkpoint
+	// regardless of which executor ran the code.
+	TrapFuelExhausted
+	// trapKindCount is the number of trap kinds; keep it last.
+	trapKindCount
 )
 
 func (k TrapKind) String() string {
@@ -70,6 +85,10 @@ func (k TrapKind) String() string {
 		return "host function error"
 	case TrapInterrupted:
 		return "execution interrupted"
+	case TrapHostPanic:
+		return "host function panicked"
+	case TrapFuelExhausted:
+		return "fuel exhausted"
 	}
 	return "unknown trap"
 }
@@ -216,6 +235,11 @@ func NewMemory(lim wasm.Limits) *Memory {
 // Pages returns the current size in pages.
 func (m *Memory) Pages() uint32 { return uint32(len(m.Data) / wasm.PageSize) }
 
+// PointMemGrow is the fault-injection point for memory growth: an
+// armed fault makes Grow report failure (-1), the same well-defined
+// result the guest sees when the memory limit is reached.
+var PointMemGrow = faultinject.Register("rt.memory.grow")
+
 // Grow grows by delta pages, returning the previous page count or -1.
 func (m *Memory) Grow(delta uint32) int32 {
 	old := m.Pages()
@@ -224,6 +248,9 @@ func (m *Memory) Grow(delta uint32) int32 {
 	}
 	next := uint64(old) + uint64(delta)
 	if next > uint64(m.MaxPages) {
+		return -1
+	}
+	if faultinject.Fire(PointMemGrow) != nil {
 		return -1
 	}
 	grown := make([]byte, next*wasm.PageSize)
@@ -385,6 +412,21 @@ type Table struct {
 	// Funcs resolves handles (Elems[i]-1 indexes Funcs). Set by the
 	// engine when the owning instance links.
 	Funcs []*FuncInst
+	// MaxElems caps growth, mirroring Memory.MaxPages: the declared
+	// maximum (or the index-space ceiling when none was declared). Link
+	// checks compare it against an import's required maximum exactly as
+	// the memory import check does.
+	MaxElems uint32
+}
+
+// NewTable allocates a table from limits, capping MaxElems like
+// NewMemory caps MaxPages.
+func NewTable(lim wasm.Limits) *Table {
+	maxElems := uint32(1<<32 - 1)
+	if lim.HasMax && lim.Max < maxElems {
+		maxElems = lim.Max
+	}
+	return &Table{Elems: make([]uint64, lim.Min), MaxElems: maxElems}
 }
 
 // GlobalSlot is a runtime global cell: bits plus tag for stack-walking
@@ -508,6 +550,12 @@ type Instance struct {
 	// arbitrary embedder code outside the analysis' view, so a probed
 	// instance never skips its pooled memory restore.
 	ProbedFuncs int
+
+	// Poisoned marks an instance whose state can no longer be trusted:
+	// a host function panicked mid-call, so linear memory, globals or
+	// tables may be half-mutated. Reset paths refuse poisoned instances
+	// and pools drop them instead of recycling them to the next request.
+	Poisoned bool
 }
 
 // FuncByName resolves an exported function.
@@ -583,9 +631,29 @@ type Context struct {
 	// it abstract to avoid an import cycle.
 	Heap any
 
-	// Fuel, when non-zero, bounds the number of instructions executed
-	// (used by fuzz tests to terminate generated programs).
+	// Fuel, when non-zero, bounds execution deterministically: one unit
+	// is charged per function entry and one per loop-header execution
+	// (loop entry plus each taken back-edge), at identical program
+	// points in every tier. When the budget runs out the executor
+	// unwinds with TrapFuelExhausted. Zero disables metering.
+	//
+	// Loops whose trip count the static analysis proved exactly are
+	// charged up front (FuelPrepay) so their elided per-iteration
+	// checks stay fuel-sound; when the remaining budget cannot cover
+	// the whole loop, charging degrades to per-iteration (FuelPerIter)
+	// so the trap lands at the same point as with the analysis off.
 	Fuel int64
+	// FuelPerIter is the degraded-prepay mode flag: set by FuelPrepay
+	// when the budget could not cover a proven loop up front, making
+	// FuelIter charge each header arrival instead. Always re-set by the
+	// dominating FuelPrepay before any FuelIter site runs.
+	FuelPerIter bool
+
+	// GoCtx is the Go context of the current top-level call, installed
+	// by engine.Instance.CallContext and bridged across cross-instance
+	// calls. Host functions read it (GoContext) so cancellation and
+	// deadlines cover time spent in the host, not just guest code.
+	GoCtx context.Context
 
 	// OSRThreshold is the loop back-edge count after which the
 	// interpreter requests tier-up when compiled code exists (0 = off).
@@ -701,6 +769,63 @@ func (i *InterruptFlag) AddSource(cancelled func() bool) (remove func()) {
 // executors pay a single predictable branch on the back-edge fast path.
 func (ctx *Context) Interrupted() bool {
 	return ctx.Interrupt != nil && ctx.Interrupt.Get()
+}
+
+// GoContext returns the Go context of the current top-level call, or
+// context.Background() when the call was not context-bound. Host
+// functions use it to honor cancellation and deadlines while the guest
+// is parked in the host.
+func (ctx *Context) GoContext() context.Context {
+	if ctx.GoCtx != nil {
+		return ctx.GoCtx
+	}
+	return context.Background()
+}
+
+// FuelCheckpoint charges one fuel unit at a plain checkpoint (function
+// entry, loop entry, or an unproven loop's back-edge). It returns false
+// when the budget just ran out — the caller must unwind with
+// TrapFuelExhausted. With metering off (Fuel == 0) it is a single
+// predictable branch.
+func (ctx *Context) FuelCheckpoint() bool {
+	if ctx.Fuel > 0 {
+		ctx.Fuel--
+		return ctx.Fuel > 0
+	}
+	return true
+}
+
+// FuelPrepay charges a loop whose exact trip count the analysis proved.
+// When the remaining budget covers the whole loop, all trips are
+// deducted up front and the loop body runs charge-free (FuelIter
+// no-ops); otherwise charging degrades to per-iteration mode
+// (FuelPerIter) so the exhaustion point is identical to the
+// analysis-off execution. Prepaid loops contain no calls and no inner
+// loops, so the single mode flag cannot be clobbered mid-loop.
+// FuelPrepay itself never exhausts the budget: the first header
+// arrival is charged by the FuelIter that every header site runs.
+func (ctx *Context) FuelPrepay(trips int64) {
+	if ctx.Fuel <= 0 {
+		return
+	}
+	if ctx.Fuel > trips {
+		ctx.Fuel -= trips
+		ctx.FuelPerIter = false
+		return
+	}
+	ctx.FuelPerIter = true
+}
+
+// FuelIter charges one header arrival of a prepaid loop when FuelPrepay
+// degraded it to per-iteration mode; in fully prepaid mode (or with
+// metering off) it is a no-op. Returns false when the budget just ran
+// out.
+func (ctx *Context) FuelIter() bool {
+	if ctx.Fuel > 0 && ctx.FuelPerIter {
+		ctx.Fuel--
+		return ctx.Fuel > 0
+	}
+	return true
 }
 
 // PushFrame records fi for stack walkers and returns its index.

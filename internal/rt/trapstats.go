@@ -30,6 +30,10 @@ func (k TrapKind) Label() string {
 		return "host_error"
 	case TrapInterrupted:
 		return "interrupted"
+	case TrapHostPanic:
+		return "host_panic"
+	case TrapFuelExhausted:
+		return "fuel_exhausted"
 	}
 	return "unknown"
 }
@@ -40,10 +44,10 @@ func (k TrapKind) Label() string {
 // at init into the process-wide registry; every tier's trap
 // construction funnels through NewTrap, making this the single
 // chokepoint for wizgo_traps_total.
-var trapCounters = func() [TrapInterrupted + 1]*telemetry.Counter {
-	var cs [TrapInterrupted + 1]*telemetry.Counter
+var trapCounters = func() [trapKindCount]*telemetry.Counter {
+	var cs [trapKindCount]*telemetry.Counter
 	reg := telemetry.Default()
-	for k := TrapNone; k <= TrapInterrupted; k++ {
+	for k := TrapNone; k < trapKindCount; k++ {
 		cs[k] = reg.CounterL("wizgo_traps_total",
 			"Wasm traps raised, by trap kind.", "kind", k.Label())
 	}
@@ -51,7 +55,7 @@ var trapCounters = func() [TrapInterrupted + 1]*telemetry.Counter {
 }()
 
 func countTrap(kind TrapKind) {
-	if kind <= TrapInterrupted {
+	if kind < trapKindCount {
 		trapCounters[kind].Inc()
 	}
 }

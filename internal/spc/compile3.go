@@ -51,15 +51,16 @@ func (c *compiler) instr(op wasm.Opcode) error {
 		// the header, and plant the OSR/deopt checkpoint.
 		c.flush()
 		c.resetState(c.st.h, in)
+		bodyPC := c.r.Pos
+		trips := c.info.Facts.TripsAt(bodyPC)
+		if trips > 0 {
+			// Proven-exact-trip loop: prepay its whole fuel charge on
+			// fall-in, before the header label so back-edges (and OSR
+			// entries) never re-execute it.
+			c.asm.Emit(mach.Instr{Op: mach.OFuelPrepay, A: int32(trips), Imm: uint64(bodyPC)})
+		}
 		header := c.asm.NewLabel()
 		c.asm.Bind(header)
-		bodyPC := c.r.Pos
-		if c.pinned == nil {
-			// With pinned locals the frame is not canonical at loop
-			// headers, so OSR entry / deopt is not offered (optimizing
-			// tiers in production engines behave the same way).
-			c.osrEntries[bodyPC] = c.asm.Pos()
-		}
 		cp := mach.OCheckPoint
 		if c.info.Facts.NoPollAt(bodyPC) {
 			// Proven-terminating counted loop: keep the checkpoint
@@ -67,7 +68,22 @@ func (c *compiler) instr(op wasm.Opcode) error {
 			// per-iteration interrupt poll.
 			cp = mach.OCheckPointNoPoll
 		}
-		c.asm.Emit(mach.Instr{Op: cp, A: int32(c.nLocals + c.st.h), Imm: uint64(bodyPC)})
+		prepaid := int32(0)
+		if trips > 0 {
+			prepaid = 1
+		}
+		c.asm.Emit(mach.Instr{Op: cp, A: int32(c.nLocals + c.st.h), B: prepaid, Imm: uint64(bodyPC)})
+		if c.pinned == nil {
+			// With pinned locals the frame is not canonical at loop
+			// headers, so OSR entry / deopt is not offered (optimizing
+			// tiers in production engines behave the same way). The OSR
+			// entry is recorded AFTER the checkpoint: the interpreter
+			// has already charged fuel (and polled) at the back-edge it
+			// tiers up from, so entering before the checkpoint would
+			// charge that header arrival twice. Back-edges still jump
+			// to the header label and execute the checkpoint.
+			c.osrEntries[bodyPC] = c.asm.Pos()
+		}
 		c.ctrls = append(c.ctrls, ctrl{
 			op: wasm.OpLoop, startTypes: in, endTypes: out,
 			height:      c.st.h - len(in),

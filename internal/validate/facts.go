@@ -30,6 +30,18 @@ type Facts struct {
 	// or grows linear memory. Imports and indirect calls are
 	// conservatively assumed to write.
 	WritesMemory bool
+	// Prepaid is a bitset over body pcs: bit pc is set at the sole
+	// back-edge branch of a loop whose exact trip count was proven
+	// (Trips), licensing fuel prepayment — the loop's whole fuel charge
+	// is deducted at entry and the back-edge charge becomes conditional
+	// (rt.Context.FuelIter). Only set for loops with no calls, no inner
+	// loops, no early exits and no trapping instructions, so the proven
+	// count is exact, not an upper bound.
+	Prepaid []uint64
+	// Trips maps a loop's first body pc to its proven exact trip count
+	// (header-execution count: entry plus taken back-edges). Nil when
+	// no loop qualified.
+	Trips map[int]int64
 	// BoundsProven counts InBounds bits set; PollsElided counts loops
 	// whose back-edge poll was proven skippable. Telemetry feed.
 	BoundsProven int
@@ -78,4 +90,43 @@ func (f *Facts) NoPollAt(pc int) bool {
 	}
 	w := pc >> 6
 	return w < len(f.NoPoll) && f.NoPoll[w]&(1<<(uint(pc)&63)) != 0
+}
+
+// SetPrepaid marks the back-edge at pc as belonging to a loop whose
+// fuel is prepaid at entry, allocating the bitset lazily (most
+// functions have no prepaid loops).
+func (f *Facts) SetPrepaid(pc int, bodyLen int) {
+	if f.Prepaid == nil {
+		f.Prepaid = make([]uint64, (bodyLen+63)/64)
+	}
+	f.Prepaid[pc>>6] |= 1 << (uint(pc) & 63)
+}
+
+// PrepaidAt reports whether the back-edge at pc belongs to a
+// fuel-prepaid loop. Safe on a nil receiver.
+func (f *Facts) PrepaidAt(pc int) bool {
+	if f == nil {
+		return false
+	}
+	w := pc >> 6
+	return w < len(f.Prepaid) && f.Prepaid[w]&(1<<(uint(pc)&63)) != 0
+}
+
+// SetTrips records the proven exact trip count for the loop whose first
+// body instruction is at pc.
+func (f *Facts) SetTrips(pc int, trips int64) {
+	if f.Trips == nil {
+		f.Trips = make(map[int]int64, 2)
+	}
+	f.Trips[pc] = trips
+}
+
+// TripsAt returns the proven exact trip count of the loop whose first
+// body instruction is at pc, or 0 when unproven. Safe on a nil
+// receiver.
+func (f *Facts) TripsAt(pc int) int64 {
+	if f == nil {
+		return 0
+	}
+	return f.Trips[pc]
 }

@@ -346,6 +346,15 @@ func (f *FuncBuilder) Else() *FuncBuilder {
 // End closes the innermost construct (or the function body).
 func (f *FuncBuilder) End() *FuncBuilder { return f.Op(OpEnd) }
 
+// SelectT emits a typed select with one explicit result type (the
+// reference-types encoding: a one-element type vector).
+func (f *FuncBuilder) SelectT(t ValueType) *FuncBuilder {
+	f.code = append(f.code, byte(OpSelectT))
+	f.code = AppendU32(f.code, 1)
+	f.code = append(f.code, byte(t))
+	return f
+}
+
 // Br emits br depth.
 func (f *FuncBuilder) Br(depth uint32) *FuncBuilder { return f.idxOp(OpBr, depth) }
 
